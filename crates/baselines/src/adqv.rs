@@ -1,0 +1,254 @@
+//! An ADQV-style validator (Redyuk, Kaoudi, Markl, Schelter — "Automating
+//! Data Quality Validation for Dynamic Data Ingestion", EDBT 2021).
+//!
+//! ADQV represents every incoming batch by a vector of descriptive statistics
+//! (per column: completeness, mean, standard deviation, minimum, maximum,
+//! distinct count) and decides whether a batch conforms by measuring its
+//! k-nearest-neighbour distance to the statistics vectors of previously
+//! accepted (clean) batches. The paper notes two properties this design
+//! reproduces: it detects ordinary errors well because they shift the batch
+//! statistics, but it cannot pinpoint the offending rows, and hidden
+//! conflicts that barely move the marginal statistics are easy to miss — or,
+//! conversely, mild distribution shifts get flagged even when the real issue
+//! is elsewhere.
+
+use crate::{BatchValidator, BatchVerdict};
+use dquag_tabular::stats::summarize;
+use dquag_tabular::DataFrame;
+
+/// Number of descriptive statistics kept per column.
+const STATS_PER_COLUMN: usize = 6;
+
+/// The ADQV-style validator.
+#[derive(Debug, Clone)]
+pub struct Adqv {
+    /// Number of neighbours considered.
+    k: usize,
+    /// Number of historical clean batches derived from the reference data.
+    n_reference_batches: usize,
+    /// Multiplier applied to the calibration distance to obtain the decision
+    /// threshold.
+    threshold_factor: f64,
+    reference_vectors: Vec<Vec<f64>>,
+    feature_scales: Vec<f64>,
+    threshold: f64,
+}
+
+impl Default for Adqv {
+    fn default() -> Self {
+        Self {
+            k: 3,
+            n_reference_batches: 12,
+            threshold_factor: 2.0,
+            reference_vectors: Vec::new(),
+            feature_scales: Vec::new(),
+            threshold: 0.0,
+        }
+    }
+}
+
+impl Adqv {
+    /// The calibrated decision threshold (available after fit).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Descriptive-statistics vector of a batch.
+    ///
+    /// The statistics are chosen to be (approximately) batch-size invariant:
+    /// completeness, mean, standard deviation, the 5th and 95th percentiles,
+    /// and the distinct-value ratio. Using raw min/max or raw distinct counts
+    /// would make reference chunks and differently-sized validation batches
+    /// incomparable.
+    fn batch_vector(batch: &DataFrame) -> Vec<f64> {
+        let mut vector = Vec::with_capacity(batch.n_cols() * STATS_PER_COLUMN);
+        for summary in summarize(batch) {
+            let quantiles = summary.quantiles.unwrap_or([0.0; 5]);
+            vector.push(summary.completeness);
+            vector.push(summary.mean);
+            vector.push(summary.std_dev);
+            vector.push(quantiles[0]);
+            vector.push(quantiles[4]);
+            // Sixth statistic by column kind: categorical columns contribute
+            // their distinct-category count (saturates quickly, so it is
+            // batch-size invariant and jumps under typos), numeric columns
+            // their median.
+            vector.push(match summary.dtype {
+                dquag_tabular::DataType::Categorical => summary.distinct as f64,
+                dquag_tabular::DataType::Numeric => quantiles[2],
+            });
+        }
+        vector
+    }
+
+    /// Scaled Euclidean distance between two statistics vectors.
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .zip(self.feature_scales.iter())
+            .map(|((x, y), scale)| {
+                let d = (x - y) / scale.max(1e-9);
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Mean distance of `vector` to its k nearest reference vectors,
+    /// excluding the reference at `skip` (used for leave-one-out calibration).
+    fn knn_distance(&self, vector: &[f64], skip: Option<usize>) -> f64 {
+        let mut distances: Vec<f64> = self
+            .reference_vectors
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Some(*i) != skip)
+            .map(|(_, r)| self.distance(vector, r))
+            .collect();
+        distances.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let k = self.k.min(distances.len()).max(1);
+        distances.iter().take(k).sum::<f64>() / k as f64
+    }
+}
+
+impl BatchValidator for Adqv {
+    fn name(&self) -> &'static str {
+        "ADQV"
+    }
+
+    fn fit(&mut self, clean: &DataFrame) {
+        // Derive historical clean batches by chunking the reference data; each
+        // chunk plays the role of one previously accepted ingestion batch.
+        let n_batches = self.n_reference_batches.min(clean.n_rows().max(1));
+        let chunk = (clean.n_rows() / n_batches.max(1)).max(1);
+        self.reference_vectors = (0..n_batches)
+            .filter_map(|i| {
+                let start = i * chunk;
+                let end = ((i + 1) * chunk).min(clean.n_rows());
+                if start >= end {
+                    return None;
+                }
+                let indices: Vec<usize> = (start..end).collect();
+                let batch = clean.select_rows(&indices).expect("indices in range");
+                Some(Self::batch_vector(&batch))
+            })
+            .collect();
+
+        // Per-dimension scale = spread across the reference vectors, floored at
+        // a small fraction of the statistic's magnitude so that dimensions
+        // which are (almost) constant over the clean chunks — completeness of
+        // a fully populated column, distinct ratios of continuous columns —
+        // do not blow up the distance on harmless sampling noise.
+        let dims = self.reference_vectors.first().map_or(0, Vec::len);
+        self.feature_scales = (0..dims)
+            .map(|d| {
+                let values: Vec<f64> = self.reference_vectors.iter().map(|v| v[d]).collect();
+                let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let mean_abs =
+                    values.iter().map(|v| v.abs()).sum::<f64>() / values.len().max(1) as f64;
+                (max - min).abs().max(0.05 * mean_abs).max(1e-3)
+            })
+            .collect();
+
+        // Calibrate the threshold with leave-one-out kNN distances over the
+        // clean reference batches.
+        let calibration: Vec<f64> = self
+            .reference_vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| self.knn_distance(v, Some(i)))
+            .collect();
+        let max_calibration = calibration.iter().copied().fold(0.0f64, f64::max);
+        self.threshold = max_calibration * self.threshold_factor;
+    }
+
+    fn validate(&self, batch: &DataFrame) -> BatchVerdict {
+        assert!(
+            !self.reference_vectors.is_empty(),
+            "Adqv::validate called before fit"
+        );
+        let vector = Self::batch_vector(batch);
+        let distance = self.knn_distance(&vector, None);
+        let is_dirty = distance > self.threshold;
+        BatchVerdict {
+            is_dirty,
+            score: distance,
+            violations: if is_dirty {
+                vec![format!(
+                    "batch statistics vector at kNN distance {distance:.3} exceeds threshold {:.3}",
+                    self.threshold
+                )]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dquag_datagen::{inject_ordinary, DatasetKind, OrdinaryError};
+
+    fn setup() -> (Adqv, DataFrame) {
+        let clean = DatasetKind::CreditCard.generate_clean(3000, 21);
+        let mut adqv = Adqv::default();
+        adqv.fit(&clean);
+        (adqv, clean)
+    }
+
+    #[test]
+    fn threshold_is_calibrated_and_clean_batches_pass() {
+        let (adqv, clean) = setup();
+        assert!(adqv.threshold() > 0.0);
+        let mut rng = dquag_datagen::rng(31);
+        let mut clean_flagged = 0;
+        for _ in 0..10 {
+            let batch = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
+            if adqv.validate(&batch).is_dirty {
+                clean_flagged += 1;
+            }
+        }
+        assert!(clean_flagged <= 2, "at most a couple of clean batches flagged, got {clean_flagged}");
+    }
+
+    #[test]
+    fn ordinary_errors_shift_statistics_and_get_flagged() {
+        let (adqv, clean) = setup();
+        let cols = DatasetKind::CreditCard.default_ordinary_error_columns();
+        let mut rng = dquag_datagen::rng(32);
+        let mut detected = 0;
+        for error in [OrdinaryError::NumericAnomalies, OrdinaryError::MissingValues] {
+            for _ in 0..5 {
+                let mut dirty = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
+                inject_ordinary(&mut dirty, error, &cols, 0.2, &mut rng);
+                if adqv.validate(&dirty).is_dirty {
+                    detected += 1;
+                }
+            }
+        }
+        assert!(detected >= 8, "ADQV should catch most ordinary-error batches, got {detected}/10");
+    }
+
+    #[test]
+    fn verdict_contains_score_and_explanation_when_dirty() {
+        let (adqv, clean) = setup();
+        let cols = DatasetKind::CreditCard.default_ordinary_error_columns();
+        let mut rng = dquag_datagen::rng(33);
+        let mut dirty = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
+        inject_ordinary(&mut dirty, OrdinaryError::NumericAnomalies, &cols, 0.3, &mut rng);
+        let verdict = adqv.validate(&dirty);
+        if verdict.is_dirty {
+            assert!(!verdict.violations.is_empty());
+            assert!(verdict.score > adqv.threshold());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn validating_before_fit_panics() {
+        let adqv = Adqv::default();
+        let clean = DatasetKind::CreditCard.generate_clean(10, 1);
+        adqv.validate(&clean);
+    }
+}

@@ -1,0 +1,341 @@
+//! A Deequ-style constraint-suite validator (Schelter et al., VLDB 2018).
+//!
+//! Deequ validates data by checking declarative constraints (completeness,
+//! value ranges, value-set containment, non-negativity). Its *constraint
+//! suggestion* component derives these constraints automatically from a
+//! reference dataset; the paper observes that the suggested numeric ranges are
+//! often too strict (quantile-based), causing false positives on clean
+//! batches, while expert-tuned suites behave well on ordinary errors but
+//! cannot see hidden cross-attribute conflicts. Both behaviours are
+//! reproduced here via the [`DeequProfile`].
+
+use crate::{BatchValidator, BatchVerdict};
+use dquag_tabular::stats::{summarize, ColumnSummary};
+use dquag_tabular::{DataFrame, DataType};
+use std::collections::BTreeSet;
+
+/// Whether the constraint suite is the raw suggestion output or expert-tuned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeequProfile {
+    /// Automatically suggested constraints: numeric bounds at the 5th/95th
+    /// percentile of the reference data (too strict) and exact category sets.
+    Auto,
+    /// Expert-tuned constraints: padded min/max bounds and tolerant
+    /// completeness thresholds.
+    Expert,
+}
+
+/// One declarative constraint over a column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constraint {
+    /// At least `min_fraction` of the cells must be non-missing.
+    Completeness {
+        /// Column index.
+        column: usize,
+        /// Minimum allowed completeness.
+        min_fraction: f64,
+    },
+    /// Numeric values must fall inside `[low, high]`.
+    NumericRange {
+        /// Column index.
+        column: usize,
+        /// Lower bound.
+        low: f64,
+        /// Upper bound.
+        high: f64,
+    },
+    /// Numeric values must be non-negative.
+    NonNegative {
+        /// Column index.
+        column: usize,
+    },
+    /// Categorical values must belong to the reference value set.
+    IsContainedIn {
+        /// Column index.
+        column: usize,
+        /// Allowed values.
+        allowed: BTreeSet<String>,
+    },
+}
+
+/// The Deequ-style validator.
+#[derive(Debug, Clone)]
+pub struct Deequ {
+    profile: DeequProfile,
+    constraints: Vec<Constraint>,
+    column_names: Vec<String>,
+    /// Maximum fraction of rows allowed to violate a row-level constraint
+    /// before the batch is flagged.
+    violation_tolerance: f64,
+}
+
+impl Deequ {
+    /// Validator using the automatically suggested constraint suite.
+    pub fn auto() -> Self {
+        Self {
+            profile: DeequProfile::Auto,
+            constraints: Vec::new(),
+            column_names: Vec::new(),
+            violation_tolerance: 0.02,
+        }
+    }
+
+    /// Validator using the expert-tuned constraint suite.
+    pub fn expert() -> Self {
+        Self {
+            profile: DeequProfile::Expert,
+            constraints: Vec::new(),
+            column_names: Vec::new(),
+            violation_tolerance: 0.03,
+        }
+    }
+
+    /// The generated constraint suite (available after [`BatchValidator::fit`]).
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    fn suggest_constraints(&self, summaries: &[ColumnSummary]) -> Vec<Constraint> {
+        let mut constraints = Vec::new();
+        for (column, summary) in summaries.iter().enumerate() {
+            // Completeness: the suggestion engine demands what it observed;
+            // the expert relaxes it slightly.
+            let completeness_floor = match self.profile {
+                DeequProfile::Auto => (summary.completeness - 0.005).max(0.0),
+                DeequProfile::Expert => (summary.completeness - 0.05).max(0.0),
+            };
+            constraints.push(Constraint::Completeness {
+                column,
+                min_fraction: completeness_floor,
+            });
+            match summary.dtype {
+                DataType::Numeric => {
+                    if let (Some(min), Some(max), Some(q)) =
+                        (summary.min, summary.max, summary.quantiles)
+                    {
+                        let (low, high) = match self.profile {
+                            // Suggested ranges hug the bulk of the distribution
+                            // (5th..95th percentile) — too strict.
+                            DeequProfile::Auto => (q[0], q[4]),
+                            // Expert pads the true range by 25% of the span.
+                            DeequProfile::Expert => {
+                                let span = (max - min).abs().max(1e-9);
+                                (min - 0.25 * span, max + 0.25 * span)
+                            }
+                        };
+                        constraints.push(Constraint::NumericRange { column, low, high });
+                        if min >= 0.0 {
+                            constraints.push(Constraint::NonNegative { column });
+                        }
+                    }
+                }
+                DataType::Categorical => {
+                    constraints.push(Constraint::IsContainedIn {
+                        column,
+                        allowed: summary.value_counts.keys().cloned().collect(),
+                    });
+                }
+            }
+        }
+        constraints
+    }
+
+    fn check(&self, batch: &DataFrame, constraint: &Constraint) -> Option<(String, f64)> {
+        let n_rows = batch.n_rows().max(1) as f64;
+        match constraint {
+            Constraint::Completeness {
+                column,
+                min_fraction,
+            } => {
+                let col = batch.column(*column).ok()?;
+                let completeness = 1.0 - col.missing_count() as f64 / n_rows;
+                (completeness < *min_fraction - 1e-9).then(|| {
+                    (
+                        format!(
+                            "completeness of `{}` is {completeness:.3}, expected ≥ {min_fraction:.3}",
+                            self.column_names[*column]
+                        ),
+                        *min_fraction - completeness,
+                    )
+                })
+            }
+            Constraint::NumericRange { column, low, high } => {
+                let col = batch.column(*column).ok()?;
+                let values = col.numeric_values()?;
+                let out = values
+                    .iter()
+                    .flatten()
+                    .filter(|v| **v < *low || **v > *high)
+                    .count() as f64
+                    / n_rows;
+                (out > self.violation_tolerance).then(|| {
+                    (
+                        format!(
+                            "{:.1}% of `{}` outside [{low:.3}, {high:.3}]",
+                            out * 100.0,
+                            self.column_names[*column]
+                        ),
+                        out,
+                    )
+                })
+            }
+            Constraint::NonNegative { column } => {
+                let col = batch.column(*column).ok()?;
+                let values = col.numeric_values()?;
+                let neg =
+                    values.iter().flatten().filter(|v| **v < 0.0).count() as f64 / n_rows;
+                (neg > self.violation_tolerance).then(|| {
+                    (
+                        format!(
+                            "{:.1}% of `{}` is negative",
+                            neg * 100.0,
+                            self.column_names[*column]
+                        ),
+                        neg,
+                    )
+                })
+            }
+            Constraint::IsContainedIn { column, allowed } => {
+                let col = batch.column(*column).ok()?;
+                let values = col.categorical_values()?;
+                let unknown = values
+                    .iter()
+                    .flatten()
+                    .filter(|v| !allowed.contains(*v))
+                    .count() as f64
+                    / n_rows;
+                (unknown > self.violation_tolerance).then(|| {
+                    (
+                        format!(
+                            "{:.1}% of `{}` outside the known value set",
+                            unknown * 100.0,
+                            self.column_names[*column]
+                        ),
+                        unknown,
+                    )
+                })
+            }
+        }
+    }
+}
+
+impl BatchValidator for Deequ {
+    fn name(&self) -> &'static str {
+        match self.profile {
+            DeequProfile::Auto => "Deequ auto",
+            DeequProfile::Expert => "Deequ expert",
+        }
+    }
+
+    fn fit(&mut self, clean: &DataFrame) {
+        self.column_names = clean
+            .schema()
+            .names()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let summaries = summarize(clean);
+        self.constraints = self.suggest_constraints(&summaries);
+    }
+
+    fn validate(&self, batch: &DataFrame) -> BatchVerdict {
+        assert!(
+            !self.constraints.is_empty(),
+            "Deequ::validate called before fit"
+        );
+        let mut violations = Vec::new();
+        let mut score = 0.0f64;
+        for constraint in &self.constraints {
+            if let Some((message, severity)) = self.check(batch, constraint) {
+                violations.push(message);
+                score += severity;
+            }
+        }
+        BatchVerdict {
+            is_dirty: !violations.is_empty(),
+            score,
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dquag_datagen::{inject_ordinary, DatasetKind, OrdinaryError};
+
+    fn fit_on_credit(profile: DeequProfile) -> (Deequ, DataFrame) {
+        let clean = DatasetKind::CreditCard.generate_clean(2000, 1);
+        let mut deequ = match profile {
+            DeequProfile::Auto => Deequ::auto(),
+            DeequProfile::Expert => Deequ::expert(),
+        };
+        deequ.fit(&clean);
+        (deequ, clean)
+    }
+
+    #[test]
+    fn suite_contains_all_constraint_families() {
+        let (deequ, _) = fit_on_credit(DeequProfile::Expert);
+        let has = |pred: fn(&Constraint) -> bool| deequ.constraints().iter().any(pred);
+        assert!(has(|c| matches!(c, Constraint::Completeness { .. })));
+        assert!(has(|c| matches!(c, Constraint::NumericRange { .. })));
+        assert!(has(|c| matches!(c, Constraint::IsContainedIn { .. })));
+        assert!(has(|c| matches!(c, Constraint::NonNegative { .. })));
+    }
+
+    #[test]
+    fn auto_profile_is_too_strict_on_clean_batches() {
+        let (deequ, clean) = fit_on_credit(DeequProfile::Auto);
+        let mut rng = dquag_datagen::rng(2);
+        let batch = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
+        let verdict = deequ.validate(&batch);
+        assert!(
+            verdict.is_dirty,
+            "quantile-based suggested ranges flag even clean batches"
+        );
+    }
+
+    #[test]
+    fn expert_profile_passes_clean_and_catches_ordinary_errors() {
+        let (deequ, clean) = fit_on_credit(DeequProfile::Expert);
+        let mut rng = dquag_datagen::rng(3);
+        let clean_batch = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
+        assert!(!deequ.validate(&clean_batch).is_dirty, "clean batch passes");
+
+        for error in OrdinaryError::ALL {
+            let mut dirty = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
+            let cols = DatasetKind::CreditCard.default_ordinary_error_columns();
+            inject_ordinary(&mut dirty, error, &cols, 0.2, &mut rng);
+            let verdict = deequ.validate(&dirty);
+            assert!(verdict.is_dirty, "expert Deequ should catch {error:?}");
+            assert!(!verdict.violations.is_empty());
+        }
+    }
+
+    #[test]
+    fn expert_profile_misses_hidden_conflicts() {
+        let (deequ, clean) = fit_on_credit(DeequProfile::Expert);
+        let mut rng = dquag_datagen::rng(4);
+        let mut conflicted = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
+        dquag_datagen::inject_hidden(
+            &mut conflicted,
+            dquag_datagen::HiddenError::CreditIncomeEducationMismatch,
+            0.2,
+            &mut rng,
+        );
+        let verdict = deequ.validate(&conflicted);
+        assert!(
+            !verdict.is_dirty,
+            "range/value-set constraints cannot see cross-attribute conflicts"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn validating_before_fit_panics() {
+        let deequ = Deequ::expert();
+        let clean = DatasetKind::CreditCard.generate_clean(10, 1);
+        deequ.validate(&clean);
+    }
+}

@@ -1,0 +1,195 @@
+//! A Gate-style validator (Shankar et al., "Automatic and Precise Data
+//! Validation for Machine Learning", CIKM 2023).
+//!
+//! Gate summarises each data partition with a battery of per-column
+//! statistics and learns, from a history of accepted partitions, how much
+//! each statistic naturally fluctuates. A new partition is flagged when too
+//! many statistics drift beyond their learned tolerance. The paper observes
+//! that Gate's learned thresholds can be unstable — too strict on some
+//! datasets (flagging clean batches) and unable to separate hidden conflicts
+//! — which this implementation reproduces by keeping the original tight
+//! z-score style tolerances.
+
+use crate::{BatchValidator, BatchVerdict};
+use dquag_tabular::stats::{summarize, ColumnSummary};
+use dquag_tabular::DataFrame;
+
+/// Number of partition statistics tracked per column.
+const STATS_PER_COLUMN: usize = 5;
+
+/// The Gate-style validator.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    /// Number of reference partitions carved out of the clean data.
+    n_partitions: usize,
+    /// Multiplier on the observed fluctuation of each statistic.
+    tolerance_factor: f64,
+    /// Fraction of tracked statistics that must drift for a batch to be
+    /// flagged.
+    drift_fraction: f64,
+    statistic_means: Vec<f64>,
+    statistic_tolerances: Vec<f64>,
+    column_names: Vec<String>,
+}
+
+impl Default for Gate {
+    fn default() -> Self {
+        Self {
+            n_partitions: 20,
+            tolerance_factor: 2.0,
+            drift_fraction: 0.08,
+            statistic_means: Vec::new(),
+            statistic_tolerances: Vec::new(),
+            column_names: Vec::new(),
+        }
+    }
+}
+
+impl Gate {
+    fn partition_statistics(summaries: &[ColumnSummary]) -> Vec<f64> {
+        let mut stats = Vec::with_capacity(summaries.len() * STATS_PER_COLUMN);
+        for s in summaries {
+            stats.push(s.completeness);
+            stats.push(s.mean);
+            stats.push(s.std_dev);
+            stats.push(s.max.unwrap_or(0.0));
+            stats.push(s.distinct as f64);
+        }
+        stats
+    }
+}
+
+impl BatchValidator for Gate {
+    fn name(&self) -> &'static str {
+        "Gate"
+    }
+
+    fn fit(&mut self, clean: &DataFrame) {
+        self.column_names = clean
+            .schema()
+            .names()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let n_partitions = self.n_partitions.min(clean.n_rows().max(1));
+        let chunk = (clean.n_rows() / n_partitions.max(1)).max(1);
+        let partitions: Vec<Vec<f64>> = (0..n_partitions)
+            .filter_map(|i| {
+                let start = i * chunk;
+                let end = ((i + 1) * chunk).min(clean.n_rows());
+                if start >= end {
+                    return None;
+                }
+                let indices: Vec<usize> = (start..end).collect();
+                let part = clean.select_rows(&indices).expect("indices in range");
+                Some(Self::partition_statistics(&summarize(&part)))
+            })
+            .collect();
+
+        let dims = partitions.first().map_or(0, Vec::len);
+        self.statistic_means = (0..dims)
+            .map(|d| partitions.iter().map(|p| p[d]).sum::<f64>() / partitions.len().max(1) as f64)
+            .collect();
+        self.statistic_tolerances = (0..dims)
+            .map(|d| {
+                let mean = self.statistic_means[d];
+                let var = partitions
+                    .iter()
+                    .map(|p| (p[d] - mean).powi(2))
+                    .sum::<f64>()
+                    / partitions.len().max(1) as f64;
+                (var.sqrt() * self.tolerance_factor).max(mean.abs() * 0.01).max(1e-9)
+            })
+            .collect();
+    }
+
+    fn validate(&self, batch: &DataFrame) -> BatchVerdict {
+        assert!(
+            !self.statistic_means.is_empty(),
+            "Gate::validate called before fit"
+        );
+        let stats = Self::partition_statistics(&summarize(batch));
+        let mut drifted = Vec::new();
+        for (d, value) in stats.iter().enumerate() {
+            let deviation = (value - self.statistic_means[d]).abs();
+            if deviation > self.statistic_tolerances[d] {
+                let column = d / STATS_PER_COLUMN;
+                let statistic = ["completeness", "mean", "std", "max", "distinct"]
+                    [d % STATS_PER_COLUMN];
+                drifted.push(format!(
+                    "{statistic} of `{}` drifted by {deviation:.3}",
+                    self.column_names
+                        .get(column)
+                        .map(String::as_str)
+                        .unwrap_or("?")
+                ));
+            }
+        }
+        let drift_ratio = drifted.len() as f64 / stats.len().max(1) as f64;
+        BatchVerdict {
+            is_dirty: drift_ratio > self.drift_fraction,
+            score: drift_ratio,
+            violations: drifted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dquag_datagen::{inject_ordinary, DatasetKind, OrdinaryError};
+
+    fn setup() -> (Gate, DataFrame) {
+        let clean = DatasetKind::HotelBooking.generate_clean(3000, 41);
+        let mut gate = Gate::default();
+        gate.fit(&clean);
+        (gate, clean)
+    }
+
+    #[test]
+    fn learned_tolerances_cover_every_statistic() {
+        let (gate, clean) = setup();
+        assert_eq!(
+            gate.statistic_means.len(),
+            clean.n_cols() * STATS_PER_COLUMN
+        );
+        assert!(gate.statistic_tolerances.iter().all(|t| *t > 0.0));
+    }
+
+    #[test]
+    fn heavy_numeric_corruption_is_flagged() {
+        let (gate, clean) = setup();
+        let cols = DatasetKind::HotelBooking.default_ordinary_error_columns();
+        let mut rng = dquag_datagen::rng(42);
+        let mut detected = 0;
+        for _ in 0..6 {
+            let mut dirty = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
+            inject_ordinary(&mut dirty, OrdinaryError::NumericAnomalies, &cols, 0.2, &mut rng);
+            if gate.validate(&dirty).is_dirty {
+                detected += 1;
+            }
+        }
+        assert!(detected >= 4, "Gate should flag most heavily corrupted batches, got {detected}/6");
+    }
+
+    #[test]
+    fn verdict_reports_which_statistics_drifted() {
+        let (gate, clean) = setup();
+        let cols = DatasetKind::HotelBooking.default_ordinary_error_columns();
+        let mut rng = dquag_datagen::rng(43);
+        let mut dirty = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
+        inject_ordinary(&mut dirty, OrdinaryError::NumericAnomalies, &cols, 0.4, &mut rng);
+        let verdict = gate.validate(&dirty);
+        if verdict.is_dirty {
+            assert!(verdict.violations.iter().any(|v| v.contains("mean") || v.contains("max")));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn validating_before_fit_panics() {
+        let gate = Gate::default();
+        let clean = DatasetKind::HotelBooking.generate_clean(10, 1);
+        gate.validate(&clean);
+    }
+}

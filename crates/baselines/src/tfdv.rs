@@ -1,0 +1,267 @@
+//! A TensorFlow-Data-Validation-style schema validator (Caveness et al.,
+//! SIGMOD 2020).
+//!
+//! TFDV infers a schema from reference data (feature types, categorical
+//! domains, presence requirements) and reports anomalies in new data:
+//! unexpected values outside a feature's domain, features missing more often
+//! than the schema allows, and — when an expert extends the schema with range
+//! constraints — out-of-range numeric values. The auto-inferred schema does
+//! not carry numeric ranges, which is why the paper reports TFDV auto missing
+//! numeric anomalies; neither profile can detect cross-attribute conflicts.
+
+use crate::{BatchValidator, BatchVerdict};
+use dquag_tabular::stats::summarize;
+use dquag_tabular::{DataFrame, DataType};
+use std::collections::BTreeSet;
+
+/// Schema profile: raw inference output vs expert-curated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TfdvProfile {
+    /// The inferred schema as-is (domains + presence, no numeric ranges).
+    Auto,
+    /// Expert-curated schema that adds numeric range constraints.
+    Expert,
+}
+
+/// Per-feature schema entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureSchema {
+    /// Column name.
+    pub name: String,
+    /// Feature type.
+    pub dtype: DataType,
+    /// Minimum fraction of rows in which the feature must be present.
+    pub min_presence: f64,
+    /// Allowed categorical domain (categorical features only).
+    pub domain: Option<BTreeSet<String>>,
+    /// Allowed numeric range (expert profile only).
+    pub range: Option<(f64, f64)>,
+}
+
+/// The TFDV-style validator.
+#[derive(Debug, Clone)]
+pub struct Tfdv {
+    profile: TfdvProfile,
+    schema: Vec<FeatureSchema>,
+    /// Fraction of out-of-domain / out-of-range values tolerated per feature.
+    anomaly_tolerance: f64,
+}
+
+impl Tfdv {
+    /// Validator using the auto-inferred schema.
+    pub fn auto() -> Self {
+        Self {
+            profile: TfdvProfile::Auto,
+            schema: Vec::new(),
+            anomaly_tolerance: 0.01,
+        }
+    }
+
+    /// Validator using the expert-curated schema.
+    pub fn expert() -> Self {
+        Self {
+            profile: TfdvProfile::Expert,
+            schema: Vec::new(),
+            anomaly_tolerance: 0.02,
+        }
+    }
+
+    /// The inferred schema (available after [`BatchValidator::fit`]).
+    pub fn schema(&self) -> &[FeatureSchema] {
+        &self.schema
+    }
+}
+
+impl BatchValidator for Tfdv {
+    fn name(&self) -> &'static str {
+        match self.profile {
+            TfdvProfile::Auto => "TFDV auto",
+            TfdvProfile::Expert => "TFDV expert",
+        }
+    }
+
+    fn fit(&mut self, clean: &DataFrame) {
+        let summaries = summarize(clean);
+        self.schema = summaries
+            .iter()
+            .map(|summary| {
+                let presence_slack = match self.profile {
+                    TfdvProfile::Auto => 0.01,
+                    TfdvProfile::Expert => 0.05,
+                };
+                let range = match (self.profile, summary.min, summary.max) {
+                    (TfdvProfile::Expert, Some(min), Some(max)) => {
+                        let span = (max - min).abs().max(1e-9);
+                        Some((min - 0.25 * span, max + 0.25 * span))
+                    }
+                    _ => None,
+                };
+                FeatureSchema {
+                    name: summary.name.clone(),
+                    dtype: summary.dtype,
+                    min_presence: (summary.completeness - presence_slack).max(0.0),
+                    domain: (summary.dtype == DataType::Categorical)
+                        .then(|| summary.value_counts.keys().cloned().collect()),
+                    range,
+                }
+            })
+            .collect();
+    }
+
+    fn validate(&self, batch: &DataFrame) -> BatchVerdict {
+        assert!(!self.schema.is_empty(), "Tfdv::validate called before fit");
+        let mut violations = Vec::new();
+        let mut score = 0.0f64;
+        let n_rows = batch.n_rows().max(1) as f64;
+        for (idx, feature) in self.schema.iter().enumerate() {
+            let Ok(column) = batch.column(idx) else { continue };
+
+            // Presence anomaly.
+            let presence = 1.0 - column.missing_count() as f64 / n_rows;
+            if presence < feature.min_presence - 1e-9 {
+                score += feature.min_presence - presence;
+                violations.push(format!(
+                    "feature `{}` present in {:.1}% of examples, schema requires ≥ {:.1}%",
+                    feature.name,
+                    presence * 100.0,
+                    feature.min_presence * 100.0
+                ));
+            }
+
+            // Domain anomaly for categorical features.
+            if let (Some(domain), Some(values)) = (&feature.domain, column.categorical_values()) {
+                let unknown = values
+                    .iter()
+                    .flatten()
+                    .filter(|v| !domain.contains(*v))
+                    .count() as f64
+                    / n_rows;
+                if unknown > self.anomaly_tolerance {
+                    score += unknown;
+                    violations.push(format!(
+                        "{:.1}% of `{}` values outside the schema domain",
+                        unknown * 100.0,
+                        feature.name
+                    ));
+                }
+            }
+
+            // Range anomaly (expert schemas only).
+            if let (Some((low, high)), Some(values)) = (feature.range, column.numeric_values()) {
+                let out = values
+                    .iter()
+                    .flatten()
+                    .filter(|v| **v < low || **v > high)
+                    .count() as f64
+                    / n_rows;
+                if out > self.anomaly_tolerance {
+                    score += out;
+                    violations.push(format!(
+                        "{:.1}% of `{}` values outside [{low:.3}, {high:.3}]",
+                        out * 100.0,
+                        feature.name
+                    ));
+                }
+            }
+        }
+        BatchVerdict {
+            is_dirty: !violations.is_empty(),
+            score,
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dquag_datagen::{inject_hidden, inject_ordinary, DatasetKind, HiddenError, OrdinaryError};
+
+    fn setup(profile: TfdvProfile) -> (Tfdv, DataFrame) {
+        let clean = DatasetKind::HotelBooking.generate_clean(2500, 5);
+        let mut tfdv = match profile {
+            TfdvProfile::Auto => Tfdv::auto(),
+            TfdvProfile::Expert => Tfdv::expert(),
+        };
+        tfdv.fit(&clean);
+        (tfdv, clean)
+    }
+
+    #[test]
+    fn schema_inference_produces_domains_and_expert_ranges() {
+        let (auto, _) = setup(TfdvProfile::Auto);
+        assert!(auto.schema().iter().all(|f| f.range.is_none()));
+        assert!(auto
+            .schema()
+            .iter()
+            .any(|f| f.domain.as_ref().is_some_and(|d| d.contains("Group"))));
+        let (expert, _) = setup(TfdvProfile::Expert);
+        assert!(expert
+            .schema()
+            .iter()
+            .any(|f| f.dtype == DataType::Numeric && f.range.is_some()));
+    }
+
+    #[test]
+    fn both_profiles_accept_clean_batches() {
+        for profile in [TfdvProfile::Auto, TfdvProfile::Expert] {
+            let (tfdv, clean) = setup(profile);
+            let mut rng = dquag_datagen::rng(9);
+            let batch = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
+            assert!(!tfdv.validate(&batch).is_dirty, "{profile:?} flags clean data");
+        }
+    }
+
+    #[test]
+    fn auto_catches_typos_and_missing_but_not_numeric_anomalies() {
+        let (tfdv, clean) = setup(TfdvProfile::Auto);
+        let cols = DatasetKind::HotelBooking.default_ordinary_error_columns();
+        let mut rng = dquag_datagen::rng(10);
+
+        let mut typos = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
+        inject_ordinary(&mut typos, OrdinaryError::StringTypos, &cols, 0.2, &mut rng);
+        assert!(tfdv.validate(&typos).is_dirty, "typos create out-of-domain values");
+
+        let mut missing = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
+        inject_ordinary(&mut missing, OrdinaryError::MissingValues, &cols, 0.2, &mut rng);
+        assert!(tfdv.validate(&missing).is_dirty, "missing values break presence");
+
+        let mut anomalies = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
+        inject_ordinary(&mut anomalies, OrdinaryError::NumericAnomalies, &cols, 0.2, &mut rng);
+        assert!(
+            !tfdv.validate(&anomalies).is_dirty,
+            "the auto schema has no numeric ranges, so anomalies slip through"
+        );
+    }
+
+    #[test]
+    fn expert_catches_numeric_anomalies_but_not_hidden_conflicts() {
+        let (tfdv, clean) = setup(TfdvProfile::Expert);
+        let cols = DatasetKind::HotelBooking.default_ordinary_error_columns();
+        let mut rng = dquag_datagen::rng(11);
+
+        let mut anomalies = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
+        inject_ordinary(&mut anomalies, OrdinaryError::NumericAnomalies, &cols, 0.2, &mut rng);
+        assert!(tfdv.validate(&anomalies).is_dirty);
+
+        let mut conflicted = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
+        inject_hidden(
+            &mut conflicted,
+            HiddenError::HotelGroupWithoutAdults,
+            0.2,
+            &mut rng,
+        );
+        assert!(
+            !tfdv.validate(&conflicted).is_dirty,
+            "schema checks cannot see the Group/adults/babies conflict"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn validating_before_fit_panics() {
+        let tfdv = Tfdv::auto();
+        let clean = DatasetKind::HotelBooking.generate_clean(10, 1);
+        tfdv.validate(&clean);
+    }
+}

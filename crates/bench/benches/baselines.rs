@@ -1,0 +1,36 @@
+//! Criterion micro-benchmark: baseline validators (fit once, validate a batch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dquag_baselines::BaselineKind;
+use dquag_datagen::DatasetKind;
+
+fn bench_baselines(c: &mut Criterion) {
+    let clean = DatasetKind::CreditCard.generate_clean(5_000, 3);
+    let mut rng = dquag_datagen::rng(4);
+    let batch = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
+
+    let mut group = c.benchmark_group("baseline_validate");
+    for kind in BaselineKind::ALL {
+        let mut validator = kind.build();
+        validator.fit(&clean);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &batch, |b, batch| {
+            b.iter(|| validator.validate(batch).is_dirty);
+        });
+    }
+    group.finish();
+
+    let mut fit_group = c.benchmark_group("baseline_fit");
+    fit_group.sample_size(10);
+    for kind in BaselineKind::ALL {
+        fit_group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &clean, |b, clean| {
+            b.iter(|| {
+                let mut validator = kind.build();
+                validator.fit(clean);
+            });
+        });
+    }
+    fit_group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmark: dataset generation and error injection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dquag_datagen::{inject_hidden, inject_ordinary, DatasetKind, HiddenError, OrdinaryError};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generation");
+    group.sample_size(10);
+    const ROWS: usize = 5_000;
+    group.throughput(Throughput::Elements(ROWS as u64));
+    for kind in DatasetKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
+            b.iter(|| kind.generate_clean(ROWS, 3).n_rows());
+        });
+    }
+    group.finish();
+}
+
+fn bench_injection(c: &mut Criterion) {
+    let clean = DatasetKind::CreditCard.generate_clean(5_000, 5);
+    let cols = DatasetKind::CreditCard.default_ordinary_error_columns();
+    let mut group = c.benchmark_group("error_injection");
+    for error in OrdinaryError::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("ordinary", error.label()),
+            &clean,
+            |b, clean| {
+                b.iter(|| {
+                    let mut df = clean.clone();
+                    let mut rng = dquag_datagen::rng(7);
+                    inject_ordinary(&mut df, error, &cols, 0.2, &mut rng).n_cells()
+                });
+            },
+        );
+    }
+    group.bench_with_input(BenchmarkId::new("hidden", "Conflicts-1"), &clean, |b, clean| {
+        b.iter(|| {
+            let mut df = clean.clone();
+            let mut rng = dquag_datagen::rng(7);
+            inject_hidden(&mut df, HiddenError::CreditEmploymentBeforeBirth, 0.2, &mut rng).n_rows()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_injection);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion micro-benchmark: feature-graph inference (the ChatGPT-4
+//! substitution) on the six dataset schemas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dquag_datagen::DatasetKind;
+use dquag_graph::knowledge::{build_feature_graph, StatisticalOracle};
+
+fn bench_graph_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_graph_inference");
+    for kind in DatasetKind::ALL {
+        let clean = kind.generate_clean(2_000, 11);
+        let oracle = StatisticalOracle::default();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &clean, |b, clean| {
+            b.iter(|| {
+                build_feature_graph(clean, &oracle, 100)
+                    .expect("graph construction")
+                    .n_edges()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_inference);
+criterion_main!(benches);

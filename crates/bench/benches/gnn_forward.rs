@@ -1,0 +1,48 @@
+//! Criterion micro-benchmark: GNN encoder forward pass per architecture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dquag_gnn::{DquagNetwork, EncoderKind, ModelConfig};
+use dquag_graph::FeatureGraph;
+use dquag_tensor::Tape;
+
+fn feature_graph(n: usize) -> FeatureGraph {
+    let names: Vec<String> = (0..n).map(|i| format!("f{i}")).collect();
+    let mut graph = FeatureGraph::new(names);
+    for i in 0..n {
+        graph.add_edge(i, (i + 1) % n).unwrap();
+        graph.add_edge(i, (i + 3) % n).unwrap();
+    }
+    graph
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gnn_forward");
+    for encoder in EncoderKind::ALL {
+        let graph = feature_graph(12);
+        let config = ModelConfig {
+            hidden_dim: 64,
+            n_layers: 4,
+            encoder,
+            ..ModelConfig::default()
+        };
+        let network = DquagNetwork::new(&graph, config);
+        let sample: Vec<f32> = (0..12).map(|i| i as f32 / 12.0).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(encoder.label()),
+            &sample,
+            |b, sample| {
+                b.iter(|| {
+                    let tape = Tape::new();
+                    let (params, bound_graph) = network.bind(&tape);
+                    network
+                        .forward_sample(&tape, &params, &bound_graph, sample)
+                        .total_error()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmark: one training step on a mini-batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dquag_gnn::{DquagNetwork, ModelConfig};
+use dquag_graph::FeatureGraph;
+use dquag_tensor::optim::Adam;
+
+fn feature_graph(n: usize) -> FeatureGraph {
+    let names: Vec<String> = (0..n).map(|i| format!("f{i}")).collect();
+    let mut graph = FeatureGraph::new(names);
+    for i in 0..n.saturating_sub(1) {
+        graph.add_edge(i, i + 1).unwrap();
+    }
+    graph
+}
+
+fn bench_train_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_batch");
+    group.sample_size(10);
+    for &batch_size in &[16usize, 64, 128] {
+        let graph = feature_graph(12);
+        let config = ModelConfig {
+            hidden_dim: 32,
+            n_layers: 4,
+            ..ModelConfig::default()
+        };
+        let batch: Vec<Vec<f32>> = (0..batch_size)
+            .map(|s| (0..12).map(|i| ((s + i) % 10) as f32 / 10.0).collect())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(batch_size),
+            &batch,
+            |b, batch| {
+                let mut network = DquagNetwork::new(&graph, config);
+                let mut adam = Adam::with_learning_rate(0.01);
+                b.iter(|| network.train_batch(batch, &mut adam).0);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_batch);
+criterion_main!(benches);

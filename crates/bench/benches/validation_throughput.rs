@@ -1,0 +1,39 @@
+//! Criterion micro-benchmark: phase-2 validation throughput vs data
+//! dimensionality (the per-row cost behind Figure 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dquag_core::{DquagConfig, DquagValidator};
+use dquag_datagen::datasets::nytaxi;
+use dquag_gnn::ModelConfig;
+
+fn quick_config() -> DquagConfig {
+    DquagConfig {
+        epochs: 6,
+        batch_size: 64,
+        model: ModelConfig {
+            hidden_dim: 24,
+            n_layers: 4,
+            ..ModelConfig::default()
+        },
+        ..DquagConfig::default()
+    }
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validation_throughput");
+    group.sample_size(10);
+    const ROWS: usize = 500;
+    for &dims in &[5usize, 10, 18] {
+        let clean = nytaxi::generate_clean(1_500, dims, 7);
+        let validator = DquagValidator::train(&clean, &[], &quick_config()).expect("training");
+        let batch = nytaxi::generate_clean(ROWS, dims, 8);
+        group.throughput(Throughput::Elements(ROWS as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &batch, |b, batch| {
+            b.iter(|| validator.validate(batch).expect("schema matches").error_rate);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Reproduce Figure 3 — accuracy on datasets with real-world errors.
+use dquag_bench::{experiments::figure3, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    eprintln!("[figure3] running at {} scale", scale.label());
+    let rows = figure3::run(scale);
+    println!("{}", figure3::render(&rows));
+}

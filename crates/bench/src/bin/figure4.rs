@@ -1,0 +1,9 @@
+//! Reproduce Figure 4 — validation time vs data size and dimensionality.
+use dquag_bench::{experiments::figure4, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    eprintln!("[figure4] running at {} scale", scale.label());
+    let rows = figure4::run(scale);
+    println!("{}", figure4::render(&rows));
+}

@@ -1,0 +1,9 @@
+//! Reproduce §4.6 — error rate before and after repair.
+use dquag_bench::{experiments::repair_eval, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    eprintln!("[repair_eval] running at {} scale", scale.label());
+    let rows = repair_eval::run(scale);
+    println!("{}", repair_eval::render(&rows));
+}

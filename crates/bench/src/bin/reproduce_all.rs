@@ -1,0 +1,15 @@
+//! Run every experiment harness in sequence and print the combined report.
+use dquag_bench::experiments::{ablations, figure3, figure4, repair_eval, table1, table2, table3};
+use dquag_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    eprintln!("[reproduce_all] running at {} scale", scale.label());
+    println!("{}", table1::render(&table1::run(scale)));
+    println!("{}", table2::render(&table2::run(scale)));
+    println!("{}", figure3::render(&figure3::run(scale)));
+    println!("{}", figure4::render(&figure4::run(scale)));
+    println!("{}", table3::render(&table3::run(scale)));
+    println!("{}", repair_eval::render(&repair_eval::run(scale)));
+    println!("{}", ablations::render(&ablations::run(scale)));
+}

@@ -1,0 +1,9 @@
+//! Reproduce Table 1 — accuracy/recall of synthetic-error detection.
+use dquag_bench::{experiments::table1, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    eprintln!("[table1] running at {} scale", scale.label());
+    let rows = table1::run(scale);
+    println!("{}", table1::render(&rows));
+}

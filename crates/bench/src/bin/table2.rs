@@ -1,0 +1,9 @@
+//! Reproduce Table 2 — encoder-architecture comparison.
+use dquag_bench::{experiments::table2, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    eprintln!("[table2] running at {} scale", scale.label());
+    let rows = table2::run(scale);
+    println!("{}", table2::render(&rows));
+}

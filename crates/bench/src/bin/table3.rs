@@ -1,0 +1,9 @@
+//! Reproduce Table 3 — accuracy vs validation sample size.
+use dquag_bench::{experiments::table3, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    eprintln!("[table3] running at {} scale", scale.label());
+    let rows = table3::run(scale);
+    println!("{}", table3::render(&rows));
+}

@@ -1,0 +1,148 @@
+//! Unified interface over DQuaG and the baseline validators, evaluated with
+//! the paper's batch protocol.
+
+use dquag_baselines::BaselineKind;
+use dquag_core::metrics::DetectionMetrics;
+use dquag_core::{DquagConfig, DquagValidator};
+use dquag_datagen::Batch;
+use dquag_tabular::DataFrame;
+
+/// A method under evaluation: DQuaG or one of the baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// The paper's contribution.
+    Dquag,
+    /// One of the re-implemented baselines.
+    Baseline(BaselineKind),
+}
+
+impl Method {
+    /// All methods in the order the paper's tables list them: baselines first,
+    /// DQuaG last.
+    pub fn all() -> Vec<Method> {
+        let mut methods: Vec<Method> = BaselineKind::ALL.into_iter().map(Method::Baseline).collect();
+        methods.push(Method::Dquag);
+        methods
+    }
+
+    /// Display label used in tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Dquag => "DQuaG",
+            Method::Baseline(kind) => kind.label(),
+        }
+    }
+}
+
+/// Result of evaluating one method on a set of labelled batches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodResult {
+    /// The evaluated method.
+    pub method: &'static str,
+    /// Confusion-matrix metrics over the batches.
+    pub metrics: DetectionMetrics,
+}
+
+impl MethodResult {
+    /// Accuracy, convenience accessor.
+    pub fn accuracy(&self) -> f64 {
+        self.metrics.accuracy()
+    }
+
+    /// Recall, convenience accessor.
+    pub fn recall(&self) -> f64 {
+        self.metrics.recall()
+    }
+}
+
+/// Evaluate one method: fit/train on the clean reference data (the DQuaG
+/// model may reuse a pre-trained validator to avoid retraining per error
+/// condition) and classify every batch.
+pub fn evaluate_method(
+    method: Method,
+    clean: &DataFrame,
+    batches: &[Batch],
+    trained_dquag: Option<&DquagValidator>,
+    config: &DquagConfig,
+) -> MethodResult {
+    let labels: Vec<bool> = batches.iter().map(|b| b.is_dirty).collect();
+    let predictions: Vec<bool> = match method {
+        Method::Dquag => {
+            let owned;
+            let validator = match trained_dquag {
+                Some(v) => v,
+                None => {
+                    owned = DquagValidator::train(clean, &[], config)
+                        .expect("DQuaG training on generated clean data succeeds");
+                    &owned
+                }
+            };
+            batches
+                .iter()
+                .map(|b| {
+                    validator
+                        .validate(&b.data)
+                        .expect("batch shares the training schema")
+                        .dataset_is_dirty
+                })
+                .collect()
+        }
+        Method::Baseline(kind) => {
+            let mut validator = kind.build();
+            validator.fit(clean);
+            batches
+                .iter()
+                .map(|b| validator.validate(&b.data).is_dirty)
+                .collect()
+        }
+    };
+    MethodResult {
+        method: method.label(),
+        metrics: DetectionMetrics::from_predictions(&predictions, &labels),
+    }
+}
+
+/// Train a DQuaG validator once for a dataset so several error conditions can
+/// reuse it (the paper trains once per dataset as well).
+pub fn train_dquag(clean: &DataFrame, future: &[&DataFrame], config: &DquagConfig) -> DquagValidator {
+    DquagValidator::train(clean, future, config)
+        .expect("DQuaG training on generated clean data succeeds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use dquag_datagen::{make_test_batches, BatchProtocol, DatasetKind};
+
+    #[test]
+    fn all_methods_are_listed_with_dquag_last() {
+        let methods = Method::all();
+        assert_eq!(methods.len(), 7);
+        assert_eq!(methods.last().unwrap().label(), "DQuaG");
+    }
+
+    #[test]
+    fn baseline_evaluation_produces_metrics_over_all_batches() {
+        let clean = DatasetKind::CreditCard.generate_clean(800, 3);
+        let dirty = DatasetKind::CreditCard.generate_dirty(800, 4);
+        let mut rng = dquag_datagen::rng(5);
+        let protocol = BatchProtocol {
+            n_clean: 3,
+            n_dirty: 3,
+            fraction: 0.2,
+            max_rows: None,
+        };
+        let batches = make_test_batches(&clean, &dirty, protocol, &mut rng);
+        let result = evaluate_method(
+            Method::Baseline(dquag_baselines::BaselineKind::DeequExpert),
+            &clean,
+            &batches,
+            None,
+            &Scale::Smoke.dquag_config(),
+        );
+        assert_eq!(result.metrics.total(), 6);
+        assert!(result.accuracy() >= 0.5);
+        assert!(result.recall() >= 0.5);
+    }
+}

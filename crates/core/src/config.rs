@@ -1,0 +1,131 @@
+//! Pipeline configuration.
+
+use dquag_gnn::{EncoderKind, ModelConfig};
+use dquag_graph::FeatureGraph;
+
+/// Configuration of the end-to-end DQuaG pipeline.
+///
+/// Defaults reproduce the paper's experimental setting (§4.4): a four-layer
+/// GAT+GIN encoder with hidden dimension 64, learning rate 0.01, batch size
+/// 128, a detection threshold at the 95th percentile of clean reconstruction
+/// errors and a dataset-level flagging factor of `n = 1.2`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DquagConfig {
+    /// Network architecture and loss weights.
+    pub model: ModelConfig,
+    /// Training epochs over the clean dataset.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Fraction of the clean data held out to calibrate the detection
+    /// threshold (the paper collects error statistics on clean data; holding
+    /// out a slice keeps the percentile honest on unseen rows).
+    pub calibration_fraction: f64,
+    /// Percentile of clean reconstruction errors used as the detection
+    /// threshold (paper: 0.95).
+    pub threshold_percentile: f64,
+    /// Dataset-level flagging factor `n`: the dataset is problematic when
+    /// more than `5% × n` of instances exceed the threshold (paper: 1.2).
+    pub dataset_flag_factor: f64,
+    /// Number of standard deviations above the per-instance mean feature
+    /// error at which an individual feature is flagged (paper: 5).
+    pub feature_sigma: f32,
+    /// Rows sampled for feature-relationship inference (paper: 100).
+    pub oracle_sample_size: usize,
+    /// Worker threads used during phase-2 validation (1 = sequential).
+    pub validation_threads: usize,
+    /// Random seed controlling initialisation and batch shuffling.
+    pub seed: u64,
+    /// Bypass relationship inference and use this feature graph instead.
+    /// Used by the feature-graph ablation benchmark and by users who already
+    /// have a curated (or LLM-produced) relationship set.
+    pub feature_graph_override: Option<FeatureGraph>,
+}
+
+impl Default for DquagConfig {
+    fn default() -> Self {
+        Self {
+            model: ModelConfig::default(),
+            epochs: 30,
+            batch_size: 128,
+            learning_rate: 0.01,
+            calibration_fraction: 0.2,
+            threshold_percentile: 0.95,
+            dataset_flag_factor: 1.2,
+            feature_sigma: 5.0,
+            oracle_sample_size: 100,
+            validation_threads: 1,
+            seed: 42,
+            feature_graph_override: None,
+        }
+    }
+}
+
+impl DquagConfig {
+    /// A reduced configuration for unit tests and quick demos: smaller
+    /// network, fewer epochs, same decision rules.
+    pub fn fast() -> Self {
+        Self {
+            model: ModelConfig {
+                hidden_dim: 16,
+                n_layers: 2,
+                ..ModelConfig::default()
+            },
+            epochs: 12,
+            batch_size: 64,
+            ..Self::default()
+        }
+    }
+
+    /// The same configuration with a different encoder architecture — used by
+    /// the Table 2 ablation.
+    pub fn with_encoder(mut self, encoder: EncoderKind) -> Self {
+        self.model.encoder = encoder;
+        self
+    }
+
+    /// The dataset-level error-rate threshold `5% × n`.
+    pub fn dataset_error_rate_threshold(&self) -> f64 {
+        (1.0 - self.threshold_percentile) * self.dataset_flag_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DquagConfig::default();
+        assert_eq!(c.model.hidden_dim, 64);
+        assert_eq!(c.model.n_layers, 4);
+        assert_eq!(c.model.encoder, EncoderKind::GatGin);
+        assert_eq!(c.batch_size, 128);
+        assert!((c.learning_rate - 0.01).abs() < 1e-9);
+        assert!((c.threshold_percentile - 0.95).abs() < 1e-12);
+        assert!((c.dataset_flag_factor - 1.2).abs() < 1e-12);
+        assert!((c.feature_sigma - 5.0).abs() < 1e-9);
+        assert_eq!(c.oracle_sample_size, 100);
+    }
+
+    #[test]
+    fn dataset_threshold_is_six_percent_by_default() {
+        let c = DquagConfig::default();
+        assert!((c.dataset_error_rate_threshold() - 0.06).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_config_shrinks_the_network_only() {
+        let c = DquagConfig::fast();
+        assert!(c.model.hidden_dim < 64);
+        assert!((c.threshold_percentile - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_encoder_overrides_architecture() {
+        let c = DquagConfig::fast().with_encoder(EncoderKind::Gcn);
+        assert_eq!(c.model.encoder, EncoderKind::Gcn);
+    }
+}

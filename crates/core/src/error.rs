@@ -1,0 +1,56 @@
+//! Error type for the end-to-end pipeline.
+
+use std::fmt;
+
+/// Errors surfaced by training, validation and repair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The clean training dataset is unusable (empty or too small).
+    InvalidTrainingData(String),
+    /// A dataframe handed to phase 2 does not match the training schema.
+    SchemaMismatch(String),
+    /// An error bubbled up from the tabular substrate.
+    Tabular(String),
+    /// An error bubbled up from feature-graph construction.
+    Graph(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidTrainingData(msg) => write!(f, "invalid training data: {msg}"),
+            CoreError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            CoreError::Tabular(msg) => write!(f, "tabular error: {msg}"),
+            CoreError::Graph(msg) => write!(f, "feature-graph error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<dquag_tabular::TabularError> for CoreError {
+    fn from(e: dquag_tabular::TabularError) -> Self {
+        CoreError::Tabular(e.to_string())
+    }
+}
+
+impl From<dquag_graph::GraphError> for CoreError {
+    fn from(e: dquag_graph::GraphError) -> Self {
+        CoreError::Graph(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = CoreError::InvalidTrainingData("empty".into());
+        assert!(e.to_string().contains("empty"));
+        let t: CoreError = dquag_tabular::TabularError::UnknownColumn("x".into()).into();
+        assert!(t.to_string().contains("x"));
+        let g: CoreError = dquag_graph::GraphError::UnknownFeature("f".into()).into();
+        assert!(g.to_string().contains("f"));
+    }
+}

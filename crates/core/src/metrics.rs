@@ -1,0 +1,153 @@
+//! Classification metrics for batch-level detection experiments.
+//!
+//! The evaluation scores each validator on 100 labelled batches (50 clean,
+//! 50 dirty): accuracy is the fraction of batches classified correctly,
+//! recall the fraction of dirty batches flagged. Precision and F1 are also
+//! reported for completeness.
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion-matrix-derived metrics for a binary "is this batch dirty?" task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionMetrics {
+    /// True positives: dirty batches flagged as dirty.
+    pub true_positives: usize,
+    /// True negatives: clean batches accepted as clean.
+    pub true_negatives: usize,
+    /// False positives: clean batches flagged as dirty.
+    pub false_positives: usize,
+    /// False negatives: dirty batches accepted as clean.
+    pub false_negatives: usize,
+}
+
+impl DetectionMetrics {
+    /// Score a list of predictions against ground-truth labels
+    /// (`true` = dirty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices have different lengths.
+    pub fn from_predictions(predicted_dirty: &[bool], actually_dirty: &[bool]) -> Self {
+        assert_eq!(
+            predicted_dirty.len(),
+            actually_dirty.len(),
+            "predictions and labels must align"
+        );
+        let mut m = Self {
+            true_positives: 0,
+            true_negatives: 0,
+            false_positives: 0,
+            false_negatives: 0,
+        };
+        for (&p, &a) in predicted_dirty.iter().zip(actually_dirty.iter()) {
+            match (p, a) {
+                (true, true) => m.true_positives += 1,
+                (false, false) => m.true_negatives += 1,
+                (true, false) => m.false_positives += 1,
+                (false, true) => m.false_negatives += 1,
+            }
+        }
+        m
+    }
+
+    /// Total number of scored batches.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.true_negatives + self.false_positives + self.false_negatives
+    }
+
+    /// Fraction of batches classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_positives + self.true_negatives) as f64 / self.total() as f64
+    }
+
+    /// Fraction of dirty batches that were flagged.
+    pub fn recall(&self) -> f64 {
+        let dirty = self.true_positives + self.false_negatives;
+        if dirty == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / dirty as f64
+    }
+
+    /// Fraction of flagged batches that were actually dirty.
+    pub fn precision(&self) -> f64 {
+        let flagged = self.true_positives + self.false_positives;
+        if flagged == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / flagged as f64
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_detector() {
+        let labels = vec![true, true, false, false];
+        let m = DetectionMetrics::from_predictions(&labels, &labels);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.total(), 4);
+    }
+
+    #[test]
+    fn always_flagging_detector_has_half_accuracy_full_recall() {
+        // the paper's characterisation of the too-strict auto baselines
+        let predictions = vec![true; 10];
+        let labels: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let m = DetectionMetrics::from_predictions(&predictions, &labels);
+        assert!((m.accuracy() - 0.5).abs() < 1e-12);
+        assert_eq!(m.recall(), 1.0);
+        assert!((m.precision() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_flagging_detector_misses_everything() {
+        let predictions = vec![false; 6];
+        let labels = vec![true, true, true, false, false, false];
+        let m = DetectionMetrics::from_predictions(&predictions, &labels);
+        assert!((m.accuracy() - 0.5).abs() < 1e-12);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_well_defined() {
+        let m = DetectionMetrics::from_predictions(&[], &[]);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        DetectionMetrics::from_predictions(&[true], &[]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = DetectionMetrics::from_predictions(&[true, false], &[true, true]);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: DetectionMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,527 @@
+//! The end-to-end DQuaG pipeline: training, validation, repair.
+
+use crate::config::DquagConfig;
+use crate::{CoreError, Result};
+use dquag_gnn::DquagNetwork;
+use dquag_graph::knowledge::{build_feature_graph, StatisticalOracle};
+use dquag_graph::FeatureGraph;
+use dquag_tabular::encode::DatasetEncoder;
+use dquag_tabular::stats::percentile_f32;
+use dquag_tabular::{DataFrame, Value};
+use dquag_tensor::optim::Adam;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A flagged cell: the feature-level detection output of §3.2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellFlag {
+    /// Row (instance) index in the validated dataframe.
+    pub row: usize,
+    /// Column (feature) index.
+    pub column: usize,
+    /// Squared reconstruction error of that feature.
+    pub error: f32,
+}
+
+/// What phase 2 reports about one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Instance-level reconstruction errors `e_i`, one per row.
+    pub instance_errors: Vec<f32>,
+    /// Indices of instances whose error exceeds the threshold.
+    pub flagged_instances: Vec<usize>,
+    /// Individually flagged `(row, feature)` cells inside flagged instances.
+    pub cell_flags: Vec<CellFlag>,
+    /// Fraction of instances flagged (`R_error`).
+    pub error_rate: f64,
+    /// Dataset-level verdict: true when `R_error > 5% × n`.
+    pub dataset_is_dirty: bool,
+    /// The detection threshold in force.
+    pub threshold: f32,
+}
+
+impl ValidationReport {
+    /// Number of validated instances.
+    pub fn n_instances(&self) -> usize {
+        self.instance_errors.len()
+    }
+
+    /// True if the given row was flagged.
+    pub fn is_flagged(&self, row: usize) -> bool {
+        self.flagged_instances.binary_search(&row).is_ok()
+    }
+}
+
+/// Summary of phase-1 training, kept for diagnostics and the experiment logs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSummary {
+    /// Mean multi-task loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Number of rows used for gradient updates.
+    pub n_train_rows: usize,
+    /// Number of held-out rows used for threshold calibration.
+    pub n_calibration_rows: usize,
+    /// The calibrated detection threshold.
+    pub threshold: f32,
+    /// Number of scalar weights in the network.
+    pub n_weights: usize,
+    /// Edges of the inferred feature graph, as `(feature, feature)` names.
+    pub graph_edges: Vec<(String, String)>,
+}
+
+/// A trained DQuaG validator: the phase-1 artefacts needed to run phase 2.
+#[derive(Debug, Clone)]
+pub struct DquagValidator {
+    config: DquagConfig,
+    network: DquagNetwork,
+    encoder: DatasetEncoder,
+    graph: FeatureGraph,
+    threshold: f32,
+    summary: TrainingSummary,
+}
+
+impl DquagValidator {
+    /// Phase 1: train on a clean dataset.
+    ///
+    /// `future` may list additional dataframes (e.g. the incoming batches to
+    /// be validated later) so that the label encoder covers their categories,
+    /// exactly as §3.1 prescribes; pass `&[]` when no future data is known.
+    pub fn train(
+        clean: &DataFrame,
+        future: &[&DataFrame],
+        config: &DquagConfig,
+    ) -> Result<DquagValidator> {
+        if clean.n_rows() < 10 {
+            return Err(CoreError::InvalidTrainingData(format!(
+                "need at least 10 clean rows, got {}",
+                clean.n_rows()
+            )));
+        }
+
+        // 1. Fit the encoders over clean ∪ future data.
+        let mut frames: Vec<&DataFrame> = Vec::with_capacity(future.len() + 1);
+        frames.push(clean);
+        for f in future {
+            if f.schema() != clean.schema() {
+                return Err(CoreError::SchemaMismatch(
+                    "future data must keep the same schema as the clean dataset".to_string(),
+                ));
+            }
+            frames.push(f);
+        }
+        let encoder = DatasetEncoder::fit_many(&frames);
+
+        // 2. Build the knowledge-based feature graph from the clean data
+        //    (or use the caller-supplied graph, e.g. from a real LLM run).
+        let graph = match &config.feature_graph_override {
+            Some(graph) => graph.clone(),
+            None => {
+                let oracle = StatisticalOracle::default();
+                build_feature_graph(clean, &oracle, config.oracle_sample_size)?
+            }
+        };
+
+        // 3. Split clean data into a training part and a calibration slice.
+        let n_calibration = ((clean.n_rows() as f64 * config.calibration_fraction) as usize)
+            .clamp(1, clean.n_rows() / 2);
+        let n_train = clean.n_rows() - n_calibration;
+        let (train_df, calibration_df) = clean.split_at(n_train)?;
+
+        let encoded_train = encoder.transform(&train_df)?;
+        let encoded_calibration = encoder.transform(&calibration_df)?;
+
+        // 4. Train the network with Adam on shuffled mini-batches.
+        let mut model_config = config.model;
+        model_config.seed = config.seed;
+        let mut network = DquagNetwork::new(&graph, model_config);
+        let mut optimizer = Adam::with_learning_rate(config.learning_rate);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut epoch_losses = Vec::with_capacity(config.epochs);
+        let mut indices: Vec<usize> = (0..encoded_train.n_rows()).collect();
+        for _ in 0..config.epochs {
+            indices.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut n_batches = 0;
+            for chunk in indices.chunks(config.batch_size.max(1)) {
+                let batch: Vec<Vec<f32>> = chunk
+                    .iter()
+                    .map(|&row| encoded_train.row(row).to_vec())
+                    .collect();
+                let (loss, _) = network.train_batch(&batch, &mut optimizer);
+                epoch_loss += loss;
+                n_batches += 1;
+            }
+            epoch_losses.push(epoch_loss / n_batches.max(1) as f32);
+        }
+
+        // 5. Collect reconstruction-error statistics on the held-out clean
+        //    slice and set the threshold at the configured percentile.
+        let calibration_errors: Vec<f32> = (0..encoded_calibration.n_rows())
+            .map(|row| {
+                instance_error(&network.reconstruction_errors(encoded_calibration.row(row)))
+            })
+            .collect();
+        let threshold = percentile_f32(&calibration_errors, config.threshold_percentile);
+
+        let summary = TrainingSummary {
+            epoch_losses,
+            n_train_rows: n_train,
+            n_calibration_rows: n_calibration,
+            threshold,
+            n_weights: network.n_weights(),
+            graph_edges: graph
+                .edges()
+                .map(|(i, j)| {
+                    (
+                        graph.node_names()[i].clone(),
+                        graph.node_names()[j].clone(),
+                    )
+                })
+                .collect(),
+        };
+
+        Ok(DquagValidator {
+            config: config.clone(),
+            network,
+            encoder,
+            graph,
+            threshold,
+            summary,
+        })
+    }
+
+    /// The calibrated detection threshold `e_threshold`.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// The inferred feature graph.
+    pub fn feature_graph(&self) -> &FeatureGraph {
+        &self.graph
+    }
+
+    /// Training diagnostics.
+    pub fn training_summary(&self) -> &TrainingSummary {
+        &self.summary
+    }
+
+    /// The pipeline configuration in force.
+    pub fn config(&self) -> &DquagConfig {
+        &self.config
+    }
+
+    /// Instance-level reconstruction errors for a dataframe (phase 2, step 1).
+    pub fn reconstruction_errors(&self, df: &DataFrame) -> Result<Vec<f32>> {
+        let encoded = self
+            .encoder
+            .transform(df)
+            .map_err(|e| CoreError::SchemaMismatch(e.to_string()))?;
+        let rows: Vec<Vec<f32>> = (0..encoded.n_rows())
+            .map(|r| encoded.row(r).to_vec())
+            .collect();
+        Ok(self.errors_for_rows(&rows))
+    }
+
+    fn errors_for_rows(&self, rows: &[Vec<f32>]) -> Vec<f32> {
+        let threads = self.config.validation_threads.max(1);
+        if threads == 1 || rows.len() < 64 {
+            return rows
+                .iter()
+                .map(|row| instance_error(&self.network.reconstruction_errors(row)))
+                .collect();
+        }
+        // Parallel phase-2 validation: forward passes are independent, the
+        // network is immutable, so rows are simply split across scoped threads.
+        let chunk_size = rows.len().div_ceil(threads);
+        let mut results = vec![0.0f32; rows.len()];
+        crossbeam::thread::scope(|scope| {
+            let network = &self.network;
+            for (chunk_idx, (row_chunk, out_chunk)) in rows
+                .chunks(chunk_size)
+                .zip(results.chunks_mut(chunk_size))
+                .enumerate()
+            {
+                let _ = chunk_idx;
+                scope.spawn(move |_| {
+                    for (row, out) in row_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *out = instance_error(&network.reconstruction_errors(row));
+                    }
+                });
+            }
+        })
+        .expect("validation worker panicked");
+        results
+    }
+
+    /// Phase 2: validate a new dataset against the learned clean patterns.
+    pub fn validate(&self, df: &DataFrame) -> Result<ValidationReport> {
+        let encoded = self
+            .encoder
+            .transform(df)
+            .map_err(|e| CoreError::SchemaMismatch(e.to_string()))?;
+        let rows: Vec<Vec<f32>> = (0..encoded.n_rows())
+            .map(|r| encoded.row(r).to_vec())
+            .collect();
+        let instance_errors = self.errors_for_rows(&rows);
+
+        let flagged_instances: Vec<usize> = instance_errors
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e > self.threshold)
+            .map(|(i, _)| i)
+            .collect();
+        let error_rate = if instance_errors.is_empty() {
+            0.0
+        } else {
+            flagged_instances.len() as f64 / instance_errors.len() as f64
+        };
+        let dataset_is_dirty = error_rate > self.config.dataset_error_rate_threshold();
+
+        // Feature-level detection inside flagged instances: error > μ + kσ.
+        let mut cell_flags = Vec::new();
+        for &row in &flagged_instances {
+            let feature_errors = self.network.reconstruction_errors(&rows[row]);
+            let mean = feature_errors.iter().sum::<f32>() / feature_errors.len().max(1) as f32;
+            let variance = feature_errors
+                .iter()
+                .map(|e| (e - mean).powi(2))
+                .sum::<f32>()
+                / feature_errors.len().max(1) as f32;
+            let std_dev = variance.sqrt();
+            let cutoff = mean + self.config.feature_sigma * std_dev;
+            for (column, &error) in feature_errors.iter().enumerate() {
+                // With a tight σ the cutoff can exceed every error; fall back
+                // to flagging the dominant feature so repairs have a target.
+                if error > cutoff {
+                    cell_flags.push(CellFlag { row, column, error });
+                }
+            }
+            if !cell_flags.iter().any(|c| c.row == row) {
+                if let Some((column, &error)) = feature_errors
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                {
+                    if error > self.threshold {
+                        cell_flags.push(CellFlag { row, column, error });
+                    }
+                }
+            }
+        }
+
+        Ok(ValidationReport {
+            instance_errors,
+            flagged_instances,
+            cell_flags,
+            error_rate,
+            dataset_is_dirty,
+            threshold: self.threshold,
+        })
+    }
+
+    /// Phase 2, repair step: return a copy of `df` in which every flagged
+    /// cell has been replaced by the repair decoder's suggestion (decoded back
+    /// to the original value domain). Unflagged cells are never touched.
+    pub fn repair(&self, df: &DataFrame, report: &ValidationReport) -> Result<DataFrame> {
+        let encoded = self
+            .encoder
+            .transform(df)
+            .map_err(|e| CoreError::SchemaMismatch(e.to_string()))?;
+        let mut repaired = df.clone();
+        for &row in &report.flagged_instances {
+            let cells: Vec<usize> = report
+                .cell_flags
+                .iter()
+                .filter(|c| c.row == row)
+                .map(|c| c.column)
+                .collect();
+            if cells.is_empty() {
+                continue;
+            }
+            let suggestions = self.network.repair_values(encoded.row(row));
+            for column in cells {
+                let value: Value = self.encoder.decode_cell(column, suggestions[column])?;
+                repaired.set_value(row, column, value)?;
+            }
+        }
+        Ok(repaired)
+    }
+
+    /// Convenience: validate, repair, and re-validate the repaired data.
+    pub fn validate_and_repair(&self, df: &DataFrame) -> Result<(ValidationReport, DataFrame, ValidationReport)> {
+        let report = self.validate(df)?;
+        let repaired = self.repair(df, &report)?;
+        let after = self.validate(&repaired)?;
+        Ok((report, repaired, after))
+    }
+}
+
+/// Instance-level error: mean of the per-feature squared errors.
+fn instance_error(feature_errors: &[f32]) -> f32 {
+    if feature_errors.is_empty() {
+        0.0
+    } else {
+        feature_errors.iter().sum::<f32>() / feature_errors.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dquag_datagen::{inject_hidden, inject_ordinary, DatasetKind, HiddenError, OrdinaryError};
+
+    fn trained_credit_validator() -> (DquagValidator, DataFrame) {
+        let clean = DatasetKind::CreditCard.generate_clean(900, 3);
+        let mut config = DquagConfig::fast();
+        config.epochs = 15;
+        let validator = DquagValidator::train(&clean, &[], &config).expect("training succeeds");
+        (validator, clean)
+    }
+
+    #[test]
+    fn training_produces_sane_artifacts() {
+        let (validator, _) = trained_credit_validator();
+        assert!(validator.threshold() > 0.0);
+        let summary = validator.training_summary();
+        assert_eq!(summary.epoch_losses.len(), 15);
+        assert!(summary.epoch_losses[0] > *summary.epoch_losses.last().unwrap());
+        assert!(summary.n_weights > 0);
+        assert!(!summary.graph_edges.is_empty());
+        assert!(validator.feature_graph().n_nodes() >= 10);
+    }
+
+    #[test]
+    fn clean_batches_pass_and_corrupted_batches_are_flagged() {
+        let (validator, clean) = trained_credit_validator();
+        let mut rng = dquag_datagen::rng(17);
+
+        let clean_batch = dquag_datagen::sample_fraction(&clean, 0.2, &mut rng);
+        let clean_report = validator.validate(&clean_batch).unwrap();
+        assert!(
+            clean_report.error_rate < 0.12,
+            "clean error rate {} should stay near 5%",
+            clean_report.error_rate
+        );
+
+        let mut dirty = dquag_datagen::sample_fraction(&clean, 0.2, &mut rng);
+        let cols = DatasetKind::CreditCard.default_ordinary_error_columns();
+        inject_ordinary(&mut dirty, OrdinaryError::NumericAnomalies, &cols, 0.25, &mut rng);
+        inject_ordinary(&mut dirty, OrdinaryError::MissingValues, &cols, 0.2, &mut rng);
+        let dirty_report = validator.validate(&dirty).unwrap();
+        assert!(
+            dirty_report.error_rate > clean_report.error_rate + 0.1,
+            "corrupted batch error rate {} must clearly exceed clean rate {}",
+            dirty_report.error_rate,
+            clean_report.error_rate
+        );
+        assert!(dirty_report.dataset_is_dirty);
+        assert!(!dirty_report.flagged_instances.is_empty());
+        assert!(dirty_report.is_flagged(dirty_report.flagged_instances[0]));
+    }
+
+    #[test]
+    fn hidden_credit_conflicts_are_detected() {
+        let (validator, clean) = trained_credit_validator();
+        let mut rng = dquag_datagen::rng(19);
+        let mut conflicted = dquag_datagen::sample_fraction(&clean, 0.2, &mut rng);
+        inject_hidden(
+            &mut conflicted,
+            HiddenError::CreditEmploymentBeforeBirth,
+            0.2,
+            &mut rng,
+        );
+        let report = validator.validate(&conflicted).unwrap();
+        assert!(
+            report.dataset_is_dirty,
+            "employment-before-birth conflicts must be flagged (rate {})",
+            report.error_rate
+        );
+    }
+
+    #[test]
+    fn repair_only_touches_flagged_cells_and_lowers_error_rate() {
+        let (validator, clean) = trained_credit_validator();
+        let mut rng = dquag_datagen::rng(23);
+        let mut dirty = dquag_datagen::sample_fraction(&clean, 0.2, &mut rng);
+        let cols = DatasetKind::CreditCard.default_ordinary_error_columns();
+        inject_ordinary(&mut dirty, OrdinaryError::NumericAnomalies, &cols, 0.25, &mut rng);
+
+        let (before, repaired, after) = validator.validate_and_repair(&dirty).unwrap();
+        // unflagged cells are untouched
+        let flagged_cells: std::collections::HashSet<(usize, usize)> = before
+            .cell_flags
+            .iter()
+            .map(|c| (c.row, c.column))
+            .collect();
+        for row in 0..dirty.n_rows() {
+            for col in 0..dirty.n_cols() {
+                if !flagged_cells.contains(&(row, col)) {
+                    assert_eq!(
+                        dirty.value(row, col).unwrap(),
+                        repaired.value(row, col).unwrap(),
+                        "unflagged cell ({row},{col}) must not change"
+                    );
+                }
+            }
+        }
+        assert!(
+            after.error_rate < before.error_rate,
+            "repair should reduce the error rate ({} -> {})",
+            before.error_rate,
+            after.error_rate
+        );
+    }
+
+    #[test]
+    fn parallel_validation_matches_sequential() {
+        let clean = DatasetKind::HotelBooking.generate_clean(600, 5);
+        let mut config = DquagConfig::fast();
+        config.epochs = 8;
+        let sequential = DquagValidator::train(&clean, &[], &config).unwrap();
+        let mut parallel_cfg = config.clone();
+        parallel_cfg.validation_threads = 4;
+        let parallel = DquagValidator::train(&clean, &[], &parallel_cfg).unwrap();
+
+        let batch = clean.split_at(200).unwrap().0;
+        let seq_errors = sequential.reconstruction_errors(&batch).unwrap();
+        let par_errors = parallel.reconstruction_errors(&batch).unwrap();
+        assert_eq!(seq_errors.len(), par_errors.len());
+        for (a, b) in seq_errors.iter().zip(par_errors.iter()) {
+            assert!((a - b).abs() < 1e-6, "parallel and sequential errors must agree");
+        }
+    }
+
+    #[test]
+    fn schema_mismatch_and_tiny_training_sets_are_rejected() {
+        let clean = DatasetKind::CreditCard.generate_clean(200, 1);
+        let other = DatasetKind::HotelBooking.generate_clean(200, 1);
+        assert!(matches!(
+            DquagValidator::train(&clean, &[&other], &DquagConfig::fast()),
+            Err(CoreError::SchemaMismatch(_))
+        ));
+        let tiny = DatasetKind::CreditCard.generate_clean(5, 1);
+        assert!(matches!(
+            DquagValidator::train(&tiny, &[], &DquagConfig::fast()),
+            Err(CoreError::InvalidTrainingData(_))
+        ));
+
+        let validator = DquagValidator::train(&clean, &[], &DquagConfig::fast()).unwrap();
+        assert!(matches!(
+            validator.validate(&other),
+            Err(CoreError::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn report_serialisation_round_trips() {
+        let (validator, clean) = trained_credit_validator();
+        let batch = clean.split_at(60).unwrap().0;
+        let report = validator.validate(&batch).unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ValidationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report.flagged_instances, back.flagged_instances);
+        assert_eq!(report.n_instances(), back.n_instances());
+    }
+}

@@ -1,0 +1,197 @@
+//! Batch protocol of the evaluation (§4.2 of the paper).
+//!
+//! "We used a clean dataset, randomly sampling 10% to generate 50 batches of
+//! clean data, and did the same with a dirty dataset to generate 50 batches of
+//! dirty data. We then used these 100 batches to test our method and
+//! baselines."
+
+use dquag_tabular::DataFrame;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A labelled test batch.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// The sampled rows.
+    pub data: DataFrame,
+    /// Ground truth: true if the batch was drawn from the dirty dataset.
+    pub is_dirty: bool,
+}
+
+/// Parameters of the batch protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchProtocol {
+    /// Number of clean batches (paper: 50).
+    pub n_clean: usize,
+    /// Number of dirty batches (paper: 50).
+    pub n_dirty: usize,
+    /// Fraction of the source dataset sampled into each batch (paper: 10%).
+    pub fraction: f64,
+    /// Optional hard cap on rows per batch (None = no cap). Used by the
+    /// sample-size experiment (Table 3), which fixes the batch size instead
+    /// of the fraction.
+    pub max_rows: Option<usize>,
+}
+
+impl Default for BatchProtocol {
+    fn default() -> Self {
+        Self {
+            n_clean: 50,
+            n_dirty: 50,
+            fraction: 0.10,
+            max_rows: None,
+        }
+    }
+}
+
+impl BatchProtocol {
+    /// Protocol variant with a fixed number of rows per batch (Table 3).
+    pub fn fixed_size(n_clean: usize, n_dirty: usize, rows: usize) -> Self {
+        Self {
+            n_clean,
+            n_dirty,
+            fraction: 1.0,
+            max_rows: Some(rows),
+        }
+    }
+
+    fn rows_per_batch(&self, source_rows: usize) -> usize {
+        let by_fraction = ((source_rows as f64) * self.fraction).round() as usize;
+        let rows = by_fraction.max(1);
+        match self.max_rows {
+            Some(cap) => rows.min(cap).max(1).min(source_rows.max(1)),
+            None => rows.min(source_rows.max(1)),
+        }
+    }
+}
+
+/// Randomly sample `fraction` of the rows (with replacement-free selection).
+pub fn sample_fraction(df: &DataFrame, fraction: f64, rng: &mut StdRng) -> DataFrame {
+    let target = (((df.n_rows() as f64) * fraction.clamp(0.0, 1.0)).round() as usize)
+        .clamp(1, df.n_rows().max(1));
+    sample_rows(df, target, rng)
+}
+
+/// Randomly sample exactly `n` distinct rows (or all rows if `n` exceeds the
+/// frame size).
+pub fn sample_rows(df: &DataFrame, n: usize, rng: &mut StdRng) -> DataFrame {
+    let n = n.min(df.n_rows());
+    // partial Fisher-Yates over an index vector
+    let mut indices: Vec<usize> = (0..df.n_rows()).collect();
+    for i in 0..n {
+        let j = rng.gen_range(i..indices.len());
+        indices.swap(i, j);
+    }
+    indices.truncate(n);
+    df.select_rows(&indices).expect("indices in range")
+}
+
+/// Build the 50 + 50 labelled test batches of the evaluation protocol.
+pub fn make_test_batches(
+    clean: &DataFrame,
+    dirty: &DataFrame,
+    protocol: BatchProtocol,
+    rng: &mut StdRng,
+) -> Vec<Batch> {
+    let mut batches = Vec::with_capacity(protocol.n_clean + protocol.n_dirty);
+    let clean_rows = protocol.rows_per_batch(clean.n_rows());
+    for _ in 0..protocol.n_clean {
+        batches.push(Batch {
+            data: sample_rows(clean, clean_rows, rng),
+            is_dirty: false,
+        });
+    }
+    let dirty_rows = protocol.rows_per_batch(dirty.n_rows());
+    for _ in 0..protocol.n_dirty {
+        batches.push(Batch {
+            data: sample_rows(dirty, dirty_rows, rng),
+            is_dirty: true,
+        });
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dquag_tabular::{Field, Schema, Value};
+
+    fn frame(n: usize, offset: f64) -> DataFrame {
+        let schema = Schema::new(vec![Field::numeric("x", "value")]);
+        let mut df = DataFrame::new(schema);
+        for i in 0..n {
+            df.push_row(vec![Value::Number(offset + i as f64)]).unwrap();
+        }
+        df
+    }
+
+    #[test]
+    fn sample_fraction_size_and_distinctness() {
+        let df = frame(200, 0.0);
+        let mut rng = crate::rng(1);
+        let sample = sample_fraction(&df, 0.1, &mut rng);
+        assert_eq!(sample.n_rows(), 20);
+        let mut values: Vec<f64> = (0..sample.n_rows())
+            .map(|r| sample.value(r, 0).unwrap().as_number().unwrap())
+            .collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.dedup();
+        assert_eq!(values.len(), 20, "sampling is without replacement");
+    }
+
+    #[test]
+    fn sample_rows_caps_at_frame_size() {
+        let df = frame(5, 0.0);
+        let mut rng = crate::rng(2);
+        assert_eq!(sample_rows(&df, 50, &mut rng).n_rows(), 5);
+        assert_eq!(sample_rows(&df, 0, &mut rng).n_rows(), 0);
+    }
+
+    #[test]
+    fn default_protocol_matches_paper() {
+        let p = BatchProtocol::default();
+        assert_eq!(p.n_clean, 50);
+        assert_eq!(p.n_dirty, 50);
+        assert!((p.fraction - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn make_test_batches_labels_and_counts() {
+        let clean = frame(300, 0.0);
+        let dirty = frame(300, 10_000.0);
+        let mut rng = crate::rng(3);
+        let batches = make_test_batches(&clean, &dirty, BatchProtocol::default(), &mut rng);
+        assert_eq!(batches.len(), 100);
+        assert_eq!(batches.iter().filter(|b| b.is_dirty).count(), 50);
+        for b in &batches {
+            assert_eq!(b.data.n_rows(), 30);
+            let first = b.data.value(0, 0).unwrap().as_number().unwrap();
+            if b.is_dirty {
+                assert!(first >= 10_000.0);
+            } else {
+                assert!(first < 10_000.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_size_protocol_caps_rows() {
+        let clean = frame(500, 0.0);
+        let dirty = frame(500, 1.0);
+        let mut rng = crate::rng(4);
+        let protocol = BatchProtocol::fixed_size(3, 3, 20);
+        let batches = make_test_batches(&clean, &dirty, protocol, &mut rng);
+        assert_eq!(batches.len(), 6);
+        assert!(batches.iter().all(|b| b.data.n_rows() == 20));
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let df = frame(100, 0.0);
+        let a = sample_rows(&df, 10, &mut crate::rng(7));
+        let b = sample_rows(&df, 10, &mut crate::rng(7));
+        let c = sample_rows(&df, 10, &mut crate::rng(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

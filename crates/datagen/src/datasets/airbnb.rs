@@ -1,0 +1,240 @@
+//! Airbnb New York City listings — a "dataset with ground-truth errors".
+//!
+//! The clean generator encodes the dependencies present in the real data:
+//! coordinates and price depend on the borough (`neighbourhood_group`), the
+//! neighbourhood is determined by the borough, price also depends on the room
+//! type, and `reviews_per_month` tracks `number_of_reviews`. The dirty
+//! generator reproduces the kinds of problems the real uncleaned file
+//! contains: zero or absurd prices, `minimum_nights` in the hundreds, missing
+//! review statistics, misspelled neighbourhoods and borough/neighbourhood
+//! mismatches.
+
+use super::{clamp, gaussian, weighted_choice};
+use crate::errors::qwerty_typo;
+use dquag_tabular::{DataFrame, Field, Schema, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The listing schema (a curated subset of the Kaggle columns).
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Field::categorical("neighbourhood_group", "borough of the listing"),
+        Field::categorical("neighbourhood", "neighbourhood within the borough"),
+        Field::numeric("latitude", "latitude of the listing"),
+        Field::numeric("longitude", "longitude of the listing"),
+        Field::categorical("room_type", "entire home, private room or shared room"),
+        Field::numeric("price", "nightly price in dollars"),
+        Field::numeric("minimum_nights", "minimum nights per booking"),
+        Field::numeric("number_of_reviews", "total number of reviews"),
+        Field::numeric("reviews_per_month", "average reviews per month"),
+        Field::numeric("availability_365", "days available per year"),
+    ])
+}
+
+const BOROUGHS: [(&str, f64); 5] = [
+    ("Manhattan", 0.40),
+    ("Brooklyn", 0.38),
+    ("Queens", 0.14),
+    ("Bronx", 0.05),
+    ("Staten Island", 0.03),
+];
+
+fn neighbourhoods(borough: &str) -> &'static [&'static str] {
+    match borough {
+        "Manhattan" => &["Harlem", "Midtown", "East Village", "Upper West Side", "Chelsea"],
+        "Brooklyn" => &["Williamsburg", "Bedford-Stuyvesant", "Bushwick", "Park Slope"],
+        "Queens" => &["Astoria", "Long Island City", "Flushing"],
+        "Bronx" => &["Fordham", "Mott Haven"],
+        _ => &["St. George", "Tompkinsville"],
+    }
+}
+
+fn borough_center(borough: &str) -> (f64, f64) {
+    match borough {
+        "Manhattan" => (40.78, -73.97),
+        "Brooklyn" => (40.65, -73.95),
+        "Queens" => (40.73, -73.82),
+        "Bronx" => (40.85, -73.88),
+        _ => (40.58, -74.10),
+    }
+}
+
+fn base_price(borough: &str, room_type: &str) -> f64 {
+    let borough_factor = match borough {
+        "Manhattan" => 1.6,
+        "Brooklyn" => 1.1,
+        "Queens" => 0.85,
+        "Bronx" => 0.7,
+        _ => 0.65,
+    };
+    let room_base = match room_type {
+        "Entire home/apt" => 180.0,
+        "Private room" => 80.0,
+        _ => 50.0,
+    };
+    room_base * borough_factor
+}
+
+fn clean_row(rng: &mut StdRng) -> Vec<Value> {
+    let borough = weighted_choice(rng, &BOROUGHS);
+    let hood_options = neighbourhoods(borough);
+    let hood = hood_options[rng.gen_range(0..hood_options.len())];
+    let (lat0, lon0) = borough_center(borough);
+    let latitude = lat0 + gaussian(rng, 0.02);
+    let longitude = lon0 + gaussian(rng, 0.02);
+    let room_type = weighted_choice(
+        rng,
+        &[("Entire home/apt", 0.52), ("Private room", 0.44), ("Shared room", 0.04)],
+    );
+    let price = clamp(base_price(borough, room_type) * (1.0 + gaussian(rng, 0.25)), 20.0, 900.0)
+        .round();
+    let minimum_nights = clamp(1.0 + gaussian(rng, 2.0).abs() * 3.0, 1.0, 30.0).round();
+    let number_of_reviews = clamp(gaussian(rng, 40.0).abs(), 0.0, 500.0).round();
+    let reviews_per_month = clamp(number_of_reviews / 24.0 + gaussian(rng, 0.3), 0.0, 30.0);
+    let availability = clamp(60.0 + gaussian(rng, 110.0).abs(), 0.0, 365.0).round();
+    vec![
+        Value::Text(borough.to_string()),
+        Value::Text(hood.to_string()),
+        Value::Number((latitude * 1e4).round() / 1e4),
+        Value::Number((longitude * 1e4).round() / 1e4),
+        Value::Text(room_type.to_string()),
+        Value::Number(price),
+        Value::Number(minimum_nights),
+        Value::Number(number_of_reviews),
+        Value::Number((reviews_per_month * 100.0).round() / 100.0),
+        Value::Number(availability),
+    ]
+}
+
+/// Generate the cleaned listings dataset.
+pub fn generate_clean(n_rows: usize, seed: u64) -> DataFrame {
+    let mut rng = crate::rng(seed);
+    let mut df = DataFrame::with_capacity(schema(), n_rows);
+    for _ in 0..n_rows {
+        df.push_row(clean_row(&mut rng)).expect("generator row matches schema");
+    }
+    df
+}
+
+/// Generate the uncleaned listings dataset with realistic in-situ errors.
+///
+/// Roughly 18% of rows carry at least one problem: zero/absurd prices,
+/// extreme `minimum_nights`, missing review statistics, misspelled
+/// neighbourhood names, or a borough/neighbourhood mismatch.
+pub fn generate_dirty(n_rows: usize, seed: u64) -> DataFrame {
+    let mut rng = crate::rng(seed);
+    let mut df = DataFrame::with_capacity(schema(), n_rows);
+    for _ in 0..n_rows {
+        let mut row = clean_row(&mut rng);
+        if rng.gen_bool(0.18) {
+            match rng.gen_range(0..5u8) {
+                0 => {
+                    // price of 0 or an absurd outlier
+                    row[5] = Value::Number(if rng.gen_bool(0.5) {
+                        0.0
+                    } else {
+                        rng.gen_range(5_000.0_f64..12_000.0).round()
+                    });
+                }
+                1 => {
+                    // minimum nights of several years
+                    row[6] = Value::Number(rng.gen_range(365.0_f64..1_300.0).round());
+                }
+                2 => {
+                    // missing review statistics
+                    row[8] = Value::Null;
+                    if rng.gen_bool(0.4) {
+                        row[7] = Value::Null;
+                    }
+                }
+                3 => {
+                    // misspelled neighbourhood
+                    if let Value::Text(name) = &row[1] {
+                        row[1] = Value::Text(qwerty_typo(name, &mut rng));
+                    }
+                }
+                _ => {
+                    // borough/neighbourhood mismatch (hidden-style conflict)
+                    row[0] = Value::Text("Manhattan".to_string());
+                    row[1] = Value::Text("St. George".to_string());
+                    row[2] = Value::Number(40.58);
+                    row[3] = Value::Number(-74.10);
+                }
+            }
+        }
+        df.push_row(row).expect("generator row matches schema");
+    }
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_data_respects_domain_invariants() {
+        let df = generate_clean(500, 11);
+        let schema = schema();
+        let price = schema.index_of("price").unwrap();
+        let nights = schema.index_of("minimum_nights").unwrap();
+        for r in 0..df.n_rows() {
+            let p = df.value(r, price).unwrap().as_number().unwrap();
+            assert!((20.0..=900.0).contains(&p), "price {p}");
+            let n = df.value(r, nights).unwrap().as_number().unwrap();
+            assert!((1.0..=30.0).contains(&n), "minimum nights {n}");
+        }
+    }
+
+    #[test]
+    fn neighbourhood_is_consistent_with_borough_in_clean_data() {
+        let df = generate_clean(400, 3);
+        for r in 0..df.n_rows() {
+            let borough = df.value(r, 0).unwrap();
+            let hood = df.value(r, 1).unwrap();
+            let borough = borough.as_text().unwrap();
+            let hood = hood.as_text().unwrap();
+            assert!(
+                neighbourhoods(borough).contains(&hood),
+                "{hood} is not in {borough}"
+            );
+        }
+    }
+
+    #[test]
+    fn price_depends_on_borough_and_room_type() {
+        let df = generate_clean(3000, 21);
+        let mut manhattan_entire = Vec::new();
+        let mut bronx_shared = Vec::new();
+        for r in 0..df.n_rows() {
+            let borough = df.value(r, 0).unwrap();
+            let room = df.value(r, 4).unwrap();
+            let price = df.value(r, 5).unwrap().as_number().unwrap();
+            match (borough.as_text().unwrap(), room.as_text().unwrap()) {
+                ("Manhattan", "Entire home/apt") => manhattan_entire.push(price),
+                ("Bronx", "Shared room") | ("Bronx", "Private room") => bronx_shared.push(price),
+                _ => {}
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&manhattan_entire) > mean(&bronx_shared) * 1.5,
+            "Manhattan entire homes must be clearly pricier"
+        );
+    }
+
+    #[test]
+    fn dirty_data_contains_real_world_style_errors() {
+        let clean = generate_clean(2000, 5);
+        let dirty = generate_dirty(2000, 5);
+        let price = schema().index_of("price").unwrap();
+        let clean_max = (0..clean.n_rows())
+            .map(|r| clean.value(r, price).unwrap().as_number().unwrap())
+            .fold(0.0f64, f64::max);
+        let dirty_max = (0..dirty.n_rows())
+            .map(|r| dirty.value(r, price).unwrap().as_number().unwrap_or(0.0))
+            .fold(0.0f64, f64::max);
+        assert!(dirty_max > clean_max * 2.0, "dirty data has price outliers");
+        assert!(dirty.total_missing() > 0, "dirty data has missing cells");
+        assert_eq!(clean.total_missing(), 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Chicago Divvy bicycle-sharing trips — a "dataset with ground-truth errors".
+//!
+//! Dependencies encoded by the clean generator: trip duration tracks
+//! distance, average speed stays in a plausible range, weather events are
+//! consistent with the temperature, and subscriber birth years fall in a
+//! sensible interval. The dirty generator reproduces the real file's
+//! problems: negative or day-long durations, birth years in the 1880s,
+//! missing gender, weather typos and duration/distance combinations that are
+//! physically impossible.
+
+use super::{clamp, gaussian, weighted_choice};
+use crate::errors::qwerty_typo;
+use dquag_tabular::{DataFrame, Field, Schema, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The trip schema.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Field::numeric("trip_duration_seconds", "trip duration in seconds"),
+        Field::numeric("distance_km", "trip distance in kilometres"),
+        Field::numeric("start_hour", "hour of day the trip started"),
+        Field::categorical("start_station", "station where the trip started"),
+        Field::categorical("end_station", "station where the trip ended"),
+        Field::categorical("usertype", "Subscriber or Customer"),
+        Field::categorical("gender", "rider gender (subscribers only)"),
+        Field::numeric("birthyear", "rider birth year"),
+        Field::numeric("temperature_c", "temperature during the trip"),
+        Field::categorical("events", "weather events during the trip"),
+    ])
+}
+
+const STATIONS: [&str; 8] = [
+    "Clark St & Elm St",
+    "Canal St & Adams St",
+    "Streeter Dr & Grand Ave",
+    "Michigan Ave & Oak St",
+    "Theater on the Lake",
+    "Lake Shore Dr & Monroe St",
+    "Wells St & Concord Ln",
+    "Clinton St & Washington Blvd",
+];
+
+fn clean_row(rng: &mut StdRng) -> Vec<Value> {
+    let distance_km = clamp(0.5 + gaussian(rng, 1.8).abs(), 0.3, 15.0);
+    // average speed between 8 and 20 km/h, with mild multiplicative timing noise
+    let speed = rng.gen_range(8.0..20.0);
+    let duration = clamp(
+        distance_km / speed * 3600.0 * (1.0 + gaussian(rng, 0.04)),
+        60.0,
+        7200.0,
+    );
+    let start_hour = clamp(8.0 + gaussian(rng, 4.5), 0.0, 23.0).round();
+    let start = STATIONS[rng.gen_range(0..STATIONS.len())];
+    let mut end = STATIONS[rng.gen_range(0..STATIONS.len())];
+    if end == start {
+        end = STATIONS[(rng.gen_range(0..STATIONS.len()) + 1) % STATIONS.len()];
+    }
+    let usertype = weighted_choice(rng, &[("Subscriber", 0.77), ("Customer", 0.23)]);
+    let gender = if usertype == "Subscriber" {
+        weighted_choice(rng, &[("Male", 0.62), ("Female", 0.38)])
+    } else {
+        "Unknown"
+    };
+    let birthyear = clamp(1985.0 + gaussian(rng, 10.0), 1945.0, 2004.0).round();
+    let temperature = clamp(12.0 + gaussian(rng, 10.0), -15.0, 36.0);
+    let events = if temperature < 0.0 {
+        weighted_choice(rng, &[("snow", 0.6), ("cloudy", 0.3), ("clear", 0.1)])
+    } else if temperature < 12.0 {
+        weighted_choice(rng, &[("rain", 0.35), ("cloudy", 0.40), ("clear", 0.25)])
+    } else {
+        weighted_choice(rng, &[("clear", 0.6), ("cloudy", 0.3), ("rain", 0.1)])
+    };
+    vec![
+        Value::Number(duration.round()),
+        Value::Number((distance_km * 100.0).round() / 100.0),
+        Value::Number(start_hour),
+        Value::Text(start.to_string()),
+        Value::Text(end.to_string()),
+        Value::Text(usertype.to_string()),
+        Value::Text(gender.to_string()),
+        Value::Number(birthyear),
+        Value::Number((temperature * 10.0).round() / 10.0),
+        Value::Text(events.to_string()),
+    ]
+}
+
+/// Generate the cleaned trips dataset.
+pub fn generate_clean(n_rows: usize, seed: u64) -> DataFrame {
+    let mut rng = crate::rng(seed);
+    let mut df = DataFrame::with_capacity(schema(), n_rows);
+    for _ in 0..n_rows {
+        df.push_row(clean_row(&mut rng)).expect("generator row matches schema");
+    }
+    df
+}
+
+/// Generate the uncleaned trips dataset with realistic in-situ errors
+/// (roughly 22% of rows affected).
+pub fn generate_dirty(n_rows: usize, seed: u64) -> DataFrame {
+    let mut rng = crate::rng(seed);
+    let mut df = DataFrame::with_capacity(schema(), n_rows);
+    for _ in 0..n_rows {
+        let mut row = clean_row(&mut rng);
+        if rng.gen_bool(0.22) {
+            match rng.gen_range(0..5u8) {
+                0 => {
+                    // negative or multi-day duration from clock glitches
+                    row[0] = Value::Number(if rng.gen_bool(0.5) {
+                        -rng.gen_range(60.0_f64..3_000.0).round()
+                    } else {
+                        rng.gen_range(90_000.0_f64..400_000.0).round()
+                    });
+                }
+                1 => {
+                    // impossible birth year
+                    row[7] = Value::Number(rng.gen_range(1880.0_f64..1910.0).round());
+                }
+                2 => {
+                    // missing gender and birth year
+                    row[6] = Value::Null;
+                    if rng.gen_bool(0.5) {
+                        row[7] = Value::Null;
+                    }
+                }
+                3 => {
+                    // weather event typo
+                    if let Value::Text(e) = &row[9] {
+                        row[9] = Value::Text(qwerty_typo(e, &mut rng));
+                    }
+                }
+                _ => {
+                    // physically impossible distance/duration combination
+                    row[1] = Value::Number(rng.gen_range(40.0..120.0));
+                    row[0] = Value::Number(rng.gen_range(90.0..240.0));
+                }
+            }
+        }
+        df.push_row(row).expect("generator row matches schema");
+    }
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_trips_have_plausible_speed_and_years() {
+        let df = generate_clean(800, 13);
+        for r in 0..df.n_rows() {
+            let duration = df.value(r, 0).unwrap().as_number().unwrap();
+            let distance = df.value(r, 1).unwrap().as_number().unwrap();
+            assert!(duration > 0.0);
+            let speed_kmh = distance / (duration / 3600.0);
+            assert!(
+                (1.0..=30.0).contains(&speed_kmh),
+                "implausible speed {speed_kmh}"
+            );
+            let birthyear = df.value(r, 7).unwrap().as_number().unwrap();
+            assert!((1945.0..=2004.0).contains(&birthyear));
+        }
+    }
+
+    #[test]
+    fn weather_is_consistent_with_temperature_in_clean_data() {
+        let df = generate_clean(2000, 17);
+        for r in 0..df.n_rows() {
+            let temp = df.value(r, 8).unwrap().as_number().unwrap();
+            let events = df.value(r, 9).unwrap();
+            if events.as_text() == Some("snow") {
+                assert!(temp < 0.5, "snow at {temp}°C");
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_trips_contain_negative_durations_and_old_birthyears() {
+        let df = generate_dirty(3000, 19);
+        let mut negative_duration = false;
+        let mut ancient_rider = false;
+        for r in 0..df.n_rows() {
+            if let Some(d) = df.value(r, 0).unwrap().as_number() {
+                if d < 0.0 {
+                    negative_duration = true;
+                }
+            }
+            if let Some(y) = df.value(r, 7).unwrap().as_number() {
+                if y < 1920.0 {
+                    ancient_rider = true;
+                }
+            }
+        }
+        assert!(negative_duration, "dirty data should contain negative durations");
+        assert!(ancient_rider, "dirty data should contain impossible birth years");
+        assert!(df.total_missing() > 0);
+    }
+}

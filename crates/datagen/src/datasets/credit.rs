@@ -1,0 +1,223 @@
+//! Credit-card applications — a "dataset without ground-truth errors".
+//!
+//! Column names follow the Kaggle `application_record.csv` vocabulary the
+//! paper cites (`DAYS_BIRTH`, `DAYS_EMPLOYED`, `AMT_INCOME_TOTAL`,
+//! `NAME_EDUCATION_TYPE`, `OCCUPATION_TYPE`, …). Dependencies encoded:
+//! income rises with education and occupation seniority, employment always
+//! starts after the 16th birthday, family size tracks the number of children,
+//! and car/realty ownership correlates with income. The two hidden conflicts
+//! the paper injects (employment before birth; elite education and occupation
+//! with an implausibly low income) violate exactly these dependencies.
+
+use super::{clamp, gaussian, weighted_choice};
+use dquag_tabular::{DataFrame, Field, Schema, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The application schema.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Field::categorical("CODE_GENDER", "gender of the applicant"),
+        Field::categorical("FLAG_OWN_CAR", "whether the applicant owns a car"),
+        Field::categorical("FLAG_OWN_REALTY", "whether the applicant owns real estate"),
+        Field::numeric("CNT_CHILDREN", "number of children"),
+        Field::numeric("AMT_INCOME_TOTAL", "annual income"),
+        Field::categorical("NAME_EDUCATION_TYPE", "highest education level"),
+        Field::categorical("NAME_FAMILY_STATUS", "family status"),
+        Field::categorical("NAME_HOUSING_TYPE", "housing situation"),
+        Field::numeric("DAYS_BIRTH", "days since birth (negative, relative to application)"),
+        Field::numeric("DAYS_EMPLOYED", "days since employment started (negative)"),
+        Field::categorical("OCCUPATION_TYPE", "occupation of the applicant"),
+        Field::numeric("CNT_FAM_MEMBERS", "number of family members"),
+    ])
+}
+
+const EDUCATION: [(&str, f64); 4] = [
+    ("Secondary / secondary special", 0.64),
+    ("Higher education", 0.24),
+    ("Incomplete higher", 0.09),
+    ("Academic degree", 0.03),
+];
+
+fn occupations_for(education: &str) -> &'static [(&'static str, f64)] {
+    match education {
+        "Academic degree" | "Higher education" => &[
+            ("Managers", 0.30),
+            ("High skill tech staff", 0.25),
+            ("Core staff", 0.25),
+            ("Accountants", 0.20),
+        ],
+        "Incomplete higher" => &[
+            ("Core staff", 0.4),
+            ("Sales staff", 0.3),
+            ("Accountants", 0.15),
+            ("Laborers", 0.15),
+        ],
+        _ => &[
+            ("Laborers", 0.40),
+            ("Sales staff", 0.25),
+            ("Drivers", 0.20),
+            ("Cleaning staff", 0.15),
+        ],
+    }
+}
+
+fn income_for(education: &str, occupation: &str, rng: &mut StdRng) -> f64 {
+    let education_base = match education {
+        "Academic degree" => 260_000.0,
+        "Higher education" => 210_000.0,
+        "Incomplete higher" => 160_000.0,
+        _ => 130_000.0,
+    };
+    let occupation_factor = match occupation {
+        "Managers" => 1.35,
+        "High skill tech staff" => 1.25,
+        "Accountants" => 1.1,
+        "Core staff" => 1.0,
+        "Sales staff" => 0.9,
+        "Drivers" => 0.85,
+        _ => 0.75,
+    };
+    clamp(
+        education_base * occupation_factor * (1.0 + gaussian(rng, 0.18)),
+        40_000.0,
+        600_000.0,
+    )
+}
+
+fn clean_row(rng: &mut StdRng) -> Vec<Value> {
+    let gender = weighted_choice(rng, &[("F", 0.62), ("M", 0.38)]);
+    let education = weighted_choice(rng, &EDUCATION);
+    let occupation = weighted_choice(rng, occupations_for(education));
+    let income = income_for(education, occupation, rng);
+    let own_car = if rng.gen_bool(clamp(income / 500_000.0, 0.15, 0.8)) { "Y" } else { "N" };
+    let own_realty = if rng.gen_bool(0.65) { "Y" } else { "N" };
+    let children = clamp(gaussian(rng, 0.9).abs().floor(), 0.0, 5.0);
+    let family_status = weighted_choice(
+        rng,
+        &[
+            ("Married", 0.68),
+            ("Single / not married", 0.14),
+            ("Civil marriage", 0.09),
+            ("Separated", 0.06),
+            ("Widow", 0.03),
+        ],
+    );
+    let housing = weighted_choice(
+        rng,
+        &[
+            ("House / apartment", 0.89),
+            ("With parents", 0.05),
+            ("Municipal apartment", 0.03),
+            ("Rented apartment", 0.03),
+        ],
+    );
+    // age between 21 and 68 years, employment after the 16th birthday
+    let age_days = rng.gen_range(21.0_f64 * 365.0..68.0 * 365.0);
+    let days_birth = -age_days.round();
+    let max_employment_days = age_days - 16.0 * 365.0;
+    let employment_days = clamp(gaussian(rng, 8.0 * 365.0).abs(), 30.0, max_employment_days);
+    let days_employed = -employment_days.round();
+    let family_members = (1.0
+        + children
+        + if family_status == "Married" || family_status == "Civil marriage" {
+            1.0
+        } else {
+            0.0
+        })
+    .round();
+    vec![
+        Value::Text(gender.to_string()),
+        Value::Text(own_car.to_string()),
+        Value::Text(own_realty.to_string()),
+        Value::Number(children),
+        Value::Number(income.round()),
+        Value::Text(education.to_string()),
+        Value::Text(family_status.to_string()),
+        Value::Text(housing.to_string()),
+        Value::Number(days_birth),
+        Value::Number(days_employed),
+        Value::Text(occupation.to_string()),
+        Value::Number(family_members),
+    ]
+}
+
+/// Generate a clean application dataset.
+pub fn generate_clean(n_rows: usize, seed: u64) -> DataFrame {
+    let mut rng = crate::rng(seed);
+    let mut df = DataFrame::with_capacity(schema(), n_rows);
+    for _ in 0..n_rows {
+        df.push_row(clean_row(&mut rng)).expect("generator row matches schema");
+    }
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn employment_always_starts_after_birth_in_clean_data() {
+        let df = generate_clean(1500, 61);
+        let s = schema();
+        let birth = s.index_of("DAYS_BIRTH").unwrap();
+        let employed = s.index_of("DAYS_EMPLOYED").unwrap();
+        for r in 0..df.n_rows() {
+            let b = df.value(r, birth).unwrap().as_number().unwrap();
+            let e = df.value(r, employed).unwrap().as_number().unwrap();
+            assert!(b < 0.0 && e < 0.0, "days are negative offsets");
+            assert!(e > b, "employment ({e}) must start after birth ({b})");
+        }
+    }
+
+    #[test]
+    fn income_rises_with_education_in_clean_data() {
+        let df = generate_clean(6000, 67);
+        let s = schema();
+        let income = s.index_of("AMT_INCOME_TOTAL").unwrap();
+        let education = s.index_of("NAME_EDUCATION_TYPE").unwrap();
+        let mut academic = Vec::new();
+        let mut secondary = Vec::new();
+        for r in 0..df.n_rows() {
+            let inc = df.value(r, income).unwrap().as_number().unwrap();
+            match df.value(r, education).unwrap().as_text().unwrap() {
+                "Academic degree" | "Higher education" => academic.push(inc),
+                "Secondary / secondary special" => secondary.push(inc),
+                _ => {}
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(mean(&academic) > mean(&secondary) * 1.3);
+    }
+
+    #[test]
+    fn no_low_income_elite_combination_in_clean_data() {
+        let df = generate_clean(4000, 71);
+        let s = schema();
+        let income = s.index_of("AMT_INCOME_TOTAL").unwrap();
+        let education = s.index_of("NAME_EDUCATION_TYPE").unwrap();
+        let occupation = s.index_of("OCCUPATION_TYPE").unwrap();
+        for r in 0..df.n_rows() {
+            let inc = df.value(r, income).unwrap().as_number().unwrap();
+            let edu = df.value(r, education).unwrap();
+            let occ = df.value(r, occupation).unwrap();
+            if edu.as_text() == Some("Academic degree") && occ.as_text() == Some("Managers") {
+                assert!(inc > 50_000.0, "elite combination never has tiny income, got {inc}");
+            }
+        }
+    }
+
+    #[test]
+    fn family_members_track_children() {
+        let df = generate_clean(500, 73);
+        let s = schema();
+        let children = s.index_of("CNT_CHILDREN").unwrap();
+        let family = s.index_of("CNT_FAM_MEMBERS").unwrap();
+        for r in 0..df.n_rows() {
+            let c = df.value(r, children).unwrap().as_number().unwrap();
+            let f = df.value(r, family).unwrap().as_number().unwrap();
+            assert!(f >= c + 1.0, "family includes the applicant");
+            assert!(f <= c + 2.0, "family is applicant + children (+ partner)");
+        }
+    }
+}

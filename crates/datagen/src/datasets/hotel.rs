@@ -1,0 +1,181 @@
+//! Hotel booking demand — a "dataset without ground-truth errors".
+//!
+//! Dependencies encoded: the average daily rate depends on the hotel type and
+//! the season, group bookings involve several adults, babies only appear in
+//! bookings that also contain adults, and the lead time is longer for resort
+//! stays. The paper's hidden conflict for this dataset — a `Group` booking
+//! with zero adults but babies — violates exactly those dependencies.
+
+use super::{clamp, gaussian, weighted_choice};
+use dquag_tabular::{DataFrame, Field, Schema, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The booking schema.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Field::categorical("hotel", "City Hotel or Resort Hotel"),
+        Field::numeric("lead_time", "days between booking and arrival"),
+        Field::categorical("arrival_month", "month of arrival"),
+        Field::numeric("stays_weekend_nights", "weekend nights booked"),
+        Field::numeric("stays_week_nights", "week nights booked"),
+        Field::numeric("adults", "number of adults"),
+        Field::numeric("children", "number of children"),
+        Field::numeric("babies", "number of babies"),
+        Field::categorical("meal", "meal package"),
+        Field::categorical("customer_type", "Transient, Contract, Group or Transient-Party"),
+        Field::numeric("adr", "average daily rate in euros"),
+        Field::numeric("required_car_parking_spaces", "parking spaces requested"),
+        Field::categorical("is_repeated_guest", "whether the guest stayed before"),
+    ])
+}
+
+const MONTHS: [&str; 12] = [
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+
+fn month_season_factor(month: &str) -> f64 {
+    match month {
+        "July" | "August" => 1.45,
+        "May" | "June" | "September" => 1.2,
+        "December" => 1.1,
+        "January" | "February" | "November" => 0.8,
+        _ => 1.0,
+    }
+}
+
+fn clean_row(rng: &mut StdRng) -> Vec<Value> {
+    let hotel = weighted_choice(rng, &[("City Hotel", 0.66), ("Resort Hotel", 0.34)]);
+    let month = MONTHS[rng.gen_range(0..MONTHS.len())];
+    let customer_type = weighted_choice(
+        rng,
+        &[
+            ("Transient", 0.75),
+            ("Transient-Party", 0.17),
+            ("Contract", 0.05),
+            ("Group", 0.03),
+        ],
+    );
+    let adults = match customer_type {
+        "Group" => clamp(4.0 + gaussian(rng, 3.0).abs(), 2.0, 20.0).round(),
+        _ => clamp(1.0 + gaussian(rng, 0.9).abs(), 1.0, 4.0).round(),
+    };
+    let children = if rng.gen_bool(0.12) {
+        clamp(1.0 + gaussian(rng, 1.0).abs(), 1.0, 3.0).round()
+    } else {
+        0.0
+    };
+    let babies = if adults >= 1.0 && rng.gen_bool(0.05) {
+        if rng.gen_bool(0.15) {
+            2.0
+        } else {
+            1.0
+        }
+    } else {
+        0.0
+    };
+    let lead_time = if hotel == "Resort Hotel" {
+        clamp(30.0 + gaussian(rng, 80.0).abs(), 0.0, 500.0).round()
+    } else {
+        clamp(10.0 + gaussian(rng, 55.0).abs(), 0.0, 400.0).round()
+    };
+    let weekend_nights = clamp(gaussian(rng, 1.2).abs(), 0.0, 6.0).round();
+    let week_nights = clamp(1.0 + gaussian(rng, 2.0).abs(), 0.0, 12.0).round();
+    let base_rate = if hotel == "City Hotel" { 105.0 } else { 90.0 };
+    let adr = clamp(
+        base_rate * month_season_factor(month) * (1.0 + gaussian(rng, 0.18))
+            + 12.0 * children
+            + 6.0 * babies,
+        25.0,
+        400.0,
+    );
+    let meal = weighted_choice(rng, &[("BB", 0.77), ("HB", 0.12), ("SC", 0.08), ("FB", 0.03)]);
+    let parking = if rng.gen_bool(0.06) { 1.0 } else { 0.0 };
+    let repeated = if rng.gen_bool(0.04) { "yes" } else { "no" };
+    vec![
+        Value::Text(hotel.to_string()),
+        Value::Number(lead_time),
+        Value::Text(month.to_string()),
+        Value::Number(weekend_nights),
+        Value::Number(week_nights),
+        Value::Number(adults),
+        Value::Number(children),
+        Value::Number(babies),
+        Value::Text(meal.to_string()),
+        Value::Text(customer_type.to_string()),
+        Value::Number((adr * 100.0).round() / 100.0),
+        Value::Number(parking),
+        Value::Text(repeated.to_string()),
+    ]
+}
+
+/// Generate a clean booking dataset.
+pub fn generate_clean(n_rows: usize, seed: u64) -> DataFrame {
+    let mut rng = crate::rng(seed);
+    let mut df = DataFrame::with_capacity(schema(), n_rows);
+    for _ in 0..n_rows {
+        df.push_row(clean_row(&mut rng)).expect("generator row matches schema");
+    }
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_bookings_never_contain_the_group_conflict() {
+        let df = generate_clean(2000, 51);
+        let s = schema();
+        let ct = s.index_of("customer_type").unwrap();
+        let adults = s.index_of("adults").unwrap();
+        let babies = s.index_of("babies").unwrap();
+        for r in 0..df.n_rows() {
+            let is_group = df.value(r, ct).unwrap().as_text() == Some("Group");
+            let a = df.value(r, adults).unwrap().as_number().unwrap();
+            let b = df.value(r, babies).unwrap().as_number().unwrap();
+            if is_group {
+                assert!(a >= 2.0, "group bookings involve several adults");
+            }
+            if b > 0.0 {
+                assert!(a >= 1.0, "babies never travel without adults");
+            }
+        }
+    }
+
+    #[test]
+    fn rates_follow_season_in_clean_data() {
+        let df = generate_clean(5000, 53);
+        let s = schema();
+        let month = s.index_of("arrival_month").unwrap();
+        let adr = s.index_of("adr").unwrap();
+        let mut august = Vec::new();
+        let mut january = Vec::new();
+        for r in 0..df.n_rows() {
+            let m = df.value(r, month).unwrap();
+            let rate = df.value(r, adr).unwrap().as_number().unwrap();
+            match m.as_text().unwrap() {
+                "August" => august.push(rate),
+                "January" => january.push(rate),
+                _ => {}
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(mean(&august) > mean(&january) * 1.2, "summer rates are higher");
+    }
+
+    #[test]
+    fn adults_and_lead_time_stay_in_domain() {
+        let df = generate_clean(800, 57);
+        let s = schema();
+        let adults = s.index_of("adults").unwrap();
+        let lead = s.index_of("lead_time").unwrap();
+        for r in 0..df.n_rows() {
+            let a = df.value(r, adults).unwrap().as_number().unwrap();
+            assert!((1.0..=20.0).contains(&a));
+            let l = df.value(r, lead).unwrap().as_number().unwrap();
+            assert!((0.0..=500.0).contains(&l));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! New York taxi trips — the scalability dataset (Figure 4) and one of the
+//! "datasets without ground-truth errors".
+//!
+//! The full schema has 18 columns; the scalability experiment slices it to 5,
+//! 10 or 18 dimensions via [`schema`]'s `dimensions` argument (column order is
+//! chosen so that every prefix remains a meaningful dataset: the first five
+//! columns already contain the core distance/duration/fare dependency).
+//!
+//! Dependencies encoded: trip duration follows distance at plausible city
+//! speeds, fares follow the metered formula plus surcharges, tips correlate
+//! with fare and payment type, the total is the sum of its parts, and
+//! airport trips are long and tolled.
+
+use super::{clamp, gaussian, weighted_choice};
+use dquag_tabular::{DataFrame, Field, Schema, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Number of columns in the full taxi schema.
+pub const FULL_DIMENSIONS: usize = 18;
+
+/// The taxi schema truncated to the first `dimensions` columns
+/// (5 ≤ `dimensions` ≤ 18 in the paper's Figure 4; any value in
+/// `1..=18` is accepted).
+pub fn schema(dimensions: usize) -> Schema {
+    let all = vec![
+        Field::numeric("trip_distance", "trip distance in miles"),
+        Field::numeric("trip_duration_min", "trip duration in minutes"),
+        Field::numeric("fare_amount", "metered fare in dollars"),
+        Field::numeric("passenger_count", "number of passengers"),
+        Field::numeric("pickup_hour", "hour of day of the pickup"),
+        Field::categorical("payment_type", "payment method"),
+        Field::numeric("tip_amount", "tip in dollars"),
+        Field::numeric("tolls_amount", "tolls in dollars"),
+        Field::numeric("total_amount", "total charged in dollars"),
+        Field::categorical("pickup_zone", "pickup zone"),
+        Field::categorical("dropoff_zone", "dropoff zone"),
+        Field::numeric("pickup_weekday", "day of week of the pickup (0-6)"),
+        Field::categorical("rate_code", "metering rate code"),
+        Field::numeric("extra_charge", "rush-hour and overnight extras"),
+        Field::numeric("avg_speed_mph", "average speed of the trip"),
+        Field::numeric("congestion_surcharge", "congestion surcharge in dollars"),
+        Field::categorical("vendor_id", "technology vendor of the meter"),
+        Field::categorical("airport_trip", "whether the trip serves an airport"),
+    ];
+    let dims = dimensions.clamp(1, FULL_DIMENSIONS);
+    Schema::new(all.into_iter().take(dims).collect())
+}
+
+const ZONES: [&str; 7] = [
+    "Midtown",
+    "Upper East Side",
+    "JFK Airport",
+    "LaGuardia Airport",
+    "Harlem",
+    "Financial District",
+    "Williamsburg",
+];
+
+fn clean_row(rng: &mut StdRng, dimensions: usize) -> Vec<Value> {
+    let airport = rng.gen_bool(0.12);
+    let trip_distance = if airport {
+        clamp(9.0 + gaussian(rng, 4.0).abs(), 6.0, 25.0)
+    } else {
+        clamp(0.5 + gaussian(rng, 2.2).abs(), 0.4, 12.0)
+    };
+    let pickup_hour = clamp(13.0 + gaussian(rng, 5.5), 0.0, 23.0).round();
+    let rush_hour = (7.0..=9.0).contains(&pickup_hour) || (16.0..=19.0).contains(&pickup_hour);
+    let speed = if rush_hour {
+        rng.gen_range(7.0..14.0)
+    } else {
+        rng.gen_range(11.0..24.0)
+    };
+    let trip_duration_min = clamp(
+        trip_distance / speed * 60.0 * (1.0 + gaussian(rng, 0.05)),
+        1.5,
+        120.0,
+    );
+    let fare_amount = clamp(3.0 + 2.5 * trip_distance + 0.35 * trip_duration_min, 4.0, 120.0);
+    let passenger_count = clamp(1.0 + gaussian(rng, 1.0).abs().floor(), 1.0, 6.0);
+    let payment_type = weighted_choice(rng, &[("credit_card", 0.7), ("cash", 0.28), ("dispute", 0.02)]);
+    let tip_amount = if payment_type == "credit_card" {
+        clamp(fare_amount * rng.gen_range(0.12..0.28), 0.0, 40.0)
+    } else {
+        0.0
+    };
+    let tolls_amount = if airport && rng.gen_bool(0.6) { 6.55 } else { 0.0 };
+    let extra_charge = if rush_hour { 1.0 } else if pickup_hour >= 20.0 { 0.5 } else { 0.0 };
+    let congestion = if airport { 0.0 } else { 2.5 };
+    let total_amount = fare_amount + tip_amount + tolls_amount + extra_charge + congestion;
+    let pickup_zone = if airport {
+        if rng.gen_bool(0.5) { "JFK Airport" } else { "LaGuardia Airport" }
+    } else {
+        ZONES[rng.gen_range(0..ZONES.len())]
+    };
+    let dropoff_zone = ZONES[rng.gen_range(0..ZONES.len())];
+    let pickup_weekday = rng.gen_range(0..7) as f64;
+    let rate_code = if airport { "JFK" } else { "standard" };
+    let avg_speed = trip_distance / (trip_duration_min / 60.0);
+    let vendor = weighted_choice(rng, &[("CMT", 0.45), ("VeriFone", 0.55)]);
+
+    let all = vec![
+        Value::Number((trip_distance * 100.0).round() / 100.0),
+        Value::Number((trip_duration_min * 10.0).round() / 10.0),
+        Value::Number((fare_amount * 100.0).round() / 100.0),
+        Value::Number(passenger_count),
+        Value::Number(pickup_hour),
+        Value::Text(payment_type.to_string()),
+        Value::Number((tip_amount * 100.0).round() / 100.0),
+        Value::Number(tolls_amount),
+        Value::Number((total_amount * 100.0).round() / 100.0),
+        Value::Text(pickup_zone.to_string()),
+        Value::Text(dropoff_zone.to_string()),
+        Value::Number(pickup_weekday),
+        Value::Text(rate_code.to_string()),
+        Value::Number(extra_charge),
+        Value::Number((avg_speed * 10.0).round() / 10.0),
+        Value::Number(congestion),
+        Value::Text(vendor.to_string()),
+        Value::Text(if airport { "yes" } else { "no" }.to_string()),
+    ];
+    all.into_iter().take(dimensions.clamp(1, FULL_DIMENSIONS)).collect()
+}
+
+/// Generate a clean taxi dataset with the given number of columns.
+pub fn generate_clean(n_rows: usize, dimensions: usize, seed: u64) -> DataFrame {
+    let mut rng = crate::rng(seed);
+    let mut df = DataFrame::with_capacity(schema(dimensions), n_rows);
+    for _ in 0..n_rows {
+        df.push_row(clean_row(&mut rng, dimensions))
+            .expect("generator row matches schema");
+    }
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_dimension_slicing() {
+        assert_eq!(schema(5).len(), 5);
+        assert_eq!(schema(10).len(), 10);
+        assert_eq!(schema(18).len(), 18);
+        assert_eq!(schema(99).len(), 18);
+        assert_eq!(schema(0).len(), 1);
+        assert_eq!(schema(FULL_DIMENSIONS), schema(18));
+    }
+
+    #[test]
+    fn fares_and_totals_are_consistent_in_clean_data() {
+        let df = generate_clean(600, 18, 37);
+        let s = schema(18);
+        let fare = s.index_of("fare_amount").unwrap();
+        let tip = s.index_of("tip_amount").unwrap();
+        let tolls = s.index_of("tolls_amount").unwrap();
+        let extra = s.index_of("extra_charge").unwrap();
+        let congestion = s.index_of("congestion_surcharge").unwrap();
+        let total = s.index_of("total_amount").unwrap();
+        for r in 0..df.n_rows() {
+            let get = |c: usize| df.value(r, c).unwrap().as_number().unwrap();
+            let expected = get(fare) + get(tip) + get(tolls) + get(extra) + get(congestion);
+            assert!((get(total) - expected).abs() < 0.05, "total must be the sum of parts");
+        }
+    }
+
+    #[test]
+    fn durations_follow_distance_at_city_speeds() {
+        let df = generate_clean(800, 5, 41);
+        for r in 0..df.n_rows() {
+            let distance = df.value(r, 0).unwrap().as_number().unwrap();
+            let duration_h = df.value(r, 1).unwrap().as_number().unwrap() / 60.0;
+            let speed = distance / duration_h.max(1e-6);
+            assert!((3.0..=40.0).contains(&speed), "implausible speed {speed}");
+        }
+    }
+
+    #[test]
+    fn cash_trips_have_no_recorded_tip() {
+        let df = generate_clean(700, 18, 43);
+        let s = schema(18);
+        let payment = s.index_of("payment_type").unwrap();
+        let tip = s.index_of("tip_amount").unwrap();
+        for r in 0..df.n_rows() {
+            if df.value(r, payment).unwrap().as_text() == Some("cash") {
+                assert_eq!(df.value(r, tip).unwrap().as_number(), Some(0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_dimension_generation_matches_prefix_schema() {
+        for dims in [5, 10, 18] {
+            let df = generate_clean(50, dims, 3);
+            assert_eq!(df.schema(), &schema(dims));
+            assert_eq!(df.n_rows(), 50);
+        }
+    }
+}

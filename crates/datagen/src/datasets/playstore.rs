@@ -1,0 +1,190 @@
+//! Google Play Store apps — a "dataset with ground-truth errors".
+//!
+//! Dependencies encoded by the clean generator: installs and review counts
+//! grow together, ratings concentrate between 3.5 and 4.7, the price is zero
+//! exactly when `type == "Free"`, and paid apps have lower install counts.
+//! The dirty generator reproduces the notorious problems of the raw Kaggle
+//! file: a rating of 19, misplaced columns producing paid apps with price 0,
+//! missing sizes, category typos and install counts wildly inconsistent with
+//! review counts.
+
+use super::{clamp, gaussian, weighted_choice};
+use crate::errors::qwerty_typo;
+use dquag_tabular::{DataFrame, Field, Schema, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The app schema.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Field::categorical("category", "Play Store category of the app"),
+        Field::numeric("rating", "average user rating between 1 and 5"),
+        Field::numeric("reviews", "number of user reviews"),
+        Field::numeric("size_mb", "installation size in megabytes"),
+        Field::numeric("installs", "number of installs"),
+        Field::categorical("type", "Free or Paid"),
+        Field::numeric("price", "price in dollars (0 for free apps)"),
+        Field::categorical("content_rating", "audience content rating"),
+        Field::numeric("last_update_days", "days since the last update"),
+    ])
+}
+
+const CATEGORIES: [(&str, f64); 8] = [
+    ("FAMILY", 0.19),
+    ("GAME", 0.18),
+    ("TOOLS", 0.13),
+    ("PRODUCTIVITY", 0.10),
+    ("FINANCE", 0.09),
+    ("LIFESTYLE", 0.11),
+    ("PHOTOGRAPHY", 0.09),
+    ("HEALTH_AND_FITNESS", 0.11),
+];
+
+fn clean_row(rng: &mut StdRng) -> Vec<Value> {
+    let category = weighted_choice(rng, &CATEGORIES);
+    let is_free = rng.gen_bool(0.92);
+    let app_type = if is_free { "Free" } else { "Paid" };
+    let price = if is_free {
+        0.0
+    } else {
+        clamp(0.99 + gaussian(rng, 3.0).abs(), 0.99, 29.99)
+    };
+    // popularity scale drives both installs and reviews
+    let popularity = gaussian(rng, 1.3).abs() + if is_free { 1.0 } else { 0.3 };
+    let installs = clamp((10f64).powf(2.0 + popularity), 100.0, 5e8).round();
+    let reviews = clamp(installs * rng.gen_range(0.005..0.05), 5.0, 5e7).round();
+    let rating = clamp(4.1 + gaussian(rng, 0.35), 1.0, 5.0);
+    let size_mb = clamp(
+        match category {
+            "GAME" => 60.0 + gaussian(rng, 30.0).abs(),
+            "FAMILY" => 35.0 + gaussian(rng, 20.0).abs(),
+            _ => 15.0 + gaussian(rng, 12.0).abs(),
+        },
+        1.0,
+        400.0,
+    );
+    let content_rating = weighted_choice(
+        rng,
+        &[("Everyone", 0.8), ("Teen", 0.12), ("Mature 17+", 0.05), ("Everyone 10+", 0.03)],
+    );
+    let last_update_days = clamp(gaussian(rng, 220.0).abs(), 1.0, 2000.0).round();
+    vec![
+        Value::Text(category.to_string()),
+        Value::Number((rating * 10.0).round() / 10.0),
+        Value::Number(reviews),
+        Value::Number((size_mb * 10.0).round() / 10.0),
+        Value::Number(installs),
+        Value::Text(app_type.to_string()),
+        Value::Number((price * 100.0).round() / 100.0),
+        Value::Text(content_rating.to_string()),
+        Value::Number(last_update_days),
+    ]
+}
+
+/// Generate the cleaned app dataset.
+pub fn generate_clean(n_rows: usize, seed: u64) -> DataFrame {
+    let mut rng = crate::rng(seed);
+    let mut df = DataFrame::with_capacity(schema(), n_rows);
+    for _ in 0..n_rows {
+        df.push_row(clean_row(&mut rng)).expect("generator row matches schema");
+    }
+    df
+}
+
+/// Generate the uncleaned app dataset with realistic in-situ errors
+/// (roughly 20% of rows affected).
+pub fn generate_dirty(n_rows: usize, seed: u64) -> DataFrame {
+    let mut rng = crate::rng(seed);
+    let mut df = DataFrame::with_capacity(schema(), n_rows);
+    for _ in 0..n_rows {
+        let mut row = clean_row(&mut rng);
+        if rng.gen_bool(0.20) {
+            match rng.gen_range(0..5u8) {
+                0 => {
+                    // the infamous rating of 19 (column-shift artefact)
+                    row[1] = Value::Number(rng.gen_range(6.0_f64..25.0).round());
+                }
+                1 => {
+                    // paid app recorded with price 0, or free app with a price
+                    if rng.gen_bool(0.5) {
+                        row[5] = Value::Text("Paid".to_string());
+                        row[6] = Value::Number(0.0);
+                    } else {
+                        row[5] = Value::Text("Free".to_string());
+                        row[6] = Value::Number(rng.gen_range(0.99..9.99));
+                    }
+                }
+                2 => {
+                    // "Varies with device" size → missing
+                    row[3] = Value::Null;
+                }
+                3 => {
+                    // category typo
+                    if let Value::Text(c) = &row[0] {
+                        row[0] = Value::Text(qwerty_typo(c, &mut rng));
+                    }
+                }
+                _ => {
+                    // reviews wildly exceeding installs
+                    row[4] = Value::Number(rng.gen_range(100.0_f64..1_000.0).round());
+                    row[2] = Value::Number(rng.gen_range(1e6_f64..1e7).round());
+                }
+            }
+        }
+        df.push_row(row).expect("generator row matches schema");
+    }
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_apps_have_valid_ratings_and_price_type_consistency() {
+        let df = generate_clean(1000, 23);
+        for r in 0..df.n_rows() {
+            let rating = df.value(r, 1).unwrap().as_number().unwrap();
+            assert!((1.0..=5.0).contains(&rating), "rating {rating}");
+            let app_type = df.value(r, 5).unwrap();
+            let price = df.value(r, 6).unwrap().as_number().unwrap();
+            if app_type.as_text() == Some("Free") {
+                assert_eq!(price, 0.0, "free apps cost nothing");
+            } else {
+                assert!(price > 0.0, "paid apps cost something");
+            }
+        }
+    }
+
+    #[test]
+    fn reviews_do_not_exceed_installs_in_clean_data() {
+        let df = generate_clean(1500, 29);
+        for r in 0..df.n_rows() {
+            let reviews = df.value(r, 2).unwrap().as_number().unwrap();
+            let installs = df.value(r, 4).unwrap().as_number().unwrap();
+            assert!(reviews <= installs, "reviews {reviews} > installs {installs}");
+        }
+    }
+
+    #[test]
+    fn dirty_apps_contain_out_of_scale_ratings_and_type_conflicts() {
+        let df = generate_dirty(3000, 31);
+        let mut silly_rating = false;
+        let mut type_conflict = false;
+        for r in 0..df.n_rows() {
+            if let Some(rating) = df.value(r, 1).unwrap().as_number() {
+                if rating > 5.0 {
+                    silly_rating = true;
+                }
+            }
+            let app_type = df.value(r, 5).unwrap();
+            let price = df.value(r, 6).unwrap().as_number().unwrap_or(0.0);
+            if app_type.as_text() == Some("Paid") && price == 0.0 {
+                type_conflict = true;
+            }
+        }
+        assert!(silly_rating, "dirty data contains ratings above 5");
+        assert!(type_conflict, "dirty data contains paid apps priced at 0");
+        assert!(df.total_missing() > 0);
+    }
+}

@@ -1,0 +1,578 @@
+//! Error injection — §4.1.2 of the paper.
+//!
+//! Three **ordinary errors** affect 20% of the values of three selected
+//! attributes:
+//!
+//! * *missing values* — cells emptied, as happens with collection or
+//!   integration failures;
+//! * *numeric anomalies* — out-of-range values produced by sensor or scaling
+//!   faults;
+//! * *string typos* — letters replaced by neighbouring keys on a QWERTY
+//!   keyboard.
+//!
+//! Two kinds of **hidden errors** create logically impossible combinations
+//! across attributes: the Credit Card conflicts (employment before birth;
+//! high education and advanced occupation with an implausibly low income) and
+//! the Hotel Booking conflict (a `Group` booking with zero adults but
+//! babies).
+
+use dquag_tabular::{DataFrame, DataType, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Fraction of values corrupted by ordinary-error injection in the paper.
+pub const PAPER_ERROR_RATE: f64 = 0.20;
+
+/// The three ordinary error types of §4.1.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrdinaryError {
+    /// Empty cells.
+    MissingValues,
+    /// Out-of-range numeric values.
+    NumericAnomalies,
+    /// QWERTY-neighbour typos in categorical values.
+    StringTypos,
+}
+
+impl OrdinaryError {
+    /// All ordinary error types.
+    pub const ALL: [OrdinaryError; 3] = [
+        OrdinaryError::MissingValues,
+        OrdinaryError::NumericAnomalies,
+        OrdinaryError::StringTypos,
+    ];
+
+    /// Short label used in experiment tables (`N`, `S`, `M` in Table 1).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OrdinaryError::MissingValues => "M",
+            OrdinaryError::NumericAnomalies => "N",
+            OrdinaryError::StringTypos => "S",
+        }
+    }
+}
+
+/// The hidden (cross-attribute) conflicts used in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HiddenError {
+    /// Credit Card conflict 1: `DAYS_EMPLOYED` exceeds `DAYS_BIRTH`, implying
+    /// employment before birth.
+    CreditEmploymentBeforeBirth,
+    /// Credit Card conflict 2: high education and an advanced occupation
+    /// combined with an extremely low `AMT_INCOME_TOTAL`.
+    CreditIncomeEducationMismatch,
+    /// Hotel Booking conflict: `customer_type = "Group"` with zero `adults`
+    /// and more than zero `babies`.
+    HotelGroupWithoutAdults,
+}
+
+impl HiddenError {
+    /// Human-readable label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HiddenError::CreditEmploymentBeforeBirth => "Conflicts-1",
+            HiddenError::CreditIncomeEducationMismatch => "Conflicts-2",
+            HiddenError::HotelGroupWithoutAdults => "Conflicts",
+        }
+    }
+}
+
+/// What an injection pass actually touched — used as ground truth when
+/// scoring instance-level detection.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InjectionReport {
+    /// Rows that received at least one corrupted cell.
+    pub affected_rows: Vec<usize>,
+    /// Every corrupted `(row, column)` cell.
+    pub affected_cells: Vec<(usize, usize)>,
+}
+
+impl InjectionReport {
+    /// Number of corrupted rows.
+    pub fn n_rows(&self) -> usize {
+        self.affected_rows.len()
+    }
+
+    /// Number of corrupted cells.
+    pub fn n_cells(&self) -> usize {
+        self.affected_cells.len()
+    }
+
+    fn record(&mut self, row: usize, col: usize) {
+        if self.affected_rows.last() != Some(&row) && !self.affected_rows.contains(&row) {
+            self.affected_rows.push(row);
+        }
+        self.affected_cells.push((row, col));
+    }
+
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: InjectionReport) {
+        for (row, col) in other.affected_cells {
+            self.record(row, col);
+        }
+    }
+}
+
+/// Inject one ordinary error type into `fraction` of the values of the given
+/// columns. Columns whose type does not match the error (e.g. typos on a
+/// numeric column) are skipped, mirroring how the paper picks three suitable
+/// attributes per dataset.
+pub fn inject_ordinary(
+    df: &mut DataFrame,
+    error: OrdinaryError,
+    columns: &[usize],
+    fraction: f64,
+    rng: &mut StdRng,
+) -> InjectionReport {
+    let mut report = InjectionReport::default();
+    let fields: Vec<DataType> = df.schema().fields().iter().map(|f| f.dtype).collect();
+    for &col in columns {
+        let Some(&dtype) = fields.get(col) else { continue };
+        let applicable = match error {
+            OrdinaryError::MissingValues => true,
+            OrdinaryError::NumericAnomalies => dtype == DataType::Numeric,
+            OrdinaryError::StringTypos => dtype == DataType::Categorical,
+        };
+        if !applicable {
+            continue;
+        }
+        // Column-level scale used to construct out-of-range anomalies.
+        let (col_min, col_max) = numeric_range(df, col);
+        for row in 0..df.n_rows() {
+            if !rng.gen_bool(fraction.clamp(0.0, 1.0)) {
+                continue;
+            }
+            let current = df.value(row, col).expect("row/col in range");
+            let corrupted = match error {
+                OrdinaryError::MissingValues => Some(Value::Null),
+                OrdinaryError::NumericAnomalies => match current {
+                    Value::Number(_) | Value::Null => {
+                        Some(Value::Number(anomalous_value(col_min, col_max, rng)))
+                    }
+                    Value::Text(_) => None,
+                },
+                OrdinaryError::StringTypos => match current {
+                    Value::Text(s) if !s.is_empty() => Some(Value::Text(qwerty_typo(&s, rng))),
+                    _ => None,
+                },
+            };
+            if let Some(value) = corrupted {
+                df.set_value(row, col, value).expect("type-compatible corruption");
+                report.record(row, col);
+            }
+        }
+    }
+    report
+}
+
+/// Inject one hidden conflict into `fraction` of the rows. The dataframe must
+/// contain the columns the conflict involves (it is a usage error otherwise,
+/// reported through a panic naming the missing column).
+pub fn inject_hidden(
+    df: &mut DataFrame,
+    error: HiddenError,
+    fraction: f64,
+    rng: &mut StdRng,
+) -> InjectionReport {
+    let col = |name: &str| {
+        df.schema()
+            .index_of(name)
+            .unwrap_or_else(|| panic!("hidden-error injection requires column `{name}`"))
+    };
+    let mut report = InjectionReport::default();
+    match error {
+        HiddenError::CreditEmploymentBeforeBirth => {
+            let days_birth = col("DAYS_BIRTH");
+            let days_employed = col("DAYS_EMPLOYED");
+            for row in 0..df.n_rows() {
+                if !rng.gen_bool(fraction.clamp(0.0, 1.0)) {
+                    continue;
+                }
+                let birth = df
+                    .value(row, days_birth)
+                    .expect("row in range")
+                    .as_number()
+                    .unwrap_or(-12_000.0);
+                // Employment started before birth: even more negative than DAYS_BIRTH.
+                let employed = birth - rng.gen_range(500.0..6_000.0);
+                df.set_value(row, days_employed, Value::Number(employed))
+                    .expect("numeric column");
+                report.record(row, days_employed);
+                report.record(row, days_birth);
+            }
+        }
+        HiddenError::CreditIncomeEducationMismatch => {
+            let income = col("AMT_INCOME_TOTAL");
+            let education = col("NAME_EDUCATION_TYPE");
+            let occupation = col("OCCUPATION_TYPE");
+            for row in 0..df.n_rows() {
+                if !rng.gen_bool(fraction.clamp(0.0, 1.0)) {
+                    continue;
+                }
+                df.set_value(row, education, Value::Text("Academic degree".into()))
+                    .expect("categorical column");
+                df.set_value(row, occupation, Value::Text("Managers".into()))
+                    .expect("categorical column");
+                df.set_value(row, income, Value::Number(rng.gen_range(1_000.0..4_000.0)))
+                    .expect("numeric column");
+                report.record(row, income);
+                report.record(row, education);
+                report.record(row, occupation);
+            }
+        }
+        HiddenError::HotelGroupWithoutAdults => {
+            let customer_type = col("customer_type");
+            let adults = col("adults");
+            let babies = col("babies");
+            for row in 0..df.n_rows() {
+                if !rng.gen_bool(fraction.clamp(0.0, 1.0)) {
+                    continue;
+                }
+                df.set_value(row, customer_type, Value::Text("Group".into()))
+                    .expect("categorical column");
+                df.set_value(row, adults, Value::Number(0.0))
+                    .expect("numeric column");
+                // The baby count itself stays inside the clean per-column range
+                // (1 or 2); only the combination with `Group` and zero adults is
+                // impossible, which is what makes this a *hidden* error.
+                df.set_value(row, babies, Value::Number(rng.gen_range(1..=2) as f64))
+                    .expect("numeric column");
+                report.record(row, customer_type);
+                report.record(row, adults);
+                report.record(row, babies);
+            }
+        }
+    }
+    report
+}
+
+/// Replace each alphabetic character with probability ~1/3 by a neighbouring
+/// key on a QWERTY keyboard (at least one character is always replaced).
+pub fn qwerty_typo(text: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = text.chars().collect();
+    let letter_positions: Vec<usize> = chars
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.is_ascii_alphabetic())
+        .map(|(i, _)| i)
+        .collect();
+    if letter_positions.is_empty() {
+        // Nothing typable: append a stray character instead.
+        return format!("{text}x");
+    }
+    let forced = letter_positions[rng.gen_range(0..letter_positions.len())];
+    let mut out = String::with_capacity(text.len());
+    for (i, &c) in chars.iter().enumerate() {
+        let mutate = i == forced || (c.is_ascii_alphabetic() && rng.gen_bool(0.15));
+        if mutate {
+            out.push(qwerty_neighbor(c, rng));
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// A random QWERTY neighbour of `c`, preserving case.
+fn qwerty_neighbor(c: char, rng: &mut StdRng) -> char {
+    const NEIGHBORS: [(&str, &str); 26] = [
+        ("a", "qwsz"),
+        ("b", "vghn"),
+        ("c", "xdfv"),
+        ("d", "serfcx"),
+        ("e", "wsdr"),
+        ("f", "drtgvc"),
+        ("g", "ftyhbv"),
+        ("h", "gyujnb"),
+        ("i", "ujko"),
+        ("j", "huikmn"),
+        ("k", "jiolm"),
+        ("l", "kop"),
+        ("m", "njk"),
+        ("n", "bhjm"),
+        ("o", "iklp"),
+        ("p", "ol"),
+        ("q", "wa"),
+        ("r", "edft"),
+        ("s", "awedxz"),
+        ("t", "rfgy"),
+        ("u", "yhji"),
+        ("v", "cfgb"),
+        ("w", "qase"),
+        ("x", "zsdc"),
+        ("y", "tghu"),
+        ("z", "asx"),
+    ];
+    let lower = c.to_ascii_lowercase();
+    let Some((_, neighbors)) = NEIGHBORS.iter().find(|(k, _)| k.chars().next() == Some(lower))
+    else {
+        return c;
+    };
+    let bytes = neighbors.as_bytes();
+    let pick = bytes[rng.gen_range(0..bytes.len())] as char;
+    if c.is_ascii_uppercase() {
+        pick.to_ascii_uppercase()
+    } else {
+        pick
+    }
+}
+
+/// Min and max of a numeric column (ignoring missing values); `(0, 1)` when
+/// the column is categorical or empty.
+fn numeric_range(df: &DataFrame, col: usize) -> (f64, f64) {
+    let column = df.column(col).expect("column in range");
+    match column.numeric_values() {
+        Some(values) => {
+            let present: Vec<f64> = values.iter().flatten().copied().collect();
+            if present.is_empty() {
+                (0.0, 1.0)
+            } else {
+                (
+                    present.iter().copied().fold(f64::INFINITY, f64::min),
+                    present.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                )
+            }
+        }
+        None => (0.0, 1.0),
+    }
+}
+
+/// An out-of-range value well outside `[min, max]`, in either direction —
+/// the "sensor malfunction or scaling issue" of the paper.
+fn anomalous_value(min: f64, max: f64, rng: &mut StdRng) -> f64 {
+    let span = (max - min).abs().max(1.0);
+    if rng.gen_bool(0.5) {
+        max + span * rng.gen_range(3.0..15.0)
+    } else {
+        min - span * rng.gen_range(3.0..15.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dquag_tabular::{Field, Schema};
+
+    fn frame(n: usize) -> DataFrame {
+        let schema = Schema::new(vec![
+            Field::numeric("amount", "amount"),
+            Field::categorical("city", "city"),
+            Field::numeric("age", "age"),
+        ]);
+        let mut df = DataFrame::new(schema);
+        for i in 0..n {
+            df.push_row(vec![
+                Value::Number(100.0 + i as f64),
+                Value::Text(if i % 2 == 0 { "Paris" } else { "London" }.into()),
+                Value::Number(20.0 + (i % 50) as f64),
+            ])
+            .unwrap();
+        }
+        df
+    }
+
+    fn credit_frame(n: usize) -> DataFrame {
+        let schema = Schema::new(vec![
+            Field::numeric("DAYS_BIRTH", "days since birth (negative)"),
+            Field::numeric("DAYS_EMPLOYED", "days since employment start (negative)"),
+            Field::numeric("AMT_INCOME_TOTAL", "annual income"),
+            Field::categorical("NAME_EDUCATION_TYPE", "education level"),
+            Field::categorical("OCCUPATION_TYPE", "occupation"),
+        ]);
+        let mut df = DataFrame::new(schema);
+        for i in 0..n {
+            df.push_row(vec![
+                Value::Number(-15_000.0 - i as f64),
+                Value::Number(-3_000.0 - i as f64),
+                Value::Number(150_000.0),
+                Value::Text("Higher education".into()),
+                Value::Text("Managers".into()),
+            ])
+            .unwrap();
+        }
+        df
+    }
+
+    #[test]
+    fn missing_value_injection_hits_roughly_the_requested_fraction() {
+        let mut df = frame(1000);
+        let mut rng = crate::rng(1);
+        let report = inject_ordinary(&mut df, OrdinaryError::MissingValues, &[0, 1], 0.2, &mut rng);
+        let rate = report.n_cells() as f64 / (2.0 * 1000.0);
+        assert!((rate - 0.2).abs() < 0.05, "rate {rate}");
+        assert_eq!(df.total_missing(), report.n_cells());
+        assert!(report.n_rows() > 0);
+    }
+
+    #[test]
+    fn numeric_anomalies_fall_outside_the_clean_range() {
+        let mut df = frame(400);
+        let mut rng = crate::rng(2);
+        let report =
+            inject_ordinary(&mut df, OrdinaryError::NumericAnomalies, &[0], 0.3, &mut rng);
+        assert!(report.n_cells() > 50);
+        for &(row, col) in &report.affected_cells {
+            let v = df.value(row, col).unwrap().as_number().unwrap();
+            assert!(
+                !(100.0..=500.0).contains(&v),
+                "anomaly {v} should be outside the clean range"
+            );
+        }
+    }
+
+    #[test]
+    fn numeric_anomalies_skip_categorical_columns() {
+        let mut df = frame(50);
+        let mut rng = crate::rng(3);
+        let report =
+            inject_ordinary(&mut df, OrdinaryError::NumericAnomalies, &[1], 1.0, &mut rng);
+        assert_eq!(report.n_cells(), 0);
+    }
+
+    #[test]
+    fn typos_change_text_and_skip_numeric_columns() {
+        let mut df = frame(200);
+        let mut rng = crate::rng(4);
+        let report = inject_ordinary(&mut df, OrdinaryError::StringTypos, &[0, 1], 0.5, &mut rng);
+        assert!(report.n_cells() > 30);
+        for &(row, col) in &report.affected_cells {
+            assert_eq!(col, 1, "typos only in the categorical column");
+            let v = df.value(row, col).unwrap();
+            let text = v.as_text().unwrap();
+            assert!(text == "Paris" || text == "London" || (text != "Paris" && text != "London"));
+        }
+        // at least one value actually differs from the originals
+        let changed = report.affected_cells.iter().any(|&(row, col)| {
+            let t = df.value(row, col).unwrap();
+            t.as_text().map(|s| s != "Paris" && s != "London").unwrap_or(false)
+        });
+        assert!(changed);
+    }
+
+    #[test]
+    fn qwerty_typo_always_changes_something() {
+        let mut rng = crate::rng(5);
+        for word in ["Paris", "a", "Entire home/apt", "X"] {
+            let typo = qwerty_typo(word, &mut rng);
+            assert_ne!(typo, word, "typo must differ for {word}");
+            assert_eq!(typo.chars().count(), word.chars().count().max(1));
+        }
+        assert_eq!(qwerty_typo("123", &mut rng), "123x");
+    }
+
+    #[test]
+    fn qwerty_neighbors_preserve_case() {
+        let mut rng = crate::rng(6);
+        let upper = qwerty_neighbor('A', &mut rng);
+        assert!(upper.is_ascii_uppercase());
+        let lower = qwerty_neighbor('k', &mut rng);
+        assert!(lower.is_ascii_lowercase());
+        assert_eq!(qwerty_neighbor('é', &mut rng), 'é');
+    }
+
+    #[test]
+    fn credit_conflict_one_puts_employment_before_birth() {
+        let mut df = credit_frame(300);
+        let mut rng = crate::rng(7);
+        let report = inject_hidden(
+            &mut df,
+            HiddenError::CreditEmploymentBeforeBirth,
+            0.3,
+            &mut rng,
+        );
+        assert!(report.n_rows() > 40);
+        for &row in &report.affected_rows {
+            let birth = df.value(row, 0).unwrap().as_number().unwrap();
+            let employed = df.value(row, 1).unwrap().as_number().unwrap();
+            assert!(
+                employed < birth,
+                "employment ({employed}) must precede birth ({birth})"
+            );
+        }
+    }
+
+    #[test]
+    fn credit_conflict_two_creates_income_mismatch() {
+        let mut df = credit_frame(200);
+        let mut rng = crate::rng(8);
+        let report = inject_hidden(
+            &mut df,
+            HiddenError::CreditIncomeEducationMismatch,
+            0.25,
+            &mut rng,
+        );
+        for &row in &report.affected_rows {
+            let income = df.value(row, 2).unwrap().as_number().unwrap();
+            assert!(income < 5_000.0);
+            assert_eq!(
+                df.value(row, 3).unwrap(),
+                Value::Text("Academic degree".into())
+            );
+        }
+    }
+
+    #[test]
+    fn hotel_conflict_creates_impossible_group_bookings() {
+        let schema = Schema::new(vec![
+            Field::categorical("customer_type", "type of booking"),
+            Field::numeric("adults", "number of adults"),
+            Field::numeric("babies", "number of babies"),
+        ]);
+        let mut df = DataFrame::new(schema);
+        for _ in 0..150 {
+            df.push_row(vec![
+                Value::Text("Transient".into()),
+                Value::Number(2.0),
+                Value::Number(0.0),
+            ])
+            .unwrap();
+        }
+        let mut rng = crate::rng(9);
+        let report = inject_hidden(&mut df, HiddenError::HotelGroupWithoutAdults, 0.2, &mut rng);
+        assert!(report.n_rows() > 10);
+        for &row in &report.affected_rows {
+            assert_eq!(df.value(row, 0).unwrap(), Value::Text("Group".into()));
+            assert_eq!(df.value(row, 1).unwrap(), Value::Number(0.0));
+            assert!(df.value(row, 2).unwrap().as_number().unwrap() >= 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires column")]
+    fn hidden_injection_panics_on_missing_columns() {
+        let mut df = frame(10);
+        let mut rng = crate::rng(10);
+        inject_hidden(&mut df, HiddenError::HotelGroupWithoutAdults, 0.5, &mut rng);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(OrdinaryError::MissingValues.label(), "M");
+        assert_eq!(OrdinaryError::NumericAnomalies.label(), "N");
+        assert_eq!(OrdinaryError::StringTypos.label(), "S");
+        assert_eq!(HiddenError::CreditEmploymentBeforeBirth.label(), "Conflicts-1");
+    }
+
+    #[test]
+    fn report_merge_accumulates() {
+        let mut a = InjectionReport::default();
+        a.record(1, 0);
+        let mut b = InjectionReport::default();
+        b.record(2, 1);
+        b.record(1, 2);
+        a.merge(b);
+        assert_eq!(a.n_rows(), 2);
+        assert_eq!(a.n_cells(), 3);
+    }
+
+    #[test]
+    fn zero_fraction_injects_nothing() {
+        let mut df = frame(100);
+        let before = df.clone();
+        let mut rng = crate::rng(11);
+        let report =
+            inject_ordinary(&mut df, OrdinaryError::MissingValues, &[0, 1, 2], 0.0, &mut rng);
+        assert_eq!(report.n_cells(), 0);
+        assert_eq!(df, before);
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-tape constants derived from the feature graph.
+//!
+//! Every forward pass needs the same graph-derived matrices — the GIN
+//! aggregation adjacency, the GCN-normalised adjacency, the GAT attention
+//! mask and a row of ones used to broadcast attention logits. They are
+//! constants (no gradient), but they must live on the *current* tape, so
+//! [`GraphContext::bind`] materialises them per tape from a reusable
+//! [`GraphContext`].
+
+use dquag_graph::FeatureGraph;
+use dquag_tensor::{Matrix, Tape, Var};
+
+/// Value used to mask out non-edges in attention logits before the softmax.
+pub const ATTENTION_MASK_VALUE: f32 = -1.0e9;
+
+/// Precomputed dense graph operators for a fixed [`FeatureGraph`].
+#[derive(Debug, Clone)]
+pub struct GraphContext {
+    n_nodes: usize,
+    adjacency: Matrix,
+    gcn_adjacency: Matrix,
+    attention_mask: Matrix,
+}
+
+impl GraphContext {
+    /// Precompute the operators for a feature graph.
+    pub fn new(graph: &FeatureGraph) -> Self {
+        let n = graph.n_nodes();
+        let adjacency = Matrix::from_vec(n, n, graph.adjacency_matrix(false))
+            .expect("adjacency has n*n entries");
+        let gcn_adjacency = Matrix::from_vec(n, n, graph.gcn_normalized_adjacency())
+            .expect("normalised adjacency has n*n entries");
+        let attention_mask = Matrix::from_vec(n, n, graph.attention_mask(ATTENTION_MASK_VALUE))
+            .expect("attention mask has n*n entries");
+        Self {
+            n_nodes: n,
+            adjacency,
+            gcn_adjacency,
+            attention_mask,
+        }
+    }
+
+    /// Number of graph nodes (= dataset features).
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Materialise the operators as constants on the given tape.
+    pub fn bind(&self, tape: &Tape) -> BoundGraph {
+        BoundGraph {
+            n_nodes: self.n_nodes,
+            adjacency: tape.constant(self.adjacency.clone()),
+            gcn_adjacency: tape.constant(self.gcn_adjacency.clone()),
+            attention_mask: tape.constant(self.attention_mask.clone()),
+            ones_row: tape.constant(Matrix::ones(1, self.n_nodes)),
+        }
+    }
+}
+
+/// Tape-bound graph operators used by the layers during one forward pass.
+#[derive(Debug, Clone)]
+pub struct BoundGraph {
+    n_nodes: usize,
+    /// Binary adjacency without self-loops (GIN neighbour aggregation).
+    pub adjacency: Var,
+    /// Symmetric-normalised adjacency with self-loops (GCN propagation).
+    pub gcn_adjacency: Var,
+    /// Additive attention mask: 0 on edges/self-loops, −1e9 elsewhere (GAT).
+    pub attention_mask: Var,
+    /// Row of ones used to broadcast per-node logits into an `n × n` grid.
+    pub ones_row: Var,
+}
+
+impl BoundGraph {
+    /// Number of graph nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_graph() -> FeatureGraph {
+        let mut g = FeatureGraph::new(vec!["a", "b", "c"]);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g
+    }
+
+    #[test]
+    fn context_shapes_match_graph() {
+        let ctx = GraphContext::new(&chain_graph());
+        assert_eq!(ctx.n_nodes(), 3);
+        assert_eq!(ctx.adjacency.shape(), (3, 3));
+        assert_eq!(ctx.gcn_adjacency.shape(), (3, 3));
+        assert_eq!(ctx.attention_mask.shape(), (3, 3));
+    }
+
+    #[test]
+    fn adjacency_has_no_self_loops_but_mask_allows_them() {
+        let ctx = GraphContext::new(&chain_graph());
+        assert_eq!(ctx.adjacency.get(0, 0), 0.0);
+        assert_eq!(ctx.adjacency.get(0, 1), 1.0);
+        assert_eq!(ctx.attention_mask.get(0, 0), 0.0);
+        assert_eq!(ctx.attention_mask.get(0, 2), ATTENTION_MASK_VALUE);
+    }
+
+    #[test]
+    fn gcn_adjacency_rows_are_normalised() {
+        let ctx = GraphContext::new(&chain_graph());
+        // middle node has degree 3 with self-loop; entries are 1/sqrt(d_i d_j)
+        let expected = 1.0 / (3.0f32.sqrt() * 2.0f32.sqrt());
+        assert!((ctx.gcn_adjacency.get(0, 1) - expected).abs() < 1e-6);
+        assert_eq!(ctx.gcn_adjacency.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn binding_creates_tape_constants() {
+        let ctx = GraphContext::new(&chain_graph());
+        let tape = Tape::new();
+        let bound = ctx.bind(&tape);
+        assert_eq!(bound.n_nodes(), 3);
+        assert_eq!(bound.ones_row.shape(), (1, 3));
+        assert_eq!(tape.len(), 4, "four constants per binding");
+        // constants never expose gradients
+        let x = tape.leaf(Matrix::ones(3, 1), true);
+        let loss = bound.gcn_adjacency.matmul(&x).square().mean();
+        tape.backward(&loss);
+        assert!(bound.gcn_adjacency.grad().is_none());
+        assert!(x.grad().is_some());
+    }
+}

@@ -1,0 +1,455 @@
+//! The complete DQuaG network: shared GNN encoder + dual decoders, plus the
+//! multi-task loss that ties them together.
+//!
+//! The training *procedure* (epoch loop, threshold calibration, phase-2
+//! validation logic) lives in `dquag-core`; this module owns the
+//! differentiable part: forward passes and loss construction.
+
+use crate::context::{BoundGraph, GraphContext};
+use crate::decoder::DualDecoder;
+use crate::encoder::{Encoder, EncoderKind};
+use crate::params::{BoundParams, ParamStore};
+use dquag_graph::FeatureGraph;
+use dquag_tensor::init::InitRng;
+use dquag_tensor::optim::Adam;
+use dquag_tensor::{Matrix, Tape, Var};
+
+/// Hyper-parameters of the network. Defaults reproduce the paper's §4.4
+/// setting: four layers, hidden dimension 64, GAT+GIN interleaving,
+/// α = β = 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelConfig {
+    /// Hidden embedding width `h`.
+    pub hidden_dim: usize,
+    /// Number of encoder layers.
+    pub n_layers: usize,
+    /// Encoder architecture.
+    pub encoder: EncoderKind,
+    /// Weight of the validation (weighted reconstruction) loss.
+    pub alpha: f32,
+    /// Weight of the repair loss.
+    pub beta: f32,
+    /// Sharpness of the normalcy weighting in the validation loss; 0 degrades
+    /// to a plain (unweighted) reconstruction loss, which is the
+    /// `ablation_weighted_loss` setting.
+    pub weight_sharpness: f32,
+    /// Seed for parameter initialisation.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            hidden_dim: 64,
+            n_layers: 4,
+            encoder: EncoderKind::GatGin,
+            alpha: 1.0,
+            beta: 1.0,
+            weight_sharpness: 2.0,
+            seed: 42,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// A reduced configuration for unit tests and quick experiments: smaller
+    /// hidden dimension, same architecture.
+    pub fn small() -> Self {
+        Self {
+            hidden_dim: 16,
+            ..Self::default()
+        }
+    }
+}
+
+/// Output of a single-sample forward pass.
+#[derive(Debug, Clone)]
+pub struct SampleOutput {
+    /// The input node features (`n × 1`), kept for loss construction.
+    pub input: Var,
+    /// Validation-decoder reconstruction (`n × 1`).
+    pub reconstruction: Var,
+    /// Repair-decoder output (`n × 1`).
+    pub repair: Var,
+}
+
+impl SampleOutput {
+    /// Squared reconstruction error per feature (the per-feature error list
+    /// `e_i = [e_i1 … e_in]` of §3.2.1).
+    pub fn per_feature_errors(&self) -> Vec<f32> {
+        let x = self.input.value();
+        let r = self.reconstruction.value();
+        (0..x.rows())
+            .map(|i| {
+                let d = x.get(i, 0) - r.get(i, 0);
+                d * d
+            })
+            .collect()
+    }
+
+    /// Mean squared reconstruction error of the sample (the instance-level
+    /// reconstruction error `e_i`).
+    pub fn total_error(&self) -> f32 {
+        let errors = self.per_feature_errors();
+        if errors.is_empty() {
+            0.0
+        } else {
+            errors.iter().sum::<f32>() / errors.len() as f32
+        }
+    }
+
+    /// The repair decoder's proposed feature values.
+    pub fn repair_values(&self) -> Vec<f32> {
+        let r = self.repair.value();
+        (0..r.rows()).map(|i| r.get(i, 0)).collect()
+    }
+}
+
+/// The multi-task objective `L_total = α·L_validation + β·L_repair`.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiTaskLoss {
+    /// Weight of the validation loss.
+    pub alpha: f32,
+    /// Weight of the repair loss.
+    pub beta: f32,
+}
+
+impl MultiTaskLoss {
+    /// Build the loss for a batch of forward outputs.
+    ///
+    /// `weights[i]` is the normalcy weight `w_i` of sample `i` in the
+    /// validation term; the repair term is always unweighted (the paper trains
+    /// it directly towards the clean values).
+    pub fn batch_loss(&self, tape: &Tape, outputs: &[SampleOutput], weights: &[f32]) -> Var {
+        assert_eq!(
+            outputs.len(),
+            weights.len(),
+            "one weight per sample is required"
+        );
+        assert!(!outputs.is_empty(), "batch loss needs at least one sample");
+        let n = outputs.len() as f32;
+        let mut total: Option<Var> = None;
+        for (out, &w) in outputs.iter().zip(weights.iter()) {
+            let diff_val = out.reconstruction.sub(&out.input).square().mean();
+            let diff_rep = out.repair.sub(&out.input).square().mean();
+            let sample_loss = diff_val
+                .scale(self.alpha * w / n)
+                .add(&diff_rep.scale(self.beta / n));
+            total = Some(match total {
+                Some(t) => t.add(&sample_loss),
+                None => sample_loss,
+            });
+        }
+        let _ = tape; // the loss already lives on the callers' tape via the outputs
+        total.expect("non-empty batch")
+    }
+}
+
+/// Normalcy weights from per-sample reconstruction errors: samples whose error
+/// is below the batch mean get weights above 1, clearly abnormal samples get
+/// weights pushed towards 0 (§3.1.2, validation-decoder loss).
+pub fn normalcy_weights(errors: &[f32], sharpness: f32) -> Vec<f32> {
+    if errors.is_empty() {
+        return Vec::new();
+    }
+    if sharpness <= 0.0 {
+        return vec![1.0; errors.len()];
+    }
+    let mean = errors.iter().sum::<f32>() / errors.len() as f32;
+    let scale = mean.max(1e-8);
+    let raw: Vec<f32> = errors
+        .iter()
+        .map(|&e| (-sharpness * (e / scale - 1.0)).exp().clamp(0.05, 20.0))
+        .collect();
+    // Renormalise to mean 1 so the loss magnitude stays comparable across
+    // batches regardless of the weight distribution.
+    let raw_mean = raw.iter().sum::<f32>() / raw.len() as f32;
+    raw.iter().map(|w| w / raw_mean).collect()
+}
+
+/// The full DQuaG network over a fixed feature graph.
+#[derive(Debug, Clone)]
+pub struct DquagNetwork {
+    config: ModelConfig,
+    params: ParamStore,
+    encoder: Encoder,
+    decoder: DualDecoder,
+    context: GraphContext,
+    n_features: usize,
+}
+
+impl DquagNetwork {
+    /// Build a network for the given feature graph.
+    pub fn new(graph: &FeatureGraph, config: ModelConfig) -> Self {
+        let mut params = ParamStore::new();
+        let mut rng = InitRng::seeded(config.seed);
+        let encoder = Encoder::new(
+            config.encoder,
+            graph,
+            config.hidden_dim,
+            config.n_layers,
+            &mut params,
+            &mut rng,
+        );
+        let decoder = DualDecoder::new(config.hidden_dim, &mut params, &mut rng);
+        Self {
+            config,
+            params,
+            encoder,
+            decoder,
+            context: GraphContext::new(graph),
+            n_features: graph.n_nodes(),
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Number of input features (graph nodes).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of scalar weights in the model.
+    pub fn n_weights(&self) -> usize {
+        self.params.n_weights()
+    }
+
+    /// The parameter store (read access, e.g. for checkpoint-style tests).
+    pub fn params(&self) -> &ParamStore {
+        &self.params
+    }
+
+    /// Bind parameters and graph constants to a fresh forward tape.
+    pub fn bind(&self, tape: &Tape) -> (BoundParams, BoundGraph) {
+        (self.params.bind(tape), self.context.bind(tape))
+    }
+
+    /// Forward pass for one sample (encoded feature vector of length
+    /// `n_features`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n_features` — callers always derive the
+    /// vector from the same schema the graph was built on.
+    pub fn forward_sample(
+        &self,
+        tape: &Tape,
+        params: &BoundParams,
+        graph: &BoundGraph,
+        features: &[f32],
+    ) -> SampleOutput {
+        assert_eq!(
+            features.len(),
+            self.n_features,
+            "expected {} features, got {}",
+            self.n_features,
+            features.len()
+        );
+        let input = tape.constant(Matrix::col_vector(features));
+        let z = self.encoder.forward(params, graph, &input);
+        let reconstruction = self.decoder.reconstruct(params, &z);
+        let repair = self.decoder.repair(params, &z);
+        SampleOutput {
+            input,
+            reconstruction,
+            repair,
+        }
+    }
+
+    /// Inference-only helper: per-feature squared reconstruction errors for a
+    /// sample. Creates a private tape, so it can be called from parallel
+    /// validation workers.
+    pub fn reconstruction_errors(&self, features: &[f32]) -> Vec<f32> {
+        let tape = Tape::new();
+        let (params, graph) = self.bind(&tape);
+        self.forward_sample(&tape, &params, &graph, features)
+            .per_feature_errors()
+    }
+
+    /// Inference-only helper: the repair decoder's proposed values for a
+    /// sample.
+    pub fn repair_values(&self, features: &[f32]) -> Vec<f32> {
+        let tape = Tape::new();
+        let (params, graph) = self.bind(&tape);
+        self.forward_sample(&tape, &params, &graph, features)
+            .repair_values()
+    }
+
+    /// One optimisation step on a mini-batch of encoded samples.
+    ///
+    /// Returns `(total_loss, per_sample_errors)` where the errors are the
+    /// *pre-update* instance reconstruction errors (used by the trainer to
+    /// collect the error statistics of §3.1.4).
+    pub fn train_batch(&mut self, batch: &[Vec<f32>], optimizer: &mut Adam) -> (f32, Vec<f32>) {
+        assert!(!batch.is_empty(), "train_batch needs at least one sample");
+        let tape = Tape::new();
+        let (params, graph) = self.bind(&tape);
+        let outputs: Vec<SampleOutput> = batch
+            .iter()
+            .map(|row| self.forward_sample(&tape, &params, &graph, row))
+            .collect();
+        let errors: Vec<f32> = outputs.iter().map(SampleOutput::total_error).collect();
+        let weights = normalcy_weights(&errors, self.config.weight_sharpness);
+        let loss = MultiTaskLoss {
+            alpha: self.config.alpha,
+            beta: self.config.beta,
+        }
+        .batch_loss(&tape, &outputs, &weights);
+        let loss_value = loss.value().get(0, 0);
+        tape.backward(&loss);
+        self.params.apply_gradients(&params, optimizer);
+        (loss_value, errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_graph() -> FeatureGraph {
+        let mut g = FeatureGraph::new(vec!["a", "b", "c", "d"]);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(2, 3).unwrap();
+        g.add_edge(0, 3).unwrap();
+        g
+    }
+
+    /// Clean samples follow the pattern b = 1 - a, c = a, d = 0.5.
+    fn clean_sample(i: usize) -> Vec<f32> {
+        let a = (i % 10) as f32 / 10.0;
+        vec![a, 1.0 - a, a, 0.5]
+    }
+
+    #[test]
+    fn network_construction_and_shapes() {
+        let net = DquagNetwork::new(&small_graph(), ModelConfig::small());
+        assert_eq!(net.n_features(), 4);
+        assert!(net.n_weights() > 0);
+        assert_eq!(net.config().hidden_dim, 16);
+
+        let tape = Tape::new();
+        let (params, graph) = net.bind(&tape);
+        let out = net.forward_sample(&tape, &params, &graph, &clean_sample(3));
+        assert_eq!(out.reconstruction.shape(), (4, 1));
+        assert_eq!(out.repair.shape(), (4, 1));
+        assert_eq!(out.per_feature_errors().len(), 4);
+        assert!(out.total_error().is_finite());
+        assert_eq!(out.repair_values().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4 features")]
+    fn wrong_feature_count_panics() {
+        let net = DquagNetwork::new(&small_graph(), ModelConfig::small());
+        let tape = Tape::new();
+        let (params, graph) = net.bind(&tape);
+        net.forward_sample(&tape, &params, &graph, &[0.1, 0.2]);
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_error_on_clean_data() {
+        let mut config = ModelConfig::small();
+        config.n_layers = 2;
+        config.hidden_dim = 12;
+        let mut net = DquagNetwork::new(&small_graph(), config);
+        let mut adam = Adam::with_learning_rate(0.01);
+        let batch: Vec<Vec<f32>> = (0..32).map(clean_sample).collect();
+
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..60 {
+            let (loss, _) = net.train_batch(&batch, &mut adam);
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        let first = first.unwrap();
+        assert!(
+            last < first * 0.5,
+            "training should halve the loss: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn anomalous_sample_has_higher_error_after_training() {
+        let mut config = ModelConfig::small();
+        config.n_layers = 2;
+        config.hidden_dim = 12;
+        let mut net = DquagNetwork::new(&small_graph(), config);
+        let mut adam = Adam::with_learning_rate(0.01);
+        let batch: Vec<Vec<f32>> = (0..40).map(clean_sample).collect();
+        for _ in 0..120 {
+            net.train_batch(&batch, &mut adam);
+        }
+        let clean_err: f32 = (0..10)
+            .map(|i| {
+                net.reconstruction_errors(&clean_sample(i))
+                    .iter()
+                    .sum::<f32>()
+            })
+            .sum::<f32>()
+            / 10.0;
+        // violate the a/b dependency and push a value far out of range
+        let dirty_err: f32 = net
+            .reconstruction_errors(&[0.9, 0.9, 0.1, 3.0])
+            .iter()
+            .sum();
+        assert!(
+            dirty_err > clean_err * 2.0,
+            "dirty error {dirty_err} should clearly exceed clean error {clean_err}"
+        );
+    }
+
+    #[test]
+    fn normalcy_weights_favour_low_error_samples() {
+        let errors = vec![0.01, 0.02, 0.015, 0.5];
+        let w = normalcy_weights(&errors, 2.0);
+        assert_eq!(w.len(), 4);
+        let mean: f32 = w.iter().sum::<f32>() / 4.0;
+        assert!((mean - 1.0).abs() < 1e-4, "weights renormalised to mean 1");
+        assert!(w[3] < w[0], "the abnormal sample gets the smallest weight");
+        assert!(w[3] < 0.5);
+    }
+
+    #[test]
+    fn zero_sharpness_disables_weighting() {
+        let w = normalcy_weights(&[0.1, 5.0, 0.2], 0.0);
+        assert_eq!(w, vec![1.0, 1.0, 1.0]);
+        assert!(normalcy_weights(&[], 2.0).is_empty());
+    }
+
+    #[test]
+    fn multi_task_loss_combines_both_terms() {
+        let net = DquagNetwork::new(&small_graph(), ModelConfig::small());
+        let tape = Tape::new();
+        let (params, graph) = net.bind(&tape);
+        let out = net.forward_sample(&tape, &params, &graph, &clean_sample(1));
+        let only_val = MultiTaskLoss { alpha: 1.0, beta: 0.0 }
+            .batch_loss(&tape, std::slice::from_ref(&out), &[1.0])
+            .value()
+            .get(0, 0);
+        let only_rep = MultiTaskLoss { alpha: 0.0, beta: 1.0 }
+            .batch_loss(&tape, std::slice::from_ref(&out), &[1.0])
+            .value()
+            .get(0, 0);
+        let both = MultiTaskLoss { alpha: 1.0, beta: 1.0 }
+            .batch_loss(&tape, std::slice::from_ref(&out), &[1.0])
+            .value()
+            .get(0, 0);
+        assert!((both - (only_val + only_rep)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inference_helpers_are_deterministic() {
+        let net = DquagNetwork::new(&small_graph(), ModelConfig::small());
+        let sample = clean_sample(4);
+        assert_eq!(
+            net.reconstruction_errors(&sample),
+            net.reconstruction_errors(&sample)
+        );
+        assert_eq!(net.repair_values(&sample), net.repair_values(&sample));
+    }
+}

@@ -1,0 +1,204 @@
+//! Parameter storage shared by every layer of a model.
+//!
+//! Layers do not own their weights directly. Instead the model owns a flat
+//! [`ParamStore`] and layers hold [`ParamId`] handles into it. At the start of
+//! each forward pass the store is *bound* to an autograd tape
+//! ([`ParamStore::bind`]), producing one leaf [`Var`] per parameter; after the
+//! backward pass the gradients are read back in the same order and handed to
+//! the optimizer ([`ParamStore::apply_gradients`]). This keeps parameter
+//! ordering stable — a requirement of the Adam state in `dquag-tensor`.
+
+use dquag_tensor::optim::Adam;
+use dquag_tensor::{Matrix, Tape, Var};
+
+/// Handle to one parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+/// Flat, ordered parameter storage.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Matrix>,
+}
+
+impl ParamStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter and return its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.names.push(name.into());
+        self.values.push(value);
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Number of registered parameters (matrices).
+    pub fn n_params(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn n_weights(&self) -> usize {
+        self.values.iter().map(Matrix::len).sum()
+    }
+
+    /// Read a parameter value.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Overwrite a parameter value (shape must match).
+    pub fn set(&mut self, id: ParamId, value: Matrix) {
+        assert_eq!(
+            self.values[id.0].shape(),
+            value.shape(),
+            "ParamStore::set must preserve the parameter shape"
+        );
+        self.values[id.0] = value;
+    }
+
+    /// The registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Bind every parameter to the tape as a gradient-tracked leaf.
+    pub fn bind(&self, tape: &Tape) -> BoundParams {
+        BoundParams {
+            vars: self
+                .values
+                .iter()
+                .map(|m| tape.leaf(m.clone(), true))
+                .collect(),
+        }
+    }
+
+    /// Apply one optimizer step using the gradients accumulated on `bound`
+    /// (call after `tape.backward`). Parameters whose gradient is absent are
+    /// left untouched.
+    pub fn apply_gradients(&mut self, bound: &BoundParams, optimizer: &mut Adam) {
+        let grads: Vec<Option<Matrix>> = bound.vars.iter().map(Var::grad).collect();
+        let mut params: Vec<&mut Matrix> = self.values.iter_mut().collect();
+        optimizer.step(&mut params, &grads);
+    }
+
+    /// Squared L2 norm of all parameters — handy for regularisation ablations
+    /// and for asserting that training actually changes the weights.
+    pub fn squared_norm(&self) -> f32 {
+        self.values
+            .iter()
+            .map(|m| {
+                let n = m.frobenius_norm();
+                n * n
+            })
+            .sum()
+    }
+}
+
+/// Tape-bound view of a [`ParamStore`]: one leaf [`Var`] per parameter, in
+/// registration order.
+#[derive(Debug, Clone)]
+pub struct BoundParams {
+    vars: Vec<Var>,
+}
+
+impl BoundParams {
+    /// The bound variable for a parameter.
+    pub fn var(&self, id: ParamId) -> &Var {
+        &self.vars[id.0]
+    }
+
+    /// Number of bound parameters.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True if the store was empty.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dquag_tensor::optim::Adam;
+
+    #[test]
+    fn add_get_set_and_counts() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::zeros(2, 3));
+        let b = store.add("b", Matrix::zeros(1, 3));
+        assert_eq!(store.n_params(), 2);
+        assert_eq!(store.n_weights(), 9);
+        assert_eq!(store.name(w), "w");
+        assert_eq!(store.get(b).shape(), (1, 3));
+        store.set(w, Matrix::ones(2, 3));
+        assert_eq!(store.get(w).sum(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve the parameter shape")]
+    fn set_rejects_shape_change() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::zeros(2, 3));
+        store.set(w, Matrix::zeros(3, 2));
+    }
+
+    #[test]
+    fn bind_and_train_step_updates_parameters() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::filled(1, 1, 5.0));
+        let mut adam = Adam::with_learning_rate(0.5);
+
+        for _ in 0..50 {
+            let tape = Tape::new();
+            let bound = store.bind(&tape);
+            // loss = w² → minimum at 0
+            let loss = bound.var(w).square().mean();
+            tape.backward(&loss);
+            store.apply_gradients(&bound, &mut adam);
+        }
+        assert!(
+            store.get(w).get(0, 0).abs() < 0.5,
+            "w should approach 0, got {}",
+            store.get(w).get(0, 0)
+        );
+    }
+
+    #[test]
+    fn unused_parameters_are_left_untouched() {
+        let mut store = ParamStore::new();
+        let used = store.add("used", Matrix::filled(1, 1, 1.0));
+        let unused = store.add("unused", Matrix::filled(1, 1, 7.0));
+        let mut adam = Adam::with_learning_rate(0.1);
+        let tape = Tape::new();
+        let bound = store.bind(&tape);
+        let loss = bound.var(used).square().mean();
+        tape.backward(&loss);
+        store.apply_gradients(&bound, &mut adam);
+        assert_eq!(store.get(unused).get(0, 0), 7.0);
+        assert_ne!(store.get(used).get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn squared_norm_sums_parameters() {
+        let mut store = ParamStore::new();
+        store.add("a", Matrix::filled(1, 2, 2.0));
+        store.add("b", Matrix::filled(1, 1, 3.0));
+        assert!((store.squared_norm() - 17.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bound_len_tracks_store() {
+        let mut store = ParamStore::new();
+        store.add("a", Matrix::zeros(1, 1));
+        let tape = Tape::new();
+        let bound = store.bind(&tape);
+        assert_eq!(bound.len(), 1);
+        assert!(!bound.is_empty());
+    }
+}

@@ -1,0 +1,423 @@
+//! The feature graph: columns as nodes, relationships as undirected edges.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors produced when building or loading feature graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a feature name that is not a node of the graph.
+    UnknownFeature(String),
+    /// A node index was out of range.
+    NodeOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Number of nodes.
+        n_nodes: usize,
+    },
+    /// The relationship JSON could not be parsed.
+    InvalidJson(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownFeature(name) => write!(f, "unknown feature `{name}`"),
+            GraphError::NodeOutOfRange { index, n_nodes } => {
+                write!(f, "node index {index} out of range (graph has {n_nodes} nodes)")
+            }
+            GraphError::InvalidJson(msg) => write!(f, "invalid relationship JSON: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// One relationship between two features, in the paper's JSON vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relationship {
+    /// First feature name.
+    pub feature1: String,
+    /// Second feature name.
+    pub feature2: String,
+}
+
+/// The JSON document the paper's ChatGPT-4 prompt returns:
+/// `{"relationships": [{"feature1": …, "feature2": …}, …]}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct RelationshipSet {
+    /// All inferred feature pairs.
+    pub relationships: Vec<Relationship>,
+}
+
+impl RelationshipSet {
+    /// Parse the paper-format JSON document.
+    pub fn from_json(json: &str) -> crate::Result<Self> {
+        serde_json::from_str(json).map_err(|e| GraphError::InvalidJson(e.to_string()))
+    }
+
+    /// Serialise to the paper-format JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RelationshipSet is always serialisable")
+    }
+
+    /// Add one pair.
+    pub fn push(&mut self, feature1: &str, feature2: &str) {
+        self.relationships.push(Relationship {
+            feature1: feature1.to_string(),
+            feature2: feature2.to_string(),
+        });
+    }
+}
+
+/// An undirected graph over dataset columns.
+///
+/// Self-loops are never stored explicitly; the adjacency constructors add
+/// them where the layer semantics require them (GIN / GCN / GAT all attend to
+/// the node itself).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureGraph {
+    node_names: Vec<String>,
+    neighbors: Vec<BTreeSet<usize>>,
+}
+
+impl FeatureGraph {
+    /// Create a graph with the given nodes and no edges.
+    pub fn new<S: Into<String>>(node_names: Vec<S>) -> Self {
+        let node_names: Vec<String> = node_names.into_iter().map(Into::into).collect();
+        let neighbors = vec![BTreeSet::new(); node_names.len()];
+        Self {
+            node_names,
+            neighbors,
+        }
+    }
+
+    /// Create a fully connected graph (every pair of distinct nodes linked).
+    /// Used by the `ablation_graph` benchmark as a "no knowledge" upper bound.
+    pub fn fully_connected<S: Into<String>>(node_names: Vec<S>) -> Self {
+        let mut g = Self::new(node_names);
+        for i in 0..g.n_nodes() {
+            for j in (i + 1)..g.n_nodes() {
+                g.add_edge(i, j).expect("indices in range");
+            }
+        }
+        g
+    }
+
+    /// Build a graph from node names plus a paper-format relationship set.
+    /// Pairs naming unknown features are reported as errors.
+    pub fn from_relationships<S: Into<String>>(
+        node_names: Vec<S>,
+        relationships: &RelationshipSet,
+    ) -> crate::Result<Self> {
+        let mut graph = Self::new(node_names);
+        for rel in &relationships.relationships {
+            let i = graph
+                .index_of(&rel.feature1)
+                .ok_or_else(|| GraphError::UnknownFeature(rel.feature1.clone()))?;
+            let j = graph
+                .index_of(&rel.feature2)
+                .ok_or_else(|| GraphError::UnknownFeature(rel.feature2.clone()))?;
+            if i != j {
+                graph.add_edge(i, j)?;
+            }
+        }
+        Ok(graph)
+    }
+
+    /// Export the edge set in the paper's JSON vocabulary.
+    pub fn to_relationships(&self) -> RelationshipSet {
+        let mut set = RelationshipSet::default();
+        for (i, j) in self.edges() {
+            set.push(&self.node_names[i], &self.node_names[j]);
+        }
+        set
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn n_edges(&self) -> usize {
+        self.neighbors.iter().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// Node names in index order.
+    pub fn node_names(&self) -> &[String] {
+        &self.node_names
+    }
+
+    /// Index of the node with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.node_names.iter().position(|n| n == name)
+    }
+
+    /// Add an undirected edge between two nodes (self-loops are ignored).
+    pub fn add_edge(&mut self, i: usize, j: usize) -> crate::Result<()> {
+        let n = self.n_nodes();
+        for idx in [i, j] {
+            if idx >= n {
+                return Err(GraphError::NodeOutOfRange { index: idx, n_nodes: n });
+            }
+        }
+        if i != j {
+            self.neighbors[i].insert(j);
+            self.neighbors[j].insert(i);
+        }
+        Ok(())
+    }
+
+    /// True if nodes `i` and `j` are connected by an edge.
+    pub fn has_edge(&self, i: usize, j: usize) -> bool {
+        self.neighbors.get(i).is_some_and(|s| s.contains(&j))
+    }
+
+    /// The neighbours of node `i` in ascending order.
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.neighbors[i].iter().copied()
+    }
+
+    /// Degree (number of neighbours) of node `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.neighbors[i].len()
+    }
+
+    /// Iterate over undirected edges as `(i, j)` with `i < j`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.neighbors
+            .iter()
+            .enumerate()
+            .flat_map(|(i, set)| set.iter().filter(move |&&j| j > i).map(move |&j| (i, j)))
+    }
+
+    /// True if every node can reach every other node (isolated single-node
+    /// graphs count as connected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.n_nodes();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut visited = 1;
+        while let Some(node) = stack.pop() {
+            for &next in &self.neighbors[node] {
+                if !seen[next] {
+                    seen[next] = true;
+                    visited += 1;
+                    stack.push(next);
+                }
+            }
+        }
+        visited == n
+    }
+
+    /// Binary adjacency matrix in row-major order (`n × n`), with self-loops
+    /// if requested. This is the aggregation operator used by the GIN layers.
+    pub fn adjacency_matrix(&self, self_loops: bool) -> Vec<f32> {
+        let n = self.n_nodes();
+        let mut out = vec![0.0f32; n * n];
+        for i in 0..n {
+            if self_loops {
+                out[i * n + i] = 1.0;
+            }
+            for &j in &self.neighbors[i] {
+                out[i * n + j] = 1.0;
+            }
+        }
+        out
+    }
+
+    /// Symmetric-normalised adjacency `D^{-1/2} (A + I) D^{-1/2}` in row-major
+    /// order — the propagation operator of a GCN layer (Kipf & Welling).
+    pub fn gcn_normalized_adjacency(&self) -> Vec<f32> {
+        let n = self.n_nodes();
+        let a = self.adjacency_matrix(true);
+        let mut degree = vec![0.0f32; n];
+        for i in 0..n {
+            degree[i] = a[i * n..(i + 1) * n].iter().sum();
+        }
+        let mut out = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if a[i * n + j] > 0.0 {
+                    out[i * n + j] = a[i * n + j] / (degree[i].sqrt() * degree[j].sqrt());
+                }
+            }
+        }
+        out
+    }
+
+    /// Additive attention mask for GAT layers: `0` where attention is allowed
+    /// (edges and self-loops), `mask_value` (a large negative number)
+    /// elsewhere, row-major `n × n`.
+    pub fn attention_mask(&self, mask_value: f32) -> Vec<f32> {
+        let n = self.n_nodes();
+        let mut out = vec![mask_value; n * n];
+        for i in 0..n {
+            out[i * n + i] = 0.0;
+            for &j in &self.neighbors[i] {
+                out[i * n + j] = 0.0;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> FeatureGraph {
+        // 0 - 1
+        // |   |
+        // 2 - 3
+        let mut g = FeatureGraph::new(vec!["a", "b", "c", "d"]);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(1, 3).unwrap();
+        g.add_edge(2, 3).unwrap();
+        g
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let g = diamond();
+        assert_eq!(g.n_nodes(), 4);
+        assert_eq!(g.n_edges(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(3).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(g.index_of("c"), Some(2));
+        assert_eq!(g.index_of("zz"), None);
+        assert_eq!(g.edges().count(), 4);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_are_ignored() {
+        let mut g = FeatureGraph::new(vec!["a", "b"]);
+        g.add_edge(0, 0).unwrap();
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 0).unwrap();
+        assert_eq!(g.n_edges(), 1);
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn out_of_range_edges_error() {
+        let mut g = FeatureGraph::new(vec!["a"]);
+        assert!(matches!(
+            g.add_edge(0, 5),
+            Err(GraphError::NodeOutOfRange { index: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(diamond().is_connected());
+        let mut g = FeatureGraph::new(vec!["a", "b", "c"]);
+        g.add_edge(0, 1).unwrap();
+        assert!(!g.is_connected());
+        assert!(FeatureGraph::new(vec!["solo"]).is_connected());
+        assert!(FeatureGraph::new(Vec::<String>::new()).is_connected());
+    }
+
+    #[test]
+    fn fully_connected_has_all_pairs() {
+        let g = FeatureGraph::fully_connected(vec!["a", "b", "c", "d", "e"]);
+        assert_eq!(g.n_edges(), 10);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn adjacency_matrix_with_and_without_self_loops() {
+        let g = diamond();
+        let a = g.adjacency_matrix(false);
+        assert_eq!(a[0 * 4 + 1], 1.0);
+        assert_eq!(a[0 * 4 + 0], 0.0);
+        let a_loop = g.adjacency_matrix(true);
+        assert_eq!(a_loop[0 * 4 + 0], 1.0);
+        // symmetry
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(a[i * 4 + j], a[j * 4 + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn gcn_normalisation_rows_are_bounded() {
+        let g = diamond();
+        let norm = g.gcn_normalized_adjacency();
+        // every diamond node has degree 3 after the self-loop, so all entries are 1/3
+        for i in 0..4 {
+            for j in 0..4 {
+                let v = norm[i * 4 + j];
+                if g.has_edge(i, j) || i == j {
+                    assert!((v - 1.0 / 3.0).abs() < 1e-6);
+                } else {
+                    assert_eq!(v, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attention_mask_marks_non_edges() {
+        let g = diamond();
+        let mask = g.attention_mask(-1e9);
+        assert_eq!(mask[0 * 4 + 1], 0.0);
+        assert_eq!(mask[0 * 4 + 0], 0.0);
+        assert_eq!(mask[0 * 4 + 3], -1e9);
+    }
+
+    #[test]
+    fn relationship_json_round_trip() {
+        let g = diamond();
+        let set = g.to_relationships();
+        let json = set.to_json();
+        let parsed = RelationshipSet::from_json(&json).unwrap();
+        let rebuilt = FeatureGraph::from_relationships(vec!["a", "b", "c", "d"], &parsed).unwrap();
+        assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    fn paper_format_json_is_accepted() {
+        let json = r#"{"relationships": [
+            {"feature1": "Age", "feature2": "IncomeType"},
+            {"feature1": "Country", "feature2": "City"}
+        ]}"#;
+        let set = RelationshipSet::from_json(json).unwrap();
+        assert_eq!(set.relationships.len(), 2);
+        let g = FeatureGraph::from_relationships(
+            vec!["Age", "IncomeType", "Country", "City"],
+            &set,
+        )
+        .unwrap();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn unknown_features_in_relationships_error() {
+        let mut set = RelationshipSet::default();
+        set.push("a", "nope");
+        let err = FeatureGraph::from_relationships(vec!["a", "b"], &set).unwrap_err();
+        assert!(matches!(err, GraphError::UnknownFeature(name) if name == "nope"));
+    }
+
+    #[test]
+    fn invalid_json_is_reported() {
+        assert!(matches!(
+            RelationshipSet::from_json("{not json"),
+            Err(GraphError::InvalidJson(_))
+        ));
+    }
+}

@@ -1,0 +1,231 @@
+//! Pairwise association measures used by the statistical relationship oracle.
+//!
+//! Three classic measures cover the three column-type pairings:
+//!
+//! * numeric ↔ numeric: absolute Pearson correlation,
+//! * categorical ↔ categorical: Cramér's V (bias-uncorrected, adequate for
+//!   the 100-row samples the oracle works on),
+//! * numeric ↔ categorical: the correlation ratio η (eta).
+//!
+//! All three return a strength in `[0, 1]`; missing values are dropped
+//! pairwise.
+
+use std::collections::HashMap;
+
+/// Absolute Pearson correlation between two numeric columns, computed over
+/// rows where both values are present. Returns 0 when fewer than two complete
+/// pairs exist or either column is constant.
+pub fn pearson_abs(x: &[Option<f64>], y: &[Option<f64>]) -> f64 {
+    let pairs: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y.iter())
+        .filter_map(|(a, b)| Some(((*a)?, (*b)?)))
+        .collect();
+    if pairs.len() < 2 {
+        return 0.0;
+    }
+    let n = pairs.len() as f64;
+    let mean_x = pairs.iter().map(|(a, _)| a).sum::<f64>() / n;
+    let mean_y = pairs.iter().map(|(_, b)| b).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (a, b) in &pairs {
+        let dx = a - mean_x;
+        let dy = b - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x <= f64::EPSILON || var_y <= f64::EPSILON {
+        return 0.0;
+    }
+    (cov / (var_x.sqrt() * var_y.sqrt())).abs().clamp(0.0, 1.0)
+}
+
+/// Cramér's V between two categorical columns, computed over rows where both
+/// values are present. Returns 0 when the contingency table is degenerate.
+pub fn cramers_v(x: &[Option<String>], y: &[Option<String>]) -> f64 {
+    let pairs: Vec<(&str, &str)> = x
+        .iter()
+        .zip(y.iter())
+        .filter_map(|(a, b)| Some((a.as_deref()?, b.as_deref()?)))
+        .collect();
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let mut x_levels: HashMap<&str, usize> = HashMap::new();
+    let mut y_levels: HashMap<&str, usize> = HashMap::new();
+    for (a, b) in &pairs {
+        let next = x_levels.len();
+        x_levels.entry(a).or_insert(next);
+        let next = y_levels.len();
+        y_levels.entry(b).or_insert(next);
+    }
+    let r = x_levels.len();
+    let c = y_levels.len();
+    if r < 2 || c < 2 {
+        return 0.0;
+    }
+    let n = pairs.len() as f64;
+    let mut table = vec![0.0f64; r * c];
+    for (a, b) in &pairs {
+        table[x_levels[a] * c + y_levels[b]] += 1.0;
+    }
+    let row_totals: Vec<f64> = (0..r).map(|i| table[i * c..(i + 1) * c].iter().sum()).collect();
+    let col_totals: Vec<f64> = (0..c).map(|j| (0..r).map(|i| table[i * c + j]).sum()).collect();
+    let mut chi2 = 0.0;
+    for i in 0..r {
+        for j in 0..c {
+            let expected = row_totals[i] * col_totals[j] / n;
+            if expected > 0.0 {
+                let diff = table[i * c + j] - expected;
+                chi2 += diff * diff / expected;
+            }
+        }
+    }
+    let denom = n * ((r.min(c) - 1) as f64);
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    (chi2 / denom).sqrt().clamp(0.0, 1.0)
+}
+
+/// Correlation ratio η between a categorical column (groups) and a numeric
+/// column: the share of the numeric variance explained by the grouping.
+pub fn correlation_ratio(categories: &[Option<String>], values: &[Option<f64>]) -> f64 {
+    let pairs: Vec<(&str, f64)> = categories
+        .iter()
+        .zip(values.iter())
+        .filter_map(|(c, v)| Some((c.as_deref()?, (*v)?)))
+        .collect();
+    if pairs.len() < 2 {
+        return 0.0;
+    }
+    let n = pairs.len() as f64;
+    let overall_mean = pairs.iter().map(|(_, v)| v).sum::<f64>() / n;
+    let mut groups: HashMap<&str, (f64, f64)> = HashMap::new(); // (sum, count)
+    for (c, v) in &pairs {
+        let entry = groups.entry(c).or_insert((0.0, 0.0));
+        entry.0 += v;
+        entry.1 += 1.0;
+    }
+    if groups.len() < 2 {
+        return 0.0;
+    }
+    let between: f64 = groups
+        .values()
+        .map(|(sum, count)| {
+            let group_mean = sum / count;
+            count * (group_mean - overall_mean).powi(2)
+        })
+        .sum();
+    let total: f64 = pairs.iter().map(|(_, v)| (v - overall_mean).powi(2)).sum();
+    if total <= f64::EPSILON {
+        return 0.0;
+    }
+    (between / total).sqrt().clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opt_f(values: &[f64]) -> Vec<Option<f64>> {
+        values.iter().copied().map(Some).collect()
+    }
+
+    fn opt_s(values: &[&str]) -> Vec<Option<String>> {
+        values.iter().map(|s| Some(s.to_string())).collect()
+    }
+
+    #[test]
+    fn pearson_detects_linear_dependence() {
+        let x = opt_f(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let y_pos = opt_f(&[2.0, 4.0, 6.0, 8.0, 10.0]);
+        let y_neg = opt_f(&[10.0, 8.0, 6.0, 4.0, 2.0]);
+        assert!((pearson_abs(&x, &y_pos) - 1.0).abs() < 1e-9);
+        assert!((pearson_abs(&x, &y_neg) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_near_zero_for_independent_data() {
+        let x = opt_f(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let y = opt_f(&[5.0, -3.0, 4.0, -2.0, 5.5, -3.2, 4.1, -2.4]);
+        assert!(pearson_abs(&x, &y) < 0.3);
+    }
+
+    #[test]
+    fn pearson_handles_missing_and_constant_columns() {
+        let x = vec![Some(1.0), None, Some(3.0)];
+        let y = vec![Some(2.0), Some(9.0), None];
+        assert_eq!(pearson_abs(&x, &y), 0.0, "only one complete pair");
+        let constant = opt_f(&[5.0, 5.0, 5.0]);
+        let varying = opt_f(&[1.0, 2.0, 3.0]);
+        assert_eq!(pearson_abs(&constant, &varying), 0.0);
+    }
+
+    #[test]
+    fn cramers_v_detects_perfect_association() {
+        let x = opt_s(&["a", "a", "b", "b", "a", "b"]);
+        let y = opt_s(&["u", "u", "v", "v", "u", "v"]);
+        assert!((cramers_v(&x, &y) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cramers_v_low_for_independence() {
+        let x = opt_s(&["a", "a", "b", "b", "a", "a", "b", "b"]);
+        let y = opt_s(&["u", "v", "u", "v", "u", "v", "u", "v"]);
+        assert!(cramers_v(&x, &y) < 1e-9);
+    }
+
+    #[test]
+    fn cramers_v_degenerate_tables() {
+        let single = opt_s(&["a", "a", "a"]);
+        let other = opt_s(&["u", "v", "u"]);
+        assert_eq!(cramers_v(&single, &other), 0.0);
+        assert_eq!(cramers_v(&[], &[]), 0.0);
+        let with_missing = vec![Some("a".to_string()), None];
+        assert_eq!(cramers_v(&with_missing, &opt_s(&["u", "v"])), 0.0);
+    }
+
+    #[test]
+    fn correlation_ratio_detects_group_separation() {
+        // group "low" has values near 1, group "high" near 100 → strong association
+        let cats = opt_s(&["low", "low", "low", "high", "high", "high"]);
+        let vals = opt_f(&[1.0, 1.2, 0.8, 100.0, 99.0, 101.0]);
+        assert!(correlation_ratio(&cats, &vals) > 0.99);
+    }
+
+    #[test]
+    fn correlation_ratio_low_when_groups_overlap() {
+        let cats = opt_s(&["a", "b", "a", "b", "a", "b"]);
+        let vals = opt_f(&[1.0, 1.1, 2.0, 1.9, 3.0, 3.05]);
+        assert!(correlation_ratio(&cats, &vals) < 0.2);
+    }
+
+    #[test]
+    fn correlation_ratio_degenerate_cases() {
+        assert_eq!(correlation_ratio(&[], &[]), 0.0);
+        let one_group = opt_s(&["a", "a"]);
+        assert_eq!(correlation_ratio(&one_group, &opt_f(&[1.0, 2.0])), 0.0);
+        let constant = opt_f(&[5.0, 5.0, 5.0, 5.0]);
+        let groups = opt_s(&["a", "a", "b", "b"]);
+        assert_eq!(correlation_ratio(&groups, &constant), 0.0);
+    }
+
+    #[test]
+    fn all_measures_stay_in_unit_interval() {
+        let x = opt_f(&[3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        let y = opt_f(&[2.0, 7.0, 1.0, 8.0, 2.0, 8.0, 1.0, 8.0]);
+        let c1 = opt_s(&["a", "b", "a", "c", "b", "a", "c", "b"]);
+        let c2 = opt_s(&["x", "x", "y", "y", "x", "y", "x", "y"]);
+        for v in [
+            pearson_abs(&x, &y),
+            cramers_v(&c1, &c2),
+            correlation_ratio(&c1, &x),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "measure {v} out of range");
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Minimal CSV reading and writing.
+//!
+//! The evaluation pipeline is generator-driven, but a real deployment of
+//! DQuaG validates files arriving from upstream systems, so the crate ships a
+//! small, quote-aware CSV codec: enough to round-trip every dataframe this
+//! workspace produces and to ingest externally produced files with the same
+//! schema. No external CSV crate is used (the dependency budget is fixed by
+//! the reproduction brief).
+
+use crate::dataframe::DataFrame;
+use crate::schema::Schema;
+use crate::value::{DataType, Value};
+use crate::{Result, TabularError};
+use bytes::Bytes;
+use std::fs;
+use std::path::Path;
+
+/// Serialise a dataframe to CSV text (header row + one line per record).
+pub fn to_csv_string(df: &DataFrame) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = df
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| escape_field(&f.name))
+        .collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for row in df.iter_rows() {
+        let fields: Vec<String> = row.iter().map(|v| escape_field(&v.to_csv_field())).collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a dataframe to a CSV file.
+pub fn write_csv(df: &DataFrame, path: &Path) -> Result<()> {
+    fs::write(path, to_csv_string(df))?;
+    Ok(())
+}
+
+/// Parse CSV text into a dataframe using the provided schema.
+///
+/// The header row must contain exactly the schema's column names in order;
+/// empty fields become [`Value::Null`]; numeric columns reject non-numeric
+/// text.
+pub fn from_csv_str(text: &str, schema: &Schema) -> Result<DataFrame> {
+    from_csv_bytes(Bytes::copy_from_slice(text.as_bytes()), schema)
+}
+
+/// Parse CSV bytes into a dataframe using the provided schema.
+pub fn from_csv_bytes(bytes: Bytes, schema: &Schema) -> Result<DataFrame> {
+    let text = std::str::from_utf8(&bytes).map_err(|e| TabularError::CsvParse {
+        line: 0,
+        message: format!("invalid UTF-8: {e}"),
+    })?;
+    let mut lines = split_records(text);
+    let header = lines.next().ok_or(TabularError::CsvParse {
+        line: 1,
+        message: "missing header row".to_string(),
+    })?;
+    let header_fields = parse_record(&header, 1)?;
+    let expected: Vec<&str> = schema.names();
+    if header_fields.len() != expected.len()
+        || header_fields.iter().zip(&expected).any(|(a, b)| a != b)
+    {
+        return Err(TabularError::CsvParse {
+            line: 1,
+            message: format!(
+                "header {:?} does not match schema columns {:?}",
+                header_fields, expected
+            ),
+        });
+    }
+
+    let mut df = DataFrame::new(schema.clone());
+    for (i, record) in lines.enumerate() {
+        let line_no = i + 2;
+        if record.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_record(&record, line_no)?;
+        if fields.len() != schema.len() {
+            return Err(TabularError::CsvParse {
+                line: line_no,
+                message: format!(
+                    "expected {} fields, found {}",
+                    schema.len(),
+                    fields.len()
+                ),
+            });
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (field, raw) in schema.fields().iter().zip(fields.into_iter()) {
+            let value = if raw.is_empty() {
+                Value::Null
+            } else {
+                match field.dtype {
+                    DataType::Numeric => {
+                        let parsed = raw.parse::<f64>().map_err(|_| TabularError::CsvParse {
+                            line: line_no,
+                            message: format!(
+                                "column `{}` expects a number, got `{raw}`",
+                                field.name
+                            ),
+                        })?;
+                        Value::Number(parsed)
+                    }
+                    DataType::Categorical => Value::Text(raw),
+                }
+            };
+            row.push(value);
+        }
+        df.push_row(row)?;
+    }
+    Ok(df)
+}
+
+/// Read a CSV file into a dataframe.
+pub fn read_csv(path: &Path, schema: &Schema) -> Result<DataFrame> {
+    let bytes = fs::read(path)?;
+    from_csv_bytes(Bytes::from(bytes), schema)
+}
+
+/// Quote a field if it contains separators, quotes or newlines.
+fn escape_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Split CSV text into records, respecting quoted newlines.
+fn split_records(text: &str) -> impl Iterator<Item = String> + '_ {
+    let mut records = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    for ch in text.chars() {
+        match ch {
+            '"' => {
+                in_quotes = !in_quotes;
+                current.push(ch);
+            }
+            '\n' if !in_quotes => {
+                records.push(std::mem::take(&mut current));
+                // strip a trailing carriage return from CRLF input
+                if let Some(last) = records.last_mut() {
+                    if last.ends_with('\r') {
+                        last.pop();
+                    }
+                }
+            }
+            _ => current.push(ch),
+        }
+    }
+    if !current.is_empty() {
+        if current.ends_with('\r') {
+            current.pop();
+        }
+        records.push(current);
+    }
+    records.into_iter()
+}
+
+/// Parse one CSV record into fields, handling quoting and escaped quotes.
+fn parse_record(record: &str, line: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut chars = record.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        match ch {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    current.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if current.is_empty() => in_quotes = true,
+            '"' => {
+                return Err(TabularError::CsvParse {
+                    line,
+                    message: "unexpected quote inside unquoted field".to_string(),
+                })
+            }
+            ',' if !in_quotes => fields.push(std::mem::take(&mut current)),
+            _ => current.push(ch),
+        }
+    }
+    if in_quotes {
+        return Err(TabularError::CsvParse {
+            line,
+            message: "unterminated quoted field".to_string(),
+        });
+    }
+    fields.push(current);
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::numeric("age", "age"),
+            Field::categorical("city", "city"),
+        ])
+    }
+
+    fn sample() -> DataFrame {
+        let mut df = DataFrame::new(schema());
+        df.push_row(vec![Value::Number(31.0), Value::Text("Paris".into())])
+            .unwrap();
+        df.push_row(vec![Value::Null, Value::Text("New York, NY".into())])
+            .unwrap();
+        df.push_row(vec![Value::Number(2.5), Value::Text("He said \"hi\"".into())])
+            .unwrap();
+        df
+    }
+
+    #[test]
+    fn round_trip_through_string() {
+        let df = sample();
+        let text = to_csv_string(&df);
+        let back = from_csv_str(&text, &schema()).unwrap();
+        assert_eq!(back.n_rows(), 3);
+        assert_eq!(back.value(0, 0).unwrap(), Value::Number(31.0));
+        assert_eq!(back.value(1, 0).unwrap(), Value::Null);
+        assert_eq!(
+            back.value(1, 1).unwrap(),
+            Value::Text("New York, NY".into())
+        );
+        assert_eq!(
+            back.value(2, 1).unwrap(),
+            Value::Text("He said \"hi\"".into())
+        );
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let dir = std::env::temp_dir().join("dquag_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.csv");
+        let df = sample();
+        write_csv(&df, &path).unwrap();
+        let back = read_csv(&path, &schema()).unwrap();
+        assert_eq!(back.n_rows(), df.n_rows());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_mismatch_is_reported() {
+        let text = "age,country\n1,France\n";
+        let err = from_csv_str(text, &schema()).unwrap_err();
+        assert!(matches!(err, TabularError::CsvParse { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_number_is_reported_with_line() {
+        let text = "age,city\nabc,Paris\n";
+        let err = from_csv_str(text, &schema()).unwrap_err();
+        match err {
+            TabularError::CsvParse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("age"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_arity_is_reported() {
+        let text = "age,city\n1,Paris,extra\n";
+        assert!(from_csv_str(text, &schema()).is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_is_reported() {
+        let text = "age,city\n1,\"Paris\n";
+        assert!(from_csv_str(text, &schema()).is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_crlf_handled() {
+        let text = "age,city\r\n1,Paris\r\n\r\n2,Lyon\r\n";
+        let df = from_csv_str(text, &schema()).unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.value(1, 1).unwrap(), Value::Text("Lyon".into()));
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert!(from_csv_str("", &schema()).is_err());
+    }
+}

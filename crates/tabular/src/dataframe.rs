@@ -1,0 +1,451 @@
+//! A small columnar dataframe.
+//!
+//! The evaluation datasets in the paper are modest (10⁴–10⁶ rows, 5–20
+//! columns), so the dataframe keeps one dense `Vec` per column and favours
+//! clarity over zero-copy tricks. Row-level operations (batch sampling, error
+//! injection, repair) work through typed [`Value`] cells.
+
+use crate::schema::Schema;
+use crate::value::{DataType, Value};
+use crate::{Result, TabularError};
+
+/// A single typed column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Numeric column; `None` marks a missing value.
+    Numeric(Vec<Option<f64>>),
+    /// Categorical column; `None` marks a missing value.
+    Categorical(Vec<Option<String>>),
+}
+
+impl Column {
+    fn new(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Numeric => Column::Numeric(Vec::new()),
+            DataType::Categorical => Column::Categorical(Vec::new()),
+        }
+    }
+
+    fn with_capacity(dtype: DataType, capacity: usize) -> Self {
+        match dtype {
+            DataType::Numeric => Column::Numeric(Vec::with_capacity(capacity)),
+            DataType::Categorical => Column::Categorical(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// Number of cells in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.len(),
+            Column::Categorical(v) => v.len(),
+        }
+    }
+
+    /// True if the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The logical type of the column.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::Numeric(_) => DataType::Numeric,
+            Column::Categorical(_) => DataType::Categorical,
+        }
+    }
+
+    /// Number of missing cells.
+    pub fn missing_count(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Categorical(v) => v.iter().filter(|x| x.is_none()).count(),
+        }
+    }
+
+    /// Read a cell as a [`Value`].
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Numeric(v) => v[row].map(Value::Number).unwrap_or(Value::Null),
+            Column::Categorical(v) => v[row]
+                .as_ref()
+                .map(|s| Value::Text(s.clone()))
+                .unwrap_or(Value::Null),
+        }
+    }
+
+    /// Numeric view of the column (None for missing or non-numeric columns).
+    pub fn numeric_values(&self) -> Option<&[Option<f64>]> {
+        match self {
+            Column::Numeric(v) => Some(v),
+            Column::Categorical(_) => None,
+        }
+    }
+
+    /// Categorical view of the column.
+    pub fn categorical_values(&self) -> Option<&[Option<String>]> {
+        match self {
+            Column::Categorical(v) => Some(v),
+            Column::Numeric(_) => None,
+        }
+    }
+
+    fn push(&mut self, column_name: &str, value: Value) -> Result<()> {
+        match (self, value) {
+            (Column::Numeric(v), Value::Number(n)) => v.push(Some(n)),
+            (Column::Numeric(v), Value::Null) => v.push(None),
+            (Column::Categorical(v), Value::Text(s)) => v.push(Some(s)),
+            (Column::Categorical(v), Value::Null) => v.push(None),
+            (col, value) => {
+                return Err(TabularError::TypeMismatch {
+                    column: column_name.to_string(),
+                    expected: match col.dtype() {
+                        DataType::Numeric => "a number or null",
+                        DataType::Categorical => "text or null",
+                    },
+                    actual: format!("{value:?}"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn set(&mut self, column_name: &str, row: usize, value: Value) -> Result<()> {
+        match (self, value) {
+            (Column::Numeric(v), Value::Number(n)) => v[row] = Some(n),
+            (Column::Numeric(v), Value::Null) => v[row] = None,
+            (Column::Categorical(v), Value::Text(s)) => v[row] = Some(s),
+            (Column::Categorical(v), Value::Null) => v[row] = None,
+            (col, value) => {
+                return Err(TabularError::TypeMismatch {
+                    column: column_name.to_string(),
+                    expected: match col.dtype() {
+                        DataType::Numeric => "a number or null",
+                        DataType::Categorical => "text or null",
+                    },
+                    actual: format!("{value:?}"),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A typed, columnar table with a fixed [`Schema`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataFrame {
+    schema: Schema,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl DataFrame {
+    /// Create an empty dataframe with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let columns = schema.fields().iter().map(|f| Column::new(f.dtype)).collect();
+        Self {
+            schema,
+            columns,
+            n_rows: 0,
+        }
+    }
+
+    /// Create an empty dataframe and pre-allocate space for `capacity` rows.
+    pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::with_capacity(f.dtype, capacity))
+            .collect();
+        Self {
+            schema,
+            columns,
+            n_rows: 0,
+        }
+    }
+
+    /// The schema of this dataframe.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the dataframe holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Append one row of values (one per column, in schema order).
+    pub fn push_row(&mut self, values: Vec<Value>) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(TabularError::RowArityMismatch {
+                expected: self.columns.len(),
+                actual: values.len(),
+            });
+        }
+        // Validate every value first so a failed push leaves the frame intact.
+        for (field, value) in self.schema.fields().iter().zip(values.iter()) {
+            if !value.matches_type(field.dtype) {
+                return Err(TabularError::TypeMismatch {
+                    column: field.name.clone(),
+                    expected: match field.dtype {
+                        DataType::Numeric => "a number or null",
+                        DataType::Categorical => "text or null",
+                    },
+                    actual: format!("{value:?}"),
+                });
+            }
+        }
+        for ((column, field), value) in self
+            .columns
+            .iter_mut()
+            .zip(self.schema.fields())
+            .zip(values.into_iter())
+        {
+            column.push(&field.name, value)?;
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// Read the cell at `(row, col)`.
+    pub fn value(&self, row: usize, col: usize) -> Result<Value> {
+        self.check_indices(row, col)?;
+        Ok(self.columns[col].value(row))
+    }
+
+    /// Overwrite the cell at `(row, col)`.
+    pub fn set_value(&mut self, row: usize, col: usize, value: Value) -> Result<()> {
+        self.check_indices(row, col)?;
+        let name = self.schema.fields()[col].name.clone();
+        self.columns[col].set(&name, row, value)
+    }
+
+    /// Read an entire row as values in schema order.
+    pub fn row(&self, row: usize) -> Result<Vec<Value>> {
+        if row >= self.n_rows {
+            return Err(TabularError::RowIndexOutOfBounds {
+                index: row,
+                len: self.n_rows,
+            });
+        }
+        Ok(self.columns.iter().map(|c| c.value(row)).collect())
+    }
+
+    /// Borrow a column by index.
+    pub fn column(&self, col: usize) -> Result<&Column> {
+        self.columns
+            .get(col)
+            .ok_or(TabularError::ColumnIndexOutOfBounds {
+                index: col,
+                len: self.columns.len(),
+            })
+    }
+
+    /// Borrow a column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| TabularError::UnknownColumn(name.to_string()))?;
+        self.column(idx)
+    }
+
+    /// Iterate over rows as value vectors.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.n_rows).map(move |r| self.columns.iter().map(|c| c.value(r)).collect())
+    }
+
+    /// Build a new dataframe containing the given rows (in the given order,
+    /// duplicates allowed — used for bootstrap batch sampling).
+    pub fn select_rows(&self, indices: &[usize]) -> Result<DataFrame> {
+        let mut out = DataFrame::with_capacity(self.schema.clone(), indices.len());
+        for &idx in indices {
+            out.push_row(self.row(idx)?)?;
+        }
+        Ok(out)
+    }
+
+    /// Split the frame at `row`, returning `(head, tail)` where `head` has
+    /// `row` rows. Used for train/validation splits.
+    pub fn split_at(&self, row: usize) -> Result<(DataFrame, DataFrame)> {
+        if row > self.n_rows {
+            return Err(TabularError::RowIndexOutOfBounds {
+                index: row,
+                len: self.n_rows,
+            });
+        }
+        let head: Vec<usize> = (0..row).collect();
+        let tail: Vec<usize> = (row..self.n_rows).collect();
+        Ok((self.select_rows(&head)?, self.select_rows(&tail)?))
+    }
+
+    /// Append all rows of `other`, which must share this frame's schema.
+    pub fn append(&mut self, other: &DataFrame) -> Result<()> {
+        if self.schema != other.schema {
+            return Err(TabularError::SchemaMismatch {
+                context: "DataFrame::append requires identical schemas",
+            });
+        }
+        for row in other.iter_rows() {
+            self.push_row(row)?;
+        }
+        Ok(())
+    }
+
+    /// Total number of missing cells across all columns.
+    pub fn total_missing(&self) -> usize {
+        self.columns.iter().map(|c| c.missing_count()).sum()
+    }
+
+    fn check_indices(&self, row: usize, col: usize) -> Result<()> {
+        if col >= self.columns.len() {
+            return Err(TabularError::ColumnIndexOutOfBounds {
+                index: col,
+                len: self.columns.len(),
+            });
+        }
+        if row >= self.n_rows {
+            return Err(TabularError::RowIndexOutOfBounds {
+                index: row,
+                len: self.n_rows,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::numeric("age", "age in years"),
+            Field::categorical("city", "city name"),
+        ])
+    }
+
+    fn sample() -> DataFrame {
+        let mut df = DataFrame::new(schema());
+        df.push_row(vec![Value::Number(31.0), Value::Text("Paris".into())])
+            .unwrap();
+        df.push_row(vec![Value::Null, Value::Text("London".into())])
+            .unwrap();
+        df.push_row(vec![Value::Number(45.0), Value::Null]).unwrap();
+        df
+    }
+
+    #[test]
+    fn push_and_read_rows() {
+        let df = sample();
+        assert_eq!(df.n_rows(), 3);
+        assert_eq!(df.n_cols(), 2);
+        assert!(!df.is_empty());
+        assert_eq!(df.value(0, 0).unwrap(), Value::Number(31.0));
+        assert_eq!(df.value(1, 0).unwrap(), Value::Null);
+        assert_eq!(df.value(2, 1).unwrap(), Value::Null);
+        assert_eq!(
+            df.row(0).unwrap(),
+            vec![Value::Number(31.0), Value::Text("Paris".into())]
+        );
+    }
+
+    #[test]
+    fn arity_and_type_checks() {
+        let mut df = DataFrame::new(schema());
+        assert!(matches!(
+            df.push_row(vec![Value::Number(1.0)]),
+            Err(TabularError::RowArityMismatch { .. })
+        ));
+        assert!(matches!(
+            df.push_row(vec![Value::Text("x".into()), Value::Text("y".into())]),
+            Err(TabularError::TypeMismatch { .. })
+        ));
+        // failed push must not corrupt the frame
+        assert_eq!(df.n_rows(), 0);
+        assert_eq!(df.column(0).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn set_value_round_trip() {
+        let mut df = sample();
+        df.set_value(1, 0, Value::Number(29.0)).unwrap();
+        assert_eq!(df.value(1, 0).unwrap(), Value::Number(29.0));
+        df.set_value(0, 1, Value::Null).unwrap();
+        assert_eq!(df.value(0, 1).unwrap(), Value::Null);
+        assert!(df.set_value(0, 1, Value::Number(5.0)).is_err());
+        assert!(df.set_value(9, 0, Value::Null).is_err());
+        assert!(df.set_value(0, 9, Value::Null).is_err());
+    }
+
+    #[test]
+    fn column_access() {
+        let df = sample();
+        let age = df.column_by_name("age").unwrap();
+        assert_eq!(age.dtype(), DataType::Numeric);
+        assert_eq!(age.missing_count(), 1);
+        assert_eq!(age.numeric_values().unwrap().len(), 3);
+        assert!(age.categorical_values().is_none());
+        let city = df.column(1).unwrap();
+        assert_eq!(city.dtype(), DataType::Categorical);
+        assert!(df.column_by_name("nope").is_err());
+        assert!(df.column(7).is_err());
+    }
+
+    #[test]
+    fn select_rows_preserves_order_and_allows_duplicates() {
+        let df = sample();
+        let picked = df.select_rows(&[2, 0, 0]).unwrap();
+        assert_eq!(picked.n_rows(), 3);
+        assert_eq!(picked.value(0, 0).unwrap(), Value::Number(45.0));
+        assert_eq!(picked.value(1, 0).unwrap(), Value::Number(31.0));
+        assert_eq!(picked.value(2, 0).unwrap(), Value::Number(31.0));
+        assert!(df.select_rows(&[99]).is_err());
+    }
+
+    #[test]
+    fn split_and_append() {
+        let df = sample();
+        let (head, tail) = df.split_at(1).unwrap();
+        assert_eq!(head.n_rows(), 1);
+        assert_eq!(tail.n_rows(), 2);
+        let mut rebuilt = head.clone();
+        rebuilt.append(&tail).unwrap();
+        assert_eq!(rebuilt, df);
+        assert!(df.split_at(10).is_err());
+    }
+
+    #[test]
+    fn append_rejects_different_schema() {
+        let mut df = sample();
+        let other = DataFrame::new(Schema::new(vec![Field::numeric("x", "")]));
+        assert!(matches!(
+            df.append(&other),
+            Err(TabularError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_counts() {
+        let df = sample();
+        assert_eq!(df.total_missing(), 2);
+    }
+
+    #[test]
+    fn iter_rows_covers_all() {
+        let df = sample();
+        let rows: Vec<_> = df.iter_rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2][0], Value::Number(45.0));
+    }
+}

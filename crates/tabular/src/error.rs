@@ -1,0 +1,128 @@
+//! Error type for tabular operations.
+
+use std::fmt;
+
+/// Errors produced by schema, dataframe, encoding and CSV operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TabularError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// A column index was out of bounds.
+    ColumnIndexOutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Number of columns available.
+        len: usize,
+    },
+    /// A row index was out of bounds.
+    RowIndexOutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Number of rows available.
+        len: usize,
+    },
+    /// A row had the wrong number of values for the schema.
+    RowArityMismatch {
+        /// Number of values expected (schema width).
+        expected: usize,
+        /// Number of values provided.
+        actual: usize,
+    },
+    /// A value had the wrong type for its column.
+    TypeMismatch {
+        /// Column name.
+        column: String,
+        /// Human-readable description of what was expected.
+        expected: &'static str,
+        /// Debug rendering of the offending value.
+        actual: String,
+    },
+    /// Two dataframes that must share a schema do not.
+    SchemaMismatch {
+        /// Context for the failed check.
+        context: &'static str,
+    },
+    /// An encoder was used before being fitted, or on an incompatible schema.
+    EncoderMismatch(String),
+    /// CSV parsing failed.
+    CsvParse {
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// An I/O error occurred (CSV read/write).
+    Io(String),
+}
+
+impl fmt::Display for TabularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TabularError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            TabularError::ColumnIndexOutOfBounds { index, len } => {
+                write!(f, "column index {index} out of bounds (len {len})")
+            }
+            TabularError::RowIndexOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds (len {len})")
+            }
+            TabularError::RowArityMismatch { expected, actual } => {
+                write!(f, "row has {actual} values but schema has {expected} columns")
+            }
+            TabularError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch in column `{column}`: expected {expected}, got {actual}"
+            ),
+            TabularError::SchemaMismatch { context } => {
+                write!(f, "schema mismatch: {context}")
+            }
+            TabularError::EncoderMismatch(msg) => write!(f, "encoder mismatch: {msg}"),
+            TabularError::CsvParse { line, message } => {
+                write!(f, "CSV parse error on line {line}: {message}")
+            }
+            TabularError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TabularError {}
+
+impl From<std::io::Error> for TabularError {
+    fn from(e: std::io::Error) -> Self {
+        TabularError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_problem() {
+        assert!(TabularError::UnknownColumn("age".into())
+            .to_string()
+            .contains("age"));
+        assert!(TabularError::RowArityMismatch {
+            expected: 5,
+            actual: 3
+        }
+        .to_string()
+        .contains("5"));
+        assert!(TabularError::CsvParse {
+            line: 7,
+            message: "unterminated quote".into()
+        }
+        .to_string()
+        .contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing file");
+        let e: TabularError = io.into();
+        assert!(e.to_string().contains("missing file"));
+    }
+}

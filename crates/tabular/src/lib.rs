@@ -1,0 +1,39 @@
+//! # dquag-tabular
+//!
+//! Tabular-data substrate for the DQuaG reproduction: typed schemas, a small
+//! columnar [`DataFrame`], label/min-max encoding, per-column statistics and
+//! CSV I/O.
+//!
+//! The paper (EDBT 2025, "Automated Data Quality Validation in an End-to-End
+//! GNN Framework") preprocesses every dataset the same way before the GNN
+//! sees it:
+//!
+//! * categorical features are label-encoded, with the encoder fitted over the
+//!   clean data *and* any future data so that codes stay consistent
+//!   ([`encode::DatasetEncoder::fit_many`]);
+//! * numerical features are min-max normalised to `[0, 1]`
+//!   ([`encode::MinMaxScaler`]).
+//!
+//! Everything downstream (feature-graph inference, the GNN encoder/decoders,
+//! the baseline validators) consumes either the typed [`DataFrame`] or the
+//! dense [`encode::EncodedData`] produced here.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod dataframe;
+mod error;
+mod schema;
+mod value;
+
+pub mod csv;
+pub mod encode;
+pub mod stats;
+
+pub use dataframe::{Column, DataFrame};
+pub use error::TabularError;
+pub use schema::{Field, Schema};
+pub use value::{DataType, Value};
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TabularError>;

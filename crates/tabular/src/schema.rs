@@ -1,0 +1,176 @@
+//! Dataset schemas: named, typed, described columns.
+//!
+//! Field descriptions matter in DQuaG: the paper feeds feature names *and*
+//! descriptions to the feature-relationship oracle (ChatGPT-4 in the paper;
+//! the statistical inference engine in `dquag-graph` here), so the schema
+//! carries a human-readable description per column.
+
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Logical data type.
+    pub dtype: DataType,
+    /// Human-readable description (used by relationship inference).
+    pub description: String,
+}
+
+impl Field {
+    /// Create a numeric field.
+    pub fn numeric(name: &str, description: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            dtype: DataType::Numeric,
+            description: description.to_string(),
+        }
+    }
+
+    /// Create a categorical field.
+    pub fn categorical(name: &str, description: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            dtype: DataType::Categorical,
+            description: description.to_string(),
+        }
+    }
+}
+
+/// An ordered collection of [`Field`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Create a schema from fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two fields share a name — schemas are always built from
+    /// static generator definitions, so a duplicate is a programming error.
+    pub fn new(fields: Vec<Field>) -> Self {
+        for (i, f) in fields.iter().enumerate() {
+            assert!(
+                !fields[..i].iter().any(|g| g.name == f.name),
+                "duplicate column name `{}` in schema",
+                f.name
+            );
+        }
+        Self { fields }
+    }
+
+    /// All fields, in column order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Find the index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The field at `index`, if in bounds.
+    pub fn field(&self, index: usize) -> Option<&Field> {
+        self.fields.get(index)
+    }
+
+    /// The field with the given name, if present.
+    pub fn field_by_name(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// All column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Indices of all numeric columns.
+    pub fn numeric_indices(&self) -> Vec<usize> {
+        self.indices_of_type(DataType::Numeric)
+    }
+
+    /// Indices of all categorical columns.
+    pub fn categorical_indices(&self) -> Vec<usize> {
+        self.indices_of_type(DataType::Categorical)
+    }
+
+    fn indices_of_type(&self, dtype: DataType) -> Vec<usize> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.dtype == dtype)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::numeric("age", "age in years"),
+            Field::categorical("city", "city of residence"),
+            Field::numeric("income", "annual income"),
+        ])
+    }
+
+    #[test]
+    fn lookups() {
+        let s = sample();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.index_of("city"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.field(0).unwrap().name, "age");
+        assert!(s.field(9).is_none());
+        assert_eq!(s.field_by_name("income").unwrap().dtype, DataType::Numeric);
+        assert_eq!(s.names(), vec!["age", "city", "income"]);
+    }
+
+    #[test]
+    fn type_partitions() {
+        let s = sample();
+        assert_eq!(s.numeric_indices(), vec![0, 2]);
+        assert_eq!(s.categorical_indices(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_rejected() {
+        Schema::new(vec![
+            Field::numeric("a", ""),
+            Field::categorical("a", ""),
+        ]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = sample();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schema = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn field_constructors_set_descriptions() {
+        let f = Field::categorical("occupation", "job title of the applicant");
+        assert_eq!(f.dtype, DataType::Categorical);
+        assert!(f.description.contains("job title"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Per-column descriptive statistics.
+//!
+//! These summaries are the raw material of the baseline validators
+//! (Deequ-style constraint suggestion, TFDV-style schema inference, ADQV's
+//! batch-statistics vectors) and of the feature-relationship inference in
+//! `dquag-graph`. DQuaG itself does not need them, which is exactly the
+//! paper's point — but they are first-class citizens here because every
+//! comparison system consumes them.
+
+use crate::dataframe::{Column, DataFrame};
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Descriptive statistics for one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnSummary {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+    /// Total number of cells (rows).
+    pub count: usize,
+    /// Number of missing cells.
+    pub missing: usize,
+    /// Fraction of non-missing cells (Deequ calls this *completeness*).
+    pub completeness: f64,
+    /// Number of distinct non-missing values.
+    pub distinct: usize,
+    /// Mean of numeric values (0.0 for categorical columns).
+    pub mean: f64,
+    /// Population standard deviation of numeric values.
+    pub std_dev: f64,
+    /// Minimum numeric value (`None` for categorical or all-missing columns).
+    pub min: Option<f64>,
+    /// Maximum numeric value.
+    pub max: Option<f64>,
+    /// 5th / 25th / 50th / 75th / 95th percentiles of numeric values.
+    pub quantiles: Option<[f64; 5]>,
+    /// Frequency of each category (categorical columns only).
+    pub value_counts: BTreeMap<String, usize>,
+}
+
+impl ColumnSummary {
+    /// Fraction of cells that are missing.
+    pub fn missing_fraction(&self) -> f64 {
+        1.0 - self.completeness
+    }
+
+    /// The most frequent category, if the column is categorical and non-empty.
+    pub fn most_frequent(&self) -> Option<(&str, usize)> {
+        self.value_counts
+            .iter()
+            .max_by_key(|(_, &count)| count)
+            .map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+/// Compute a [`ColumnSummary`] for every column of the dataframe.
+pub fn summarize(df: &DataFrame) -> Vec<ColumnSummary> {
+    df.schema()
+        .fields()
+        .iter()
+        .enumerate()
+        .map(|(idx, field)| {
+            let column = df.column(idx).expect("column index from schema");
+            summarize_column(&field.name, column)
+        })
+        .collect()
+}
+
+/// Compute the summary of a single column.
+pub fn summarize_column(name: &str, column: &Column) -> ColumnSummary {
+    let count = column.len();
+    let missing = column.missing_count();
+    let completeness = if count == 0 {
+        1.0
+    } else {
+        (count - missing) as f64 / count as f64
+    };
+
+    match column {
+        Column::Numeric(values) => {
+            let present: Vec<f64> = values.iter().flatten().copied().collect();
+            let distinct = {
+                let mut sorted: Vec<u64> = present.iter().map(|v| v.to_bits()).collect();
+                sorted.sort_unstable();
+                sorted.dedup();
+                sorted.len()
+            };
+            let mean = if present.is_empty() {
+                0.0
+            } else {
+                present.iter().sum::<f64>() / present.len() as f64
+            };
+            let std_dev = if present.is_empty() {
+                0.0
+            } else {
+                (present.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / present.len() as f64)
+                    .sqrt()
+            };
+            let min = present.iter().copied().reduce(f64::min);
+            let max = present.iter().copied().reduce(f64::max);
+            let quantiles = if present.is_empty() {
+                None
+            } else {
+                let mut sorted = present.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                Some([
+                    percentile_sorted(&sorted, 0.05),
+                    percentile_sorted(&sorted, 0.25),
+                    percentile_sorted(&sorted, 0.50),
+                    percentile_sorted(&sorted, 0.75),
+                    percentile_sorted(&sorted, 0.95),
+                ])
+            };
+            ColumnSummary {
+                name: name.to_string(),
+                dtype: DataType::Numeric,
+                count,
+                missing,
+                completeness,
+                distinct,
+                mean,
+                std_dev,
+                min,
+                max,
+                quantiles,
+                value_counts: BTreeMap::new(),
+            }
+        }
+        Column::Categorical(values) => {
+            let mut value_counts = BTreeMap::new();
+            for v in values.iter().flatten() {
+                *value_counts.entry(v.clone()).or_insert(0usize) += 1;
+            }
+            ColumnSummary {
+                name: name.to_string(),
+                dtype: DataType::Categorical,
+                count,
+                missing,
+                completeness,
+                distinct: value_counts.len(),
+                mean: 0.0,
+                std_dev: 0.0,
+                min: None,
+                max: None,
+                quantiles: None,
+                value_counts,
+            }
+        }
+    }
+}
+
+/// Linear-interpolated percentile of an already-sorted slice.
+///
+/// `q` is in `[0, 1]`. Panics on an empty slice (callers guard this).
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let q = q.clamp(0.0, 1.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lower = pos.floor() as usize;
+    let upper = pos.ceil() as usize;
+    let frac = pos - lower as f64;
+    sorted[lower] * (1.0 - frac) + sorted[upper] * frac
+}
+
+/// Convenience wrapper: percentile of an unsorted `f32` slice (used for the
+/// reconstruction-error threshold in `dquag-core`).
+pub fn percentile_f32(values: &[f32], q: f64) -> f32 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    let mut sorted: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    percentile_sorted(&sorted, q) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::value::Value;
+
+    fn df() -> DataFrame {
+        let schema = Schema::new(vec![
+            Field::numeric("x", "a number"),
+            Field::categorical("c", "a category"),
+        ]);
+        let mut df = DataFrame::new(schema);
+        for (x, c) in [
+            (Some(1.0), Some("a")),
+            (Some(2.0), Some("b")),
+            (Some(3.0), Some("a")),
+            (None, Some("a")),
+            (Some(4.0), None),
+        ] {
+            df.push_row(vec![
+                x.map(Value::Number).unwrap_or(Value::Null),
+                c.map(|s| Value::Text(s.into())).unwrap_or(Value::Null),
+            ])
+            .unwrap();
+        }
+        df
+    }
+
+    #[test]
+    fn numeric_summary() {
+        let summaries = summarize(&df());
+        let x = &summaries[0];
+        assert_eq!(x.name, "x");
+        assert_eq!(x.count, 5);
+        assert_eq!(x.missing, 1);
+        assert!((x.completeness - 0.8).abs() < 1e-9);
+        assert_eq!(x.distinct, 4);
+        assert!((x.mean - 2.5).abs() < 1e-9);
+        assert!(x.std_dev > 0.0);
+        assert_eq!(x.min, Some(1.0));
+        assert_eq!(x.max, Some(4.0));
+        let q = x.quantiles.unwrap();
+        assert!((q[2] - 2.5).abs() < 1e-9, "median should be 2.5");
+        assert!(q[0] <= q[1] && q[1] <= q[2] && q[2] <= q[3] && q[3] <= q[4]);
+    }
+
+    #[test]
+    fn categorical_summary() {
+        let summaries = summarize(&df());
+        let c = &summaries[1];
+        assert_eq!(c.dtype, DataType::Categorical);
+        assert_eq!(c.distinct, 2);
+        assert_eq!(c.value_counts.get("a"), Some(&3));
+        assert_eq!(c.value_counts.get("b"), Some(&1));
+        assert_eq!(c.most_frequent(), Some(("a", 3)));
+        assert!((c.missing_fraction() - 0.2).abs() < 1e-9);
+        assert!(c.quantiles.is_none());
+    }
+
+    #[test]
+    fn empty_column_summary() {
+        let schema = Schema::new(vec![Field::numeric("x", "")]);
+        let df = DataFrame::new(schema);
+        let s = summarize(&df);
+        assert_eq!(s[0].count, 0);
+        assert_eq!(s[0].completeness, 1.0);
+        assert!(s[0].min.is_none());
+        assert!(s[0].quantiles.is_none());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = vec![0.0, 10.0, 20.0, 30.0, 40.0];
+        assert!((percentile_sorted(&sorted, 0.0) - 0.0).abs() < 1e-9);
+        assert!((percentile_sorted(&sorted, 1.0) - 40.0).abs() < 1e-9);
+        assert!((percentile_sorted(&sorted, 0.5) - 20.0).abs() < 1e-9);
+        assert!((percentile_sorted(&sorted, 0.125) - 5.0).abs() < 1e-9);
+        assert_eq!(percentile_sorted(&[7.0], 0.9), 7.0);
+    }
+
+    #[test]
+    fn percentile_f32_matches_f64_path() {
+        let values = vec![3.0f32, 1.0, 2.0, 4.0, 5.0];
+        assert!((percentile_f32(&values, 0.5) - 3.0).abs() < 1e-6);
+        assert!((percentile_f32(&values, 0.95) - 4.8).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let summaries = summarize(&df());
+        let json = serde_json::to_string(&summaries).unwrap();
+        let back: Vec<ColumnSummary> = serde_json::from_str(&json).unwrap();
+        // JSON text rendering may drop the last bit of f64 precision, so
+        // compare structure exactly and floating-point fields with tolerance.
+        assert_eq!(summaries.len(), back.len());
+        for (a, b) in summaries.iter().zip(back.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.dtype, b.dtype);
+            assert_eq!(a.value_counts, b.value_counts);
+            assert!((a.mean - b.mean).abs() < 1e-9);
+            if let (Some(qa), Some(qb)) = (a.quantiles, b.quantiles) {
+                for (x, y) in qa.iter().zip(qb.iter()) {
+                    assert!((x - y).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Cell values and column data types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The logical type of a column.
+///
+/// The paper distinguishes exactly two kinds of features: *numerical*
+/// (min-max normalised) and *categorical* (label encoded). Text-like columns
+/// such as occupation names are treated as categorical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Continuous or integer-valued numeric data.
+    Numeric,
+    /// Discrete string-valued data.
+    Categorical,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Numeric => write!(f, "numeric"),
+            DataType::Categorical => write!(f, "categorical"),
+        }
+    }
+}
+
+/// A single cell value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A missing value (empty cell).
+    Null,
+    /// A numeric value.
+    Number(f64),
+    /// A categorical/string value.
+    Text(String),
+}
+
+impl Value {
+    /// True if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The numeric content, if any.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The text content, if any.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if the value is admissible for the given data type
+    /// (nulls are admissible everywhere).
+    pub fn matches_type(&self, dtype: DataType) -> bool {
+        match (self, dtype) {
+            (Value::Null, _) => true,
+            (Value::Number(_), DataType::Numeric) => true,
+            (Value::Text(_), DataType::Categorical) => true,
+            _ => false,
+        }
+    }
+
+    /// Render the value the way it appears in a CSV cell (`Null` → empty).
+    pub fn to_csv_field(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            Value::Text(s) => s.clone(),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Number(v as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(inner) => inner.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "∅"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Number(3.0));
+        assert_eq!(Value::from(2.5f64), Value::Number(2.5));
+        assert_eq!(Value::from("abc"), Value::Text("abc".into()));
+        assert_eq!(Value::from(Option::<i64>::None), Value::Null);
+        assert_eq!(Value::from(Some("x")), Value::Text("x".into()));
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Number(7.0).as_number(), Some(7.0));
+        assert_eq!(Value::Text("a".into()).as_text(), Some("a"));
+        assert_eq!(Value::Number(7.0).as_text(), None);
+        assert_eq!(Value::Text("a".into()).as_number(), None);
+    }
+
+    #[test]
+    fn type_matching() {
+        assert!(Value::Null.matches_type(DataType::Numeric));
+        assert!(Value::Null.matches_type(DataType::Categorical));
+        assert!(Value::Number(1.0).matches_type(DataType::Numeric));
+        assert!(!Value::Number(1.0).matches_type(DataType::Categorical));
+        assert!(Value::Text("x".into()).matches_type(DataType::Categorical));
+        assert!(!Value::Text("x".into()).matches_type(DataType::Numeric));
+    }
+
+    #[test]
+    fn csv_field_rendering() {
+        assert_eq!(Value::Null.to_csv_field(), "");
+        assert_eq!(Value::Number(3.0).to_csv_field(), "3");
+        assert_eq!(Value::Number(3.25).to_csv_field(), "3.25");
+        assert_eq!(Value::Text("hello".into()).to_csv_field(), "hello");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DataType::Numeric.to_string(), "numeric");
+        assert_eq!(DataType::Categorical.to_string(), "categorical");
+        assert_eq!(Value::Number(1.5).to_string(), "1.5");
+    }
+}

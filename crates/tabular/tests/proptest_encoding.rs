@@ -1,0 +1,123 @@
+//! Property-based tests for encoding, normalisation and CSV round-trips.
+
+use dquag_tabular::csv::{from_csv_str, to_csv_string};
+use dquag_tabular::encode::{DatasetEncoder, LabelEncoder, MinMaxScaler, MISSING_SENTINEL};
+use dquag_tabular::{DataFrame, Field, Schema, Value};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::numeric("amount", "transaction amount"),
+        Field::categorical("kind", "transaction kind"),
+        Field::numeric("age", "customer age"),
+    ])
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    amount: Option<f64>,
+    kind: Option<String>,
+    age: Option<f64>,
+}
+
+fn row_strategy() -> impl Strategy<Value = Row> {
+    (
+        proptest::option::weighted(0.9, -1.0e4f64..1.0e4),
+        proptest::option::weighted(0.9, "[a-z]{1,6}"),
+        proptest::option::weighted(0.9, 0.0f64..120.0),
+    )
+        .prop_map(|(amount, kind, age)| Row { amount, kind, age })
+}
+
+fn build_frame(rows: &[Row]) -> DataFrame {
+    let mut df = DataFrame::new(schema());
+    for r in rows {
+        df.push_row(vec![
+            r.amount.map(Value::Number).unwrap_or(Value::Null),
+            r.kind
+                .clone()
+                .map(Value::Text)
+                .unwrap_or(Value::Null),
+            r.age.map(Value::Number).unwrap_or(Value::Null),
+        ])
+        .expect("typed row");
+    }
+    df
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encoded_values_in_unit_interval_or_sentinel(rows in proptest::collection::vec(row_strategy(), 1..40)) {
+        let df = build_frame(&rows);
+        let encoder = DatasetEncoder::fit(&df);
+        let encoded = encoder.transform(&df).unwrap();
+        prop_assert_eq!(encoded.n_rows(), df.n_rows());
+        prop_assert_eq!(encoded.n_cols(), 3);
+        for r in 0..encoded.n_rows() {
+            for c in 0..encoded.n_cols() {
+                let v = encoded.get(r, c);
+                // Values observed during fit encode to [0,1]; missing cells to the sentinel.
+                prop_assert!(
+                    (0.0..=1.0 + 1e-6).contains(&v) || (v - MISSING_SENTINEL).abs() < 1e-6,
+                    "cell ({r},{c}) = {v} outside expected ranges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minmax_round_trip_within_range(values in proptest::collection::vec(-1e6f64..1e6, 2..50), probe_idx in 0usize..49) {
+        let scaler = MinMaxScaler::fit(values.iter().copied());
+        let idx = probe_idx % values.len();
+        let v = values[idx];
+        let t = scaler.transform(v);
+        let back = scaler.inverse(t);
+        // Absolute error bounded by f32 resolution of the fitted range.
+        let range = (scaler.max() - scaler.min()).abs().max(1.0);
+        prop_assert!((back - v).abs() < 1e-4 * range, "{back} vs {v}");
+    }
+
+    #[test]
+    fn label_encoding_is_bijective_on_fitted_labels(labels in proptest::collection::vec("[a-zA-Z0-9 ]{1,10}", 1..30)) {
+        let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let enc = LabelEncoder::fit(refs.clone());
+        for label in &refs {
+            let v = enc.encode_normalised(label);
+            prop_assert_eq!(enc.decode_normalised(v), Some(*label));
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_frame(rows in proptest::collection::vec(row_strategy(), 0..25)) {
+        let df = build_frame(&rows);
+        let text = to_csv_string(&df);
+        let back = from_csv_str(&text, &schema()).unwrap();
+        prop_assert_eq!(back.n_rows(), df.n_rows());
+        for r in 0..df.n_rows() {
+            for c in 0..df.n_cols() {
+                let a = df.value(r, c).unwrap();
+                let b = back.value(r, c).unwrap();
+                match (a, b) {
+                    (Value::Number(x), Value::Number(y)) => prop_assert!((x - y).abs() < 1e-9),
+                    (a, b) => prop_assert_eq!(a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn select_rows_matches_manual_indexing(
+        rows in proptest::collection::vec(row_strategy(), 1..30),
+        picks in proptest::collection::vec(0usize..29, 0..10),
+    ) {
+        let df = build_frame(&rows);
+        let picks: Vec<usize> = picks.into_iter().map(|p| p % df.n_rows()).collect();
+        let selected = df.select_rows(&picks).unwrap();
+        prop_assert_eq!(selected.n_rows(), picks.len());
+        for (out_row, &src_row) in picks.iter().enumerate() {
+            prop_assert_eq!(selected.row(out_row).unwrap(), df.row(src_row).unwrap());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Errors produced by matrix and autograd operations.
+///
+/// Shape mismatches are programming errors in the calling layer code, but the
+/// library reports them as typed errors (rather than panicking) wherever the
+/// operation is fallible by design, so that higher layers can surface a
+/// readable diagnostic that names the offending operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Name of the operation that failed, e.g. `"matmul"`.
+        op: &'static str,
+        /// Shape of the left-hand operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// An index was outside the matrix bounds.
+    IndexOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Requested column.
+        col: usize,
+        /// Matrix shape as `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// A matrix constructor received data whose length does not match the
+    /// requested shape.
+    InvalidConstruction {
+        /// Expected number of elements.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// An operation that requires a non-empty matrix received an empty one.
+    EmptyMatrix,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in `{op}`: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::IndexOutOfBounds { row, col, shape } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {}x{} matrix",
+                shape.0, shape.1
+            ),
+            TensorError::InvalidConstruction { expected, actual } => write!(
+                f,
+                "invalid construction: expected {expected} elements, got {actual}"
+            ),
+            TensorError::EmptyMatrix => write!(f, "operation requires a non-empty matrix"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = TensorError::IndexOutOfBounds {
+            row: 9,
+            col: 1,
+            shape: (3, 3),
+        };
+        assert!(e.to_string().contains("(9, 1)"));
+    }
+
+    #[test]
+    fn display_invalid_construction() {
+        let e = TensorError::InvalidConstruction {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("expected 6"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(TensorError::EmptyMatrix);
+        assert!(e.to_string().contains("non-empty"));
+    }
+}

@@ -1,0 +1,737 @@
+//! Dense row-major `f32` matrix.
+//!
+//! [`Matrix`] is the value type flowing through the autograd tape and the GNN
+//! layers. It deliberately keeps a simple contiguous `Vec<f32>` storage so
+//! that element-wise kernels vectorise well and the memory layout is obvious.
+
+use crate::{Result, TensorError};
+use std::fmt;
+
+/// A dense, row-major matrix of `f32` values.
+///
+/// The matrix is the only tensor rank used in the DQuaG reproduction: feature
+/// graphs are small (tens of nodes), so per-sample node-feature matrices of
+/// shape `n_features × hidden` cover every layer in the model.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Create a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a matrix filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 1.0)
+    }
+
+    /// Create a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Create the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build a matrix from a flat row-major vector.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(TensorError::InvalidConstruction {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Build a matrix from nested row vectors.
+    ///
+    /// Panics if rows are ragged; intended for literals in tests and examples.
+    pub fn from_rows(rows: Vec<Vec<f32>>) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for row in &rows {
+            assert_eq!(
+                row.len(),
+                n_cols,
+                "ragged rows passed to Matrix::from_rows"
+            );
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: n_rows,
+            cols: n_cols,
+            data,
+        }
+    }
+
+    /// Build a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn<F: FnMut(usize, usize) -> f32>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Build a single-row matrix from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
+    }
+
+    /// Build a single-column matrix from a slice.
+    pub fn col_vector(values: &[f32]) -> Self {
+        Self {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read the element at `(row, col)`. Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Fallible element read.
+    pub fn try_get(&self, row: usize, col: usize) -> Result<f32> {
+        if row >= self.rows || col >= self.cols {
+            return Err(TensorError::IndexOutOfBounds {
+                row,
+                col,
+                shape: self.shape(),
+            });
+        }
+        Ok(self.data[row * self.cols + col])
+    }
+
+    /// Write the element at `(row, col)`. Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrow the underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the matrix and return its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow one row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy one column into a new `Vec`.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// Matrix product `self · rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop contiguous over both the
+        // output row and the rhs row, which the compiler auto-vectorises.
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "hadamard", |a, b| a * b)
+    }
+
+    /// Add a `1 × cols` row vector to every row.
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Result<Matrix> {
+        if row.rows != 1 || row.cols != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_row_broadcast",
+                lhs: self.shape(),
+                rhs: row.shape(),
+            });
+        }
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[r * self.cols + c] += row.data[c];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, k: f32) -> Matrix {
+        self.map(|v| v * k)
+    }
+
+    /// Apply `f` to every element.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// In-place variant of [`Matrix::map`].
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    fn zip_with<F: Fn(f32, f32) -> f32>(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: F,
+    ) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions and statistics
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements; 0.0 for an empty matrix.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Per-row sums as an `rows × 1` column vector.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.data[r] = self.row(r).iter().sum();
+        }
+        out
+    }
+
+    /// Per-column sums as a `1 × cols` row vector.
+    pub fn sum_cols(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.get(r, c);
+            }
+        }
+        out
+    }
+
+    /// Maximum element; `None` for an empty matrix.
+    pub fn max(&self) -> Option<f32> {
+        self.data.iter().copied().reduce(f32::max)
+    }
+
+    /// Minimum element; `None` for an empty matrix.
+    pub fn min(&self) -> Option<f32> {
+        self.data.iter().copied().reduce(f32::min)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Index of the maximum element in a given row.
+    pub fn argmax_row(&self, row: usize) -> usize {
+        let r = self.row(row);
+        r.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// True if no element is NaN or infinite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Maximum absolute element-wise difference to another matrix.
+    ///
+    /// Returns `f32::INFINITY` when shapes differ; convenient for tests.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        if self.shape() != other.shape() {
+            return f32::INFINITY;
+        }
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    // ------------------------------------------------------------------
+    // Structural operations
+    // ------------------------------------------------------------------
+
+    /// Concatenate horizontally (`self` left, `rhs` right).
+    pub fn concat_cols(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "concat_cols",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        for r in 0..self.rows {
+            out.data[r * out.cols..r * out.cols + self.cols].copy_from_slice(self.row(r));
+            out.data[r * out.cols + self.cols..(r + 1) * out.cols].copy_from_slice(rhs.row(r));
+        }
+        Ok(out)
+    }
+
+    /// Concatenate vertically (`self` on top, `rhs` below).
+    pub fn concat_rows(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "concat_rows",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&rhs.data);
+        Ok(Matrix {
+            rows: self.rows + rhs.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Copy a contiguous column range `[start, end)` into a new matrix.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Result<Matrix> {
+        if start > end || end > self.cols {
+            return Err(TensorError::IndexOutOfBounds {
+                row: 0,
+                col: end,
+                shape: self.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, end - start);
+        for r in 0..self.rows {
+            out.data[r * out.cols..(r + 1) * out.cols]
+                .copy_from_slice(&self.row(r)[start..end]);
+        }
+        Ok(out)
+    }
+
+    /// Copy a contiguous row range `[start, end)` into a new matrix.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Result<Matrix> {
+        if start > end || end > self.rows {
+            return Err(TensorError::IndexOutOfBounds {
+                row: end,
+                col: 0,
+                shape: self.shape(),
+            });
+        }
+        Ok(Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        })
+    }
+
+    /// Row-wise softmax (each row sums to one). Numerically stabilised by
+    /// subtracting the row maximum before exponentiation.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let row_max = self.row(r).iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0;
+            for c in 0..self.cols {
+                let e = (self.get(r, c) - row_max).exp();
+                out.set(r, c, e);
+                denom += e;
+            }
+            if denom > 0.0 {
+                for c in 0..self.cols {
+                    out.set(r, c, out.get(r, c) / denom);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8.min(self.rows);
+        for r in 0..max_rows {
+            write!(f, "  [")?;
+            let max_cols = 8.min(self.cols);
+            for c in 0..max_cols {
+                write!(f, "{:>10.4}", self.get(r, c))?;
+                if c + 1 < max_cols {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > max_cols {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn zeros_ones_filled_identity() {
+        assert_eq!(Matrix::zeros(2, 3).sum(), 0.0);
+        assert_eq!(Matrix::ones(2, 3).sum(), 6.0);
+        assert_eq!(Matrix::filled(2, 2, 2.5).sum(), 10.0);
+        let i = Matrix::identity(3);
+        assert_eq!(i.sum(), 3.0);
+        assert_eq!(i.get(1, 1), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).is_ok());
+        let err = Matrix::from_vec(2, 2, vec![1.0]).unwrap_err();
+        assert!(matches!(err, TensorError::InvalidConstruction { .. }));
+    }
+
+    #[test]
+    fn from_fn_fills_positions() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.get(1, 2), 12.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn row_and_col_vectors() {
+        let r = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(r.shape(), (1, 3));
+        let c = Matrix::col_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(c.shape(), (3, 1));
+        assert_eq!(c.col(0), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(vec![vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert!(close(c.get(0, 0), 19.0));
+        assert!(close(c.get(0, 1), 22.0));
+        assert!(close(c.get(1, 0), 43.0));
+        assert!(close(c.get(1, 1), 50.0));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_fn(2, 4, |r, c| (r + c) as f32);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (4, 2));
+        assert_eq!(t.transpose(), a);
+        assert_eq!(t.get(3, 1), a.get(1, 3));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0]]);
+        let b = Matrix::from_rows(vec![vec![3.0, 5.0]]);
+        assert_eq!(a.add(&b).unwrap(), Matrix::from_rows(vec![vec![4.0, 7.0]]));
+        assert_eq!(b.sub(&a).unwrap(), Matrix::from_rows(vec![vec![2.0, 3.0]]));
+        assert_eq!(
+            a.hadamard(&b).unwrap(),
+            Matrix::from_rows(vec![vec![3.0, 10.0]])
+        );
+        assert_eq!(a.scale(2.0), Matrix::from_rows(vec![vec![2.0, 4.0]]));
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch() {
+        let a = Matrix::zeros(1, 2);
+        let b = Matrix::zeros(2, 1);
+        assert!(a.add(&b).is_err());
+        assert!(a.sub(&b).is_err());
+        assert!(a.hadamard(&b).is_err());
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_to_every_row() {
+        let a = Matrix::zeros(3, 2);
+        let row = Matrix::row_vector(&[1.0, -2.0]);
+        let out = a.add_row_broadcast(&row).unwrap();
+        for r in 0..3 {
+            assert_eq!(out.get(r, 0), 1.0);
+            assert_eq!(out.get(r, 1), -2.0);
+        }
+        let bad = Matrix::row_vector(&[1.0]);
+        assert!(a.add_row_broadcast(&bad).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert!(close(m.sum(), 10.0));
+        assert!(close(m.mean(), 2.5));
+        assert_eq!(m.sum_rows(), Matrix::col_vector(&[3.0, 7.0]));
+        assert_eq!(m.sum_cols(), Matrix::row_vector(&[4.0, 6.0]));
+        assert_eq!(m.max(), Some(4.0));
+        assert_eq!(m.min(), Some(1.0));
+        assert!(close(m.frobenius_norm(), (30.0f32).sqrt()));
+    }
+
+    #[test]
+    fn empty_matrix_reductions() {
+        let m = Matrix::zeros(0, 0);
+        assert!(m.is_empty());
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.max(), None);
+        assert_eq!(m.min(), None);
+    }
+
+    #[test]
+    fn argmax_row_picks_largest() {
+        let m = Matrix::from_rows(vec![vec![0.1, 0.9, 0.3], vec![5.0, 1.0, 2.0]]);
+        assert_eq!(m.argmax_row(0), 1);
+        assert_eq!(m.argmax_row(1), 0);
+    }
+
+    #[test]
+    fn concat_cols_and_rows() {
+        let a = Matrix::from_rows(vec![vec![1.0], vec![2.0]]);
+        let b = Matrix::from_rows(vec![vec![3.0], vec![4.0]]);
+        let h = a.concat_cols(&b).unwrap();
+        assert_eq!(h, Matrix::from_rows(vec![vec![1.0, 3.0], vec![2.0, 4.0]]));
+        let v = a.concat_rows(&b).unwrap();
+        assert_eq!(v, Matrix::col_vector(&[1.0, 2.0, 3.0, 4.0]));
+        assert!(a.concat_cols(&Matrix::zeros(3, 1)).is_err());
+        assert!(a.concat_rows(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn slicing() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        let cols = m.slice_cols(1, 3).unwrap();
+        assert_eq!(cols.shape(), (3, 2));
+        assert_eq!(cols.get(2, 0), 9.0);
+        let rows = m.slice_rows(1, 2).unwrap();
+        assert_eq!(rows.shape(), (1, 4));
+        assert_eq!(rows.get(0, 3), 7.0);
+        assert!(m.slice_cols(3, 7).is_err());
+        assert!(m.slice_rows(2, 5).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![-1.0, 0.0, 100.0]]);
+        let s = m.softmax_rows();
+        for r in 0..2 {
+            let total: f32 = s.row(r).iter().sum();
+            assert!(close(total, 1.0));
+        }
+        assert!(s.get(0, 2) > s.get(0, 1));
+        assert!(s.get(0, 1) > s.get(0, 0));
+        assert!(s.get(1, 2) > 0.99);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn try_get_bounds() {
+        let m = Matrix::zeros(2, 2);
+        assert!(m.try_get(1, 1).is_ok());
+        assert!(m.try_get(2, 0).is_err());
+    }
+
+    #[test]
+    fn max_abs_diff_detects_shape_and_values() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::filled(2, 2, 0.5);
+        assert!(close(a.max_abs_diff(&b), 0.5));
+        assert_eq!(a.max_abs_diff(&Matrix::zeros(1, 1)), f32::INFINITY);
+    }
+
+    #[test]
+    fn debug_format_is_bounded() {
+        let m = Matrix::zeros(100, 100);
+        let s = format!("{:?}", m);
+        assert!(s.len() < 2_500, "debug output should truncate large matrices");
+    }
+}

@@ -1,0 +1,860 @@
+//! Reverse-mode automatic differentiation on dense matrices.
+//!
+//! The tape follows the classic define-by-run design: every differentiable
+//! operation appends a [`Node`] holding its output value, the indices of its
+//! parents and an [`Op`] tag. [`Tape::backward`] seeds the output gradient
+//! and walks the nodes in reverse creation order, accumulating parent
+//! gradients according to each op's local derivative.
+//!
+//! A fresh tape is created for every forward pass (one per training sample or
+//! mini-batch step), which keeps lifetimes trivial and memory bounded.
+
+use crate::matrix::Matrix;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Operation tag recorded for every tape node.
+///
+/// Parent nodes are referenced by index into the tape. Constants required by
+/// the backward pass (scalars, slice bounds) are stored inline.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Leaf value (parameter or input); has no parents.
+    Leaf,
+    /// `C = A · B`
+    MatMul(usize, usize),
+    /// `C = A + B` (same shape)
+    Add(usize, usize),
+    /// `C = A - B` (same shape)
+    Sub(usize, usize),
+    /// `C = A ∘ B` element-wise
+    Mul(usize, usize),
+    /// `C = A + row` where `row` is `1 × cols`, broadcast over rows
+    AddRowBroadcast(usize, usize),
+    /// `C = A * s` where `s` is a `1 × 1` tape node, broadcast to every element
+    MulScalarBroadcast(usize, usize),
+    /// `C = A + s` where `s` is a `1 × 1` tape node, broadcast to every element
+    AddScalarBroadcast(usize, usize),
+    /// `C = k · A` for a constant scalar `k`
+    Scale(usize, f32),
+    /// `C = -A`
+    Neg(usize),
+    /// `C = max(A, 0)`
+    Relu(usize),
+    /// `C = A if A > 0 else slope · A`
+    LeakyRelu(usize, f32),
+    /// `C = σ(A)`
+    Sigmoid(usize),
+    /// `C = tanh(A)`
+    Tanh(usize),
+    /// `C = exp(A)`
+    Exp(usize),
+    /// `C = A²` element-wise
+    Square(usize),
+    /// Row-wise softmax
+    SoftmaxRows(usize),
+    /// Scalar sum of all elements (`1 × 1` output)
+    Sum(usize),
+    /// Scalar mean of all elements (`1 × 1` output)
+    Mean(usize),
+    /// Per-row sums (`rows × 1` output)
+    SumRowsKeep(usize),
+    /// Transpose
+    Transpose(usize),
+    /// Horizontal concatenation `[A | B]`
+    ConcatCols(usize, usize),
+    /// Vertical concatenation
+    ConcatRows(usize, usize),
+    /// Column slice `A[:, start..end]`
+    SliceCols(usize, usize, usize),
+    /// Row slice `A[start..end, :]`
+    SliceRows(usize, usize, usize),
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    requires_grad: bool,
+    op: Op,
+}
+
+#[derive(Debug, Default)]
+struct TapeInner {
+    nodes: Vec<Node>,
+}
+
+/// A reverse-mode autodiff tape.
+///
+/// Cheap to clone (reference-counted); all [`Var`]s created from a tape share
+/// its node storage. The tape is single-threaded by design — each worker
+/// thread owns its own tape and model replica.
+#[derive(Clone, Default)]
+pub struct Tape {
+    inner: Rc<RefCell<TapeInner>>,
+}
+
+/// A handle to a node on a [`Tape`].
+///
+/// `Var` is `Clone` and lightweight. Arithmetic methods record new nodes on
+/// the shared tape and return new handles.
+#[derive(Clone)]
+pub struct Var {
+    tape: Tape,
+    idx: usize,
+}
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (rows, cols) = self.shape();
+        write!(f, "Var(node {}, {}x{})", self.idx, rows, cols)
+    }
+}
+
+impl std::fmt::Debug for Tape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tape({} nodes)", self.len())
+    }
+}
+
+impl Tape {
+    /// Create an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// True if no node has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Record a leaf node holding `value`.
+    ///
+    /// If `requires_grad` is true its gradient is accumulated during
+    /// [`Tape::backward`] and available through [`Var::grad`].
+    pub fn leaf(&self, value: Matrix, requires_grad: bool) -> Var {
+        self.push(value, requires_grad, Op::Leaf)
+    }
+
+    /// Record a constant leaf (no gradient tracking).
+    pub fn constant(&self, value: Matrix) -> Var {
+        self.leaf(value, false)
+    }
+
+    fn push(&self, value: Matrix, requires_grad: bool, op: Op) -> Var {
+        let mut inner = self.inner.borrow_mut();
+        inner.nodes.push(Node {
+            value,
+            grad: None,
+            requires_grad,
+            op,
+        });
+        Var {
+            tape: self.clone(),
+            idx: inner.nodes.len() - 1,
+        }
+    }
+
+    fn value_of(&self, idx: usize) -> Matrix {
+        self.inner.borrow().nodes[idx].value.clone()
+    }
+
+    fn shape_of(&self, idx: usize) -> (usize, usize) {
+        self.inner.borrow().nodes[idx].value.shape()
+    }
+
+    fn requires_grad(&self, idx: usize) -> bool {
+        self.inner.borrow().nodes[idx].requires_grad
+    }
+
+    /// Run the backward pass from `output`, which must be a `1 × 1` scalar
+    /// node (a loss). Gradients of all `requires_grad` nodes are accumulated
+    /// and can be read with [`Var::grad`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is not a scalar node or belongs to another tape.
+    pub fn backward(&self, output: &Var) {
+        assert!(
+            Rc::ptr_eq(&self.inner, &output.tape.inner),
+            "backward called with a Var from a different tape"
+        );
+        let out_shape = self.shape_of(output.idx);
+        assert_eq!(
+            out_shape,
+            (1, 1),
+            "backward expects a scalar (1x1) loss node, got {}x{}",
+            out_shape.0,
+            out_shape.1
+        );
+
+        let mut inner = self.inner.borrow_mut();
+        let n = inner.nodes.len();
+        // Reset any gradients from a previous backward call on the same tape.
+        for node in inner.nodes.iter_mut() {
+            node.grad = None;
+        }
+        inner.nodes[output.idx].grad = Some(Matrix::ones(1, 1));
+
+        for idx in (0..=output.idx.min(n - 1)).rev() {
+            let grad_out = match inner.nodes[idx].grad.clone() {
+                Some(g) => g,
+                None => continue,
+            };
+            let op = inner.nodes[idx].op.clone();
+            let value = inner.nodes[idx].value.clone();
+            match op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let a_val = inner.nodes[a].value.clone();
+                    let b_val = inner.nodes[b].value.clone();
+                    let da = grad_out
+                        .matmul(&b_val.transpose())
+                        .expect("matmul backward: dA shape");
+                    let db = a_val
+                        .transpose()
+                        .matmul(&grad_out)
+                        .expect("matmul backward: dB shape");
+                    accumulate(&mut inner.nodes, a, da);
+                    accumulate(&mut inner.nodes, b, db);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut inner.nodes, a, grad_out.clone());
+                    accumulate(&mut inner.nodes, b, grad_out);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut inner.nodes, a, grad_out.clone());
+                    accumulate(&mut inner.nodes, b, grad_out.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let a_val = inner.nodes[a].value.clone();
+                    let b_val = inner.nodes[b].value.clone();
+                    accumulate(
+                        &mut inner.nodes,
+                        a,
+                        grad_out.hadamard(&b_val).expect("mul backward dA"),
+                    );
+                    accumulate(
+                        &mut inner.nodes,
+                        b,
+                        grad_out.hadamard(&a_val).expect("mul backward dB"),
+                    );
+                }
+                Op::AddRowBroadcast(a, row) => {
+                    accumulate(&mut inner.nodes, a, grad_out.clone());
+                    accumulate(&mut inner.nodes, row, grad_out.sum_cols());
+                }
+                Op::MulScalarBroadcast(a, s) => {
+                    let a_val = inner.nodes[a].value.clone();
+                    let s_val = inner.nodes[s].value.get(0, 0);
+                    accumulate(&mut inner.nodes, a, grad_out.scale(s_val));
+                    let ds = grad_out.hadamard(&a_val).expect("scalar mul backward").sum();
+                    accumulate(&mut inner.nodes, s, Matrix::filled(1, 1, ds));
+                }
+                Op::AddScalarBroadcast(a, s) => {
+                    accumulate(&mut inner.nodes, a, grad_out.clone());
+                    accumulate(&mut inner.nodes, s, Matrix::filled(1, 1, grad_out.sum()));
+                }
+                Op::Scale(a, k) => {
+                    accumulate(&mut inner.nodes, a, grad_out.scale(k));
+                }
+                Op::Neg(a) => {
+                    accumulate(&mut inner.nodes, a, grad_out.scale(-1.0));
+                }
+                Op::Relu(a) => {
+                    let a_val = inner.nodes[a].value.clone();
+                    let mask = a_val.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                    accumulate(
+                        &mut inner.nodes,
+                        a,
+                        grad_out.hadamard(&mask).expect("relu backward"),
+                    );
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let a_val = inner.nodes[a].value.clone();
+                    let mask = a_val.map(|v| if v > 0.0 { 1.0 } else { slope });
+                    accumulate(
+                        &mut inner.nodes,
+                        a,
+                        grad_out.hadamard(&mask).expect("leaky relu backward"),
+                    );
+                }
+                Op::Sigmoid(a) => {
+                    // value already holds σ(A)
+                    let ds = value.map(|s| s * (1.0 - s));
+                    accumulate(
+                        &mut inner.nodes,
+                        a,
+                        grad_out.hadamard(&ds).expect("sigmoid backward"),
+                    );
+                }
+                Op::Tanh(a) => {
+                    let dt = value.map(|t| 1.0 - t * t);
+                    accumulate(
+                        &mut inner.nodes,
+                        a,
+                        grad_out.hadamard(&dt).expect("tanh backward"),
+                    );
+                }
+                Op::Exp(a) => {
+                    accumulate(
+                        &mut inner.nodes,
+                        a,
+                        grad_out.hadamard(&value).expect("exp backward"),
+                    );
+                }
+                Op::Square(a) => {
+                    let a_val = inner.nodes[a].value.clone();
+                    accumulate(
+                        &mut inner.nodes,
+                        a,
+                        grad_out
+                            .hadamard(&a_val.scale(2.0))
+                            .expect("square backward"),
+                    );
+                }
+                Op::SoftmaxRows(a) => {
+                    // dA_i = s_i * (dC_i - Σ_j dC_j s_j) per row
+                    let s = &value;
+                    let mut da = Matrix::zeros(s.rows(), s.cols());
+                    for r in 0..s.rows() {
+                        let dot: f32 = (0..s.cols())
+                            .map(|c| grad_out.get(r, c) * s.get(r, c))
+                            .sum();
+                        for c in 0..s.cols() {
+                            da.set(r, c, s.get(r, c) * (grad_out.get(r, c) - dot));
+                        }
+                    }
+                    accumulate(&mut inner.nodes, a, da);
+                }
+                Op::Sum(a) => {
+                    let (r, c) = inner.nodes[a].value.shape();
+                    accumulate(
+                        &mut inner.nodes,
+                        a,
+                        Matrix::filled(r, c, grad_out.get(0, 0)),
+                    );
+                }
+                Op::Mean(a) => {
+                    let (r, c) = inner.nodes[a].value.shape();
+                    let n_elems = (r * c).max(1) as f32;
+                    accumulate(
+                        &mut inner.nodes,
+                        a,
+                        Matrix::filled(r, c, grad_out.get(0, 0) / n_elems),
+                    );
+                }
+                Op::SumRowsKeep(a) => {
+                    let (r, c) = inner.nodes[a].value.shape();
+                    let mut da = Matrix::zeros(r, c);
+                    for i in 0..r {
+                        let g = grad_out.get(i, 0);
+                        for j in 0..c {
+                            da.set(i, j, g);
+                        }
+                    }
+                    accumulate(&mut inner.nodes, a, da);
+                }
+                Op::Transpose(a) => {
+                    accumulate(&mut inner.nodes, a, grad_out.transpose());
+                }
+                Op::ConcatCols(a, b) => {
+                    let a_cols = inner.nodes[a].value.cols();
+                    let total = grad_out.cols();
+                    let da = grad_out.slice_cols(0, a_cols).expect("concat_cols backward");
+                    let db = grad_out
+                        .slice_cols(a_cols, total)
+                        .expect("concat_cols backward");
+                    accumulate(&mut inner.nodes, a, da);
+                    accumulate(&mut inner.nodes, b, db);
+                }
+                Op::ConcatRows(a, b) => {
+                    let a_rows = inner.nodes[a].value.rows();
+                    let total = grad_out.rows();
+                    let da = grad_out.slice_rows(0, a_rows).expect("concat_rows backward");
+                    let db = grad_out
+                        .slice_rows(a_rows, total)
+                        .expect("concat_rows backward");
+                    accumulate(&mut inner.nodes, a, da);
+                    accumulate(&mut inner.nodes, b, db);
+                }
+                Op::SliceCols(a, start, end) => {
+                    let (r, c) = inner.nodes[a].value.shape();
+                    let mut da = Matrix::zeros(r, c);
+                    for i in 0..r {
+                        for (offset, j) in (start..end).enumerate() {
+                            da.set(i, j, grad_out.get(i, offset));
+                        }
+                    }
+                    accumulate(&mut inner.nodes, a, da);
+                }
+                Op::SliceRows(a, start, end) => {
+                    let (r, c) = inner.nodes[a].value.shape();
+                    let mut da = Matrix::zeros(r, c);
+                    for (offset, i) in (start..end).enumerate() {
+                        for j in 0..c {
+                            da.set(i, j, grad_out.get(offset, j));
+                        }
+                    }
+                    accumulate(&mut inner.nodes, a, da);
+                }
+            }
+        }
+    }
+}
+
+/// Add `grad` into the gradient accumulator of node `idx` (creating it if
+/// absent). Constant nodes still receive gradients so that interior nodes can
+/// propagate; only leaves marked `requires_grad = false` simply never get
+/// read back.
+fn accumulate(nodes: &mut [Node], idx: usize, grad: Matrix) {
+    let node = &mut nodes[idx];
+    match &mut node.grad {
+        Some(existing) => {
+            *existing = existing.add(&grad).expect("gradient accumulation shape");
+        }
+        None => node.grad = Some(grad),
+    }
+}
+
+impl Var {
+    /// The value stored at this node (cloned).
+    pub fn value(&self) -> Matrix {
+        self.tape.value_of(self.idx)
+    }
+
+    /// Shape of the value at this node.
+    pub fn shape(&self) -> (usize, usize) {
+        self.tape.shape_of(self.idx)
+    }
+
+    /// The accumulated gradient, if this node requires gradients and
+    /// [`Tape::backward`] has been run.
+    pub fn grad(&self) -> Option<Matrix> {
+        let inner = self.tape.inner.borrow();
+        let node = &inner.nodes[self.idx];
+        if node.requires_grad {
+            node.grad.clone()
+        } else {
+            None
+        }
+    }
+
+    /// The tape this variable belongs to.
+    pub fn tape(&self) -> &Tape {
+        &self.tape
+    }
+
+    fn unary(&self, op: Op, value: Matrix) -> Var {
+        let requires = self.tape.requires_grad(self.idx) || !matches!(op, Op::Leaf);
+        self.tape.push(value, requires, op)
+    }
+
+    fn binary(&self, other: &Var, op: Op, value: Matrix) -> Var {
+        assert!(
+            Rc::ptr_eq(&self.tape.inner, &other.tape.inner),
+            "cannot combine Vars from different tapes"
+        );
+        self.tape.push(value, true, op)
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn matmul(&self, rhs: &Var) -> Var {
+        let value = self
+            .value()
+            .matmul(&rhs.value())
+            .expect("Var::matmul shape mismatch");
+        self.binary(rhs, Op::MatMul(self.idx, rhs.idx), value)
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, rhs: &Var) -> Var {
+        let value = self.value().add(&rhs.value()).expect("Var::add shape mismatch");
+        self.binary(rhs, Op::Add(self.idx, rhs.idx), value)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, rhs: &Var) -> Var {
+        let value = self.value().sub(&rhs.value()).expect("Var::sub shape mismatch");
+        self.binary(rhs, Op::Sub(self.idx, rhs.idx), value)
+    }
+
+    /// Element-wise product.
+    pub fn mul(&self, rhs: &Var) -> Var {
+        let value = self
+            .value()
+            .hadamard(&rhs.value())
+            .expect("Var::mul shape mismatch");
+        self.binary(rhs, Op::Mul(self.idx, rhs.idx), value)
+    }
+
+    /// Add a `1 × cols` bias row to every row.
+    pub fn add_row_broadcast(&self, row: &Var) -> Var {
+        let value = self
+            .value()
+            .add_row_broadcast(&row.value())
+            .expect("Var::add_row_broadcast shape mismatch");
+        self.binary(row, Op::AddRowBroadcast(self.idx, row.idx), value)
+    }
+
+    /// Multiply every element by a `1 × 1` scalar variable.
+    pub fn mul_scalar_var(&self, scalar: &Var) -> Var {
+        assert_eq!(scalar.shape(), (1, 1), "mul_scalar_var expects a 1x1 Var");
+        let value = self.value().scale(scalar.value().get(0, 0));
+        self.binary(scalar, Op::MulScalarBroadcast(self.idx, scalar.idx), value)
+    }
+
+    /// Add a `1 × 1` scalar variable to every element.
+    pub fn add_scalar_var(&self, scalar: &Var) -> Var {
+        assert_eq!(scalar.shape(), (1, 1), "add_scalar_var expects a 1x1 Var");
+        let s = scalar.value().get(0, 0);
+        let value = self.value().map(|v| v + s);
+        self.binary(scalar, Op::AddScalarBroadcast(self.idx, scalar.idx), value)
+    }
+
+    /// Multiply every element by a constant scalar.
+    pub fn scale(&self, k: f32) -> Var {
+        let value = self.value().scale(k);
+        self.unary(Op::Scale(self.idx, k), value)
+    }
+
+    /// Negate every element.
+    pub fn neg(&self) -> Var {
+        let value = self.value().scale(-1.0);
+        self.unary(Op::Neg(self.idx), value)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Var {
+        let value = self.value().map(|v| v.max(0.0));
+        self.unary(Op::Relu(self.idx), value)
+    }
+
+    /// Leaky rectified linear unit with the given negative slope.
+    pub fn leaky_relu(&self, slope: f32) -> Var {
+        let value = self.value().map(|v| if v > 0.0 { v } else { slope * v });
+        self.unary(Op::LeakyRelu(self.idx, slope), value)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var {
+        let value = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.unary(Op::Sigmoid(self.idx), value)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var {
+        let value = self.value().map(f32::tanh);
+        self.unary(Op::Tanh(self.idx), value)
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&self) -> Var {
+        let value = self.value().map(f32::exp);
+        self.unary(Op::Exp(self.idx), value)
+    }
+
+    /// Element-wise square.
+    pub fn square(&self) -> Var {
+        let value = self.value().map(|v| v * v);
+        self.unary(Op::Square(self.idx), value)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&self) -> Var {
+        let value = self.value().softmax_rows();
+        self.unary(Op::SoftmaxRows(self.idx), value)
+    }
+
+    /// Sum of all elements as a `1 × 1` node.
+    pub fn sum(&self) -> Var {
+        let value = Matrix::filled(1, 1, self.value().sum());
+        self.unary(Op::Sum(self.idx), value)
+    }
+
+    /// Mean of all elements as a `1 × 1` node.
+    pub fn mean(&self) -> Var {
+        let value = Matrix::filled(1, 1, self.value().mean());
+        self.unary(Op::Mean(self.idx), value)
+    }
+
+    /// Per-row sums as an `rows × 1` node.
+    pub fn sum_rows_keep(&self) -> Var {
+        let value = self.value().sum_rows();
+        self.unary(Op::SumRowsKeep(self.idx), value)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Var {
+        let value = self.value().transpose();
+        self.unary(Op::Transpose(self.idx), value)
+    }
+
+    /// Horizontal concatenation `[self | rhs]`.
+    pub fn concat_cols(&self, rhs: &Var) -> Var {
+        let value = self
+            .value()
+            .concat_cols(&rhs.value())
+            .expect("Var::concat_cols shape mismatch");
+        self.binary(rhs, Op::ConcatCols(self.idx, rhs.idx), value)
+    }
+
+    /// Vertical concatenation.
+    pub fn concat_rows(&self, rhs: &Var) -> Var {
+        let value = self
+            .value()
+            .concat_rows(&rhs.value())
+            .expect("Var::concat_rows shape mismatch");
+        self.binary(rhs, Op::ConcatRows(self.idx, rhs.idx), value)
+    }
+
+    /// Column slice `self[:, start..end]`.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Var {
+        let value = self
+            .value()
+            .slice_cols(start, end)
+            .expect("Var::slice_cols out of bounds");
+        self.unary(Op::SliceCols(self.idx, start, end), value)
+    }
+
+    /// Row slice `self[start..end, :]`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Var {
+        let value = self
+            .value()
+            .slice_rows(start, end)
+            .expect("Var::slice_rows out of bounds");
+        self.unary(Op::SliceRows(self.idx, start, end), value)
+    }
+
+    /// Mean-squared error against a target variable: `mean((self − target)²)`.
+    pub fn mse(&self, target: &Var) -> Var {
+        self.sub(target).square().mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finite_difference_grad;
+
+    fn assert_close(a: f32, b: f32, tol: f32) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    fn grad_check<F>(param: Matrix, forward: F)
+    where
+        F: Fn(&Tape, &Var) -> Var,
+    {
+        // analytic
+        let tape = Tape::new();
+        let p = tape.leaf(param.clone(), true);
+        let loss = forward(&tape, &p);
+        tape.backward(&loss);
+        let analytic = p.grad().expect("analytic gradient");
+
+        // numeric
+        let numeric = finite_difference_grad(
+            &param,
+            |m| {
+                let t = Tape::new();
+                let v = t.leaf(m.clone(), true);
+                forward(&t, &v).value().get(0, 0)
+            },
+            1e-2,
+        );
+        let diff = analytic.max_abs_diff(&numeric);
+        assert!(
+            diff < crate::GRAD_CHECK_TOL,
+            "gradient check failed: max diff {diff}\nanalytic {analytic:?}\nnumeric {numeric:?}"
+        );
+    }
+
+    #[test]
+    fn scalar_chain_rule() {
+        // loss = mean((x * 3)²) for scalar x=2 → loss = 36, dloss/dx = 2*6*3 = 36
+        let tape = Tape::new();
+        let x = tape.leaf(Matrix::filled(1, 1, 2.0), true);
+        let loss = x.scale(3.0).square().mean();
+        assert_close(loss.value().get(0, 0), 36.0, 1e-4);
+        tape.backward(&loss);
+        assert_close(x.grad().unwrap().get(0, 0), 36.0, 1e-3);
+    }
+
+    #[test]
+    fn matmul_gradients() {
+        grad_check(Matrix::from_rows(vec![vec![0.5, -1.0], vec![2.0, 0.3]]), |t, p| {
+            let w = t.constant(Matrix::from_rows(vec![vec![1.0, 2.0], vec![-0.5, 0.7]]));
+            p.matmul(&w).square().mean()
+        });
+    }
+
+    #[test]
+    fn add_sub_mul_gradients() {
+        grad_check(Matrix::from_rows(vec![vec![0.2, 0.4, -0.8]]), |t, p| {
+            let c = t.constant(Matrix::from_rows(vec![vec![1.0, -2.0, 0.5]]));
+            p.add(&c).mul(&c).sub(&p.scale(0.3)).square().mean()
+        });
+    }
+
+    #[test]
+    fn activation_gradients() {
+        grad_check(
+            Matrix::from_rows(vec![vec![0.3, -0.6], vec![1.2, -1.5]]),
+            |_, p| p.sigmoid().square().mean(),
+        );
+        grad_check(
+            Matrix::from_rows(vec![vec![0.3, -0.6], vec![1.2, -1.5]]),
+            |_, p| p.tanh().square().mean(),
+        );
+        grad_check(
+            Matrix::from_rows(vec![vec![0.3, -0.6], vec![1.2, -1.5]]),
+            |_, p| p.leaky_relu(0.2).square().mean(),
+        );
+        grad_check(
+            Matrix::from_rows(vec![vec![0.31, -0.62], vec![1.2, -1.5]]),
+            |_, p| p.relu().square().mean(),
+        );
+        grad_check(Matrix::from_rows(vec![vec![0.3, -0.6]]), |_, p| {
+            p.exp().mean()
+        });
+    }
+
+    #[test]
+    fn softmax_gradients() {
+        grad_check(
+            Matrix::from_rows(vec![vec![0.5, 1.0, -1.0], vec![2.0, 0.1, 0.4]]),
+            |t, p| {
+                let target = t.constant(Matrix::from_rows(vec![
+                    vec![1.0, 0.0, 0.0],
+                    vec![0.0, 1.0, 0.0],
+                ]));
+                p.softmax_rows().sub(&target).square().mean()
+            },
+        );
+    }
+
+    #[test]
+    fn broadcast_gradients() {
+        grad_check(Matrix::from_rows(vec![vec![0.1, -0.4, 0.9]]), |t, p| {
+            let x = t.constant(Matrix::from_fn(4, 3, |r, c| (r + c) as f32 * 0.1));
+            x.add_row_broadcast(p).square().mean()
+        });
+    }
+
+    #[test]
+    fn scalar_var_broadcast_gradients() {
+        grad_check(Matrix::filled(1, 1, 0.7), |t, p| {
+            let x = t.constant(Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 * 0.2));
+            x.mul_scalar_var(p).square().mean()
+        });
+        grad_check(Matrix::filled(1, 1, -0.3), |t, p| {
+            let x = t.constant(Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 * 0.2));
+            x.add_scalar_var(p).square().mean()
+        });
+    }
+
+    #[test]
+    fn structural_op_gradients() {
+        grad_check(Matrix::from_fn(3, 4, |r, c| (r as f32 - c as f32) * 0.3), |t, p| {
+            let other = t.constant(Matrix::from_fn(3, 2, |r, c| (r + c) as f32 * 0.1));
+            p.slice_cols(1, 3)
+                .concat_cols(&other)
+                .transpose()
+                .square()
+                .mean()
+        });
+        grad_check(Matrix::from_fn(4, 2, |r, c| (r + c) as f32 * 0.25), |t, p| {
+            let other = t.constant(Matrix::from_fn(2, 2, |r, c| (r * c) as f32 * 0.5));
+            p.slice_rows(1, 3).concat_rows(&other).square().mean()
+        });
+    }
+
+    #[test]
+    fn reduction_gradients() {
+        grad_check(Matrix::from_fn(2, 3, |r, c| (r + c) as f32 * 0.4), |_, p| {
+            p.sum_rows_keep().square().mean()
+        });
+        grad_check(Matrix::from_fn(2, 3, |r, c| (r + c) as f32 * 0.4), |_, p| {
+            p.square().sum().scale(0.5)
+        });
+    }
+
+    #[test]
+    fn mse_helper_matches_manual() {
+        let tape = Tape::new();
+        let a = tape.leaf(Matrix::from_rows(vec![vec![1.0, 2.0]]), true);
+        let b = tape.constant(Matrix::from_rows(vec![vec![0.0, 0.0]]));
+        let loss = a.mse(&b);
+        assert_close(loss.value().get(0, 0), 2.5, 1e-5);
+        tape.backward(&loss);
+        let g = a.grad().unwrap();
+        assert_close(g.get(0, 0), 1.0, 1e-4);
+        assert_close(g.get(0, 1), 2.0, 1e-4);
+    }
+
+    #[test]
+    fn gradient_accumulates_over_reused_nodes() {
+        // loss = mean((x + x)²) → d/dx = 8x per element / len
+        let tape = Tape::new();
+        let x = tape.leaf(Matrix::filled(1, 1, 3.0), true);
+        let loss = x.add(&x).square().mean();
+        tape.backward(&loss);
+        assert_close(x.grad().unwrap().get(0, 0), 24.0, 1e-3);
+    }
+
+    #[test]
+    fn constants_do_not_expose_grads() {
+        let tape = Tape::new();
+        let x = tape.leaf(Matrix::filled(1, 1, 3.0), true);
+        let c = tape.constant(Matrix::filled(1, 1, 2.0));
+        let loss = x.mul(&c).square().mean();
+        tape.backward(&loss);
+        assert!(x.grad().is_some());
+        assert!(c.grad().is_none());
+    }
+
+    #[test]
+    fn repeated_backward_resets_grads() {
+        let tape = Tape::new();
+        let x = tape.leaf(Matrix::filled(1, 1, 2.0), true);
+        let loss = x.square().mean();
+        tape.backward(&loss);
+        let g1 = x.grad().unwrap().get(0, 0);
+        tape.backward(&loss);
+        let g2 = x.grad().unwrap().get(0, 0);
+        assert_close(g1, g2, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_requires_scalar_loss() {
+        let tape = Tape::new();
+        let x = tape.leaf(Matrix::zeros(2, 2), true);
+        let y = x.scale(2.0);
+        tape.backward(&y);
+    }
+
+    #[test]
+    #[should_panic(expected = "different tape")]
+    fn mixing_tapes_panics() {
+        let t1 = Tape::new();
+        let t2 = Tape::new();
+        let a = t1.leaf(Matrix::zeros(1, 1), true);
+        let b = t2.leaf(Matrix::zeros(1, 1), true);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn tape_len_tracks_nodes() {
+        let tape = Tape::new();
+        assert!(tape.is_empty());
+        let a = tape.leaf(Matrix::zeros(1, 1), true);
+        let _b = a.scale(2.0);
+        assert_eq!(tape.len(), 2);
+    }
+}

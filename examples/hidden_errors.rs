@@ -1,0 +1,81 @@
+//! Hidden-error detection: the motivating scenario of the paper.
+//!
+//! Rule-based validators catch out-of-range ages and unknown categories, but
+//! miss *logically impossible combinations* — a credit-card applicant whose
+//! employment started before their birth, or an elite education/occupation
+//! pair with an implausibly low income. This example shows DQuaG flagging
+//! both hidden conflicts while a Deequ-style expert constraint suite passes
+//! them.
+//!
+//! ```bash
+//! cargo run --release --example hidden_errors
+//! ```
+
+use dquag::baselines::{deequ::Deequ, BatchValidator};
+use dquag::core::{DquagConfig, DquagValidator};
+use dquag::datagen::{inject_hidden, DatasetKind, HiddenError};
+use dquag::gnn::ModelConfig;
+
+fn main() {
+    let clean = DatasetKind::CreditCard.generate_clean(4_000, 21);
+
+    // Two batches, each corrupted with one of the paper's hidden conflicts.
+    let mut rng = dquag::datagen::rng(22);
+    let mut conflict1 = DatasetKind::CreditCard.generate_clean(600, 23);
+    inject_hidden(&mut conflict1, HiddenError::CreditEmploymentBeforeBirth, 0.2, &mut rng);
+    let mut conflict2 = DatasetKind::CreditCard.generate_clean(600, 24);
+    inject_hidden(&mut conflict2, HiddenError::CreditIncomeEducationMismatch, 0.2, &mut rng);
+
+    // Expert-tuned Deequ suite: the strongest rule-based comparison.
+    let mut deequ = Deequ::expert();
+    deequ.fit(&clean);
+
+    // DQuaG.
+    let config = DquagConfig {
+        epochs: 15,
+        model: ModelConfig {
+            hidden_dim: 24,
+            ..ModelConfig::default()
+        },
+        validation_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        ..DquagConfig::default()
+    };
+    let dquag = DquagValidator::train(&clean, &[], &config).expect("training");
+
+    for (name, batch) in [
+        ("Conflicts-1 (employment before birth)", &conflict1),
+        ("Conflicts-2 (elite education, tiny income)", &conflict2),
+    ] {
+        let deequ_verdict = deequ.validate(batch);
+        let dquag_report = dquag.validate(batch).expect("same schema");
+        println!("{name}");
+        println!(
+            "  Deequ expert : {}",
+            if deequ_verdict.is_dirty {
+                "flagged"
+            } else {
+                "PASSED (conflict missed)"
+            }
+        );
+        println!(
+            "  DQuaG        : {} ({:.1}% of instances above threshold)",
+            if dquag_report.dataset_is_dirty {
+                "flagged"
+            } else {
+                "passed"
+            },
+            dquag_report.error_rate * 100.0
+        );
+        // Show which features DQuaG blames for the first flagged instance.
+        if let Some(&row) = dquag_report.flagged_instances.first() {
+            let blamed: Vec<&str> = dquag_report
+                .cell_flags
+                .iter()
+                .filter(|c| c.row == row)
+                .map(|c| clean.schema().fields()[c.column].name.as_str())
+                .collect();
+            println!("  first flagged instance #{row}, suspicious features: {blamed:?}");
+        }
+        println!();
+    }
+}

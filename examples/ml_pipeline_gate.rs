@@ -1,0 +1,102 @@
+//! Using DQuaG as a data-quality gate in front of an ML pipeline.
+//!
+//! The scenario the paper's introduction motivates: a model is retrained on
+//! data batches arriving daily; before a batch is admitted into the training
+//! set it must pass validation. This example streams a week of hotel-booking
+//! batches — some clean, some corrupted — through the trained validator,
+//! admits the clean ones, repairs-and-admits the mildly corrupted ones, and
+//! quarantines the rest.
+//!
+//! ```bash
+//! cargo run --release --example ml_pipeline_gate
+//! ```
+
+use dquag::core::{DquagConfig, DquagValidator};
+use dquag::datagen::{inject_hidden, inject_ordinary, DatasetKind, HiddenError, OrdinaryError};
+use dquag::gnn::ModelConfig;
+use dquag::tabular::DataFrame;
+
+enum GateDecision {
+    Admit,
+    RepairAndAdmit,
+    Quarantine,
+}
+
+fn decide(error_rate: f64, threshold: f64) -> GateDecision {
+    if error_rate <= threshold {
+        GateDecision::Admit
+    } else if error_rate <= 3.0 * threshold {
+        GateDecision::RepairAndAdmit
+    } else {
+        GateDecision::Quarantine
+    }
+}
+
+fn main() {
+    let kind = DatasetKind::HotelBooking;
+    let clean = kind.generate_clean(4_000, 31);
+    let config = DquagConfig {
+        epochs: 15,
+        model: ModelConfig {
+            hidden_dim: 24,
+            ..ModelConfig::default()
+        },
+        validation_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        ..DquagConfig::default()
+    };
+    let validator = DquagValidator::train(&clean, &[], &config).expect("training");
+    let gate_threshold = validator.config().dataset_error_rate_threshold();
+
+    // Seven "daily" batches with different quality problems.
+    let mut rng = dquag::datagen::rng(33);
+    let columns = kind.default_ordinary_error_columns();
+    let mut week: Vec<(String, DataFrame)> = Vec::new();
+    for day in 0..7 {
+        let mut batch = kind.generate_clean(500, 100 + day);
+        let label = match day {
+            1 => {
+                inject_ordinary(&mut batch, OrdinaryError::MissingValues, &columns, 0.1, &mut rng);
+                "10% missing values"
+            }
+            3 => {
+                inject_ordinary(&mut batch, OrdinaryError::NumericAnomalies, &columns, 0.3, &mut rng);
+                inject_ordinary(&mut batch, OrdinaryError::StringTypos, &columns, 0.3, &mut rng);
+                "heavily corrupted export"
+            }
+            5 => {
+                inject_hidden(&mut batch, HiddenError::HotelGroupWithoutAdults, 0.2, &mut rng);
+                "group bookings without adults"
+            }
+            _ => "clean",
+        };
+        week.push((format!("day {day} ({label})"), batch));
+    }
+
+    let mut training_pool = clean.clone();
+    for (label, batch) in &week {
+        let report = validator.validate(batch).expect("same schema");
+        match decide(report.error_rate, gate_threshold) {
+            GateDecision::Admit => {
+                training_pool.append(batch).expect("same schema");
+                println!("{label:<42} ADMIT          ({:.1}% flagged)", report.error_rate * 100.0);
+            }
+            GateDecision::RepairAndAdmit => {
+                let repaired = validator.repair(batch, &report).expect("repair");
+                training_pool.append(&repaired).expect("same schema");
+                println!(
+                    "{label:<42} REPAIR + ADMIT ({:.1}% flagged, {} cells repaired)",
+                    report.error_rate * 100.0,
+                    report.cell_flags.len()
+                );
+            }
+            GateDecision::Quarantine => {
+                println!("{label:<42} QUARANTINE     ({:.1}% flagged)", report.error_rate * 100.0);
+            }
+        }
+    }
+    println!(
+        "\ntraining pool grew from {} to {} rows",
+        clean.n_rows(),
+        training_pool.n_rows()
+    );
+}

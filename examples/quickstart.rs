@@ -1,0 +1,69 @@
+//! Quickstart: train DQuaG on clean data, validate an incoming batch, and
+//! repair the cells it flags.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use dquag::core::{DquagConfig, DquagValidator};
+use dquag::datagen::{inject_ordinary, DatasetKind, OrdinaryError};
+use dquag::gnn::ModelConfig;
+
+fn main() {
+    // 1. A clean reference dataset (stand-in for your curated training data).
+    let clean = DatasetKind::CreditCard.generate_clean(4_000, 7);
+    println!(
+        "clean reference data: {} rows × {} columns",
+        clean.n_rows(),
+        clean.n_cols()
+    );
+
+    // 2. An incoming batch with real problems: 20% numeric anomalies and
+    //    missing values in three attributes.
+    let mut incoming = DatasetKind::CreditCard.generate_clean(800, 8);
+    let mut rng = dquag::datagen::rng(9);
+    let columns = DatasetKind::CreditCard.default_ordinary_error_columns();
+    inject_ordinary(&mut incoming, OrdinaryError::NumericAnomalies, &columns, 0.2, &mut rng);
+    inject_ordinary(&mut incoming, OrdinaryError::MissingValues, &columns, 0.2, &mut rng);
+
+    // 3. Train DQuaG: feature-graph inference + GAT/GIN encoder + dual decoder.
+    //    (A lighter-than-paper configuration keeps the example fast.)
+    let config = DquagConfig {
+        epochs: 15,
+        model: ModelConfig {
+            hidden_dim: 24,
+            ..ModelConfig::default()
+        },
+        validation_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        ..DquagConfig::default()
+    };
+    let validator = DquagValidator::train(&clean, &[&incoming], &config).expect("training");
+    println!(
+        "trained: {} weights, threshold = {:.5}, feature graph has {} edges",
+        validator.training_summary().n_weights,
+        validator.threshold(),
+        validator.feature_graph().n_edges()
+    );
+
+    // 4. Validate the incoming batch.
+    let report = validator.validate(&incoming).expect("same schema");
+    println!(
+        "incoming batch: {:.1}% of instances flagged → dataset is {}",
+        report.error_rate * 100.0,
+        if report.dataset_is_dirty { "PROBLEMATIC" } else { "clean" }
+    );
+    println!(
+        "flagged {} instances, {} individual cells",
+        report.flagged_instances.len(),
+        report.cell_flags.len()
+    );
+
+    // 5. Repair the flagged cells and re-validate.
+    let repaired = validator.repair(&incoming, &report).expect("repair");
+    let after = validator.validate(&repaired).expect("same schema");
+    println!(
+        "after repair: {:.1}% flagged → dataset is {}",
+        after.error_rate * 100.0,
+        if after.dataset_is_dirty { "still problematic" } else { "clean" }
+    );
+}

@@ -1,0 +1,37 @@
+//! # DQuaG — Data Quality Graph
+//!
+//! Facade crate for the Rust reproduction of *"Automated Data Quality
+//! Validation in an End-to-End GNN Framework"* (EDBT 2025). It re-exports the
+//! workspace crates under one roof so that examples, integration tests and
+//! downstream users can depend on a single `dquag` crate:
+//!
+//! * [`core`] — the DQuaG pipeline: training, validation, repair.
+//! * [`gnn`] — GAT/GIN/GCN layers, encoder stacks, dual decoders.
+//! * [`graph`] — feature-graph construction and relationship inference.
+//! * [`tabular`] — schemas, dataframes, encoding, statistics, CSV.
+//! * [`tensor`] — dense-matrix autograd and optimizers.
+//! * [`datagen`] — the six evaluation-dataset generators and error injectors.
+//! * [`baselines`] — Deequ / TFDV / ADQV / Gate re-implementations.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use dquag::core::{DquagConfig, DquagValidator};
+//! use dquag::datagen::DatasetKind;
+//!
+//! let clean = DatasetKind::CreditCard.generate_clean(5_000, 7);
+//! let incoming = DatasetKind::CreditCard.generate_dirty(1_000, 8);
+//! let validator = DquagValidator::train(&clean, &[&incoming], &DquagConfig::default()).unwrap();
+//! let report = validator.validate(&incoming).unwrap();
+//! println!("dirty: {}", report.dataset_is_dirty);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dquag_baselines as baselines;
+pub use dquag_core as core;
+pub use dquag_datagen as datagen;
+pub use dquag_gnn as gnn;
+pub use dquag_graph as graph;
+pub use dquag_tabular as tabular;
+pub use dquag_tensor as tensor;
