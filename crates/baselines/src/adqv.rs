@@ -209,7 +209,10 @@ mod tests {
                 clean_flagged += 1;
             }
         }
-        assert!(clean_flagged <= 2, "at most a couple of clean batches flagged, got {clean_flagged}");
+        assert!(
+            clean_flagged <= 2,
+            "at most a couple of clean batches flagged, got {clean_flagged}"
+        );
     }
 
     #[test]
@@ -218,7 +221,10 @@ mod tests {
         let cols = DatasetKind::CreditCard.default_ordinary_error_columns();
         let mut rng = dquag_datagen::rng(32);
         let mut detected = 0;
-        for error in [OrdinaryError::NumericAnomalies, OrdinaryError::MissingValues] {
+        for error in [
+            OrdinaryError::NumericAnomalies,
+            OrdinaryError::MissingValues,
+        ] {
             for _ in 0..5 {
                 let mut dirty = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
                 inject_ordinary(&mut dirty, error, &cols, 0.2, &mut rng);
@@ -227,7 +233,10 @@ mod tests {
                 }
             }
         }
-        assert!(detected >= 8, "ADQV should catch most ordinary-error batches, got {detected}/10");
+        assert!(
+            detected >= 8,
+            "ADQV should catch most ordinary-error batches, got {detected}/10"
+        );
     }
 
     #[test]
@@ -236,7 +245,13 @@ mod tests {
         let cols = DatasetKind::CreditCard.default_ordinary_error_columns();
         let mut rng = dquag_datagen::rng(33);
         let mut dirty = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
-        inject_ordinary(&mut dirty, OrdinaryError::NumericAnomalies, &cols, 0.3, &mut rng);
+        inject_ordinary(
+            &mut dirty,
+            OrdinaryError::NumericAnomalies,
+            &cols,
+            0.3,
+            &mut rng,
+        );
         let verdict = adqv.validate(&dirty);
         if verdict.is_dirty {
             assert!(!verdict.violations.is_empty());

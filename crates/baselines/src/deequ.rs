@@ -182,8 +182,7 @@ impl Deequ {
             Constraint::NonNegative { column } => {
                 let col = batch.column(*column).ok()?;
                 let values = col.numeric_values()?;
-                let neg =
-                    values.iter().flatten().filter(|v| **v < 0.0).count() as f64 / n_rows;
+                let neg = values.iter().flatten().filter(|v| **v < 0.0).count() as f64 / n_rows;
                 (neg > self.violation_tolerance).then(|| {
                     (
                         format!(

@@ -98,7 +98,9 @@ impl BatchValidator for Gate {
                     .map(|p| (p[d] - mean).powi(2))
                     .sum::<f64>()
                     / partitions.len().max(1) as f64;
-                (var.sqrt() * self.tolerance_factor).max(mean.abs() * 0.01).max(1e-9)
+                (var.sqrt() * self.tolerance_factor)
+                    .max(mean.abs() * 0.01)
+                    .max(1e-9)
             })
             .collect();
     }
@@ -114,8 +116,8 @@ impl BatchValidator for Gate {
             let deviation = (value - self.statistic_means[d]).abs();
             if deviation > self.statistic_tolerances[d] {
                 let column = d / STATS_PER_COLUMN;
-                let statistic = ["completeness", "mean", "std", "max", "distinct"]
-                    [d % STATS_PER_COLUMN];
+                let statistic =
+                    ["completeness", "mean", "std", "max", "distinct"][d % STATS_PER_COLUMN];
                 drifted.push(format!(
                     "{statistic} of `{}` drifted by {deviation:.3}",
                     self.column_names
@@ -164,12 +166,21 @@ mod tests {
         let mut detected = 0;
         for _ in 0..6 {
             let mut dirty = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
-            inject_ordinary(&mut dirty, OrdinaryError::NumericAnomalies, &cols, 0.2, &mut rng);
+            inject_ordinary(
+                &mut dirty,
+                OrdinaryError::NumericAnomalies,
+                &cols,
+                0.2,
+                &mut rng,
+            );
             if gate.validate(&dirty).is_dirty {
                 detected += 1;
             }
         }
-        assert!(detected >= 4, "Gate should flag most heavily corrupted batches, got {detected}/6");
+        assert!(
+            detected >= 4,
+            "Gate should flag most heavily corrupted batches, got {detected}/6"
+        );
     }
 
     #[test]
@@ -178,10 +189,19 @@ mod tests {
         let cols = DatasetKind::HotelBooking.default_ordinary_error_columns();
         let mut rng = dquag_datagen::rng(43);
         let mut dirty = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
-        inject_ordinary(&mut dirty, OrdinaryError::NumericAnomalies, &cols, 0.4, &mut rng);
+        inject_ordinary(
+            &mut dirty,
+            OrdinaryError::NumericAnomalies,
+            &cols,
+            0.4,
+            &mut rng,
+        );
         let verdict = gate.validate(&dirty);
         if verdict.is_dirty {
-            assert!(verdict.violations.iter().any(|v| v.contains("mean") || v.contains("max")));
+            assert!(verdict
+                .violations
+                .iter()
+                .any(|v| v.contains("mean") || v.contains("max")));
         }
     }
 

@@ -55,7 +55,11 @@ impl BatchVerdict {
 
 /// A data-quality validator that is fitted on a clean reference dataset and
 /// then judges incoming batches.
-pub trait BatchValidator {
+///
+/// This is the *backend* SPI of the baseline re-implementations; user-facing
+/// code should normally go through the unified `dquag_validate::Validator`
+/// trait, which wraps every baseline (and DQuaG itself) behind one API.
+pub trait BatchValidator: Send + Sync {
     /// The display name used in experiment tables.
     fn name(&self) -> &'static str;
 
@@ -129,7 +133,14 @@ mod tests {
         let labels: Vec<&str> = BaselineKind::ALL.iter().map(|k| k.label()).collect();
         assert_eq!(
             labels,
-            vec!["Deequ auto", "Deequ expert", "TFDV auto", "TFDV expert", "ADQV", "Gate"]
+            vec![
+                "Deequ auto",
+                "Deequ expert",
+                "TFDV auto",
+                "TFDV expert",
+                "ADQV",
+                "Gate"
+            ]
         );
     }
 

@@ -114,7 +114,9 @@ impl BatchValidator for Tfdv {
         let mut score = 0.0f64;
         let n_rows = batch.n_rows().max(1) as f64;
         for (idx, feature) in self.schema.iter().enumerate() {
-            let Ok(column) = batch.column(idx) else { continue };
+            let Ok(column) = batch.column(idx) else {
+                continue;
+            };
 
             // Presence anomaly.
             let presence = 1.0 - column.missing_count() as f64 / n_rows;
@@ -208,7 +210,10 @@ mod tests {
             let (tfdv, clean) = setup(profile);
             let mut rng = dquag_datagen::rng(9);
             let batch = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
-            assert!(!tfdv.validate(&batch).is_dirty, "{profile:?} flags clean data");
+            assert!(
+                !tfdv.validate(&batch).is_dirty,
+                "{profile:?} flags clean data"
+            );
         }
     }
 
@@ -220,14 +225,32 @@ mod tests {
 
         let mut typos = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
         inject_ordinary(&mut typos, OrdinaryError::StringTypos, &cols, 0.2, &mut rng);
-        assert!(tfdv.validate(&typos).is_dirty, "typos create out-of-domain values");
+        assert!(
+            tfdv.validate(&typos).is_dirty,
+            "typos create out-of-domain values"
+        );
 
         let mut missing = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
-        inject_ordinary(&mut missing, OrdinaryError::MissingValues, &cols, 0.2, &mut rng);
-        assert!(tfdv.validate(&missing).is_dirty, "missing values break presence");
+        inject_ordinary(
+            &mut missing,
+            OrdinaryError::MissingValues,
+            &cols,
+            0.2,
+            &mut rng,
+        );
+        assert!(
+            tfdv.validate(&missing).is_dirty,
+            "missing values break presence"
+        );
 
         let mut anomalies = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
-        inject_ordinary(&mut anomalies, OrdinaryError::NumericAnomalies, &cols, 0.2, &mut rng);
+        inject_ordinary(
+            &mut anomalies,
+            OrdinaryError::NumericAnomalies,
+            &cols,
+            0.2,
+            &mut rng,
+        );
         assert!(
             !tfdv.validate(&anomalies).is_dirty,
             "the auto schema has no numeric ranges, so anomalies slip through"
@@ -241,7 +264,13 @@ mod tests {
         let mut rng = dquag_datagen::rng(11);
 
         let mut anomalies = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);
-        inject_ordinary(&mut anomalies, OrdinaryError::NumericAnomalies, &cols, 0.2, &mut rng);
+        inject_ordinary(
+            &mut anomalies,
+            OrdinaryError::NumericAnomalies,
+            &cols,
+            0.2,
+            &mut rng,
+        );
         assert!(tfdv.validate(&anomalies).is_dirty);
 
         let mut conflicted = dquag_datagen::sample_fraction(&clean, 0.1, &mut rng);

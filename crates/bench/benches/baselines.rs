@@ -13,21 +13,29 @@ fn bench_baselines(c: &mut Criterion) {
     for kind in BaselineKind::ALL {
         let mut validator = kind.build();
         validator.fit(&clean);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &batch, |b, batch| {
-            b.iter(|| validator.validate(batch).is_dirty);
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &batch,
+            |b, batch| {
+                b.iter(|| validator.validate(batch).is_dirty);
+            },
+        );
     }
     group.finish();
 
     let mut fit_group = c.benchmark_group("baseline_fit");
     fit_group.sample_size(10);
     for kind in BaselineKind::ALL {
-        fit_group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &clean, |b, clean| {
-            b.iter(|| {
-                let mut validator = kind.build();
-                validator.fit(clean);
-            });
-        });
+        fit_group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &clean,
+            |b, clean| {
+                b.iter(|| {
+                    let mut validator = kind.build();
+                    validator.fit(clean);
+                });
+            },
+        );
     }
     fit_group.finish();
 }

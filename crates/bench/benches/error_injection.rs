@@ -9,9 +9,13 @@ fn bench_generation(c: &mut Criterion) {
     const ROWS: usize = 5_000;
     group.throughput(Throughput::Elements(ROWS as u64));
     for kind in DatasetKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
-            b.iter(|| kind.generate_clean(ROWS, 3).n_rows());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| {
+                b.iter(|| kind.generate_clean(ROWS, 3).n_rows());
+            },
+        );
     }
     group.finish();
 }
@@ -33,13 +37,23 @@ fn bench_injection(c: &mut Criterion) {
             },
         );
     }
-    group.bench_with_input(BenchmarkId::new("hidden", "Conflicts-1"), &clean, |b, clean| {
-        b.iter(|| {
-            let mut df = clean.clone();
-            let mut rng = dquag_datagen::rng(7);
-            inject_hidden(&mut df, HiddenError::CreditEmploymentBeforeBirth, 0.2, &mut rng).n_rows()
-        });
-    });
+    group.bench_with_input(
+        BenchmarkId::new("hidden", "Conflicts-1"),
+        &clean,
+        |b, clean| {
+            b.iter(|| {
+                let mut df = clean.clone();
+                let mut rng = dquag_datagen::rng(7);
+                inject_hidden(
+                    &mut df,
+                    HiddenError::CreditEmploymentBeforeBirth,
+                    0.2,
+                    &mut rng,
+                )
+                .n_rows()
+            });
+        },
+    );
     group.finish();
 }
 

@@ -10,13 +10,17 @@ fn bench_graph_inference(c: &mut Criterion) {
     for kind in DatasetKind::ALL {
         let clean = kind.generate_clean(2_000, 11);
         let oracle = StatisticalOracle::default();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &clean, |b, clean| {
-            b.iter(|| {
-                build_feature_graph(clean, &oracle, 100)
-                    .expect("graph construction")
-                    .n_edges()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &clean,
+            |b, clean| {
+                b.iter(|| {
+                    build_feature_graph(clean, &oracle, 100)
+                        .expect("graph construction")
+                        .n_edges()
+                });
+            },
+        );
     }
     group.finish();
 }

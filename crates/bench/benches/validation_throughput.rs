@@ -29,7 +29,12 @@ fn bench_validation(c: &mut Criterion) {
         let batch = nytaxi::generate_clean(ROWS, dims, 8);
         group.throughput(Throughput::Elements(ROWS as u64));
         group.bench_with_input(BenchmarkId::from_parameter(dims), &batch, |b, batch| {
-            b.iter(|| validator.validate(batch).expect("schema matches").error_rate);
+            b.iter(|| {
+                validator
+                    .validate(batch)
+                    .expect("schema matches")
+                    .error_rate
+            });
         });
     }
     group.finish();

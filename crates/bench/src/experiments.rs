@@ -1,15 +1,22 @@
 //! The experiment implementations, one sub-module per table/figure of the
 //! paper's evaluation (§4) plus the DESIGN.md ablations.
 
-use crate::methods::{evaluate_method, train_dquag, Method};
+use crate::methods::{evaluate_method, fit_validator};
 use crate::render_table;
 use crate::scale::Scale;
+use dquag_datagen::errors::PAPER_ERROR_RATE;
 use dquag_datagen::{
     inject_hidden, inject_ordinary, make_test_batches, Batch, BatchProtocol, DatasetKind,
     HiddenError, OrdinaryError,
 };
-use dquag_datagen::errors::PAPER_ERROR_RATE;
 use dquag_tabular::DataFrame;
+use dquag_validate::{Validator, ValidatorKind};
+
+/// Reuse the expensive pre-fitted DQuaG validator for the DQuaG rows and fit
+/// the (cheap) baselines fresh.
+fn prefitted_for(kind: ValidatorKind, dquag: &dyn Validator) -> Option<&dyn Validator> {
+    (kind == ValidatorKind::Dquag).then_some(dquag)
+}
 
 /// Build the 50/50 (scale-dependent) labelled batch set for a clean/dirty
 /// dataset pair.
@@ -26,7 +33,12 @@ fn batches_for(clean: &DataFrame, dirty: &DataFrame, scale: Scale, seed: u64) ->
 
 /// A dirty copy of `clean` with one ordinary error type injected at the
 /// paper's 20% rate into the dataset's standard target columns.
-fn with_ordinary_error(clean: &DataFrame, kind: DatasetKind, error: OrdinaryError, seed: u64) -> DataFrame {
+fn with_ordinary_error(
+    clean: &DataFrame,
+    kind: DatasetKind,
+    error: OrdinaryError,
+    seed: u64,
+) -> DataFrame {
     let mut dirty = clean.clone();
     let mut rng = dquag_datagen::rng(seed);
     let columns = kind.default_ordinary_error_columns();
@@ -73,21 +85,27 @@ pub mod table1 {
         for kind in [DatasetKind::HotelBooking, DatasetKind::CreditCard] {
             let clean = kind.generate_clean(scale.dataset_rows(), 101);
             let config = scale.dquag_config();
-            let dquag = train_dquag(&clean, &[], &config);
+            let dquag = fit_validator(ValidatorKind::Dquag, &clean, &config);
 
             // Ordinary errors: evaluate N, S, M separately and report the mean
             // (the paper's rows carry averaged values, marked with *).
-            let mut per_method: Vec<(f64, f64)> = vec![(0.0, 0.0); Method::all().len()];
+            let mut per_method: Vec<(f64, f64)> = vec![(0.0, 0.0); ValidatorKind::ALL.len()];
             for (i, error) in OrdinaryError::ALL.iter().enumerate() {
                 let dirty = with_ordinary_error(&clean, kind, *error, 200 + i as u64);
                 let batches = batches_for(&clean, &dirty, scale, 300 + i as u64);
-                for (m, method) in Method::all().into_iter().enumerate() {
-                    let result = evaluate_method(method, &clean, &batches, Some(&dquag), &config);
+                for (m, method) in ValidatorKind::ALL.into_iter().enumerate() {
+                    let result = evaluate_method(
+                        method,
+                        &clean,
+                        &batches,
+                        prefitted_for(method, &*dquag),
+                        &config,
+                    );
                     per_method[m].0 += result.accuracy();
                     per_method[m].1 += result.recall();
                 }
             }
-            for (m, method) in Method::all().into_iter().enumerate() {
+            for (m, method) in ValidatorKind::ALL.into_iter().enumerate() {
                 rows.push(Row {
                     dataset: kind.name(),
                     error_types: "N, S, M".to_string(),
@@ -107,8 +125,14 @@ pub mod table1 {
                 };
                 let dirty = with_hidden_error(&clean, *conflict, 400 + i as u64);
                 let batches = batches_for(&clean, &dirty, scale, 500 + i as u64);
-                for method in Method::all() {
-                    let result = evaluate_method(method, &clean, &batches, Some(&dquag), &config);
+                for method in ValidatorKind::ALL {
+                    let result = evaluate_method(
+                        method,
+                        &clean,
+                        &batches,
+                        prefitted_for(method, &*dquag),
+                        &config,
+                    );
                     rows.push(Row {
                         dataset: kind.name(),
                         error_types: label.clone(),
@@ -138,7 +162,10 @@ pub mod table1 {
             .collect();
         format!(
             "Table 1 — accuracy and recall on synthetic data errors\n{}",
-            render_table(&["Dataset", "Error Types", "Method", "Acc.", "Recall"], &table_rows)
+            render_table(
+                &["Dataset", "Error Types", "Method", "Acc.", "Recall"],
+                &table_rows
+            )
         )
     }
 }
@@ -174,18 +201,18 @@ pub mod table2 {
             let batches = batches_for(&clean, &dirty, scale, 113);
             for encoder in EncoderKind::ALL {
                 let config = scale.dquag_config().with_encoder(encoder);
-                let validator = train_dquag(&clean, &[], &config);
+                let validator = fit_validator(ValidatorKind::Dquag, &clean, &config);
                 let mut clean_rate = 0.0;
                 let mut dirty_rate = 0.0;
                 let mut n_clean = 0usize;
                 let mut n_dirty = 0usize;
                 for batch in &batches {
-                    let report = validator.validate(&batch.data).expect("schema matches");
+                    let verdict = validator.validate(&batch.data).expect("schema matches");
                     if batch.is_dirty {
-                        dirty_rate += report.error_rate;
+                        dirty_rate += verdict.error_rate();
                         n_dirty += 1;
                     } else {
-                        clean_rate += report.error_rate;
+                        clean_rate += verdict.error_rate();
                         n_clean += 1;
                     }
                 }
@@ -243,11 +270,15 @@ pub mod table3 {
     /// Run the experiment.
     pub fn run(scale: Scale) -> Vec<Row> {
         let mut rows = Vec::new();
-        for kind in [DatasetKind::Airbnb, DatasetKind::Bicycle, DatasetKind::NyTaxi] {
+        for kind in [
+            DatasetKind::Airbnb,
+            DatasetKind::Bicycle,
+            DatasetKind::NyTaxi,
+        ] {
             let clean = kind.generate_clean(scale.dataset_rows(), 121);
             let dirty = kind.generate_dirty(scale.dataset_rows(), 122);
             let config = scale.dquag_config();
-            let validator = train_dquag(&clean, &[], &config);
+            let validator = fit_validator(ValidatorKind::Dquag, &clean, &config);
             for &sample_size in &scale.table3_sample_sizes() {
                 let protocol = BatchProtocol::fixed_size(
                     scale.n_batches_per_class(),
@@ -259,7 +290,12 @@ pub mod table3 {
                 let labels: Vec<bool> = batches.iter().map(|b| b.is_dirty).collect();
                 let predictions: Vec<bool> = batches
                     .iter()
-                    .map(|b| validator.validate(&b.data).expect("schema matches").dataset_is_dirty)
+                    .map(|b| {
+                        validator
+                            .validate(&b.data)
+                            .expect("schema matches")
+                            .is_dirty
+                    })
                     .collect();
                 let metrics =
                     dquag_core::metrics::DetectionMetrics::from_predictions(&predictions, &labels);
@@ -321,10 +357,16 @@ pub mod figure3 {
             let clean = kind.generate_clean(scale.dataset_rows(), 131);
             let dirty = kind.generate_dirty(scale.dataset_rows(), 132);
             let config = scale.dquag_config();
-            let dquag = train_dquag(&clean, &[], &config);
+            let dquag = fit_validator(ValidatorKind::Dquag, &clean, &config);
             let batches = batches_for(&clean, &dirty, scale, 133);
-            for method in Method::all() {
-                let result = evaluate_method(method, &clean, &batches, Some(&dquag), &config);
+            for method in ValidatorKind::ALL {
+                let result = evaluate_method(
+                    method,
+                    &clean,
+                    &batches,
+                    prefitted_for(method, &*dquag),
+                    &config,
+                );
                 rows.push(Row {
                     dataset: kind.name(),
                     method: method.label(),
@@ -384,16 +426,16 @@ pub mod figure4 {
         let mut rows = Vec::new();
         let train_rows = scale.dataset_rows().min(5_000);
         for dimensions in [5usize, 10, 18] {
-            let clean = dquag_datagen::datasets::nytaxi::generate_clean(train_rows, dimensions, 141);
+            let clean =
+                dquag_datagen::datasets::nytaxi::generate_clean(train_rows, dimensions, 141);
             let config = scale.dquag_config();
-            let validator = train_dquag(&clean, &[], &config);
+            let validator = fit_validator(ValidatorKind::Dquag, &clean, &config);
             for &n_rows in &scale.figure4_row_counts() {
-                let data =
-                    dquag_datagen::datasets::nytaxi::generate_clean(n_rows, dimensions, 142);
+                let data = dquag_datagen::datasets::nytaxi::generate_clean(n_rows, dimensions, 142);
                 let start = Instant::now();
-                let report = validator.validate(&data).expect("schema matches");
+                let verdict = validator.validate(&data).expect("schema matches");
                 let seconds = start.elapsed().as_secs_f64();
-                assert_eq!(report.n_instances(), n_rows);
+                assert_eq!(verdict.n_instances, n_rows);
                 rows.push(Row {
                     dimensions,
                     rows: n_rows,
@@ -447,26 +489,38 @@ pub mod repair_eval {
         pub repaired_classified_clean: bool,
     }
 
-    /// Run the experiment.
+    /// Run the experiment — through the unified [`Validator`] trait,
+    /// exercising the graded-detail path: the DQuaG backend exposes repair
+    /// behind `Validator::repair`, gated by its capabilities.
     pub fn run(scale: Scale) -> Vec<Row> {
+        use dquag_validate::DquagBackend;
+
         let mut rows = Vec::new();
         for kind in [DatasetKind::Airbnb, DatasetKind::Bicycle] {
             let clean = kind.generate_clean(scale.dataset_rows(), 151);
             let dirty = kind.generate_dirty(scale.dataset_rows() / 2, 152);
             let config = scale.dquag_config();
-            let validator = train_dquag(&clean, &[&dirty], &config);
+            // The encoder must cover the dirty batch's categories (§3.1), so
+            // hand it to the backend as known future data before fitting.
+            let mut validator = DquagBackend::new(config).with_future(vec![dirty.clone()]);
+            validator.fit(&clean).expect("training succeeds");
+            assert!(validator.capabilities().repair);
 
-            let clean_report = validator
+            let clean_verdict = validator
                 .validate(&clean.split_at(clean.n_rows() / 2).expect("split").1)
                 .expect("schema matches");
-            let (before, _repaired, after) =
-                validator.validate_and_repair(&dirty).expect("schema matches");
+            let before = validator.validate(&dirty).expect("schema matches");
+            let repaired = validator
+                .repair(&dirty, &before)
+                .expect("repair succeeds")
+                .expect("DQuaG supports repair");
+            let after = validator.validate(&repaired).expect("schema matches");
             rows.push(Row {
                 dataset: kind.name(),
-                dirty_error_rate_pct: before.error_rate * 100.0,
-                repaired_error_rate_pct: after.error_rate * 100.0,
-                clean_error_rate_pct: clean_report.error_rate * 100.0,
-                repaired_classified_clean: !after.dataset_is_dirty,
+                dirty_error_rate_pct: before.error_rate() * 100.0,
+                repaired_error_rate_pct: after.error_rate() * 100.0,
+                clean_error_rate_pct: clean_verdict.error_rate() * 100.0,
+                repaired_classified_clean: !after.is_dirty,
             });
         }
         rows
@@ -489,7 +543,13 @@ pub mod repair_eval {
         format!(
             "Section 4.6 — data repair evaluation (flagged-instance rates)\n{}",
             render_table(
-                &["Dataset", "Dirty (%)", "Repaired (%)", "Clean (%)", "Repaired classified clean"],
+                &[
+                    "Dataset",
+                    "Dirty (%)",
+                    "Repaired (%)",
+                    "Clean (%)",
+                    "Repaired classified clean"
+                ],
                 &table_rows
             )
         )
@@ -519,25 +579,20 @@ pub mod ablations {
         pub separation_pct: f64,
     }
 
-    fn separation(
-        clean: &DataFrame,
-        dirty: &DataFrame,
-        scale: Scale,
-        config: &DquagConfig,
-    ) -> f64 {
-        let validator = train_dquag(clean, &[], config);
+    fn separation(clean: &DataFrame, dirty: &DataFrame, scale: Scale, config: &DquagConfig) -> f64 {
+        let validator = fit_validator(ValidatorKind::Dquag, clean, config);
         let batches = batches_for(clean, dirty, scale, 161);
         let mut clean_rate = 0.0;
         let mut dirty_rate = 0.0;
         let mut n_clean = 0usize;
         let mut n_dirty = 0usize;
         for batch in &batches {
-            let report = validator.validate(&batch.data).expect("schema matches");
+            let verdict = validator.validate(&batch.data).expect("schema matches");
             if batch.is_dirty {
-                dirty_rate += report.error_rate;
+                dirty_rate += verdict.error_rate();
                 n_dirty += 1;
             } else {
-                clean_rate += report.error_rate;
+                clean_rate += verdict.error_rate();
                 n_clean += 1;
             }
         }
@@ -635,8 +690,7 @@ mod tests {
         assert_eq!(rows.len(), 3 * Scale::Smoke.figure4_row_counts().len());
         // within one dimensionality, more rows must not be faster by a large factor
         for dims in [5usize, 10, 18] {
-            let series: Vec<&figure4::Row> =
-                rows.iter().filter(|r| r.dimensions == dims).collect();
+            let series: Vec<&figure4::Row> = rows.iter().filter(|r| r.dimensions == dims).collect();
             assert!(series.windows(2).all(|w| w[1].rows > w[0].rows));
             assert!(series.iter().all(|r| r.seconds >= 0.0));
         }

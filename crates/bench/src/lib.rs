@@ -31,7 +31,8 @@ pub mod experiments;
 pub mod methods;
 pub mod scale;
 
-pub use methods::{evaluate_method, Method, MethodResult};
+pub use dquag_validate::ValidatorKind;
+pub use methods::{evaluate_method, fit_validator, MethodResult};
 pub use scale::Scale;
 
 /// Render a simple aligned text table.

@@ -1,43 +1,22 @@
-//! Unified interface over DQuaG and the baseline validators, evaluated with
-//! the paper's batch protocol.
+//! Uniform evaluation of every validator backend with the paper's batch
+//! protocol.
+//!
+//! All seven configurations (DQuaG plus the six baseline profiles) go through
+//! the same [`dquag_validate::Validator`] trait: build via
+//! [`build_validator`], fit on the clean reference data, judge every batch.
+//! There is no per-backend dispatch here — the unified API is the whole
+//! point.
 
-use dquag_baselines::BaselineKind;
 use dquag_core::metrics::DetectionMetrics;
-use dquag_core::{DquagConfig, DquagValidator};
+use dquag_core::DquagConfig;
 use dquag_datagen::Batch;
 use dquag_tabular::DataFrame;
+use dquag_validate::{build_validator, Validator, ValidatorKind};
 
-/// A method under evaluation: DQuaG or one of the baselines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Method {
-    /// The paper's contribution.
-    Dquag,
-    /// One of the re-implemented baselines.
-    Baseline(BaselineKind),
-}
-
-impl Method {
-    /// All methods in the order the paper's tables list them: baselines first,
-    /// DQuaG last.
-    pub fn all() -> Vec<Method> {
-        let mut methods: Vec<Method> = BaselineKind::ALL.into_iter().map(Method::Baseline).collect();
-        methods.push(Method::Dquag);
-        methods
-    }
-
-    /// Display label used in tables.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Method::Dquag => "DQuaG",
-            Method::Baseline(kind) => kind.label(),
-        }
-    }
-}
-
-/// Result of evaluating one method on a set of labelled batches.
+/// Result of evaluating one validator kind on a set of labelled batches.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MethodResult {
-    /// The evaluated method.
+    /// Label of the evaluated validator.
     pub method: &'static str,
     /// Confusion-matrix metrics over the batches.
     pub metrics: DetectionMetrics,
@@ -55,58 +34,62 @@ impl MethodResult {
     }
 }
 
-/// Evaluate one method: fit/train on the clean reference data (the DQuaG
-/// model may reuse a pre-trained validator to avoid retraining per error
-/// condition) and classify every batch.
-pub fn evaluate_method(
-    method: Method,
+/// Build a validator of `kind` and fit it on the clean reference data.
+///
+/// Experiments that evaluate one dataset under several error conditions fit
+/// expensive validators once and hand them back to [`evaluate_method`] as
+/// `prefitted` (the paper trains DQuaG once per dataset as well).
+pub fn fit_validator(
+    kind: ValidatorKind,
     clean: &DataFrame,
-    batches: &[Batch],
-    trained_dquag: Option<&DquagValidator>,
     config: &DquagConfig,
-) -> MethodResult {
-    let labels: Vec<bool> = batches.iter().map(|b| b.is_dirty).collect();
-    let predictions: Vec<bool> = match method {
-        Method::Dquag => {
-            let owned;
-            let validator = match trained_dquag {
-                Some(v) => v,
-                None => {
-                    owned = DquagValidator::train(clean, &[], config)
-                        .expect("DQuaG training on generated clean data succeeds");
-                    &owned
-                }
-            };
-            batches
-                .iter()
-                .map(|b| {
-                    validator
-                        .validate(&b.data)
-                        .expect("batch shares the training schema")
-                        .dataset_is_dirty
-                })
-                .collect()
-        }
-        Method::Baseline(kind) => {
-            let mut validator = kind.build();
-            validator.fit(clean);
-            batches
-                .iter()
-                .map(|b| validator.validate(&b.data).is_dirty)
-                .collect()
-        }
-    };
-    MethodResult {
-        method: method.label(),
-        metrics: DetectionMetrics::from_predictions(&predictions, &labels),
-    }
+) -> Box<dyn Validator> {
+    let mut validator = build_validator(kind, config);
+    validator
+        .fit(clean)
+        .expect("fitting on generated clean data succeeds");
+    validator
 }
 
-/// Train a DQuaG validator once for a dataset so several error conditions can
-/// reuse it (the paper trains once per dataset as well).
-pub fn train_dquag(clean: &DataFrame, future: &[&DataFrame], config: &DquagConfig) -> DquagValidator {
-    DquagValidator::train(clean, future, config)
-        .expect("DQuaG training on generated clean data succeeds")
+/// Evaluate one validator kind: fit on the clean reference data (or reuse
+/// `prefitted`, which must be a fitted validator of the same kind) and
+/// classify every batch.
+pub fn evaluate_method(
+    kind: ValidatorKind,
+    clean: &DataFrame,
+    batches: &[Batch],
+    prefitted: Option<&dyn Validator>,
+    config: &DquagConfig,
+) -> MethodResult {
+    if let Some(v) = prefitted {
+        assert_eq!(
+            v.name(),
+            kind.label(),
+            "prefitted validator must match the evaluated kind"
+        );
+    }
+    let labels: Vec<bool> = batches.iter().map(|b| b.is_dirty).collect();
+    let owned;
+    let validator: &dyn Validator = match prefitted {
+        Some(v) => v,
+        None => {
+            owned = fit_validator(kind, clean, config);
+            &*owned
+        }
+    };
+    let predictions: Vec<bool> = batches
+        .iter()
+        .map(|b| {
+            validator
+                .validate(&b.data)
+                .expect("batch shares the training schema")
+                .is_dirty
+        })
+        .collect();
+    MethodResult {
+        method: kind.label(),
+        metrics: DetectionMetrics::from_predictions(&predictions, &labels),
+    }
 }
 
 #[cfg(test)]
@@ -116,10 +99,9 @@ mod tests {
     use dquag_datagen::{make_test_batches, BatchProtocol, DatasetKind};
 
     #[test]
-    fn all_methods_are_listed_with_dquag_last() {
-        let methods = Method::all();
-        assert_eq!(methods.len(), 7);
-        assert_eq!(methods.last().unwrap().label(), "DQuaG");
+    fn all_kinds_are_listed_with_dquag_last() {
+        assert_eq!(ValidatorKind::ALL.len(), 7);
+        assert_eq!(ValidatorKind::ALL.last().unwrap().label(), "DQuaG");
     }
 
     #[test]
@@ -135,7 +117,7 @@ mod tests {
         };
         let batches = make_test_batches(&clean, &dirty, protocol, &mut rng);
         let result = evaluate_method(
-            Method::Baseline(dquag_baselines::BaselineKind::DeequExpert),
+            ValidatorKind::DeequExpert,
             &clean,
             &batches,
             None,
@@ -144,5 +126,42 @@ mod tests {
         assert_eq!(result.metrics.total(), 6);
         assert!(result.accuracy() >= 0.5);
         assert!(result.recall() >= 0.5);
+    }
+
+    #[test]
+    fn prefitted_validators_are_reused() {
+        let clean = DatasetKind::CreditCard.generate_clean(600, 7);
+        let dirty = DatasetKind::CreditCard.generate_dirty(600, 8);
+        let mut rng = dquag_datagen::rng(9);
+        let protocol = BatchProtocol {
+            n_clean: 2,
+            n_dirty: 2,
+            fraction: 0.2,
+            max_rows: None,
+        };
+        let batches = make_test_batches(&clean, &dirty, protocol, &mut rng);
+        let config = Scale::Smoke.dquag_config();
+        let fitted = fit_validator(ValidatorKind::Gate, &clean, &config);
+        let reused = evaluate_method(
+            ValidatorKind::Gate,
+            &clean,
+            &batches,
+            Some(&*fitted),
+            &config,
+        );
+        let fresh = evaluate_method(ValidatorKind::Gate, &clean, &batches, None, &config);
+        assert_eq!(
+            reused.metrics, fresh.metrics,
+            "reuse must not change results"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "prefitted validator must match")]
+    fn mismatched_prefitted_validator_is_rejected() {
+        let clean = DatasetKind::CreditCard.generate_clean(600, 7);
+        let config = Scale::Smoke.dquag_config();
+        let fitted = fit_validator(ValidatorKind::Gate, &clean, &config);
+        evaluate_method(ValidatorKind::Adqv, &clean, &[], Some(&*fitted), &config);
     }
 }

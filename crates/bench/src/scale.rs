@@ -1,7 +1,6 @@
 //! Experiment scales: smoke (tests), quick (default) and full (paper-like).
 
 use dquag_core::DquagConfig;
-use dquag_gnn::ModelConfig;
 
 /// How much work each experiment does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,36 +54,23 @@ impl Scale {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        match self {
-            Scale::Smoke => DquagConfig {
-                epochs: 8,
-                batch_size: 64,
-                validation_threads: threads,
-                model: ModelConfig {
-                    hidden_dim: 12,
-                    n_layers: 2,
-                    ..ModelConfig::default()
-                },
-                ..DquagConfig::default()
-            },
-            Scale::Quick => DquagConfig {
-                epochs: 15,
-                batch_size: 128,
-                validation_threads: threads,
-                model: ModelConfig {
-                    hidden_dim: 24,
-                    n_layers: 4,
-                    ..ModelConfig::default()
-                },
-                ..DquagConfig::default()
-            },
-            Scale::Full => DquagConfig {
-                epochs: 30,
-                batch_size: 128,
-                validation_threads: threads,
-                ..DquagConfig::default()
-            },
-        }
+        let builder = match self {
+            Scale::Smoke => DquagConfig::builder()
+                .epochs(8)
+                .batch_size(64)
+                .hidden_dim(12)
+                .n_layers(2),
+            Scale::Quick => DquagConfig::builder()
+                .epochs(15)
+                .batch_size(128)
+                .hidden_dim(24)
+                .n_layers(4),
+            Scale::Full => DquagConfig::builder().epochs(30).batch_size(128),
+        };
+        builder
+            .validation_threads(threads)
+            .build()
+            .expect("scale configurations are in range")
     }
 
     /// Sample sizes for the Table 3 sweep.
@@ -128,7 +114,10 @@ mod tests {
     fn scales_are_ordered_by_size() {
         assert!(Scale::Smoke.dataset_rows() < Scale::Quick.dataset_rows());
         assert!(Scale::Quick.dataset_rows() < Scale::Full.dataset_rows());
-        assert!(Scale::Full.n_batches_per_class() == 50, "paper uses 50+50 batches");
+        assert!(
+            Scale::Full.n_batches_per_class() == 50,
+            "paper uses 50+50 batches"
+        );
     }
 
     #[test]

@@ -64,6 +64,14 @@ impl Default for DquagConfig {
 }
 
 impl DquagConfig {
+    /// Start building a configuration from the paper defaults, with range
+    /// validation at [`DquagConfigBuilder::build`].
+    pub fn builder() -> DquagConfigBuilder {
+        DquagConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
     /// A reduced configuration for unit tests and quick demos: smaller
     /// network, fewer epochs, same decision rules.
     pub fn fast() -> Self {
@@ -89,6 +97,191 @@ impl DquagConfig {
     /// The dataset-level error-rate threshold `5% × n`.
     pub fn dataset_error_rate_threshold(&self) -> f64 {
         (1.0 - self.threshold_percentile) * self.dataset_flag_factor
+    }
+
+    /// Validate every field's range, returning the offending field on error.
+    /// Called by [`DquagConfigBuilder::build`]; useful on hand-assembled
+    /// configurations too.
+    pub fn validated(self) -> crate::Result<Self> {
+        fn fail(msg: String) -> crate::Result<DquagConfig> {
+            Err(crate::CoreError::InvalidConfig(msg))
+        }
+        if self.epochs == 0 {
+            return fail("epochs must be nonzero".to_string());
+        }
+        if self.batch_size == 0 {
+            return fail("batch_size must be nonzero".to_string());
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return fail(format!(
+                "learning_rate must be positive and finite, got {}",
+                self.learning_rate
+            ));
+        }
+        if !(0.0 < self.calibration_fraction && self.calibration_fraction < 1.0) {
+            return fail(format!(
+                "calibration_fraction must lie in (0, 1), got {}",
+                self.calibration_fraction
+            ));
+        }
+        if !(0.0 < self.threshold_percentile && self.threshold_percentile < 1.0) {
+            return fail(format!(
+                "threshold_percentile must lie in (0, 1), got {}",
+                self.threshold_percentile
+            ));
+        }
+        if !(self.dataset_flag_factor.is_finite() && self.dataset_flag_factor > 0.0) {
+            return fail(format!(
+                "dataset_flag_factor must be positive and finite, got {}",
+                self.dataset_flag_factor
+            ));
+        }
+        if !(self.feature_sigma.is_finite() && self.feature_sigma > 0.0) {
+            return fail(format!(
+                "feature_sigma must be positive and finite, got {}",
+                self.feature_sigma
+            ));
+        }
+        if self.oracle_sample_size < 2 {
+            return fail(format!(
+                "oracle_sample_size must be at least 2, got {}",
+                self.oracle_sample_size
+            ));
+        }
+        if self.validation_threads == 0 {
+            return fail("validation_threads must be at least 1".to_string());
+        }
+        if self.model.hidden_dim == 0 || self.model.n_layers == 0 {
+            return fail(format!(
+                "model must have nonzero hidden_dim and n_layers, got {} × {}",
+                self.model.hidden_dim, self.model.n_layers
+            ));
+        }
+        Ok(self)
+    }
+}
+
+/// Builder for [`DquagConfig`] with range validation.
+///
+/// The canonical construction path for user code: start from the paper
+/// defaults, override what the deployment needs, and let [`build`] reject
+/// out-of-range values instead of silently training a broken pipeline.
+///
+/// ```
+/// use dquag_core::DquagConfig;
+///
+/// let config = DquagConfig::builder()
+///     .epochs(15)
+///     .hidden_dim(24)
+///     .validation_threads(4)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.epochs, 15);
+/// assert!(DquagConfig::builder().threshold_percentile(1.5).build().is_err());
+/// ```
+///
+/// [`build`]: DquagConfigBuilder::build
+#[derive(Debug, Clone)]
+pub struct DquagConfigBuilder {
+    config: DquagConfig,
+}
+
+impl DquagConfigBuilder {
+    /// Replace the whole network architecture configuration.
+    pub fn model(mut self, model: ModelConfig) -> Self {
+        self.config.model = model;
+        self
+    }
+
+    /// Encoder hidden dimension (paper: 64).
+    pub fn hidden_dim(mut self, hidden_dim: usize) -> Self {
+        self.config.model.hidden_dim = hidden_dim;
+        self
+    }
+
+    /// Number of encoder layers (paper: 4).
+    pub fn n_layers(mut self, n_layers: usize) -> Self {
+        self.config.model.n_layers = n_layers;
+        self
+    }
+
+    /// Encoder architecture (paper: GAT+GIN).
+    pub fn encoder(mut self, encoder: EncoderKind) -> Self {
+        self.config.model.encoder = encoder;
+        self
+    }
+
+    /// Training epochs over the clean dataset.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.config.epochs = epochs;
+        self
+    }
+
+    /// Mini-batch size.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.config.batch_size = batch_size;
+        self
+    }
+
+    /// Adam learning rate.
+    pub fn learning_rate(mut self, learning_rate: f32) -> Self {
+        self.config.learning_rate = learning_rate;
+        self
+    }
+
+    /// Fraction of clean data held out for threshold calibration.
+    pub fn calibration_fraction(mut self, fraction: f64) -> Self {
+        self.config.calibration_fraction = fraction;
+        self
+    }
+
+    /// Percentile of clean reconstruction errors used as the detection
+    /// threshold (paper: 0.95).
+    pub fn threshold_percentile(mut self, percentile: f64) -> Self {
+        self.config.threshold_percentile = percentile;
+        self
+    }
+
+    /// Dataset-level flagging factor `n` (paper: 1.2).
+    pub fn dataset_flag_factor(mut self, factor: f64) -> Self {
+        self.config.dataset_flag_factor = factor;
+        self
+    }
+
+    /// Standard deviations above the mean feature error at which a feature
+    /// is flagged (paper: 5).
+    pub fn feature_sigma(mut self, sigma: f32) -> Self {
+        self.config.feature_sigma = sigma;
+        self
+    }
+
+    /// Rows sampled for feature-relationship inference (paper: 100).
+    pub fn oracle_sample_size(mut self, sample_size: usize) -> Self {
+        self.config.oracle_sample_size = sample_size;
+        self
+    }
+
+    /// Worker threads used during phase-2 validation.
+    pub fn validation_threads(mut self, threads: usize) -> Self {
+        self.config.validation_threads = threads;
+        self
+    }
+
+    /// Random seed controlling initialisation and batch shuffling.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Bypass relationship inference and use this feature graph.
+    pub fn feature_graph_override(mut self, graph: FeatureGraph) -> Self {
+        self.config.feature_graph_override = Some(graph);
+        self
+    }
+
+    /// Validate every range and produce the configuration.
+    pub fn build(self) -> crate::Result<DquagConfig> {
+        self.config.validated()
     }
 }
 
@@ -127,5 +320,101 @@ mod tests {
     fn with_encoder_overrides_architecture() {
         let c = DquagConfig::fast().with_encoder(EncoderKind::Gcn);
         assert_eq!(c.model.encoder, EncoderKind::Gcn);
+    }
+
+    #[test]
+    fn builder_applies_every_setter() {
+        let c = DquagConfig::builder()
+            .epochs(7)
+            .batch_size(32)
+            .learning_rate(0.005)
+            .calibration_fraction(0.25)
+            .threshold_percentile(0.9)
+            .dataset_flag_factor(1.5)
+            .feature_sigma(3.0)
+            .oracle_sample_size(50)
+            .validation_threads(4)
+            .seed(9)
+            .hidden_dim(12)
+            .n_layers(3)
+            .encoder(EncoderKind::Gcn)
+            .build()
+            .expect("all values in range");
+        assert_eq!(c.epochs, 7);
+        assert_eq!(c.batch_size, 32);
+        assert!((c.learning_rate - 0.005).abs() < 1e-9);
+        assert!((c.calibration_fraction - 0.25).abs() < 1e-12);
+        assert!((c.threshold_percentile - 0.9).abs() < 1e-12);
+        assert!((c.dataset_flag_factor - 1.5).abs() < 1e-12);
+        assert!((c.feature_sigma - 3.0).abs() < 1e-9);
+        assert_eq!(c.oracle_sample_size, 50);
+        assert_eq!(c.validation_threads, 4);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.model.hidden_dim, 12);
+        assert_eq!(c.model.n_layers, 3);
+        assert_eq!(c.model.encoder, EncoderKind::Gcn);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_values() {
+        use crate::CoreError;
+        let cases: Vec<(DquagConfigBuilder, &str)> = vec![
+            (DquagConfig::builder().epochs(0), "epochs"),
+            (DquagConfig::builder().batch_size(0), "batch_size"),
+            (DquagConfig::builder().learning_rate(0.0), "learning_rate"),
+            (
+                DquagConfig::builder().learning_rate(f32::NAN),
+                "learning_rate",
+            ),
+            (
+                DquagConfig::builder().calibration_fraction(0.0),
+                "calibration_fraction",
+            ),
+            (
+                DquagConfig::builder().calibration_fraction(1.0),
+                "calibration_fraction",
+            ),
+            (
+                DquagConfig::builder().threshold_percentile(0.0),
+                "threshold_percentile",
+            ),
+            (
+                DquagConfig::builder().threshold_percentile(1.0),
+                "threshold_percentile",
+            ),
+            (
+                DquagConfig::builder().threshold_percentile(1.5),
+                "threshold_percentile",
+            ),
+            (
+                DquagConfig::builder().dataset_flag_factor(0.0),
+                "dataset_flag_factor",
+            ),
+            (DquagConfig::builder().feature_sigma(-1.0), "feature_sigma"),
+            (
+                DquagConfig::builder().oracle_sample_size(1),
+                "oracle_sample_size",
+            ),
+            (
+                DquagConfig::builder().validation_threads(0),
+                "validation_threads",
+            ),
+            (DquagConfig::builder().hidden_dim(0), "hidden_dim"),
+        ];
+        for (builder, field) in cases {
+            match builder.build() {
+                Err(CoreError::InvalidConfig(msg)) => assert!(
+                    msg.contains(field),
+                    "error for {field} should name it, got `{msg}`"
+                ),
+                other => panic!("{field} out of range must be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn validated_accepts_the_defaults() {
+        assert!(DquagConfig::default().validated().is_ok());
+        assert!(DquagConfig::fast().validated().is_ok());
     }
 }

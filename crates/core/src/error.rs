@@ -9,6 +9,8 @@ pub enum CoreError {
     InvalidTrainingData(String),
     /// A dataframe handed to phase 2 does not match the training schema.
     SchemaMismatch(String),
+    /// A configuration value is outside its legal range.
+    InvalidConfig(String),
     /// An error bubbled up from the tabular substrate.
     Tabular(String),
     /// An error bubbled up from feature-graph construction.
@@ -20,6 +22,7 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::InvalidTrainingData(msg) => write!(f, "invalid training data: {msg}"),
             CoreError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::Tabular(msg) => write!(f, "tabular error: {msg}"),
             CoreError::Graph(msg) => write!(f, "feature-graph error: {msg}"),
         }

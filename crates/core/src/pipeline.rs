@@ -43,13 +43,48 @@ pub struct ValidationReport {
 }
 
 impl ValidationReport {
+    /// Build a report, enforcing the invariant [`Self::is_flagged`] relies
+    /// on: `flagged_instances` is sorted ascending and deduplicated here, so
+    /// lookups stay correct whatever order the caller produced.
+    /// `error_rate` is derived from the flagged count.
+    pub fn new(
+        instance_errors: Vec<f32>,
+        mut flagged_instances: Vec<usize>,
+        cell_flags: Vec<CellFlag>,
+        dataset_is_dirty: bool,
+        threshold: f32,
+    ) -> Self {
+        flagged_instances.sort_unstable();
+        flagged_instances.dedup();
+        let error_rate = if instance_errors.is_empty() {
+            0.0
+        } else {
+            flagged_instances.len() as f64 / instance_errors.len() as f64
+        };
+        Self {
+            instance_errors,
+            flagged_instances,
+            cell_flags,
+            error_rate,
+            dataset_is_dirty,
+            threshold,
+        }
+    }
+
     /// Number of validated instances.
     pub fn n_instances(&self) -> usize {
         self.instance_errors.len()
     }
 
     /// True if the given row was flagged.
+    ///
+    /// `flagged_instances` is sorted (enforced by [`Self::new`]), so this is
+    /// a binary search.
     pub fn is_flagged(&self, row: usize) -> bool {
+        debug_assert!(
+            self.flagged_instances.windows(2).all(|w| w[0] < w[1]),
+            "flagged_instances was mutated out of sorted order"
+        );
         self.flagged_instances.binary_search(&row).is_ok()
     }
 }
@@ -159,9 +194,7 @@ impl DquagValidator {
         // 5. Collect reconstruction-error statistics on the held-out clean
         //    slice and set the threshold at the configured percentile.
         let calibration_errors: Vec<f32> = (0..encoded_calibration.n_rows())
-            .map(|row| {
-                instance_error(&network.reconstruction_errors(encoded_calibration.row(row)))
-            })
+            .map(|row| instance_error(&network.reconstruction_errors(encoded_calibration.row(row))))
             .collect();
         let threshold = percentile_f32(&calibration_errors, config.threshold_percentile);
 
@@ -173,12 +206,7 @@ impl DquagValidator {
             n_weights: network.n_weights(),
             graph_edges: graph
                 .edges()
-                .map(|(i, j)| {
-                    (
-                        graph.node_names()[i].clone(),
-                        graph.node_names()[j].clone(),
-                    )
-                })
+                .map(|(i, j)| (graph.node_names()[i].clone(), graph.node_names()[j].clone()))
                 .collect(),
         };
 
@@ -236,22 +264,18 @@ impl DquagValidator {
         // network is immutable, so rows are simply split across scoped threads.
         let chunk_size = rows.len().div_ceil(threads);
         let mut results = vec![0.0f32; rows.len()];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let network = &self.network;
-            for (chunk_idx, (row_chunk, out_chunk)) in rows
-                .chunks(chunk_size)
-                .zip(results.chunks_mut(chunk_size))
-                .enumerate()
+            for (row_chunk, out_chunk) in
+                rows.chunks(chunk_size).zip(results.chunks_mut(chunk_size))
             {
-                let _ = chunk_idx;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (row, out) in row_chunk.iter().zip(out_chunk.iter_mut()) {
                         *out = instance_error(&network.reconstruction_errors(row));
                     }
                 });
             }
-        })
-        .expect("validation worker panicked");
+        });
         results
     }
 
@@ -311,14 +335,13 @@ impl DquagValidator {
             }
         }
 
-        Ok(ValidationReport {
+        Ok(ValidationReport::new(
             instance_errors,
             flagged_instances,
             cell_flags,
-            error_rate,
             dataset_is_dirty,
-            threshold: self.threshold,
-        })
+            self.threshold,
+        ))
     }
 
     /// Phase 2, repair step: return a copy of `df` in which every flagged
@@ -350,7 +373,10 @@ impl DquagValidator {
     }
 
     /// Convenience: validate, repair, and re-validate the repaired data.
-    pub fn validate_and_repair(&self, df: &DataFrame) -> Result<(ValidationReport, DataFrame, ValidationReport)> {
+    pub fn validate_and_repair(
+        &self,
+        df: &DataFrame,
+    ) -> Result<(ValidationReport, DataFrame, ValidationReport)> {
         let report = self.validate(df)?;
         let repaired = self.repair(df, &report)?;
         let after = self.validate(&repaired)?;
@@ -407,8 +433,20 @@ mod tests {
 
         let mut dirty = dquag_datagen::sample_fraction(&clean, 0.2, &mut rng);
         let cols = DatasetKind::CreditCard.default_ordinary_error_columns();
-        inject_ordinary(&mut dirty, OrdinaryError::NumericAnomalies, &cols, 0.25, &mut rng);
-        inject_ordinary(&mut dirty, OrdinaryError::MissingValues, &cols, 0.2, &mut rng);
+        inject_ordinary(
+            &mut dirty,
+            OrdinaryError::NumericAnomalies,
+            &cols,
+            0.25,
+            &mut rng,
+        );
+        inject_ordinary(
+            &mut dirty,
+            OrdinaryError::MissingValues,
+            &cols,
+            0.2,
+            &mut rng,
+        );
         let dirty_report = validator.validate(&dirty).unwrap();
         assert!(
             dirty_report.error_rate > clean_report.error_rate + 0.1,
@@ -446,7 +484,13 @@ mod tests {
         let mut rng = dquag_datagen::rng(23);
         let mut dirty = dquag_datagen::sample_fraction(&clean, 0.2, &mut rng);
         let cols = DatasetKind::CreditCard.default_ordinary_error_columns();
-        inject_ordinary(&mut dirty, OrdinaryError::NumericAnomalies, &cols, 0.25, &mut rng);
+        inject_ordinary(
+            &mut dirty,
+            OrdinaryError::NumericAnomalies,
+            &cols,
+            0.25,
+            &mut rng,
+        );
 
         let (before, repaired, after) = validator.validate_and_repair(&dirty).unwrap();
         // unflagged cells are untouched
@@ -489,7 +533,10 @@ mod tests {
         let par_errors = parallel.reconstruction_errors(&batch).unwrap();
         assert_eq!(seq_errors.len(), par_errors.len());
         for (a, b) in seq_errors.iter().zip(par_errors.iter()) {
-            assert!((a - b).abs() < 1e-6, "parallel and sequential errors must agree");
+            assert!(
+                (a - b).abs() < 1e-6,
+                "parallel and sequential errors must agree"
+            );
         }
     }
 
@@ -512,6 +559,31 @@ mod tests {
             validator.validate(&other),
             Err(CoreError::SchemaMismatch(_))
         ));
+    }
+
+    #[test]
+    fn report_construction_sorts_flagged_instances() {
+        // Regression test: `is_flagged` binary-searches `flagged_instances`,
+        // so construction must sort whatever order the caller produced.
+        let report = ValidationReport::new(
+            vec![0.9, 0.1, 0.8, 0.1, 0.7],
+            vec![4, 0, 2, 0],
+            Vec::new(),
+            true,
+            0.5,
+        );
+        assert_eq!(
+            report.flagged_instances,
+            vec![0, 2, 4],
+            "sorted and deduplicated"
+        );
+        for row in [0usize, 2, 4] {
+            assert!(report.is_flagged(row), "row {row} must be found");
+        }
+        for row in [1usize, 3, 5] {
+            assert!(!report.is_flagged(row), "row {row} must not be found");
+        }
+        assert!((report.error_rate - 3.0 / 5.0).abs() < 1e-12);
     }
 
     #[test]

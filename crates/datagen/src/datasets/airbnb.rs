@@ -41,8 +41,19 @@ const BOROUGHS: [(&str, f64); 5] = [
 
 fn neighbourhoods(borough: &str) -> &'static [&'static str] {
     match borough {
-        "Manhattan" => &["Harlem", "Midtown", "East Village", "Upper West Side", "Chelsea"],
-        "Brooklyn" => &["Williamsburg", "Bedford-Stuyvesant", "Bushwick", "Park Slope"],
+        "Manhattan" => &[
+            "Harlem",
+            "Midtown",
+            "East Village",
+            "Upper West Side",
+            "Chelsea",
+        ],
+        "Brooklyn" => &[
+            "Williamsburg",
+            "Bedford-Stuyvesant",
+            "Bushwick",
+            "Park Slope",
+        ],
         "Queens" => &["Astoria", "Long Island City", "Flushing"],
         "Bronx" => &["Fordham", "Mott Haven"],
         _ => &["St. George", "Tompkinsville"],
@@ -84,10 +95,18 @@ fn clean_row(rng: &mut StdRng) -> Vec<Value> {
     let longitude = lon0 + gaussian(rng, 0.02);
     let room_type = weighted_choice(
         rng,
-        &[("Entire home/apt", 0.52), ("Private room", 0.44), ("Shared room", 0.04)],
+        &[
+            ("Entire home/apt", 0.52),
+            ("Private room", 0.44),
+            ("Shared room", 0.04),
+        ],
     );
-    let price = clamp(base_price(borough, room_type) * (1.0 + gaussian(rng, 0.25)), 20.0, 900.0)
-        .round();
+    let price = clamp(
+        base_price(borough, room_type) * (1.0 + gaussian(rng, 0.25)),
+        20.0,
+        900.0,
+    )
+    .round();
     let minimum_nights = clamp(1.0 + gaussian(rng, 2.0).abs() * 3.0, 1.0, 30.0).round();
     let number_of_reviews = clamp(gaussian(rng, 40.0).abs(), 0.0, 500.0).round();
     let reviews_per_month = clamp(number_of_reviews / 24.0 + gaussian(rng, 0.3), 0.0, 30.0);
@@ -111,7 +130,8 @@ pub fn generate_clean(n_rows: usize, seed: u64) -> DataFrame {
     let mut rng = crate::rng(seed);
     let mut df = DataFrame::with_capacity(schema(), n_rows);
     for _ in 0..n_rows {
-        df.push_row(clean_row(&mut rng)).expect("generator row matches schema");
+        df.push_row(clean_row(&mut rng))
+            .expect("generator row matches schema");
     }
     df
 }

@@ -90,7 +90,8 @@ pub fn generate_clean(n_rows: usize, seed: u64) -> DataFrame {
     let mut rng = crate::rng(seed);
     let mut df = DataFrame::with_capacity(schema(), n_rows);
     for _ in 0..n_rows {
-        df.push_row(clean_row(&mut rng)).expect("generator row matches schema");
+        df.push_row(clean_row(&mut rng))
+            .expect("generator row matches schema");
     }
     df
 }
@@ -191,8 +192,14 @@ mod tests {
                 }
             }
         }
-        assert!(negative_duration, "dirty data should contain negative durations");
-        assert!(ancient_rider, "dirty data should contain impossible birth years");
+        assert!(
+            negative_duration,
+            "dirty data should contain negative durations"
+        );
+        assert!(
+            ancient_rider,
+            "dirty data should contain impossible birth years"
+        );
         assert!(df.total_missing() > 0);
     }
 }

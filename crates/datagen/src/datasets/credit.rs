@@ -25,7 +25,10 @@ pub fn schema() -> Schema {
         Field::categorical("NAME_EDUCATION_TYPE", "highest education level"),
         Field::categorical("NAME_FAMILY_STATUS", "family status"),
         Field::categorical("NAME_HOUSING_TYPE", "housing situation"),
-        Field::numeric("DAYS_BIRTH", "days since birth (negative, relative to application)"),
+        Field::numeric(
+            "DAYS_BIRTH",
+            "days since birth (negative, relative to application)",
+        ),
         Field::numeric("DAYS_EMPLOYED", "days since employment started (negative)"),
         Field::categorical("OCCUPATION_TYPE", "occupation of the applicant"),
         Field::numeric("CNT_FAM_MEMBERS", "number of family members"),
@@ -90,7 +93,11 @@ fn clean_row(rng: &mut StdRng) -> Vec<Value> {
     let education = weighted_choice(rng, &EDUCATION);
     let occupation = weighted_choice(rng, occupations_for(education));
     let income = income_for(education, occupation, rng);
-    let own_car = if rng.gen_bool(clamp(income / 500_000.0, 0.15, 0.8)) { "Y" } else { "N" };
+    let own_car = if rng.gen_bool(clamp(income / 500_000.0, 0.15, 0.8)) {
+        "Y"
+    } else {
+        "N"
+    };
     let own_realty = if rng.gen_bool(0.65) { "Y" } else { "N" };
     let children = clamp(gaussian(rng, 0.9).abs().floor(), 0.0, 5.0);
     let family_status = weighted_choice(
@@ -147,7 +154,8 @@ pub fn generate_clean(n_rows: usize, seed: u64) -> DataFrame {
     let mut rng = crate::rng(seed);
     let mut df = DataFrame::with_capacity(schema(), n_rows);
     for _ in 0..n_rows {
-        df.push_row(clean_row(&mut rng)).expect("generator row matches schema");
+        df.push_row(clean_row(&mut rng))
+            .expect("generator row matches schema");
     }
     df
 }
@@ -202,7 +210,10 @@ mod tests {
             let edu = df.value(r, education).unwrap();
             let occ = df.value(r, occupation).unwrap();
             if edu.as_text() == Some("Academic degree") && occ.as_text() == Some("Managers") {
-                assert!(inc > 50_000.0, "elite combination never has tiny income, got {inc}");
+                assert!(
+                    inc > 50_000.0,
+                    "elite combination never has tiny income, got {inc}"
+                );
             }
         }
     }

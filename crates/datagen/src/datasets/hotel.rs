@@ -23,7 +23,10 @@ pub fn schema() -> Schema {
         Field::numeric("children", "number of children"),
         Field::numeric("babies", "number of babies"),
         Field::categorical("meal", "meal package"),
-        Field::categorical("customer_type", "Transient, Contract, Group or Transient-Party"),
+        Field::categorical(
+            "customer_type",
+            "Transient, Contract, Group or Transient-Party",
+        ),
         Field::numeric("adr", "average daily rate in euros"),
         Field::numeric("required_car_parking_spaces", "parking spaces requested"),
         Field::categorical("is_repeated_guest", "whether the guest stayed before"),
@@ -31,8 +34,18 @@ pub fn schema() -> Schema {
 }
 
 const MONTHS: [&str; 12] = [
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 fn month_season_factor(month: &str) -> f64 {
@@ -90,7 +103,10 @@ fn clean_row(rng: &mut StdRng) -> Vec<Value> {
         25.0,
         400.0,
     );
-    let meal = weighted_choice(rng, &[("BB", 0.77), ("HB", 0.12), ("SC", 0.08), ("FB", 0.03)]);
+    let meal = weighted_choice(
+        rng,
+        &[("BB", 0.77), ("HB", 0.12), ("SC", 0.08), ("FB", 0.03)],
+    );
     let parking = if rng.gen_bool(0.06) { 1.0 } else { 0.0 };
     let repeated = if rng.gen_bool(0.04) { "yes" } else { "no" };
     vec![
@@ -115,7 +131,8 @@ pub fn generate_clean(n_rows: usize, seed: u64) -> DataFrame {
     let mut rng = crate::rng(seed);
     let mut df = DataFrame::with_capacity(schema(), n_rows);
     for _ in 0..n_rows {
-        df.push_row(clean_row(&mut rng)).expect("generator row matches schema");
+        df.push_row(clean_row(&mut rng))
+            .expect("generator row matches schema");
     }
     df
 }
@@ -162,7 +179,10 @@ mod tests {
             }
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-        assert!(mean(&august) > mean(&january) * 1.2, "summer rates are higher");
+        assert!(
+            mean(&august) > mean(&january) * 1.2,
+            "summer rates are higher"
+        );
     }
 
     #[test]

@@ -133,11 +133,17 @@ impl DatasetKind {
             DatasetKind::PlayStore => vec!["size_mb", "rating", "category"],
             DatasetKind::NyTaxi => vec!["passenger_count", "fare_amount", "payment_type"],
             DatasetKind::HotelBooking => vec!["children", "lead_time", "meal"],
-            DatasetKind::CreditCard => vec!["CNT_FAM_MEMBERS", "AMT_INCOME_TOTAL", "OCCUPATION_TYPE"],
+            DatasetKind::CreditCard => {
+                vec!["CNT_FAM_MEMBERS", "AMT_INCOME_TOTAL", "OCCUPATION_TYPE"]
+            }
         };
         names
             .into_iter()
-            .map(|n| schema.index_of(n).unwrap_or_else(|| panic!("column {n} missing")))
+            .map(|n| {
+                schema
+                    .index_of(n)
+                    .unwrap_or_else(|| panic!("column {n} missing"))
+            })
             .collect()
     }
 
@@ -194,7 +200,11 @@ mod tests {
             let df = kind.generate_clean(120, 42);
             assert_eq!(df.n_rows(), 120, "{kind:?}");
             assert_eq!(df.schema(), &kind.schema(), "{kind:?}");
-            assert_eq!(df.total_missing(), 0, "clean {kind:?} data has no missing cells");
+            assert_eq!(
+                df.total_missing(),
+                0,
+                "clean {kind:?} data has no missing cells"
+            );
         }
     }
 
@@ -247,7 +257,9 @@ mod tests {
     fn weighted_choice_respects_weights() {
         let mut rng = crate::rng(1);
         let options = [("common", 0.95), ("rare", 0.05)];
-        let picks: Vec<&str> = (0..500).map(|_| weighted_choice(&mut rng, &options)).collect();
+        let picks: Vec<&str> = (0..500)
+            .map(|_| weighted_choice(&mut rng, &options))
+            .collect();
         let common = picks.iter().filter(|&&p| p == "common").count();
         assert!(common > 400, "common picked {common}/500 times");
     }

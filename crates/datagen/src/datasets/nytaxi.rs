@@ -76,20 +76,41 @@ fn clean_row(rng: &mut StdRng, dimensions: usize) -> Vec<Value> {
         1.5,
         120.0,
     );
-    let fare_amount = clamp(3.0 + 2.5 * trip_distance + 0.35 * trip_duration_min, 4.0, 120.0);
+    let fare_amount = clamp(
+        3.0 + 2.5 * trip_distance + 0.35 * trip_duration_min,
+        4.0,
+        120.0,
+    );
     let passenger_count = clamp(1.0 + gaussian(rng, 1.0).abs().floor(), 1.0, 6.0);
-    let payment_type = weighted_choice(rng, &[("credit_card", 0.7), ("cash", 0.28), ("dispute", 0.02)]);
+    let payment_type = weighted_choice(
+        rng,
+        &[("credit_card", 0.7), ("cash", 0.28), ("dispute", 0.02)],
+    );
     let tip_amount = if payment_type == "credit_card" {
         clamp(fare_amount * rng.gen_range(0.12..0.28), 0.0, 40.0)
     } else {
         0.0
     };
-    let tolls_amount = if airport && rng.gen_bool(0.6) { 6.55 } else { 0.0 };
-    let extra_charge = if rush_hour { 1.0 } else if pickup_hour >= 20.0 { 0.5 } else { 0.0 };
+    let tolls_amount = if airport && rng.gen_bool(0.6) {
+        6.55
+    } else {
+        0.0
+    };
+    let extra_charge = if rush_hour {
+        1.0
+    } else if pickup_hour >= 20.0 {
+        0.5
+    } else {
+        0.0
+    };
     let congestion = if airport { 0.0 } else { 2.5 };
     let total_amount = fare_amount + tip_amount + tolls_amount + extra_charge + congestion;
     let pickup_zone = if airport {
-        if rng.gen_bool(0.5) { "JFK Airport" } else { "LaGuardia Airport" }
+        if rng.gen_bool(0.5) {
+            "JFK Airport"
+        } else {
+            "LaGuardia Airport"
+        }
     } else {
         ZONES[rng.gen_range(0..ZONES.len())]
     };
@@ -119,7 +140,9 @@ fn clean_row(rng: &mut StdRng, dimensions: usize) -> Vec<Value> {
         Value::Text(vendor.to_string()),
         Value::Text(if airport { "yes" } else { "no" }.to_string()),
     ];
-    all.into_iter().take(dimensions.clamp(1, FULL_DIMENSIONS)).collect()
+    all.into_iter()
+        .take(dimensions.clamp(1, FULL_DIMENSIONS))
+        .collect()
 }
 
 /// Generate a clean taxi dataset with the given number of columns.
@@ -160,7 +183,10 @@ mod tests {
         for r in 0..df.n_rows() {
             let get = |c: usize| df.value(r, c).unwrap().as_number().unwrap();
             let expected = get(fare) + get(tip) + get(tolls) + get(extra) + get(congestion);
-            assert!((get(total) - expected).abs() < 0.05, "total must be the sum of parts");
+            assert!(
+                (get(total) - expected).abs() < 0.05,
+                "total must be the sum of parts"
+            );
         }
     }
 

@@ -65,7 +65,12 @@ fn clean_row(rng: &mut StdRng) -> Vec<Value> {
     );
     let content_rating = weighted_choice(
         rng,
-        &[("Everyone", 0.8), ("Teen", 0.12), ("Mature 17+", 0.05), ("Everyone 10+", 0.03)],
+        &[
+            ("Everyone", 0.8),
+            ("Teen", 0.12),
+            ("Mature 17+", 0.05),
+            ("Everyone 10+", 0.03),
+        ],
     );
     let last_update_days = clamp(gaussian(rng, 220.0).abs(), 1.0, 2000.0).round();
     vec![
@@ -86,7 +91,8 @@ pub fn generate_clean(n_rows: usize, seed: u64) -> DataFrame {
     let mut rng = crate::rng(seed);
     let mut df = DataFrame::with_capacity(schema(), n_rows);
     for _ in 0..n_rows {
-        df.push_row(clean_row(&mut rng)).expect("generator row matches schema");
+        df.push_row(clean_row(&mut rng))
+            .expect("generator row matches schema");
     }
     df
 }
@@ -162,7 +168,10 @@ mod tests {
         for r in 0..df.n_rows() {
             let reviews = df.value(r, 2).unwrap().as_number().unwrap();
             let installs = df.value(r, 4).unwrap().as_number().unwrap();
-            assert!(reviews <= installs, "reviews {reviews} > installs {installs}");
+            assert!(
+                reviews <= installs,
+                "reviews {reviews} > installs {installs}"
+            );
         }
     }
 

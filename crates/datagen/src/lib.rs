@@ -37,9 +37,7 @@ pub mod errors;
 
 pub use batches::{make_test_batches, sample_fraction, Batch, BatchProtocol};
 pub use datasets::DatasetKind;
-pub use errors::{
-    inject_hidden, inject_ordinary, HiddenError, InjectionReport, OrdinaryError,
-};
+pub use errors::{inject_hidden, inject_ordinary, HiddenError, InjectionReport, OrdinaryError};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

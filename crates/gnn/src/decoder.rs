@@ -33,14 +33,7 @@ impl DualDecoder {
     pub fn new(hidden_dim: usize, store: &mut ParamStore, rng: &mut InitRng) -> Self {
         let bottleneck = (hidden_dim / 2).max(1);
         Self {
-            validation: Mlp::new(
-                "decoder.validation",
-                hidden_dim,
-                bottleneck,
-                1,
-                store,
-                rng,
-            ),
+            validation: Mlp::new("decoder.validation", hidden_dim, bottleneck, 1, store, rng),
             repair: Mlp::new("decoder.repair", hidden_dim, bottleneck, 1, store, rng),
             hidden_dim,
         }

@@ -252,7 +252,10 @@ mod tests {
     #[test]
     fn labels_match_paper_table() {
         let labels: Vec<&str> = EncoderKind::ALL.iter().map(|k| k.label()).collect();
-        assert_eq!(labels, vec!["Graph2Vec", "GCN", "GCN+GAT", "GCN+GIN", "GAT+GIN"]);
+        assert_eq!(
+            labels,
+            vec!["Graph2Vec", "GCN", "GCN+GAT", "GCN+GIN", "GAT+GIN"]
+        );
     }
 
     #[test]
@@ -288,7 +291,10 @@ mod tests {
     fn embeddings_depend_on_input_values() {
         let a = run_encoder(EncoderKind::GatGin, &[0.1, 0.2, 0.3, 0.4, 0.5]);
         let b = run_encoder(EncoderKind::GatGin, &[0.9, 0.2, 0.3, 0.4, 0.5]);
-        assert!(a.max_abs_diff(&b) > 1e-5, "changing a feature must change embeddings");
+        assert!(
+            a.max_abs_diff(&b) > 1e-5,
+            "changing a feature must change embeddings"
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl Linear {
         store: &mut ParamStore,
         rng: &mut InitRng,
     ) -> Self {
-        let weight = store.add(format!("{name}.weight"), xavier_uniform(in_dim, out_dim, rng));
+        let weight = store.add(
+            format!("{name}.weight"),
+            xavier_uniform(in_dim, out_dim, rng),
+        );
         let bias = store.add(format!("{name}.bias"), Matrix::zeros(1, out_dim));
         Self {
             weight,
@@ -138,7 +141,10 @@ impl GatLayer {
     ) -> Self {
         let limit = (6.0 / (out_dim + 1) as f32).sqrt();
         Self {
-            weight: store.add(format!("{name}.weight"), xavier_uniform(in_dim, out_dim, rng)),
+            weight: store.add(
+                format!("{name}.weight"),
+                xavier_uniform(in_dim, out_dim, rng),
+            ),
             attn_src: store.add(
                 format!("{name}.attn_src"),
                 uniform_symmetric(out_dim, 1, limit, rng),
@@ -223,7 +229,7 @@ impl GinLayer {
     /// Forward pass: `h (n × in) → n × out`.
     pub fn forward(&self, params: &BoundParams, graph: &BoundGraph, h: &Var) -> Var {
         let neighbour_sum = graph.adjacency.matmul(h); // n × in
-        // (1 + ε)·h — ε is a learnable scalar initialised to zero.
+                                                       // (1 + ε)·h — ε is a learnable scalar initialised to zero.
         let one = h.tape().constant(Matrix::ones(1, 1));
         let scale = params.var(self.epsilon).add(&one);
         let self_term = h.mul_scalar_var(&scale);
@@ -259,8 +265,7 @@ impl GcnLayer {
 
     /// Forward pass: `h (n × in) → n × out`.
     pub fn forward(&self, params: &BoundParams, graph: &BoundGraph, h: &Var) -> Var {
-        self.linear
-            .forward(params, &graph.gcn_adjacency.matmul(h))
+        self.linear.forward(params, &graph.gcn_adjacency.matmul(h))
     }
 }
 

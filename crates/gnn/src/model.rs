@@ -427,18 +427,27 @@ mod tests {
         let tape = Tape::new();
         let (params, graph) = net.bind(&tape);
         let out = net.forward_sample(&tape, &params, &graph, &clean_sample(1));
-        let only_val = MultiTaskLoss { alpha: 1.0, beta: 0.0 }
-            .batch_loss(&tape, std::slice::from_ref(&out), &[1.0])
-            .value()
-            .get(0, 0);
-        let only_rep = MultiTaskLoss { alpha: 0.0, beta: 1.0 }
-            .batch_loss(&tape, std::slice::from_ref(&out), &[1.0])
-            .value()
-            .get(0, 0);
-        let both = MultiTaskLoss { alpha: 1.0, beta: 1.0 }
-            .batch_loss(&tape, std::slice::from_ref(&out), &[1.0])
-            .value()
-            .get(0, 0);
+        let only_val = MultiTaskLoss {
+            alpha: 1.0,
+            beta: 0.0,
+        }
+        .batch_loss(&tape, std::slice::from_ref(&out), &[1.0])
+        .value()
+        .get(0, 0);
+        let only_rep = MultiTaskLoss {
+            alpha: 0.0,
+            beta: 1.0,
+        }
+        .batch_loss(&tape, std::slice::from_ref(&out), &[1.0])
+        .value()
+        .get(0, 0);
+        let both = MultiTaskLoss {
+            alpha: 1.0,
+            beta: 1.0,
+        }
+        .batch_loss(&tape, std::slice::from_ref(&out), &[1.0])
+        .value()
+        .get(0, 0);
         assert!((both - (only_val + only_rep)).abs() < 1e-5);
     }
 

@@ -25,7 +25,10 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::UnknownFeature(name) => write!(f, "unknown feature `{name}`"),
             GraphError::NodeOutOfRange { index, n_nodes } => {
-                write!(f, "node index {index} out of range (graph has {n_nodes} nodes)")
+                write!(
+                    f,
+                    "node index {index} out of range (graph has {n_nodes} nodes)"
+                )
             }
             GraphError::InvalidJson(msg) => write!(f, "invalid relationship JSON: {msg}"),
         }
@@ -160,7 +163,10 @@ impl FeatureGraph {
         let n = self.n_nodes();
         for idx in [i, j] {
             if idx >= n {
-                return Err(GraphError::NodeOutOfRange { index: idx, n_nodes: n });
+                return Err(GraphError::NodeOutOfRange {
+                    index: idx,
+                    n_nodes: n,
+                });
             }
         }
         if i != j {
@@ -270,6 +276,10 @@ impl FeatureGraph {
 
 #[cfg(test)]
 mod tests {
+    // Indices are deliberately written as `row * stride + col`, zeros
+    // included, to keep the row-major layout visible.
+    #![allow(clippy::identity_op, clippy::erasing_op)]
+
     use super::*;
 
     fn diamond() -> FeatureGraph {
@@ -395,11 +405,9 @@ mod tests {
         ]}"#;
         let set = RelationshipSet::from_json(json).unwrap();
         assert_eq!(set.relationships.len(), 2);
-        let g = FeatureGraph::from_relationships(
-            vec!["Age", "IncomeType", "Country", "City"],
-            &set,
-        )
-        .unwrap();
+        let g =
+            FeatureGraph::from_relationships(vec!["Age", "IncomeType", "Country", "City"], &set)
+                .unwrap();
         assert!(g.has_edge(0, 1));
         assert!(g.has_edge(2, 3));
         assert!(!g.has_edge(0, 2));

@@ -293,9 +293,9 @@ fn names_look_related(a: &dquag_tabular::Field, b: &dquag_tabular::Field) -> boo
         ("duration", "distance"),
     ];
     let has = |set: &[String], token: &str| set.iter().any(|t| t == token);
-    KNOWN_PAIRS.iter().any(|(x, y)| {
-        (has(&ta, x) && has(&tb, y)) || (has(&ta, y) && has(&tb, x))
-    })
+    KNOWN_PAIRS
+        .iter()
+        .any(|(x, y)| (has(&ta, x) && has(&tb, y)) || (has(&ta, y) && has(&tb, x)))
 }
 
 /// Lower-cased informative tokens of a name/description string.
@@ -384,7 +384,10 @@ mod tests {
         let country = graph.index_of("country").unwrap();
         let city = graph.index_of("city").unwrap();
         assert!(graph.has_edge(edu, income), "income depends on education");
-        assert!(graph.has_edge(country, city), "city is determined by country");
+        assert!(
+            graph.has_edge(country, city),
+            "city is determined by country"
+        );
     }
 
     #[test]
@@ -409,7 +412,10 @@ mod tests {
             ..InferenceConfig::default()
         });
         let graph = build_feature_graph(&df, &oracle, 100).unwrap();
-        assert!(graph.n_edges() <= 2, "very strict thresholds keep the graph sparse");
+        assert!(
+            graph.n_edges() <= 2,
+            "very strict thresholds keep the graph sparse"
+        );
     }
 
     #[test]

@@ -72,8 +72,12 @@ pub fn cramers_v(x: &[Option<String>], y: &[Option<String>]) -> f64 {
     for (a, b) in &pairs {
         table[x_levels[a] * c + y_levels[b]] += 1.0;
     }
-    let row_totals: Vec<f64> = (0..r).map(|i| table[i * c..(i + 1) * c].iter().sum()).collect();
-    let col_totals: Vec<f64> = (0..c).map(|j| (0..r).map(|i| table[i * c + j]).sum()).collect();
+    let row_totals: Vec<f64> = (0..r)
+        .map(|i| table[i * c..(i + 1) * c].iter().sum())
+        .collect();
+    let col_totals: Vec<f64> = (0..c)
+        .map(|j| (0..r).map(|i| table[i * c + j]).sum())
+        .collect();
     let mut chi2 = 0.0;
     for i in 0..r {
         for j in 0..c {

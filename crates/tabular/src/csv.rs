@@ -11,7 +11,6 @@ use crate::dataframe::DataFrame;
 use crate::schema::Schema;
 use crate::value::{DataType, Value};
 use crate::{Result, TabularError};
-use bytes::Bytes;
 use std::fs;
 use std::path::Path;
 
@@ -27,7 +26,10 @@ pub fn to_csv_string(df: &DataFrame) -> String {
     out.push_str(&names.join(","));
     out.push('\n');
     for row in df.iter_rows() {
-        let fields: Vec<String> = row.iter().map(|v| escape_field(&v.to_csv_field())).collect();
+        let fields: Vec<String> = row
+            .iter()
+            .map(|v| escape_field(&v.to_csv_field()))
+            .collect();
         out.push_str(&fields.join(","));
         out.push('\n');
     }
@@ -46,12 +48,12 @@ pub fn write_csv(df: &DataFrame, path: &Path) -> Result<()> {
 /// empty fields become [`Value::Null`]; numeric columns reject non-numeric
 /// text.
 pub fn from_csv_str(text: &str, schema: &Schema) -> Result<DataFrame> {
-    from_csv_bytes(Bytes::copy_from_slice(text.as_bytes()), schema)
+    from_csv_bytes(text.as_bytes(), schema)
 }
 
 /// Parse CSV bytes into a dataframe using the provided schema.
-pub fn from_csv_bytes(bytes: Bytes, schema: &Schema) -> Result<DataFrame> {
-    let text = std::str::from_utf8(&bytes).map_err(|e| TabularError::CsvParse {
+pub fn from_csv_bytes(bytes: &[u8], schema: &Schema) -> Result<DataFrame> {
+    let text = std::str::from_utf8(bytes).map_err(|e| TabularError::CsvParse {
         line: 0,
         message: format!("invalid UTF-8: {e}"),
     })?;
@@ -84,15 +86,11 @@ pub fn from_csv_bytes(bytes: Bytes, schema: &Schema) -> Result<DataFrame> {
         if fields.len() != schema.len() {
             return Err(TabularError::CsvParse {
                 line: line_no,
-                message: format!(
-                    "expected {} fields, found {}",
-                    schema.len(),
-                    fields.len()
-                ),
+                message: format!("expected {} fields, found {}", schema.len(), fields.len()),
             });
         }
         let mut row = Vec::with_capacity(fields.len());
-        for (field, raw) in schema.fields().iter().zip(fields.into_iter()) {
+        for (field, raw) in schema.fields().iter().zip(fields) {
             let value = if raw.is_empty() {
                 Value::Null
             } else {
@@ -120,7 +118,7 @@ pub fn from_csv_bytes(bytes: Bytes, schema: &Schema) -> Result<DataFrame> {
 /// Read a CSV file into a dataframe.
 pub fn read_csv(path: &Path, schema: &Schema) -> Result<DataFrame> {
     let bytes = fs::read(path)?;
-    from_csv_bytes(Bytes::from(bytes), schema)
+    from_csv_bytes(&bytes, schema)
 }
 
 /// Quote a field if it contains separators, quotes or newlines.
@@ -219,8 +217,11 @@ mod tests {
             .unwrap();
         df.push_row(vec![Value::Null, Value::Text("New York, NY".into())])
             .unwrap();
-        df.push_row(vec![Value::Number(2.5), Value::Text("He said \"hi\"".into())])
-            .unwrap();
+        df.push_row(vec![
+            Value::Number(2.5),
+            Value::Text("He said \"hi\"".into()),
+        ])
+        .unwrap();
         df
     }
 

@@ -141,7 +141,11 @@ pub struct DataFrame {
 impl DataFrame {
     /// Create an empty dataframe with the given schema.
     pub fn new(schema: Schema) -> Self {
-        let columns = schema.fields().iter().map(|f| Column::new(f.dtype)).collect();
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::new(f.dtype))
+            .collect();
         Self {
             schema,
             columns,
@@ -208,7 +212,7 @@ impl DataFrame {
             .columns
             .iter_mut()
             .zip(self.schema.fields())
-            .zip(values.into_iter())
+            .zip(values)
         {
             column.push(&field.name, value)?;
         }

@@ -80,7 +80,9 @@ impl LabelEncoder {
             return None;
         }
         let denom = (self.n_labels().saturating_sub(1)).max(1) as f32;
-        let code = (value * denom).round().clamp(0.0, (self.n_labels() - 1) as f32) as usize;
+        let code = (value * denom)
+            .round()
+            .clamp(0.0, (self.n_labels() - 1) as f32) as usize;
         self.label(code)
     }
 }
@@ -210,7 +212,10 @@ impl DatasetEncoder {
     /// Panics if `frames` is empty or schemas differ (programming error in
     /// the calling pipeline).
     pub fn fit_many(frames: &[&DataFrame]) -> Self {
-        assert!(!frames.is_empty(), "DatasetEncoder::fit_many needs at least one frame");
+        assert!(
+            !frames.is_empty(),
+            "DatasetEncoder::fit_many needs at least one frame"
+        );
         let schema = frames[0].schema().clone();
         for f in frames {
             assert_eq!(

@@ -66,7 +66,10 @@ impl fmt::Display for TabularError {
                 write!(f, "row index {index} out of bounds (len {len})")
             }
             TabularError::RowArityMismatch { expected, actual } => {
-                write!(f, "row has {actual} values but schema has {expected} columns")
+                write!(
+                    f,
+                    "row has {actual} values but schema has {expected} columns"
+                )
             }
             TabularError::TypeMismatch {
                 column,

@@ -153,10 +153,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate column name")]
     fn duplicate_names_rejected() {
-        Schema::new(vec![
-            Field::numeric("a", ""),
-            Field::categorical("a", ""),
-        ]);
+        Schema::new(vec![Field::numeric("a", ""), Field::categorical("a", "")]);
     }
 
     #[test]

@@ -61,12 +61,12 @@ impl Value {
     /// True if the value is admissible for the given data type
     /// (nulls are admissible everywhere).
     pub fn matches_type(&self, dtype: DataType) -> bool {
-        match (self, dtype) {
-            (Value::Null, _) => true,
-            (Value::Number(_), DataType::Numeric) => true,
-            (Value::Text(_), DataType::Categorical) => true,
-            _ => false,
-        }
+        matches!(
+            (self, dtype),
+            (Value::Null, _)
+                | (Value::Number(_), DataType::Numeric)
+                | (Value::Text(_), DataType::Categorical)
+        )
     }
 
     /// Render the value the way it appears in a CSV cell (`Null` → empty).

@@ -1,0 +1,162 @@
+//! Randomized tests for encoding, normalisation and CSV round-trips.
+//!
+//! These replace the original proptest properties (the build environment has
+//! no crates.io access, see `vendor/README.md`): random frames are drawn from
+//! a seeded RNG and the same invariants are asserted over the same number of
+//! cases.
+
+use dquag_tabular::csv::{from_csv_str, to_csv_string};
+use dquag_tabular::encode::{DatasetEncoder, LabelEncoder, MinMaxScaler, MISSING_SENTINEL};
+use dquag_tabular::{DataFrame, Field, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::numeric("amount", "transaction amount"),
+        Field::categorical("kind", "transaction kind"),
+        Field::numeric("age", "customer age"),
+    ])
+}
+
+fn random_word(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(1..=max_len);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+        .collect()
+}
+
+/// One random frame row: each cell present with probability 0.9.
+fn random_frame(rng: &mut StdRng, n_rows: usize) -> DataFrame {
+    let mut df = DataFrame::new(schema());
+    for _ in 0..n_rows {
+        let amount = if rng.gen_bool(0.9) {
+            Value::Number(rng.gen_range(-1.0e4f64..1.0e4))
+        } else {
+            Value::Null
+        };
+        let kind = if rng.gen_bool(0.9) {
+            Value::Text(random_word(rng, 6))
+        } else {
+            Value::Null
+        };
+        let age = if rng.gen_bool(0.9) {
+            Value::Number(rng.gen_range(0.0f64..120.0))
+        } else {
+            Value::Null
+        };
+        df.push_row(vec![amount, kind, age]).expect("typed row");
+    }
+    df
+}
+
+#[test]
+fn encoded_values_in_unit_interval_or_sentinel() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for case in 0..64 {
+        let n_rows = rng.gen_range(1..40);
+        let df = random_frame(&mut rng, n_rows);
+        let encoder = DatasetEncoder::fit(&df);
+        let encoded = encoder.transform(&df).unwrap();
+        assert_eq!(encoded.n_rows(), df.n_rows());
+        assert_eq!(encoded.n_cols(), 3);
+        for r in 0..encoded.n_rows() {
+            for c in 0..encoded.n_cols() {
+                let v = encoded.get(r, c);
+                // Values observed during fit encode to [0,1]; missing cells to the sentinel.
+                assert!(
+                    (0.0..=1.0 + 1e-6).contains(&v) || (v - MISSING_SENTINEL).abs() < 1e-6,
+                    "case {case}: cell ({r},{c}) = {v} outside expected ranges"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn minmax_round_trip_within_range() {
+    let mut rng = StdRng::seed_from_u64(103);
+    for case in 0..64 {
+        let n = rng.gen_range(2..50);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e6f64..1e6)).collect();
+        let scaler = MinMaxScaler::fit(values.iter().copied());
+        let idx = rng.gen_range(0..values.len());
+        let v = values[idx];
+        let t = scaler.transform(v);
+        let back = scaler.inverse(t);
+        // Absolute error bounded by f32 resolution of the fitted range.
+        let range = (scaler.max() - scaler.min()).abs().max(1.0);
+        assert!(
+            (back - v).abs() < 1e-4 * range,
+            "case {case}: {back} vs {v}"
+        );
+    }
+}
+
+#[test]
+fn label_encoding_is_bijective_on_fitted_labels() {
+    let mut rng = StdRng::seed_from_u64(107);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..30);
+        let labels: Vec<String> = (0..n)
+            .map(|_| {
+                let len = rng.gen_range(1..=10);
+                (0..len)
+                    .map(|_| {
+                        let alphabet =
+                            b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+                        alphabet[rng.gen_range(0..alphabet.len())] as char
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let enc = LabelEncoder::fit(refs.clone());
+        for label in &refs {
+            let v = enc.encode_normalised(label);
+            assert_eq!(enc.decode_normalised(v), Some(*label));
+        }
+    }
+}
+
+#[test]
+fn csv_round_trip_preserves_frame() {
+    let mut rng = StdRng::seed_from_u64(109);
+    for case in 0..64 {
+        let n_rows = rng.gen_range(0..25);
+        let df = random_frame(&mut rng, n_rows);
+        let text = to_csv_string(&df);
+        let back = from_csv_str(&text, &schema()).unwrap();
+        assert_eq!(back.n_rows(), df.n_rows(), "case {case}");
+        for r in 0..df.n_rows() {
+            for c in 0..df.n_cols() {
+                let a = df.value(r, c).unwrap();
+                let b = back.value(r, c).unwrap();
+                match (a, b) {
+                    (Value::Number(x), Value::Number(y)) => {
+                        assert!((x - y).abs() < 1e-9, "case {case} cell ({r},{c})")
+                    }
+                    (a, b) => assert_eq!(a, b, "case {case} cell ({r},{c})"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn select_rows_matches_manual_indexing() {
+    let mut rng = StdRng::seed_from_u64(113);
+    for case in 0..64 {
+        let n_rows = rng.gen_range(1..30);
+        let df = random_frame(&mut rng, n_rows);
+        let n_picks = rng.gen_range(0..10);
+        let picks: Vec<usize> = (0..n_picks)
+            .map(|_| rng.gen_range(0..df.n_rows()))
+            .collect();
+        let selected = df.select_rows(&picks).unwrap();
+        assert_eq!(selected.n_rows(), picks.len(), "case {case}");
+        for (out_row, &src_row) in picks.iter().enumerate() {
+            assert_eq!(selected.row(out_row).unwrap(), df.row(src_row).unwrap());
+        }
+    }
+}

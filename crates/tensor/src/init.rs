@@ -85,9 +85,12 @@ mod tests {
         let mut rng = InitRng::seeded(11);
         let w = he_normal(64, 64, &mut rng);
         let mean = w.mean();
-        assert!(mean.abs() < 0.05, "mean should be close to zero, got {mean}");
-        let var: f32 = w.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / w.len() as f32;
+        assert!(
+            mean.abs() < 0.05,
+            "mean should be close to zero, got {mean}"
+        );
+        let var: f32 =
+            w.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / w.len() as f32;
         let expected = 2.0 / 64.0;
         assert!(
             (var - expected).abs() < expected,

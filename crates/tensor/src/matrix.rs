@@ -77,11 +77,7 @@ impl Matrix {
         let n_cols = rows.first().map_or(0, |r| r.len());
         let mut data = Vec::with_capacity(n_rows * n_cols);
         for row in &rows {
-            assert_eq!(
-                row.len(),
-                n_cols,
-                "ragged rows passed to Matrix::from_rows"
-            );
+            assert_eq!(row.len(), n_cols, "ragged rows passed to Matrix::from_rows");
             data.extend_from_slice(row);
         }
         Self {
@@ -462,8 +458,7 @@ impl Matrix {
         }
         let mut out = Matrix::zeros(self.rows, end - start);
         for r in 0..self.rows {
-            out.data[r * out.cols..(r + 1) * out.cols]
-                .copy_from_slice(&self.row(r)[start..end]);
+            out.data[r * out.cols..(r + 1) * out.cols].copy_from_slice(&self.row(r)[start..end]);
         }
         Ok(out)
     }
@@ -489,7 +484,11 @@ impl Matrix {
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
         for r in 0..self.rows {
-            let row_max = self.row(r).iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let row_max = self
+                .row(r)
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max);
             let mut denom = 0.0;
             for c in 0..self.cols {
                 let e = (self.get(r, c) - row_max).exp();
@@ -732,6 +731,9 @@ mod tests {
     fn debug_format_is_bounded() {
         let m = Matrix::zeros(100, 100);
         let s = format!("{:?}", m);
-        assert!(s.len() < 2_500, "debug output should truncate large matrices");
+        assert!(
+            s.len() < 2_500,
+            "debug output should truncate large matrices"
+        );
     }
 }

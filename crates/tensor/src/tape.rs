@@ -253,7 +253,10 @@ impl Tape {
                     let a_val = inner.nodes[a].value.clone();
                     let s_val = inner.nodes[s].value.get(0, 0);
                     accumulate(&mut inner.nodes, a, grad_out.scale(s_val));
-                    let ds = grad_out.hadamard(&a_val).expect("scalar mul backward").sum();
+                    let ds = grad_out
+                        .hadamard(&a_val)
+                        .expect("scalar mul backward")
+                        .sum();
                     accumulate(&mut inner.nodes, s, Matrix::filled(1, 1, ds));
                 }
                 Op::AddScalarBroadcast(a, s) => {
@@ -366,7 +369,9 @@ impl Tape {
                 Op::ConcatCols(a, b) => {
                     let a_cols = inner.nodes[a].value.cols();
                     let total = grad_out.cols();
-                    let da = grad_out.slice_cols(0, a_cols).expect("concat_cols backward");
+                    let da = grad_out
+                        .slice_cols(0, a_cols)
+                        .expect("concat_cols backward");
                     let db = grad_out
                         .slice_cols(a_cols, total)
                         .expect("concat_cols backward");
@@ -376,7 +381,9 @@ impl Tape {
                 Op::ConcatRows(a, b) => {
                     let a_rows = inner.nodes[a].value.rows();
                     let total = grad_out.rows();
-                    let da = grad_out.slice_rows(0, a_rows).expect("concat_rows backward");
+                    let da = grad_out
+                        .slice_rows(0, a_rows)
+                        .expect("concat_rows backward");
                     let db = grad_out
                         .slice_rows(a_rows, total)
                         .expect("concat_rows backward");
@@ -474,13 +481,19 @@ impl Var {
 
     /// Element-wise addition.
     pub fn add(&self, rhs: &Var) -> Var {
-        let value = self.value().add(&rhs.value()).expect("Var::add shape mismatch");
+        let value = self
+            .value()
+            .add(&rhs.value())
+            .expect("Var::add shape mismatch");
         self.binary(rhs, Op::Add(self.idx, rhs.idx), value)
     }
 
     /// Element-wise subtraction.
     pub fn sub(&self, rhs: &Var) -> Var {
-        let value = self.value().sub(&rhs.value()).expect("Var::sub shape mismatch");
+        let value = self
+            .value()
+            .sub(&rhs.value())
+            .expect("Var::sub shape mismatch");
         self.binary(rhs, Op::Sub(self.idx, rhs.idx), value)
     }
 
@@ -687,10 +700,13 @@ mod tests {
 
     #[test]
     fn matmul_gradients() {
-        grad_check(Matrix::from_rows(vec![vec![0.5, -1.0], vec![2.0, 0.3]]), |t, p| {
-            let w = t.constant(Matrix::from_rows(vec![vec![1.0, 2.0], vec![-0.5, 0.7]]));
-            p.matmul(&w).square().mean()
-        });
+        grad_check(
+            Matrix::from_rows(vec![vec![0.5, -1.0], vec![2.0, 0.3]]),
+            |t, p| {
+                let w = t.constant(Matrix::from_rows(vec![vec![1.0, 2.0], vec![-0.5, 0.7]]));
+                p.matmul(&w).square().mean()
+            },
+        );
     }
 
     #[test]
@@ -760,28 +776,36 @@ mod tests {
 
     #[test]
     fn structural_op_gradients() {
-        grad_check(Matrix::from_fn(3, 4, |r, c| (r as f32 - c as f32) * 0.3), |t, p| {
-            let other = t.constant(Matrix::from_fn(3, 2, |r, c| (r + c) as f32 * 0.1));
-            p.slice_cols(1, 3)
-                .concat_cols(&other)
-                .transpose()
-                .square()
-                .mean()
-        });
-        grad_check(Matrix::from_fn(4, 2, |r, c| (r + c) as f32 * 0.25), |t, p| {
-            let other = t.constant(Matrix::from_fn(2, 2, |r, c| (r * c) as f32 * 0.5));
-            p.slice_rows(1, 3).concat_rows(&other).square().mean()
-        });
+        grad_check(
+            Matrix::from_fn(3, 4, |r, c| (r as f32 - c as f32) * 0.3),
+            |t, p| {
+                let other = t.constant(Matrix::from_fn(3, 2, |r, c| (r + c) as f32 * 0.1));
+                p.slice_cols(1, 3)
+                    .concat_cols(&other)
+                    .transpose()
+                    .square()
+                    .mean()
+            },
+        );
+        grad_check(
+            Matrix::from_fn(4, 2, |r, c| (r + c) as f32 * 0.25),
+            |t, p| {
+                let other = t.constant(Matrix::from_fn(2, 2, |r, c| (r * c) as f32 * 0.5));
+                p.slice_rows(1, 3).concat_rows(&other).square().mean()
+            },
+        );
     }
 
     #[test]
     fn reduction_gradients() {
-        grad_check(Matrix::from_fn(2, 3, |r, c| (r + c) as f32 * 0.4), |_, p| {
-            p.sum_rows_keep().square().mean()
-        });
-        grad_check(Matrix::from_fn(2, 3, |r, c| (r + c) as f32 * 0.4), |_, p| {
-            p.square().sum().scale(0.5)
-        });
+        grad_check(
+            Matrix::from_fn(2, 3, |r, c| (r + c) as f32 * 0.4),
+            |_, p| p.sum_rows_keep().square().mean(),
+        );
+        grad_check(
+            Matrix::from_fn(2, 3, |r, c| (r + c) as f32 * 0.4),
+            |_, p| p.square().sum().scale(0.5),
+        );
     }
 
     #[test]

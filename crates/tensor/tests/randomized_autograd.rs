@@ -1,0 +1,173 @@
+//! Randomized tests for the autograd engine.
+//!
+//! Random small matrices are pushed through random compositions of
+//! differentiable operations and the analytic gradients are compared against
+//! central finite differences. These replace the original proptest
+//! properties (the build environment has no crates.io access, see
+//! `vendor/README.md`) with the same pipelines and case counts over a seeded
+//! RNG.
+
+use dquag_tensor::{finite_difference_grad, Matrix, Tape, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small matrix with bounded, well-conditioned entries.
+fn small_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| rng.gen_range(-1.5f32..1.5))
+        .collect();
+    Matrix::from_vec(rows, cols, data).expect("sized data")
+}
+
+/// A scalar-valued differentiable pipeline applied to the parameter.
+#[derive(Debug, Clone, Copy)]
+enum Pipeline {
+    LinearSigmoid,
+    AttentionLike,
+    MlpLeaky,
+    ConcatSlice,
+    WeightedRows,
+}
+
+const PIPELINES: [Pipeline; 5] = [
+    Pipeline::LinearSigmoid,
+    Pipeline::AttentionLike,
+    Pipeline::MlpLeaky,
+    Pipeline::ConcatSlice,
+    Pipeline::WeightedRows,
+];
+
+fn run_pipeline(p: Pipeline, tape: &Tape, x: &Var) -> Var {
+    match p {
+        Pipeline::LinearSigmoid => {
+            let w = tape.constant(Matrix::from_fn(3, 2, |r, c| {
+                0.3 * (r as f32) - 0.2 * c as f32
+            }));
+            x.matmul(&w).sigmoid().square().mean()
+        }
+        Pipeline::AttentionLike => {
+            // softmax(x xᵀ) x  — the shape of a GAT attention computation
+            let scores = x.matmul(&x.transpose()).leaky_relu(0.2).softmax_rows();
+            scores.matmul(x).square().mean()
+        }
+        Pipeline::MlpLeaky => {
+            let w1 = tape.constant(Matrix::from_fn(3, 4, |r, c| ((r + c) as f32).sin() * 0.4));
+            let w2 = tape.constant(Matrix::from_fn(4, 1, |r, _| 0.25 - 0.1 * r as f32));
+            x.matmul(&w1)
+                .leaky_relu(0.1)
+                .matmul(&w2)
+                .tanh()
+                .square()
+                .mean()
+        }
+        Pipeline::ConcatSlice => {
+            let other = tape.constant(Matrix::from_fn(4, 2, |r, c| 0.1 * (r * 2 + c) as f32));
+            x.slice_cols(0, 2)
+                .concat_cols(&other)
+                .transpose()
+                .square()
+                .mean()
+        }
+        Pipeline::WeightedRows => {
+            let weights = tape.constant(Matrix::col_vector(&[0.9, 0.5, 0.1, 1.0]));
+            x.square().sum_rows_keep().mul(&weights).mean()
+        }
+    }
+}
+
+#[test]
+fn analytic_gradients_match_finite_differences() {
+    let mut rng = StdRng::seed_from_u64(0x6E4D);
+    for case in 0..48 {
+        let param = small_matrix(&mut rng, 4, 3);
+        let pipeline = PIPELINES[rng.gen_range(0..PIPELINES.len())];
+
+        let tape = Tape::new();
+        let x = tape.leaf(param.clone(), true);
+        let loss = run_pipeline(pipeline, &tape, &x);
+        assert_eq!(loss.shape(), (1, 1), "case {case}");
+        tape.backward(&loss);
+        let analytic = x.grad().expect("gradient");
+
+        let numeric = finite_difference_grad(
+            &param,
+            |m| {
+                let t = Tape::new();
+                let v = t.leaf(m.clone(), true);
+                run_pipeline(pipeline, &t, &v).value().get(0, 0)
+            },
+            1e-2,
+        );
+
+        // Relative-ish tolerance: these pipelines stay well-conditioned on the
+        // sampled input range.
+        let diff = analytic.max_abs_diff(&numeric);
+        assert!(
+            diff < 5e-2,
+            "case {case}: max grad diff {diff} for {pipeline:?}"
+        );
+    }
+}
+
+#[test]
+fn matmul_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0x6E4E);
+    for _ in 0..48 {
+        let a = small_matrix(&mut rng, 3, 4);
+        let b = small_matrix(&mut rng, 4, 2);
+        let c = a.matmul(&b).unwrap();
+        for i in 0..3 {
+            for j in 0..2 {
+                let expected: f32 = (0..4).map(|k| a.get(i, k) * b.get(k, j)).sum();
+                assert!((c.get(i, j) - expected).abs() < 1e-4);
+            }
+        }
+    }
+}
+
+#[test]
+fn transpose_is_involution() {
+    let mut rng = StdRng::seed_from_u64(0x6E4F);
+    for _ in 0..48 {
+        let a = small_matrix(&mut rng, 5, 3);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+}
+
+#[test]
+fn softmax_rows_always_normalised() {
+    let mut rng = StdRng::seed_from_u64(0x6E50);
+    for _ in 0..48 {
+        let a = small_matrix(&mut rng, 4, 6);
+        let s = a.softmax_rows();
+        assert!(s.is_finite());
+        for r in 0..s.rows() {
+            let total: f32 = s.row(r).iter().sum();
+            assert!((total - 1.0).abs() < 1e-4);
+            assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+}
+
+#[test]
+fn concat_then_slice_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0x6E51);
+    for _ in 0..48 {
+        let a = small_matrix(&mut rng, 3, 2);
+        let b = small_matrix(&mut rng, 3, 4);
+        let joined = a.concat_cols(&b).unwrap();
+        assert_eq!(joined.slice_cols(0, 2).unwrap(), a);
+        assert_eq!(joined.slice_cols(2, 6).unwrap(), b);
+    }
+}
+
+#[test]
+fn sum_rows_and_cols_agree_with_total() {
+    let mut rng = StdRng::seed_from_u64(0x6E52);
+    for _ in 0..48 {
+        let a = small_matrix(&mut rng, 4, 5);
+        let total = a.sum();
+        assert!((a.sum_rows().sum() - total).abs() < 1e-3);
+        assert!((a.sum_cols().sum() - total).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,58 @@
+//! # dquag-validate
+//!
+//! The unified validator API of the DQuaG reproduction.
+//!
+//! The paper's central claim is that DQuaG and its four baselines (Deequ,
+//! TFDV, ADQV, Gate) answer the *same* question — "is this incoming batch
+//! dirty?" — so this crate gives them one first-class abstraction:
+//!
+//! * [`Validator`] — fit once on clean reference data, then judge incoming
+//!   batches, with [`Capabilities`] describing how much detail a backend can
+//!   produce;
+//! * [`Verdict`] — a unified, serde-serialisable result carrying graded
+//!   detail: dataset verdict + anomaly score + violation messages for every
+//!   backend, plus optional instance errors and cell flags where the backend
+//!   supports them (DQuaG);
+//! * [`ValidatorKind`] + [`build_validator`] — a registry/factory so benches,
+//!   examples and future backends construct validators uniformly;
+//! * [`ValidationSession`] — owns a fitted validator and streams incoming
+//!   batches: `push_batch`/iterator ingestion, verdict history, rolling
+//!   error rate, and parallel multi-batch validation honouring
+//!   `DquagConfig::validation_threads`.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use dquag_validate::{build_validator, ValidationSession, ValidatorKind};
+//! use dquag_core::DquagConfig;
+//! # fn get_clean() -> dquag_tabular::DataFrame { unimplemented!() }
+//! # fn get_batches() -> Vec<dquag_tabular::DataFrame> { unimplemented!() }
+//!
+//! let config = DquagConfig::builder().epochs(15).build().unwrap();
+//! let validator = build_validator(ValidatorKind::Dquag, &config);
+//! let mut session = ValidationSession::fit(validator, &get_clean())
+//!     .unwrap()
+//!     .with_threads(config.validation_threads);
+//! for verdict in session.push_batches(&get_batches()).unwrap() {
+//!     println!("{}: dirty={} score={:.4}", verdict.validator, verdict.is_dirty, verdict.score);
+//! }
+//! println!("rolling error rate: {:.2}%", 100.0 * session.rolling_error_rate(5));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod backends;
+mod registry;
+mod session;
+mod validator;
+mod verdict;
+
+pub use backends::{BaselineBackend, DquagBackend};
+pub use registry::{build_validator, ValidatorKind};
+pub use session::{SessionSummary, ValidationSession};
+pub use validator::{ValidateError, Validator};
+pub use verdict::{Capabilities, FitReport, Verdict};
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, ValidateError>;

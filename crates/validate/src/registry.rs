@@ -1,0 +1,196 @@
+//! The backend registry: [`ValidatorKind`] and the [`build_validator`]
+//! factory.
+
+use crate::backends::{BaselineBackend, DquagBackend};
+use crate::Validator;
+use dquag_baselines::BaselineKind;
+use dquag_core::DquagConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Every validator configuration the paper evaluates, constructible through
+/// [`build_validator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValidatorKind {
+    /// Deequ with automatically suggested constraints.
+    DeequAuto,
+    /// Deequ with expert-tuned constraints.
+    DeequExpert,
+    /// TFDV with the inferred schema as-is.
+    TfdvAuto,
+    /// TFDV with an expert-tuned schema.
+    TfdvExpert,
+    /// ADQV's kNN-over-batch-statistics approach.
+    Adqv,
+    /// Gate's learned statistical tests.
+    Gate,
+    /// The paper's contribution: the DQuaG GNN pipeline.
+    Dquag,
+}
+
+impl ValidatorKind {
+    /// All kinds in the order the paper's tables list them: baselines first,
+    /// DQuaG last.
+    pub const ALL: [ValidatorKind; 7] = [
+        ValidatorKind::DeequAuto,
+        ValidatorKind::DeequExpert,
+        ValidatorKind::TfdvAuto,
+        ValidatorKind::TfdvExpert,
+        ValidatorKind::Adqv,
+        ValidatorKind::Gate,
+        ValidatorKind::Dquag,
+    ];
+
+    /// The display label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ValidatorKind::Dquag => "DQuaG",
+            ValidatorKind::DeequAuto => "Deequ auto",
+            ValidatorKind::DeequExpert => "Deequ expert",
+            ValidatorKind::TfdvAuto => "TFDV auto",
+            ValidatorKind::TfdvExpert => "TFDV expert",
+            ValidatorKind::Adqv => "ADQV",
+            ValidatorKind::Gate => "Gate",
+        }
+    }
+
+    /// The underlying baseline configuration, for every kind but DQuaG.
+    pub fn baseline(&self) -> Option<BaselineKind> {
+        match self {
+            ValidatorKind::Dquag => None,
+            ValidatorKind::DeequAuto => Some(BaselineKind::DeequAuto),
+            ValidatorKind::DeequExpert => Some(BaselineKind::DeequExpert),
+            ValidatorKind::TfdvAuto => Some(BaselineKind::TfdvAuto),
+            ValidatorKind::TfdvExpert => Some(BaselineKind::TfdvExpert),
+            ValidatorKind::Adqv => Some(BaselineKind::Adqv),
+            ValidatorKind::Gate => Some(BaselineKind::Gate),
+        }
+    }
+}
+
+impl fmt::Display for ValidatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for ValidatorKind {
+    type Err = String;
+
+    /// Parse a display label or a compact CLI spelling (`dquag`,
+    /// `deequ-auto`, `tfdv_expert`, `gate`, …), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalised: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        ValidatorKind::ALL
+            .into_iter()
+            .find(|kind| {
+                kind.label()
+                    .chars()
+                    .filter(|c| c.is_ascii_alphanumeric())
+                    .collect::<String>()
+                    .to_ascii_lowercase()
+                    == normalised
+            })
+            .ok_or_else(|| format!("unknown validator kind `{s}`"))
+    }
+}
+
+/// Construct an unfitted validator of the given kind.
+///
+/// `config` parameterises the DQuaG backend (epochs, architecture, threshold
+/// percentile, …); the baselines are self-configuring and ignore it. Every
+/// backend comes back behind the same `Box<dyn Validator>`, so callers fit
+/// and validate uniformly:
+///
+/// ```no_run
+/// # use dquag_validate::{build_validator, ValidatorKind};
+/// # use dquag_core::DquagConfig;
+/// # let clean = unimplemented!();
+/// for kind in ValidatorKind::ALL {
+///     let mut validator = build_validator(kind, &DquagConfig::default());
+///     validator.fit(&clean).unwrap();
+/// }
+/// ```
+pub fn build_validator(kind: ValidatorKind, config: &DquagConfig) -> Box<dyn Validator> {
+    match kind.baseline() {
+        Some(baseline) => Box::new(BaselineBackend::new(baseline)),
+        None => Box::new(DquagBackend::new(config.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_order() {
+        let labels: Vec<&str> = ValidatorKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "Deequ auto",
+                "Deequ expert",
+                "TFDV auto",
+                "TFDV expert",
+                "ADQV",
+                "Gate",
+                "DQuaG"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_kind_builds_its_backend() {
+        for kind in ValidatorKind::ALL {
+            let validator = build_validator(kind, &dquag_core::DquagConfig::fast());
+            assert_eq!(validator.name(), kind.label());
+            let caps = validator.capabilities();
+            assert_eq!(caps.cell_flags, kind == ValidatorKind::Dquag);
+            assert_eq!(caps.repair, kind == ValidatorKind::Dquag);
+        }
+    }
+
+    #[test]
+    fn kind_parsing_accepts_labels_and_cli_spellings() {
+        assert_eq!(
+            "DQuaG".parse::<ValidatorKind>().unwrap(),
+            ValidatorKind::Dquag
+        );
+        assert_eq!(
+            "dquag".parse::<ValidatorKind>().unwrap(),
+            ValidatorKind::Dquag
+        );
+        assert_eq!(
+            "deequ-auto".parse::<ValidatorKind>().unwrap(),
+            ValidatorKind::DeequAuto
+        );
+        assert_eq!(
+            "tfdv_expert".parse::<ValidatorKind>().unwrap(),
+            ValidatorKind::TfdvExpert
+        );
+        assert_eq!(
+            "GATE".parse::<ValidatorKind>().unwrap(),
+            ValidatorKind::Gate
+        );
+        assert!("nope".parse::<ValidatorKind>().is_err());
+    }
+
+    #[test]
+    fn kind_serde_round_trips() {
+        for kind in ValidatorKind::ALL {
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: ValidatorKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(kind, back);
+        }
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(ValidatorKind::Adqv.to_string(), "ADQV");
+    }
+}

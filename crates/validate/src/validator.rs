@@ -1,0 +1,94 @@
+//! The unified [`Validator`] trait and its error type.
+
+use crate::verdict::Capabilities;
+use crate::{FitReport, Result, Verdict};
+use dquag_core::CoreError;
+use dquag_tabular::DataFrame;
+use std::fmt;
+
+/// Errors surfaced by the unified validator API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidateError {
+    /// `validate` (or `repair`) was called before `fit`.
+    NotFitted(String),
+    /// An error bubbled up from the DQuaG core pipeline.
+    Core(CoreError),
+    /// The batch is unusable for this validator (wrong schema, empty, …).
+    InvalidBatch(String),
+    /// A configuration value is out of its legal range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::NotFitted(name) => {
+                write!(f, "validator `{name}` must be fitted before validating")
+            }
+            ValidateError::Core(e) => write!(f, "pipeline error: {e}"),
+            ValidateError::InvalidBatch(msg) => write!(f, "invalid batch: {msg}"),
+            ValidateError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl From<CoreError> for ValidateError {
+    fn from(e: CoreError) -> Self {
+        ValidateError::Core(e)
+    }
+}
+
+/// A data-quality validator behind the unified API: fit once on a clean
+/// reference dataset, then judge incoming batches.
+///
+/// The paper's five systems (DQuaG, Deequ, TFDV, ADQV, Gate) all answer the
+/// same question — "is this incoming batch dirty?" — with different amounts
+/// of detail. This trait is the single seam they plug into: benches,
+/// examples, the [`crate::ValidationSession`] and future backends all program
+/// against `dyn Validator` and construct instances through
+/// [`crate::build_validator`].
+///
+/// Implementations must be `Send + Sync`: a fitted validator is immutable
+/// during validation, and the session fans batches out across threads.
+pub trait Validator: Send + Sync {
+    /// Display name used in tables and verdicts (e.g. `"DQuaG"`,
+    /// `"Deequ expert"`).
+    fn name(&self) -> &str;
+
+    /// How much detail this backend can produce.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Fit on the clean reference dataset. May be called again to refit.
+    fn fit(&mut self, clean: &DataFrame) -> Result<FitReport>;
+
+    /// Judge a batch of new data. Errors with [`ValidateError::NotFitted`]
+    /// when called before [`Validator::fit`].
+    fn validate(&self, batch: &DataFrame) -> Result<Verdict>;
+
+    /// Propose a repaired copy of `batch` for the problems named in
+    /// `verdict`. Backends without [`Capabilities::repair`] return
+    /// `Ok(None)` (the default).
+    fn repair(&self, batch: &DataFrame, verdict: &Verdict) -> Result<Option<DataFrame>> {
+        let _ = (batch, verdict);
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(ValidateError::NotFitted("Gate".into())
+            .to_string()
+            .contains("Gate"));
+        assert!(ValidateError::InvalidConfig("epochs = 0".into())
+            .to_string()
+            .contains("epochs"));
+        let core: ValidateError = CoreError::SchemaMismatch("col".into()).into();
+        assert!(core.to_string().contains("col"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Trait-conformance suite: every [`ValidatorKind`] must honour the
+//! [`Verdict`] contract.
+//!
+//! One parameterized test runs each backend through fit → validate on a
+//! clean batch and a corrupted batch (via `dquag-datagen` error injection)
+//! and asserts the shared contract:
+//!
+//! * the verdict is labelled with the validator's name and covers every row;
+//! * the anomaly score does not decrease when the batch is corrupted;
+//! * `violations` is non-empty whenever `is_dirty` is true;
+//! * instance/cell detail is present exactly when the backend's
+//!   [`Capabilities`] claim it (and is internally consistent);
+//! * verdicts survive a serde round-trip;
+//! * validating before fitting fails with `NotFitted`.
+
+use dquag_core::DquagConfig;
+use dquag_datagen::{inject_ordinary, DatasetKind, OrdinaryError};
+use dquag_tabular::DataFrame;
+use dquag_validate::{build_validator, ValidateError, ValidatorKind, Verdict};
+
+fn test_config() -> DquagConfig {
+    DquagConfig::builder()
+        .epochs(10)
+        .batch_size(64)
+        .hidden_dim(12)
+        .n_layers(2)
+        .build()
+        .expect("configuration in range")
+}
+
+/// Clean reference data plus one clean and one clearly corrupted batch.
+fn fixtures() -> (DataFrame, DataFrame, DataFrame) {
+    let kind = DatasetKind::CreditCard;
+    let clean = kind.generate_clean(900, 71);
+    let clean_batch = kind.generate_clean(300, 72);
+    let mut dirty_batch = kind.generate_clean(300, 73);
+    let mut rng = dquag_datagen::rng(74);
+    let columns = kind.default_ordinary_error_columns();
+    inject_ordinary(
+        &mut dirty_batch,
+        OrdinaryError::NumericAnomalies,
+        &columns,
+        0.25,
+        &mut rng,
+    );
+    inject_ordinary(
+        &mut dirty_batch,
+        OrdinaryError::MissingValues,
+        &columns,
+        0.2,
+        &mut rng,
+    );
+    (clean, clean_batch, dirty_batch)
+}
+
+fn assert_verdict_contract(verdict: &Verdict, kind: ValidatorKind, n_rows: usize) {
+    assert_eq!(verdict.validator, kind.label(), "{kind:?}");
+    assert_eq!(verdict.n_instances, n_rows, "{kind:?}");
+    assert!(verdict.score.is_finite(), "{kind:?} score must be finite");
+    if verdict.is_dirty {
+        assert!(
+            !verdict.violations.is_empty(),
+            "{kind:?} flagged the batch but reported no violations"
+        );
+    }
+
+    let caps = build_validator(kind, &test_config()).capabilities();
+    assert_eq!(
+        verdict.instance_errors.is_some(),
+        caps.instance_errors,
+        "{kind:?}"
+    );
+    assert_eq!(verdict.cell_flags.is_some(), caps.cell_flags, "{kind:?}");
+    if let Some(errors) = &verdict.instance_errors {
+        assert_eq!(errors.len(), n_rows, "{kind:?} must score every instance");
+        assert!(
+            errors.iter().all(|e| e.is_finite() && *e >= 0.0),
+            "{kind:?}"
+        );
+        let flagged = verdict
+            .flagged_instances
+            .as_ref()
+            .expect("instance detail includes the flagged list");
+        assert!(
+            flagged.windows(2).all(|w| w[0] < w[1]),
+            "{kind:?} flagged list sorted"
+        );
+        for &row in flagged {
+            assert!(row < n_rows, "{kind:?}");
+            assert!(verdict.is_flagged(row), "{kind:?}");
+        }
+    }
+    if let Some(cells) = &verdict.cell_flags {
+        for cell in cells {
+            assert!(
+                verdict.is_flagged(cell.row),
+                "{kind:?} cell flags live in flagged rows"
+            );
+        }
+    }
+
+    // Serde round-trip: the unified result is a wire format.
+    let json = serde_json::to_string(verdict).expect("verdict serialises");
+    let back: Verdict = serde_json::from_str(&json).expect("verdict deserialises");
+    assert_eq!(
+        &back, verdict,
+        "{kind:?} verdict must survive a serde round-trip"
+    );
+}
+
+#[test]
+fn every_kind_honours_the_verdict_contract() {
+    let (clean, clean_batch, dirty_batch) = fixtures();
+    for kind in ValidatorKind::ALL {
+        let mut validator = build_validator(kind, &test_config());
+
+        // Validating before fitting is a NotFitted error, not a panic.
+        match validator.validate(&clean_batch) {
+            Err(ValidateError::NotFitted(name)) => assert_eq!(name, kind.label()),
+            other => panic!("{kind:?} unfitted validate must fail, got {other:?}"),
+        }
+
+        let fit = validator.fit(&clean).expect("fit succeeds");
+        assert_eq!(fit.validator, kind.label());
+        assert_eq!(fit.n_rows, clean.n_rows());
+        assert_eq!(fit.n_columns, clean.n_cols());
+
+        let clean_verdict = validator.validate(&clean_batch).expect("same schema");
+        let dirty_verdict = validator.validate(&dirty_batch).expect("same schema");
+        assert_verdict_contract(&clean_verdict, kind, clean_batch.n_rows());
+        assert_verdict_contract(&dirty_verdict, kind, dirty_batch.n_rows());
+
+        // The corrupted batch must never look *cleaner* than the clean one.
+        assert!(
+            clean_verdict.score <= dirty_verdict.score + 1e-12,
+            "{kind:?}: clean score {} must not exceed dirty score {}",
+            clean_verdict.score,
+            dirty_verdict.score
+        );
+    }
+}
+
+#[test]
+fn heavily_corrupted_batches_are_flagged_by_every_kind() {
+    // 25% numeric anomalies + 20% missing cells across three attributes is
+    // exactly the error family every system in the paper's Table 1 catches.
+    let (clean, _, dirty_batch) = fixtures();
+    for kind in ValidatorKind::ALL {
+        let mut validator = build_validator(kind, &test_config());
+        validator.fit(&clean).expect("fit succeeds");
+        let verdict = validator.validate(&dirty_batch).expect("same schema");
+        assert!(
+            verdict.is_dirty,
+            "{kind:?} must flag the corrupted batch (score {})",
+            verdict.score
+        );
+        assert!(!verdict.violations.is_empty(), "{kind:?}");
+    }
+}
+
+#[test]
+fn repair_is_gated_by_capabilities() {
+    let (clean, _, dirty_batch) = fixtures();
+    for kind in ValidatorKind::ALL {
+        let mut validator = build_validator(kind, &test_config());
+        validator.fit(&clean).expect("fit succeeds");
+        let verdict = validator.validate(&dirty_batch).expect("same schema");
+        let repaired = validator
+            .repair(&dirty_batch, &verdict)
+            .expect("repair call succeeds");
+        assert_eq!(
+            repaired.is_some(),
+            validator.capabilities().repair,
+            "{kind:?} repair availability must match its capabilities"
+        );
+        if let Some(repaired) = repaired {
+            assert_eq!(repaired.n_rows(), dirty_batch.n_rows());
+            assert_eq!(repaired.schema(), dirty_batch.schema());
+        }
+    }
+}

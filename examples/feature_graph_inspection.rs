@@ -29,7 +29,10 @@ fn main() {
         }
 
         // The relationships in the paper's JSON exchange format.
-        println!("\nrelationship JSON:\n{}", graph.to_relationships().to_json());
+        println!(
+            "\nrelationship JSON:\n{}",
+            graph.to_relationships().to_json()
+        );
 
         // The exact prompt of §3.1.1, ready to paste into an LLM. (Truncated
         // here; the sample rows make it long.)

@@ -2,8 +2,8 @@
 //!
 //! The scenario the paper's introduction motivates: a model is retrained on
 //! data batches arriving daily; before a batch is admitted into the training
-//! set it must pass validation. This example streams a week of hotel-booking
-//! batches — some clean, some corrupted — through the trained validator,
+//! set it must pass validation. This example streams a week of credit-card-application
+//! batches — some clean, some corrupted — through a [`ValidationSession`],
 //! admits the clean ones, repairs-and-admits the mildly corrupted ones, and
 //! quarantines the rest.
 //!
@@ -11,10 +11,10 @@
 //! cargo run --release --example ml_pipeline_gate
 //! ```
 
-use dquag::core::{DquagConfig, DquagValidator};
+use dquag::core::DquagConfig;
 use dquag::datagen::{inject_hidden, inject_ordinary, DatasetKind, HiddenError, OrdinaryError};
-use dquag::gnn::ModelConfig;
 use dquag::tabular::DataFrame;
+use dquag::validate::{ValidationSession, ValidatorKind};
 
 enum GateDecision {
     Admit,
@@ -33,19 +33,24 @@ fn decide(error_rate: f64, threshold: f64) -> GateDecision {
 }
 
 fn main() {
-    let kind = DatasetKind::HotelBooking;
+    let kind = DatasetKind::CreditCard;
     let clean = kind.generate_clean(4_000, 31);
-    let config = DquagConfig {
-        epochs: 15,
-        model: ModelConfig {
-            hidden_dim: 24,
-            ..ModelConfig::default()
-        },
-        validation_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-        ..DquagConfig::default()
-    };
-    let validator = DquagValidator::train(&clean, &[], &config).expect("training");
-    let gate_threshold = validator.config().dataset_error_rate_threshold();
+    let config = DquagConfig::builder()
+        .epochs(15)
+        .hidden_dim(24)
+        .validation_threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+        .build()
+        .expect("configuration in range");
+    let gate_threshold = config.dataset_error_rate_threshold();
+
+    // One session owns the fitted validator for the whole week; its history
+    // doubles as the gate's audit log.
+    let mut session =
+        ValidationSession::train(ValidatorKind::Dquag, &config, &clean).expect("training");
 
     // Seven "daily" batches with different quality problems.
     let mut rng = dquag::datagen::rng(33);
@@ -55,17 +60,40 @@ fn main() {
         let mut batch = kind.generate_clean(500, 100 + day);
         let label = match day {
             1 => {
-                inject_ordinary(&mut batch, OrdinaryError::MissingValues, &columns, 0.1, &mut rng);
-                "10% missing values"
+                inject_ordinary(
+                    &mut batch,
+                    OrdinaryError::MissingValues,
+                    &columns,
+                    0.05,
+                    &mut rng,
+                );
+                "5% missing values"
             }
             3 => {
-                inject_ordinary(&mut batch, OrdinaryError::NumericAnomalies, &columns, 0.3, &mut rng);
-                inject_ordinary(&mut batch, OrdinaryError::StringTypos, &columns, 0.3, &mut rng);
+                inject_ordinary(
+                    &mut batch,
+                    OrdinaryError::NumericAnomalies,
+                    &columns,
+                    0.3,
+                    &mut rng,
+                );
+                inject_ordinary(
+                    &mut batch,
+                    OrdinaryError::StringTypos,
+                    &columns,
+                    0.3,
+                    &mut rng,
+                );
                 "heavily corrupted export"
             }
             5 => {
-                inject_hidden(&mut batch, HiddenError::HotelGroupWithoutAdults, 0.2, &mut rng);
-                "group bookings without adults"
+                inject_hidden(
+                    &mut batch,
+                    HiddenError::CreditEmploymentBeforeBirth,
+                    0.2,
+                    &mut rng,
+                );
+                "applicants employed before their birth"
             }
             _ => "clean",
         };
@@ -74,28 +102,45 @@ fn main() {
 
     let mut training_pool = clean.clone();
     for (label, batch) in &week {
-        let report = validator.validate(batch).expect("same schema");
-        match decide(report.error_rate, gate_threshold) {
+        let verdict = session.push_batch(batch).expect("same schema").clone();
+        match decide(verdict.error_rate(), gate_threshold) {
             GateDecision::Admit => {
                 training_pool.append(batch).expect("same schema");
-                println!("{label:<42} ADMIT          ({:.1}% flagged)", report.error_rate * 100.0);
+                println!(
+                    "{label:<42} ADMIT          ({:.1}% flagged)",
+                    verdict.error_rate() * 100.0
+                );
             }
             GateDecision::RepairAndAdmit => {
-                let repaired = validator.repair(batch, &report).expect("repair");
+                let repaired = session
+                    .validator()
+                    .repair(batch, &verdict)
+                    .expect("repair succeeds")
+                    .expect("DQuaG supports repair");
                 training_pool.append(&repaired).expect("same schema");
                 println!(
                     "{label:<42} REPAIR + ADMIT ({:.1}% flagged, {} cells repaired)",
-                    report.error_rate * 100.0,
-                    report.cell_flags.len()
+                    verdict.error_rate() * 100.0,
+                    verdict.cell_flags.as_ref().map_or(0, Vec::len)
                 );
             }
             GateDecision::Quarantine => {
-                println!("{label:<42} QUARANTINE     ({:.1}% flagged)", report.error_rate * 100.0);
+                println!(
+                    "{label:<42} QUARANTINE     ({:.1}% flagged)",
+                    verdict.error_rate() * 100.0
+                );
             }
         }
     }
+    let summary = session.summary();
     println!(
-        "\ntraining pool grew from {} to {} rows",
+        "\nweek summary: {} batches judged, {} flagged dirty, mean error rate {:.1}%",
+        summary.n_batches,
+        summary.n_dirty,
+        100.0 * summary.mean_error_rate
+    );
+    println!(
+        "training pool grew from {} to {} rows",
         clean.n_rows(),
         training_pool.n_rows()
     );

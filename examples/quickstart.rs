@@ -1,13 +1,16 @@
-//! Quickstart: train DQuaG on clean data, validate an incoming batch, and
-//! repair the cells it flags.
+//! Quickstart: the unified validator API end to end.
+//!
+//! Builds a DQuaG validator through the [`dquag::validate`] registry, fits it
+//! on clean data inside a streaming [`ValidationSession`], pushes an incoming
+//! batch, inspects the graded `Verdict`, and repairs the cells DQuaG flags.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 
-use dquag::core::{DquagConfig, DquagValidator};
+use dquag::core::DquagConfig;
 use dquag::datagen::{inject_ordinary, DatasetKind, OrdinaryError};
-use dquag::gnn::ModelConfig;
+use dquag::validate::{build_validator, ValidationSession, ValidatorKind};
 
 fn main() {
     // 1. A clean reference dataset (stand-in for your curated training data).
@@ -23,47 +26,90 @@ fn main() {
     let mut incoming = DatasetKind::CreditCard.generate_clean(800, 8);
     let mut rng = dquag::datagen::rng(9);
     let columns = DatasetKind::CreditCard.default_ordinary_error_columns();
-    inject_ordinary(&mut incoming, OrdinaryError::NumericAnomalies, &columns, 0.2, &mut rng);
-    inject_ordinary(&mut incoming, OrdinaryError::MissingValues, &columns, 0.2, &mut rng);
-
-    // 3. Train DQuaG: feature-graph inference + GAT/GIN encoder + dual decoder.
-    //    (A lighter-than-paper configuration keeps the example fast.)
-    let config = DquagConfig {
-        epochs: 15,
-        model: ModelConfig {
-            hidden_dim: 24,
-            ..ModelConfig::default()
-        },
-        validation_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-        ..DquagConfig::default()
-    };
-    let validator = DquagValidator::train(&clean, &[&incoming], &config).expect("training");
-    println!(
-        "trained: {} weights, threshold = {:.5}, feature graph has {} edges",
-        validator.training_summary().n_weights,
-        validator.threshold(),
-        validator.feature_graph().n_edges()
+    inject_ordinary(
+        &mut incoming,
+        OrdinaryError::NumericAnomalies,
+        &columns,
+        0.2,
+        &mut rng,
+    );
+    inject_ordinary(
+        &mut incoming,
+        OrdinaryError::MissingValues,
+        &columns,
+        0.2,
+        &mut rng,
     );
 
-    // 4. Validate the incoming batch.
-    let report = validator.validate(&incoming).expect("same schema");
+    // 3. Configure the pipeline through the validated builder (a
+    //    lighter-than-paper setting keeps the example fast) and train DQuaG
+    //    behind the unified `Validator` API. Swapping `ValidatorKind::Dquag`
+    //    for any baseline changes nothing else in this program.
+    let config = DquagConfig::builder()
+        .epochs(15)
+        .hidden_dim(24)
+        .validation_threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+        .build()
+        .expect("configuration in range");
+    let validator = build_validator(ValidatorKind::Dquag, &config);
+    let mut session = ValidationSession::fit(validator, &clean)
+        .expect("training succeeds")
+        .with_threads(config.validation_threads);
+    let fit = session
+        .fit_report()
+        .expect("session fitted the validator")
+        .clone();
+    println!(
+        "trained: {} weights, threshold = {:.5} ({})",
+        fit.n_parameters.unwrap_or(0),
+        fit.threshold.unwrap_or(0.0),
+        fit.notes.join("; ")
+    );
+
+    // 4. Stream the incoming batch through the session.
+    let verdict = session.push_batch(&incoming).expect("same schema").clone();
     println!(
         "incoming batch: {:.1}% of instances flagged → dataset is {}",
-        report.error_rate * 100.0,
-        if report.dataset_is_dirty { "PROBLEMATIC" } else { "clean" }
+        verdict.score * 100.0,
+        if verdict.is_dirty {
+            "PROBLEMATIC"
+        } else {
+            "clean"
+        }
     );
+    for violation in verdict.violations.iter().take(3) {
+        println!("  - {violation}");
+    }
     println!(
         "flagged {} instances, {} individual cells",
-        report.flagged_instances.len(),
-        report.cell_flags.len()
+        verdict.flagged_instances.as_ref().map_or(0, Vec::len),
+        verdict.cell_flags.as_ref().map_or(0, Vec::len),
     );
 
-    // 5. Repair the flagged cells and re-validate.
-    let repaired = validator.repair(&incoming, &report).expect("repair");
-    let after = validator.validate(&repaired).expect("same schema");
+    // 5. Repair the flagged cells (a DQuaG capability) and re-validate.
+    assert!(session.validator().capabilities().repair);
+    let repaired = session
+        .validator()
+        .repair(&incoming, &verdict)
+        .expect("repair succeeds")
+        .expect("DQuaG supports repair");
+    let after = session.push_batch(&repaired).expect("same schema");
     println!(
         "after repair: {:.1}% flagged → dataset is {}",
-        after.error_rate * 100.0,
-        if after.dataset_is_dirty { "still problematic" } else { "clean" }
+        after.score * 100.0,
+        if after.is_dirty {
+            "still problematic"
+        } else {
+            "clean"
+        }
+    );
+    println!(
+        "session history: {} batches, rolling error rate {:.1}%",
+        session.n_batches(),
+        100.0 * session.rolling_error_rate(0)
     );
 }

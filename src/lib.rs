@@ -5,25 +5,40 @@
 //! workspace crates under one roof so that examples, integration tests and
 //! downstream users can depend on a single `dquag` crate:
 //!
+//! * [`validate`] — **the unified validator API**: the `Validator` trait,
+//!   graded `Verdict`s, the `ValidatorKind` registry and the streaming
+//!   `ValidationSession`. Start here.
 //! * [`core`] — the DQuaG pipeline: training, validation, repair.
 //! * [`gnn`] — GAT/GIN/GCN layers, encoder stacks, dual decoders.
 //! * [`graph`] — feature-graph construction and relationship inference.
 //! * [`tabular`] — schemas, dataframes, encoding, statistics, CSV.
 //! * [`tensor`] — dense-matrix autograd and optimizers.
 //! * [`datagen`] — the six evaluation-dataset generators and error injectors.
-//! * [`baselines`] — Deequ / TFDV / ADQV / Gate re-implementations.
+//! * [`baselines`] — Deequ / TFDV / ADQV / Gate re-implementations (the
+//!   low-level SPI wrapped by [`validate`]).
 //!
 //! ## Quickstart
 //!
+//! Every backend — DQuaG and the four baselines — is constructed, fitted and
+//! queried through the same API, and a [`validate::ValidationSession`]
+//! streams incoming batches through a fitted validator:
+//!
 //! ```no_run
-//! use dquag::core::{DquagConfig, DquagValidator};
+//! use dquag::core::DquagConfig;
 //! use dquag::datagen::DatasetKind;
+//! use dquag::validate::{ValidationSession, ValidatorKind};
 //!
 //! let clean = DatasetKind::CreditCard.generate_clean(5_000, 7);
+//! let config = DquagConfig::builder()
+//!     .epochs(15)
+//!     .validation_threads(4)
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut session = ValidationSession::train(ValidatorKind::Dquag, &config, &clean).unwrap();
 //! let incoming = DatasetKind::CreditCard.generate_dirty(1_000, 8);
-//! let validator = DquagValidator::train(&clean, &[&incoming], &DquagConfig::default()).unwrap();
-//! let report = validator.validate(&incoming).unwrap();
-//! println!("dirty: {}", report.dataset_is_dirty);
+//! let verdict = session.push_batch(&incoming).unwrap();
+//! println!("dirty: {} ({:.1}% of instances flagged)", verdict.is_dirty, 100.0 * verdict.score);
 //! ```
 
 #![warn(missing_docs)]
@@ -35,3 +50,4 @@ pub use dquag_gnn as gnn;
 pub use dquag_graph as graph;
 pub use dquag_tabular as tabular;
 pub use dquag_tensor as tensor;
+pub use dquag_validate as validate;

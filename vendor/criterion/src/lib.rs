@@ -1,0 +1,225 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! This build environment has no access to crates.io, so benches link against
+//! a minimal harness with criterion's API shape: `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId` and `Throughput`. It runs a fixed warm-up plus a timed
+//! sample batch and prints mean wall-clock time per iteration (and element
+//! throughput when configured) — enough to compare hot paths locally, with
+//! none of criterion's statistics.
+
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimisation barrier.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, 20, None, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&id.0, self.sample_size, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmark a closure with no input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&id.0, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Finish the group (printing is incremental; nothing left to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: &str, parameter: impl fmt::Display) -> Self {
+        Self(format!("{function_name}/{parameter}"))
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Work performed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing harness handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of the routine.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Warm-up pass.
+    let mut warmup = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut warmup);
+
+    let mut bencher = Bencher {
+        iters: sample_size as u64,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  ({:.0} B/s)", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    println!("{name:<40} {}{rate}", format_duration(per_iter));
+}
+
+fn format_duration(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:>10.3} s ")
+    } else if seconds >= 1e-3 {
+        format!("{:>10.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:>10.3} µs", seconds * 1e6)
+    } else {
+        format!("{:>10.1} ns", seconds * 1e9)
+    }
+}
+
+/// Collect benchmark functions into a runnable group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the given groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_harness_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(5).throughput(Throughput::Elements(10));
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("inc", 10), &3u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x + 1
+            });
+        });
+        group.finish();
+        // one warm-up iteration + five timed iterations
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn duration_formatting_picks_sensible_units() {
+        assert!(format_duration(2.0).contains("s"));
+        assert!(format_duration(2e-3).contains("ms"));
+        assert!(format_duration(2e-6).contains("µs"));
+        assert!(format_duration(2e-9).contains("ns"));
+    }
+}

@@ -1,0 +1,290 @@
+//! Workspace-local stand-in for `serde_derive`.
+//!
+//! A hand-rolled derive macro (no `syn`/`quote` — this build environment has
+//! no access to crates.io) that generates impls of the simplified
+//! `serde::Serialize` / `serde::Deserialize` traits defined in the sibling
+//! `vendor/serde` crate.
+//!
+//! Supported item shapes — exactly what the DQuaG workspace derives:
+//!
+//! * structs with named fields (any visibility, no generics);
+//! * enums whose variants are unit variants or single-field newtype variants.
+//!
+//! Anything else is rejected with a compile-time panic naming the offending
+//! item, so unsupported uses fail loudly instead of mis-serialising.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the simplified `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "map.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut map = ::std::collections::BTreeMap::new();\n{inserts}::serde::Value::Object(map)"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let name = &item.name;
+            let arms: String = variants
+                .iter()
+                .map(|v| match v.kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n",
+                        v = v.name
+                    ),
+                    VariantKind::Newtype => format!(
+                        "{name}::{v}(inner) => {{\n\
+                         let mut map = ::std::collections::BTreeMap::new();\n\
+                         map.insert({v:?}.to_string(), ::serde::Serialize::to_value(inner));\n\
+                         ::serde::Value::Object(map)\n}}\n",
+                        v = v.name
+                    ),
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+        name = item.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derive the simplified `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let field_reads: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(obj.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                         .map_err(|e| ::serde::DeError::custom(format!(\"field `{f}` of {name}: {{e}}\")))?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::DeError::custom(\
+                 format!(\"expected object for {name}, found {{}}\", v.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{field_reads}}})"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.kind == VariantKind::Unit)
+                .map(|v| {
+                    format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let newtype_arms: String = variants
+                .iter()
+                .filter(|v| v.kind == VariantKind::Newtype)
+                .map(|v| {
+                    format!(
+                        "if let ::std::option::Option::Some(inner) = map.get({v:?}) {{\n\
+                         return ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(inner)?));\n}}\n",
+                        v = v.name
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(map) => {{\n\
+                 let _ = map;\n\
+                 {newtype_arms}\
+                 ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant object of {name}\")))\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"expected string or object for {name}, found {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+// --- item parsing ----------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum VariantKind {
+    Unit,
+    Newtype,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    let keyword = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(_)) = tokens.peek() {
+                    tokens.next(); // pub(crate) etc.
+                }
+            }
+            Some(TokenTree::Ident(id)) => break id.to_string(),
+            other => panic!("serde derive: unexpected token before item keyword: {other:?}"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other:?}"),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive: generic item `{name}` is not supported by the vendored serde_derive");
+    }
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => continue,
+            None => panic!(
+                "serde derive: `{name}` has no braced body (tuple/unit structs are unsupported)"
+            ),
+        }
+    };
+    let kind = match keyword.as_str() {
+        "struct" => ItemKind::Struct(parse_struct_fields(body, &name)),
+        "enum" => ItemKind::Enum(parse_enum_variants(body, &name)),
+        other => panic!("serde derive: unsupported item kind `{other}` for `{name}`"),
+    };
+    Item { name, kind }
+}
+
+fn parse_struct_fields(body: TokenStream, item: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let field = loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(_)) = tokens.peek() {
+                        tokens.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => panic!("serde derive: unexpected token in fields of `{item}`: {other:?}"),
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde derive: expected `:` after field `{field}` of `{item}` \
+                 (tuple structs are unsupported), found {other:?}"
+            ),
+        }
+        fields.push(field);
+        // Skip the type up to the next top-level comma. Commas nested in
+        // parenthesised groups are hidden inside `TokenTree::Group`s; commas
+        // inside generic arguments are tracked via angle-bracket depth.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_enum_variants(body: TokenStream, item: &str) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        let name = loop {
+            match tokens.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => {
+                    panic!("serde derive: unexpected token in variants of `{item}`: {other:?}")
+                }
+            }
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let has_comma = g
+                    .stream()
+                    .into_iter()
+                    .any(|t| matches!(&t, TokenTree::Punct(p) if p.as_char() == ','));
+                if has_comma {
+                    panic!(
+                        "serde derive: variant `{name}` of `{item}` has multiple fields \
+                         (only unit and newtype variants are supported)"
+                    );
+                }
+                tokens.next();
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => panic!(
+                "serde derive: struct variant `{name}` of `{item}` is unsupported \
+                 (only unit and newtype variants are supported)"
+            ),
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip to the next comma (covers discriminants, which we ignore).
+        for tok in tokens.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+}
