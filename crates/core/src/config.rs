@@ -2,6 +2,89 @@
 
 use dquag_gnn::{EncoderKind, ModelConfig};
 use dquag_graph::FeatureGraph;
+use std::time::Duration;
+
+/// What a streaming producer experiences when the ingestion queue is full.
+///
+/// The policy is part of the deployment contract: a batch-ETL producer wants
+/// [`Block`] (lossless, the producer absorbs the slowdown), a telemetry-style
+/// producer wants [`DropNewest`] (freshness over completeness), and a
+/// request/response front-end wants [`Reject`] (fail fast, let the caller
+/// retry or shed load).
+///
+/// [`Block`]: BackpressurePolicy::Block
+/// [`DropNewest`]: BackpressurePolicy::DropNewest
+/// [`Reject`]: BackpressurePolicy::Reject
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackpressurePolicy {
+    /// Block the producer until a queue slot frees up (lossless).
+    #[default]
+    Block,
+    /// Silently drop the incoming batch and record it in the stream stats.
+    DropNewest,
+    /// Return immediately with a rejection the producer must handle.
+    Reject,
+}
+
+/// Configuration of the streaming ingestion engine (`dquag-stream`).
+///
+/// Lives in the core config so one `DquagConfig` describes a whole
+/// deployment: model, training, validation fan-out *and* the serving-side
+/// queue discipline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Capacity of the bounded ingestion queue. The engine bounds its whole
+    /// unemitted backlog — queued, in-flight and awaiting emission — at
+    /// `queue_capacity + replicas`, so a slow consumer exerts backpressure
+    /// just like slow workers do; submissions beyond the bound trigger the
+    /// backpressure policy.
+    pub queue_capacity: usize,
+    /// Number of data-parallel validator replicas (worker threads) the
+    /// engine shards batches across.
+    pub replicas: usize,
+    /// What producers experience when the queue is full.
+    pub backpressure: BackpressurePolicy,
+    /// Per-batch validation budget, measured from submission. A batch that
+    /// misses it is reported as deadline-exceeded instead of stalling the
+    /// verdict stream. `None` disables deadlines.
+    pub batch_deadline: Option<Duration>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            replicas: 1,
+            backpressure: BackpressurePolicy::Block,
+            batch_deadline: None,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Validate every field's range, returning the offending field on error.
+    /// The single source of truth for streaming ranges: both
+    /// [`DquagConfig::validated`] and the `dquag-stream` engine builder call
+    /// this.
+    pub fn validated(self) -> crate::Result<Self> {
+        if self.queue_capacity == 0 {
+            return Err(crate::CoreError::InvalidConfig(
+                "stream.queue_capacity must be at least 1".to_string(),
+            ));
+        }
+        if self.replicas == 0 {
+            return Err(crate::CoreError::InvalidConfig(
+                "stream.replicas must be at least 1".to_string(),
+            ));
+        }
+        if self.batch_deadline == Some(Duration::ZERO) {
+            return Err(crate::CoreError::InvalidConfig(
+                "stream.batch_deadline must be nonzero when set".to_string(),
+            ));
+        }
+        Ok(self)
+    }
+}
 
 /// Configuration of the end-to-end DQuaG pipeline.
 ///
@@ -36,6 +119,9 @@ pub struct DquagConfig {
     pub oracle_sample_size: usize,
     /// Worker threads used during phase-2 validation (1 = sequential).
     pub validation_threads: usize,
+    /// Streaming ingestion engine settings (queue, replicas, backpressure,
+    /// deadlines) — consumed by `dquag-stream`.
+    pub stream: StreamConfig,
     /// Random seed controlling initialisation and batch shuffling.
     pub seed: u64,
     /// Bypass relationship inference and use this feature graph instead.
@@ -57,6 +143,7 @@ impl Default for DquagConfig {
             feature_sigma: 5.0,
             oracle_sample_size: 100,
             validation_threads: 1,
+            stream: StreamConfig::default(),
             seed: 42,
             feature_graph_override: None,
         }
@@ -151,6 +238,7 @@ impl DquagConfig {
         if self.validation_threads == 0 {
             return fail("validation_threads must be at least 1".to_string());
         }
+        self.stream.clone().validated()?;
         if self.model.hidden_dim == 0 || self.model.n_layers == 0 {
             return fail(format!(
                 "model must have nonzero hidden_dim and n_layers, got {} × {}",
@@ -264,6 +352,37 @@ impl DquagConfigBuilder {
     /// Worker threads used during phase-2 validation.
     pub fn validation_threads(mut self, threads: usize) -> Self {
         self.config.validation_threads = threads;
+        self
+    }
+
+    /// Replace the whole streaming-engine configuration block.
+    pub fn stream(mut self, stream: StreamConfig) -> Self {
+        self.config.stream = stream;
+        self
+    }
+
+    /// Capacity of the streaming engine's bounded ingestion queue.
+    pub fn stream_queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.stream.queue_capacity = capacity;
+        self
+    }
+
+    /// Number of data-parallel validator replicas in the streaming engine.
+    pub fn stream_replicas(mut self, replicas: usize) -> Self {
+        self.config.stream.replicas = replicas;
+        self
+    }
+
+    /// Producer-side behaviour when the streaming queue is full.
+    pub fn stream_backpressure(mut self, policy: BackpressurePolicy) -> Self {
+        self.config.stream.backpressure = policy;
+        self
+    }
+
+    /// Per-batch validation budget in the streaming engine, measured from
+    /// submission.
+    pub fn stream_batch_deadline(mut self, deadline: Duration) -> Self {
+        self.config.stream.batch_deadline = Some(deadline);
         self
     }
 
@@ -399,6 +518,15 @@ mod tests {
                 DquagConfig::builder().validation_threads(0),
                 "validation_threads",
             ),
+            (
+                DquagConfig::builder().stream_queue_capacity(0),
+                "queue_capacity",
+            ),
+            (DquagConfig::builder().stream_replicas(0), "replicas"),
+            (
+                DquagConfig::builder().stream_batch_deadline(Duration::ZERO),
+                "batch_deadline",
+            ),
             (DquagConfig::builder().hidden_dim(0), "hidden_dim"),
         ];
         for (builder, field) in cases {
@@ -416,5 +544,37 @@ mod tests {
     fn validated_accepts_the_defaults() {
         assert!(DquagConfig::default().validated().is_ok());
         assert!(DquagConfig::fast().validated().is_ok());
+    }
+
+    #[test]
+    fn stream_defaults_and_setters() {
+        let c = DquagConfig::default();
+        assert_eq!(c.stream.queue_capacity, 64);
+        assert_eq!(c.stream.replicas, 1);
+        assert_eq!(c.stream.backpressure, BackpressurePolicy::Block);
+        assert_eq!(c.stream.batch_deadline, None);
+
+        let c = DquagConfig::builder()
+            .stream_queue_capacity(8)
+            .stream_replicas(4)
+            .stream_backpressure(BackpressurePolicy::Reject)
+            .stream_batch_deadline(Duration::from_millis(250))
+            .build()
+            .expect("stream values in range");
+        assert_eq!(c.stream.queue_capacity, 8);
+        assert_eq!(c.stream.replicas, 4);
+        assert_eq!(c.stream.backpressure, BackpressurePolicy::Reject);
+        assert_eq!(c.stream.batch_deadline, Some(Duration::from_millis(250)));
+
+        let block = DquagConfig::builder()
+            .stream(StreamConfig {
+                queue_capacity: 2,
+                replicas: 2,
+                backpressure: BackpressurePolicy::DropNewest,
+                batch_deadline: None,
+            })
+            .build()
+            .expect("stream block in range");
+        assert_eq!(block.stream.backpressure, BackpressurePolicy::DropNewest);
     }
 }

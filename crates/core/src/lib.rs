@@ -50,7 +50,7 @@ mod pipeline;
 
 pub mod metrics;
 
-pub use config::{DquagConfig, DquagConfigBuilder};
+pub use config::{BackpressurePolicy, DquagConfig, DquagConfigBuilder, StreamConfig};
 pub use error::CoreError;
 pub use pipeline::{CellFlag, DquagValidator, TrainingSummary, ValidationReport};
 

@@ -1,0 +1,643 @@
+//! The streaming engine: bounded ingestion, sharded workers, re-sequenced
+//! emission.
+
+use crate::outcome::{EngineClosed, StreamItem, StreamOutcome, SubmitOutcome};
+use crate::stats::{StatsInner, StreamStats};
+use dquag_core::{BackpressurePolicy, DquagConfig, StreamConfig};
+use dquag_tabular::DataFrame;
+use dquag_validate::{ValidateError, Validator};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A batch accepted into the ingestion queue, waiting for a worker.
+struct Job {
+    seq: u64,
+    batch: DataFrame,
+    submitted_at: Instant,
+    deadline_at: Option<Instant>,
+    budget: Option<Duration>,
+}
+
+/// What the consumer needs to know about a not-yet-finished batch: enough to
+/// emit a deadline-exceeded outcome without the batch itself.
+struct PendingMeta {
+    submitted_at: Instant,
+    deadline_at: Option<Instant>,
+    budget: Option<Duration>,
+    n_rows: usize,
+}
+
+/// A finished batch waiting to be emitted in submission order.
+struct Done {
+    outcome: StreamOutcome,
+    submitted_at: Instant,
+    n_rows: usize,
+}
+
+/// All mutable engine state, under one mutex.
+///
+/// Invariants: every accepted seq below `next_emit` has been emitted exactly
+/// once; every accepted seq in `next_emit..next_seq` is in exactly one of
+/// `queue`, a worker's hands (counted by `in_flight`) or `done`; `pending`
+/// holds the metadata of every accepted, not-yet-finished seq.
+struct State {
+    queue: VecDeque<Job>,
+    done: BTreeMap<u64, Done>,
+    pending: BTreeMap<u64, PendingMeta>,
+    next_seq: u64,
+    next_emit: u64,
+    in_flight: usize,
+    producers: usize,
+    closed: bool,
+    stats: StatsInner,
+}
+
+impl State {
+    /// Accepted batches not yet emitted: queued, being validated, or parked
+    /// in the re-sequencing buffer. This — not the queue alone — is what
+    /// backpressure bounds, so a slow *consumer* pushes back on producers
+    /// just like slow workers do (the re-sequencing buffer can never grow
+    /// without limit).
+    fn outstanding(&self) -> usize {
+        self.queue.len() + self.in_flight + self.done.len()
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Producers blocked on a full queue (`Block` policy).
+    not_full: Condvar,
+    /// Workers waiting for queued batches.
+    not_empty: Condvar,
+    /// The consumer waiting for the next in-order outcome (also signalled on
+    /// submission and close, so deadline tracking stays current).
+    progress: Condvar,
+    capacity: usize,
+    policy: BackpressurePolicy,
+    default_budget: Option<Duration>,
+    replicas: usize,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().expect("engine state mutex poisoned")
+    }
+
+    /// The engine holds at most `queue_capacity + replicas` unemitted
+    /// batches: a full queue plus one batch per worker's hands.
+    fn is_full(&self, st: &State) -> bool {
+        st.outstanding() >= self.capacity + self.replicas
+    }
+
+    fn close(&self) {
+        let mut st = self.lock();
+        st.closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+        self.progress.notify_all();
+    }
+
+    fn snapshot(&self) -> StreamStats {
+        let st = self.lock();
+        st.stats
+            .snapshot(st.queue.len(), st.in_flight, self.replicas)
+    }
+}
+
+/// Configures and starts a [`StreamEngine`].
+///
+/// Defaults come from [`StreamConfig::default`]; [`stream_config`] adopts a
+/// whole block (typically `DquagConfig::stream`), the individual setters
+/// override single knobs.
+///
+/// [`stream_config`]: StreamEngineBuilder::stream_config
+#[derive(Debug, Clone, Default)]
+pub struct StreamEngineBuilder {
+    config: StreamConfig,
+}
+
+impl StreamEngineBuilder {
+    /// Adopt a whole streaming configuration block.
+    pub fn stream_config(mut self, config: &StreamConfig) -> Self {
+        self.config = config.clone();
+        self
+    }
+
+    /// Capacity of the bounded ingestion queue.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Number of data-parallel validator replicas (worker threads).
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.config.replicas = replicas;
+        self
+    }
+
+    /// Producer-side behaviour when the queue is full.
+    pub fn backpressure(mut self, policy: BackpressurePolicy) -> Self {
+        self.config.backpressure = policy;
+        self
+    }
+
+    /// Per-batch validation budget, measured from submission.
+    pub fn batch_deadline(mut self, deadline: Duration) -> Self {
+        self.config.batch_deadline = Some(deadline);
+        self
+    }
+
+    /// Start the engine over a *fitted* validator, spawning the worker pool.
+    ///
+    /// Worker 0 uses `validator` itself; further workers get independent
+    /// fitted replicas via [`Validator::replicate`], falling back to sharing
+    /// the original behind an `Arc` for backends that cannot copy their
+    /// fitted state (sound — validation takes `&self`).
+    ///
+    /// Returns the engine (control plane: stats, shutdown), an
+    /// [`IngestHandle`] (producer side, cloneable) and the [`VerdictStream`]
+    /// (consumer side, emits outcomes in submission order).
+    pub fn start(
+        self,
+        validator: Box<dyn Validator>,
+    ) -> Result<(StreamEngine, IngestHandle, VerdictStream), ValidateError> {
+        let config = self.config.validated().map_err(ValidateError::from)?;
+
+        let primary: Arc<dyn Validator> = Arc::from(validator);
+        let mut validators: Vec<Arc<dyn Validator>> = vec![Arc::clone(&primary)];
+        for _ in 1..config.replicas {
+            validators.push(match primary.replicate() {
+                Some(replica) => Arc::from(replica),
+                None => Arc::clone(&primary),
+            });
+        }
+
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(config.queue_capacity),
+                done: BTreeMap::new(),
+                pending: BTreeMap::new(),
+                next_seq: 0,
+                next_emit: 0,
+                in_flight: 0,
+                producers: 1,
+                closed: false,
+                stats: StatsInner::new(),
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            progress: Condvar::new(),
+            capacity: config.queue_capacity,
+            policy: config.backpressure,
+            default_budget: config.batch_deadline,
+            replicas: config.replicas,
+        });
+
+        let workers = validators
+            .into_iter()
+            .enumerate()
+            .map(|(index, validator)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dquag-stream-{index}"))
+                    .spawn(move || worker_loop(&shared, &*validator))
+                    .expect("spawning a stream worker thread succeeds")
+            })
+            .collect();
+
+        Ok((
+            StreamEngine {
+                shared: Arc::clone(&shared),
+                workers,
+            },
+            IngestHandle {
+                shared: Arc::clone(&shared),
+            },
+            VerdictStream { shared },
+        ))
+    }
+}
+
+/// One worker: pop → validate → file the outcome for re-sequencing.
+fn worker_loop(shared: &Shared, validator: &dyn Validator) {
+    loop {
+        let job = {
+            let mut st = shared.lock();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    // No not_full notify: a pop moves the batch from queued
+                    // to in-flight, leaving the outstanding total unchanged.
+                    st.in_flight += 1;
+                    break Some(job);
+                }
+                if st.closed {
+                    break None;
+                }
+                st = shared
+                    .not_empty
+                    .wait(st)
+                    .expect("engine state mutex poisoned");
+            }
+        };
+        let Some(job) = job else {
+            return;
+        };
+
+        let n_rows = job.batch.n_rows();
+        let mut validated = false;
+        let expired = |deadline_at: Option<Instant>| {
+            deadline_at.is_some_and(|deadline| Instant::now() >= deadline)
+        };
+        let deadline_outcome = |job: &Job| StreamOutcome::DeadlineExceeded {
+            budget: job.budget.expect("a deadline implies a budget"),
+            waited: job.submitted_at.elapsed(),
+        };
+        // A batch that expired while queued is not worth validating; a batch
+        // that expires *during* validation still finishes (std threads cannot
+        // be cancelled) but its verdict is degraded to the deadline outcome
+        // the consumer may already have emitted.
+        let outcome = if expired(job.deadline_at) {
+            deadline_outcome(&job)
+        } else {
+            match validator.validate(&job.batch) {
+                Ok(verdict) => {
+                    validated = true;
+                    if expired(job.deadline_at) {
+                        deadline_outcome(&job)
+                    } else {
+                        StreamOutcome::Verdict(verdict)
+                    }
+                }
+                Err(error) => StreamOutcome::Failed(error),
+            }
+        };
+
+        let mut st = shared.lock();
+        st.in_flight -= 1;
+        if validated {
+            st.stats.rows_validated += n_rows as u64;
+        }
+        if job.seq >= st.next_emit {
+            st.pending.remove(&job.seq);
+            st.done.insert(
+                job.seq,
+                Done {
+                    outcome,
+                    submitted_at: job.submitted_at,
+                    n_rows,
+                },
+            );
+        } else {
+            // The consumer already reported this seq as deadline-exceeded;
+            // discarding it frees an outstanding slot.
+            st.stats.late_discarded += 1;
+            shared.not_full.notify_one();
+        }
+        drop(st);
+        shared.progress.notify_all();
+    }
+}
+
+/// The running engine: control plane over the worker pool.
+///
+/// Producers talk to the [`IngestHandle`], the consumer drains the
+/// [`VerdictStream`]; this handle snapshots [`StreamStats`] while traffic
+/// flows and performs the graceful [`shutdown`]. Dropping the engine also
+/// shuts it down (draining queued batches first).
+///
+/// [`shutdown`]: StreamEngine::shutdown
+pub struct StreamEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl StreamEngine {
+    /// Start configuring an engine.
+    pub fn builder() -> StreamEngineBuilder {
+        StreamEngineBuilder::default()
+    }
+
+    /// Start an engine configured by `config.stream` over a fitted validator.
+    pub fn from_config(
+        config: &DquagConfig,
+        validator: Box<dyn Validator>,
+    ) -> Result<(StreamEngine, IngestHandle, VerdictStream), ValidateError> {
+        Self::builder()
+            .stream_config(&config.stream)
+            .start(validator)
+    }
+
+    /// Snapshot the live statistics without pausing the workers.
+    pub fn stats(&self) -> StreamStats {
+        self.shared.snapshot()
+    }
+
+    /// Number of validator replicas (worker threads).
+    pub fn replicas(&self) -> usize {
+        self.shared.replicas
+    }
+
+    /// Gracefully shut down: close ingestion, let the workers drain every
+    /// queued and in-flight batch, join them, and return the final
+    /// statistics. Already-produced outcomes stay available on the
+    /// [`VerdictStream`] — no accepted batch is lost.
+    pub fn shutdown(mut self) -> StreamStats {
+        self.shared.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for StreamEngine {
+    fn drop(&mut self) {
+        self.shared.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Producer side of the engine. Cloneable — every producer thread gets its
+/// own handle; the stream closes when the last handle drops (or when
+/// [`close`] / [`StreamEngine::shutdown`] is called explicitly).
+///
+/// [`close`]: IngestHandle::close
+pub struct IngestHandle {
+    shared: Arc<Shared>,
+}
+
+impl IngestHandle {
+    /// Submit a batch under the engine's backpressure policy and default
+    /// deadline. When the engine is full — `queue_capacity + replicas`
+    /// batches accepted but not yet emitted, whether they are queued,
+    /// in-flight or waiting for the consumer — this blocks (`Block`),
+    /// discards the batch (`DropNewest`) or refuses it (`Reject`); the
+    /// returned [`SubmitOutcome`] says which happened.
+    pub fn submit(&self, batch: DataFrame) -> Result<SubmitOutcome, EngineClosed> {
+        self.submit_inner(batch, self.shared.default_budget, None)
+    }
+
+    /// Submit with an explicit per-batch validation budget, overriding the
+    /// engine default.
+    pub fn submit_with_budget(
+        &self,
+        batch: DataFrame,
+        budget: Duration,
+    ) -> Result<SubmitOutcome, EngineClosed> {
+        self.submit_inner(batch, Some(budget), None)
+    }
+
+    /// Like [`submit`], but a `Block`ed producer gives up after `timeout`
+    /// and gets [`SubmitOutcome::TimedOut`] back. The timeout is irrelevant
+    /// under `DropNewest`/`Reject`, which never block.
+    ///
+    /// [`submit`]: IngestHandle::submit
+    pub fn submit_timeout(
+        &self,
+        batch: DataFrame,
+        timeout: Duration,
+    ) -> Result<SubmitOutcome, EngineClosed> {
+        self.submit_inner(batch, self.shared.default_budget, Some(timeout))
+    }
+
+    fn submit_inner(
+        &self,
+        batch: DataFrame,
+        budget: Option<Duration>,
+        timeout: Option<Duration>,
+    ) -> Result<SubmitOutcome, EngineClosed> {
+        let shared = &*self.shared;
+        let mut st = shared.lock();
+        if st.closed {
+            return Err(EngineClosed);
+        }
+        if shared.is_full(&st) {
+            match shared.policy {
+                BackpressurePolicy::DropNewest => {
+                    st.stats.dropped += 1;
+                    return Ok(SubmitOutcome::Dropped);
+                }
+                BackpressurePolicy::Reject => {
+                    st.stats.rejected += 1;
+                    return Ok(SubmitOutcome::Rejected);
+                }
+                BackpressurePolicy::Block => {
+                    let give_up_at = timeout.map(|t| Instant::now() + t);
+                    while shared.is_full(&st) && !st.closed {
+                        st = match give_up_at {
+                            Some(give_up_at) => {
+                                let now = Instant::now();
+                                if now >= give_up_at {
+                                    st.stats.timed_out += 1;
+                                    return Ok(SubmitOutcome::TimedOut);
+                                }
+                                shared
+                                    .not_full
+                                    .wait_timeout(st, give_up_at - now)
+                                    .expect("engine state mutex poisoned")
+                                    .0
+                            }
+                            None => shared
+                                .not_full
+                                .wait(st)
+                                .expect("engine state mutex poisoned"),
+                        };
+                    }
+                    if st.closed {
+                        return Err(EngineClosed);
+                    }
+                }
+            }
+        }
+
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let now = Instant::now();
+        let deadline_at = budget.map(|b| now + b);
+        st.pending.insert(
+            seq,
+            PendingMeta {
+                submitted_at: now,
+                deadline_at,
+                budget,
+                n_rows: batch.n_rows(),
+            },
+        );
+        st.queue.push_back(Job {
+            seq,
+            batch,
+            submitted_at: now,
+            deadline_at,
+            budget,
+        });
+        st.stats.submitted += 1;
+        drop(st);
+        shared.not_empty.notify_one();
+        // The consumer tracks the deadline of the next seq to emit, so it
+        // must learn about new submissions too.
+        shared.progress.notify_all();
+        Ok(SubmitOutcome::Enqueued(seq))
+    }
+
+    /// Close ingestion for every producer. Queued and in-flight batches are
+    /// still drained and emitted.
+    pub fn close(&self) {
+        self.shared.close();
+    }
+
+    /// True once the engine no longer accepts submissions.
+    pub fn is_closed(&self) -> bool {
+        self.shared.lock().closed
+    }
+
+    /// Snapshot the live statistics.
+    pub fn stats(&self) -> StreamStats {
+        self.shared.snapshot()
+    }
+}
+
+impl Clone for IngestHandle {
+    fn clone(&self) -> Self {
+        self.shared.lock().producers += 1;
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl Drop for IngestHandle {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.producers -= 1;
+        let last = st.producers == 0;
+        drop(st);
+        if last {
+            self.shared.close();
+        }
+    }
+}
+
+/// Consumer side of the engine: outcomes in submission order, one per
+/// accepted batch, ending once ingestion is closed and everything drained.
+///
+/// The stream re-sequences the sharded workers' results, so replica count
+/// never changes what the consumer observes — only how fast it arrives. A
+/// batch past its deadline is emitted as
+/// [`StreamOutcome::DeadlineExceeded`] the moment the budget lapses; the
+/// stream never waits for a straggler.
+pub struct VerdictStream {
+    shared: Arc<Shared>,
+}
+
+impl VerdictStream {
+    /// Block until the next in-order outcome (or `None` once the engine is
+    /// closed and fully drained).
+    pub fn recv(&mut self) -> Option<StreamItem> {
+        let shared = &*self.shared;
+        let mut st = shared.lock();
+        loop {
+            let seq = st.next_emit;
+            if let Some(done) = st.done.remove(&seq) {
+                st.next_emit += 1;
+                let latency = done.submitted_at.elapsed();
+                Self::count_emission(&mut st, &done.outcome, latency);
+                // Emission frees an outstanding slot — a blocked producer can
+                // move again (backpressure is end to end, consumer included).
+                shared.not_full.notify_one();
+                return Some(StreamItem {
+                    seq,
+                    n_rows: done.n_rows,
+                    latency,
+                    outcome: done.outcome,
+                });
+            }
+            if st.closed && st.queue.is_empty() && st.in_flight == 0 && st.done.is_empty() {
+                return None;
+            }
+
+            let now = Instant::now();
+            match st.pending.get(&seq).and_then(|meta| meta.deadline_at) {
+                // The next batch to emit has blown its budget: report it now
+                // instead of stalling the stream behind it. If it is still
+                // queued it is withdrawn; if a worker holds it, the eventual
+                // verdict is discarded as late.
+                Some(deadline_at) if now >= deadline_at => {
+                    let meta = st.pending.remove(&seq).expect("meta checked above");
+                    if let Some(position) = st.queue.iter().position(|job| job.seq == seq) {
+                        st.queue.remove(position);
+                        shared.not_full.notify_one();
+                    }
+                    st.next_emit += 1;
+                    let waited = meta.submitted_at.elapsed();
+                    let outcome = StreamOutcome::DeadlineExceeded {
+                        budget: meta.budget.expect("a deadline implies a budget"),
+                        waited,
+                    };
+                    Self::count_emission(&mut st, &outcome, waited);
+                    return Some(StreamItem {
+                        seq,
+                        n_rows: meta.n_rows,
+                        latency: waited,
+                        outcome,
+                    });
+                }
+                Some(deadline_at) => {
+                    st = shared
+                        .progress
+                        .wait_timeout(st, deadline_at - now)
+                        .expect("engine state mutex poisoned")
+                        .0;
+                }
+                None => {
+                    st = shared
+                        .progress
+                        .wait(st)
+                        .expect("engine state mutex poisoned");
+                }
+            }
+        }
+    }
+
+    fn count_emission(st: &mut State, outcome: &StreamOutcome, latency: Duration) {
+        st.stats.emitted += 1;
+        match outcome {
+            StreamOutcome::Verdict(verdict) => {
+                if verdict.is_dirty {
+                    st.stats.dirty += 1;
+                }
+            }
+            StreamOutcome::DeadlineExceeded { .. } => st.stats.deadline_exceeded += 1,
+            StreamOutcome::Failed(_) => st.stats.failed += 1,
+        }
+        st.stats.record_latency(latency);
+    }
+
+    /// Snapshot the live statistics.
+    pub fn stats(&self) -> StreamStats {
+        self.shared.snapshot()
+    }
+}
+
+impl Iterator for VerdictStream {
+    type Item = StreamItem;
+
+    fn next(&mut self) -> Option<StreamItem> {
+        self.recv()
+    }
+}
+
+/// Dropping the consumer closes the engine, mirroring
+/// [`std::sync::mpsc`]'s receiver-disconnect semantics: with nobody left to
+/// drain outcomes, `Block`ed producers would otherwise wedge forever once
+/// the outstanding bound fills — instead their next `submit` gets
+/// [`EngineClosed`].
+impl Drop for VerdictStream {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}

@@ -1,0 +1,230 @@
+//! Live operational statistics of a running [`crate::StreamEngine`].
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How many recent per-batch latencies the percentile window keeps.
+const LATENCY_WINDOW: usize = 4096;
+
+/// A point-in-time snapshot of a running engine, taken with
+/// [`crate::StreamEngine::stats`] (or from either handle) without pausing
+/// the workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    /// Batches accepted into the queue so far.
+    pub submitted: u64,
+    /// Batches discarded by the `DropNewest` policy.
+    pub dropped: u64,
+    /// Submissions refused by the `Reject` policy.
+    pub rejected: u64,
+    /// `submit_timeout` calls that gave up waiting for a slot.
+    pub timed_out: u64,
+    /// Outcomes emitted on the verdict stream so far.
+    pub emitted: u64,
+    /// Emitted outcomes whose verdict judged the batch dirty.
+    pub dirty: u64,
+    /// Emitted outcomes where the backend errored.
+    pub failed: u64,
+    /// Emitted outcomes that missed their validation deadline.
+    pub deadline_exceeded: u64,
+    /// Verdicts that arrived after their batch had already been reported as
+    /// deadline-exceeded (wasted work, discarded).
+    pub late_discarded: u64,
+    /// Batches currently waiting in the ingestion queue.
+    pub queue_depth: usize,
+    /// Batches currently being validated by a worker.
+    pub in_flight: usize,
+    /// Rows of all batches that completed validation.
+    pub rows_validated: u64,
+    /// Validated rows per second of engine uptime.
+    pub rows_per_sec: f64,
+    /// Median submission-to-emission latency over the recent window.
+    pub p50_latency: Duration,
+    /// 99th-percentile submission-to-emission latency over the recent window.
+    pub p99_latency: Duration,
+    /// Time since the engine started.
+    pub uptime: Duration,
+    /// Number of validator replicas (worker threads).
+    pub replicas: usize,
+}
+
+impl StreamStats {
+    /// Fraction of emitted verdicts that judged their batch dirty
+    /// (0.0 when nothing has been emitted).
+    pub fn dirty_rate(&self) -> f64 {
+        if self.emitted == 0 {
+            0.0
+        } else {
+            self.dirty as f64 / self.emitted as f64
+        }
+    }
+}
+
+/// One line for dashboards and logs, e.g.
+/// `12 emitted (3 dirty, 25.0%), queue 2, in-flight 4, 18432 rows/s, p50 41.2 ms, p99 97.0 ms`.
+impl fmt::Display for StreamStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} emitted ({} dirty, {:.1}%), queue {}, in-flight {}, {:.0} rows/s, \
+             p50 {:.1} ms, p99 {:.1} ms",
+            self.emitted,
+            self.dirty,
+            100.0 * self.dirty_rate(),
+            self.queue_depth,
+            self.in_flight,
+            self.rows_per_sec,
+            self.p50_latency.as_secs_f64() * 1e3,
+            self.p99_latency.as_secs_f64() * 1e3,
+        )?;
+        if self.dropped + self.rejected + self.timed_out > 0 {
+            write!(
+                f,
+                ", {} dropped / {} rejected / {} timed out",
+                self.dropped, self.rejected, self.timed_out
+            )?;
+        }
+        if self.deadline_exceeded > 0 {
+            write!(f, ", {} deadline-exceeded", self.deadline_exceeded)?;
+        }
+        Ok(())
+    }
+}
+
+/// Mutable counters living under the engine mutex.
+#[derive(Debug)]
+pub(crate) struct StatsInner {
+    pub submitted: u64,
+    pub dropped: u64,
+    pub rejected: u64,
+    pub timed_out: u64,
+    pub emitted: u64,
+    pub dirty: u64,
+    pub failed: u64,
+    pub deadline_exceeded: u64,
+    pub late_discarded: u64,
+    pub rows_validated: u64,
+    /// Recent per-batch latencies in seconds, oldest first, capped at
+    /// [`LATENCY_WINDOW`] so long-running engines stay bounded.
+    latencies: VecDeque<f64>,
+    started_at: Instant,
+}
+
+impl StatsInner {
+    pub fn new() -> Self {
+        Self {
+            submitted: 0,
+            dropped: 0,
+            rejected: 0,
+            timed_out: 0,
+            emitted: 0,
+            dirty: 0,
+            failed: 0,
+            deadline_exceeded: 0,
+            late_discarded: 0,
+            rows_validated: 0,
+            latencies: VecDeque::new(),
+            started_at: Instant::now(),
+        }
+    }
+
+    pub fn record_latency(&mut self, latency: Duration) {
+        if self.latencies.len() == LATENCY_WINDOW {
+            self.latencies.pop_front();
+        }
+        self.latencies.push_back(latency.as_secs_f64());
+    }
+
+    pub fn snapshot(&self, queue_depth: usize, in_flight: usize, replicas: usize) -> StreamStats {
+        let uptime = self.started_at.elapsed();
+        let mut sorted: Vec<f64> = self.latencies.iter().copied().collect();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let percentile = |q: f64| -> Duration {
+            if sorted.is_empty() {
+                return Duration::ZERO;
+            }
+            let index = ((sorted.len() - 1) as f64 * q).round() as usize;
+            Duration::from_secs_f64(sorted[index])
+        };
+        StreamStats {
+            submitted: self.submitted,
+            dropped: self.dropped,
+            rejected: self.rejected,
+            timed_out: self.timed_out,
+            emitted: self.emitted,
+            dirty: self.dirty,
+            failed: self.failed,
+            deadline_exceeded: self.deadline_exceeded,
+            late_discarded: self.late_discarded,
+            queue_depth,
+            in_flight,
+            rows_validated: self.rows_validated,
+            rows_per_sec: if uptime.is_zero() {
+                0.0
+            } else {
+                self.rows_validated as f64 / uptime.as_secs_f64()
+            },
+            p50_latency: percentile(0.50),
+            p99_latency: percentile(0.99),
+            uptime,
+            replicas,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_recorded_latencies() {
+        let mut inner = StatsInner::new();
+        for ms in 1..=100u64 {
+            inner.record_latency(Duration::from_millis(ms));
+        }
+        inner.emitted = 100;
+        inner.dirty = 25;
+        let stats = inner.snapshot(3, 2, 4);
+        assert_eq!(stats.queue_depth, 3);
+        assert_eq!(stats.in_flight, 2);
+        assert_eq!(stats.replicas, 4);
+        assert!((stats.dirty_rate() - 0.25).abs() < 1e-12);
+        // 1..=100 ms: the median rounds to ~50-51 ms, p99 to ~99-100 ms.
+        assert!(stats.p50_latency >= Duration::from_millis(49));
+        assert!(stats.p50_latency <= Duration::from_millis(52));
+        assert!(stats.p99_latency >= Duration::from_millis(98));
+        let line = stats.to_string();
+        assert!(line.contains("100 emitted"));
+        assert!(line.contains("25 dirty"));
+    }
+
+    #[test]
+    fn empty_stats_are_all_zero() {
+        let stats = StatsInner::new().snapshot(0, 0, 1);
+        assert_eq!(stats.emitted, 0);
+        assert_eq!(stats.dirty_rate(), 0.0);
+        assert_eq!(stats.p50_latency, Duration::ZERO);
+        assert_eq!(stats.p99_latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let mut inner = StatsInner::new();
+        for _ in 0..(LATENCY_WINDOW + 100) {
+            inner.record_latency(Duration::from_millis(1));
+        }
+        assert_eq!(inner.latencies.len(), LATENCY_WINDOW);
+    }
+
+    #[test]
+    fn display_mentions_losses_only_when_present() {
+        let mut inner = StatsInner::new();
+        assert!(!inner.snapshot(0, 0, 1).to_string().contains("dropped"));
+        inner.dropped = 2;
+        inner.deadline_exceeded = 1;
+        let line = inner.snapshot(0, 0, 1).to_string();
+        assert!(line.contains("2 dropped"));
+        assert!(line.contains("1 deadline-exceeded"));
+    }
+}

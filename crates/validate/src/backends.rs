@@ -171,6 +171,18 @@ impl Validator for DquagBackend {
         );
         Ok(Some(validator.repair(batch, &report)?))
     }
+
+    fn replicate(&self) -> Option<Box<dyn Validator>> {
+        // The fitted core validator is plain data (weights, encoder,
+        // thresholds), so a clone is a true independent replica.
+        self.fitted.as_ref().map(|fitted| {
+            Box::new(DquagBackend {
+                config: self.config.clone(),
+                future: self.future.clone(),
+                fitted: Some(fitted.clone()),
+            }) as Box<dyn Validator>
+        })
+    }
 }
 
 /// One of the four baseline systems (six configurations) behind the unified

@@ -5,6 +5,7 @@ use crate::{build_validator, FitReport, Result, Validator, ValidatorKind, Verdic
 use dquag_core::DquagConfig;
 use dquag_tabular::DataFrame;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// A streaming validation front-end over a fitted [`Validator`].
 ///
@@ -217,4 +218,102 @@ pub struct SessionSummary {
     pub dirty_fraction: f64,
     /// Mean per-batch error rate over the whole history.
     pub mean_error_rate: f64,
+}
+
+/// One-line operational summary, e.g.
+/// `DQuaG: 7 batches, 2 dirty (28.6%), mean error rate 4.2%`.
+impl fmt::Display for SessionSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} batches, {} dirty ({:.1}%), mean error rate {:.1}%",
+            self.validator,
+            self.n_batches,
+            self.n_dirty,
+            100.0 * self.dirty_fraction,
+            100.0 * self.mean_error_rate,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Capabilities, ValidateError};
+
+    /// Minimal stub backend: fitting records nothing, validating always says
+    /// clean. Enough to exercise the session plumbing without training.
+    struct StubValidator {
+        fitted: bool,
+    }
+
+    impl Validator for StubValidator {
+        fn name(&self) -> &str {
+            "Stub"
+        }
+
+        fn capabilities(&self) -> Capabilities {
+            Capabilities::dataset_level()
+        }
+
+        fn fit(&mut self, clean: &DataFrame) -> Result<FitReport> {
+            self.fitted = true;
+            Ok(FitReport {
+                validator: self.name().to_string(),
+                n_rows: clean.n_rows(),
+                n_columns: clean.n_cols(),
+                threshold: None,
+                n_parameters: None,
+                notes: vec![],
+            })
+        }
+
+        fn validate(&self, batch: &DataFrame) -> Result<Verdict> {
+            if !self.fitted {
+                return Err(ValidateError::NotFitted(self.name().to_string()));
+            }
+            Ok(Verdict::dataset_level(
+                self.name(),
+                false,
+                0.0,
+                batch.n_rows(),
+                vec![],
+            ))
+        }
+    }
+
+    #[test]
+    fn with_threads_zero_is_clamped_to_sequential() {
+        // Regression test: `with_threads(0)` must not produce a session whose
+        // bulk validation spawns zero workers (and therefore validates
+        // nothing); 0 is clamped to 1 like the `DquagConfig` error path
+        // demands for `validation_threads == 0`.
+        let session = ValidationSession::from_fitted(Box::new(StubValidator { fitted: true }))
+            .with_threads(0);
+        assert_eq!(session.threads(), 1);
+
+        let batches: Vec<DataFrame> = Vec::new();
+        assert_eq!(
+            session
+                .validate_batches(&batches)
+                .expect("no batches")
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn summary_display_is_one_line() {
+        let summary = SessionSummary {
+            validator: "Stub".into(),
+            n_batches: 4,
+            n_dirty: 1,
+            dirty_fraction: 0.25,
+            mean_error_rate: 0.05,
+        };
+        assert_eq!(
+            summary.to_string(),
+            "Stub: 4 batches, 1 dirty (25.0%), mean error rate 5.0%"
+        );
+    }
 }

@@ -74,6 +74,19 @@ pub trait Validator: Send + Sync {
         let _ = (batch, verdict);
         Ok(None)
     }
+
+    /// Produce an independent fitted replica of this validator for
+    /// data-parallel sharding, or `None` when the backend cannot copy its
+    /// fitted state.
+    ///
+    /// The streaming engine shards heavy traffic across replicas; backends
+    /// that return `None` are shared behind an `Arc` instead (sound, since
+    /// [`Validator::validate`] takes `&self`), replicas merely avoid any
+    /// cross-worker sharing. Must only be called on a fitted validator, and
+    /// the replica must produce verdicts identical to the original's.
+    fn replicate(&self) -> Option<Box<dyn Validator>> {
+        None
+    }
 }
 
 #[cfg(test)]

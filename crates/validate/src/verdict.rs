@@ -2,6 +2,7 @@
 
 use dquag_core::CellFlag;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// How much detail a backend can produce.
 ///
@@ -149,6 +150,41 @@ impl Verdict {
     }
 }
 
+/// One-line headline plus indented violation messages — the format every
+/// example and CLI binary previously hand-rolled.
+///
+/// ```text
+/// DQuaG: PROBLEMATIC (score 0.2134, 800 instances, 163 flagged, 201 cells)
+///   - 20.4% of instances exceed the reconstruction-error threshold …
+/// ```
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} (score {:.4}, {} instances",
+            self.validator,
+            if self.is_dirty {
+                "PROBLEMATIC"
+            } else {
+                "clean"
+            },
+            self.score,
+            self.n_instances,
+        )?;
+        if let Some(flagged) = &self.flagged_instances {
+            write!(f, ", {} flagged", flagged.len())?;
+        }
+        if let Some(cells) = &self.cell_flags {
+            write!(f, ", {} cells", cells.len())?;
+        }
+        write!(f, ")")?;
+        for violation in &self.violations {
+            write!(f, "\n  - {violation}")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +216,21 @@ mod tests {
     fn capability_profiles() {
         assert!(!Capabilities::dataset_level().cell_flags);
         assert!(Capabilities::full_detail().repair);
+    }
+
+    #[test]
+    fn display_headline_and_violations() {
+        let mut v = Verdict::dataset_level("DQuaG", true, 0.2, 10, vec!["too many errors".into()]);
+        v.flagged_instances = Some(vec![1, 4]);
+        v.cell_flags = Some(vec![]);
+        let text = v.to_string();
+        assert!(text.starts_with("DQuaG: PROBLEMATIC (score 0.2000, 10 instances, 2 flagged"));
+        assert!(text.contains("\n  - too many errors"));
+
+        let clean = Verdict::dataset_level("Gate", false, 0.01, 10, vec![]);
+        assert_eq!(
+            clean.to_string(),
+            "Gate: clean (score 0.0100, 10 instances)"
+        );
     }
 }

@@ -159,6 +159,32 @@ fn heavily_corrupted_batches_are_flagged_by_every_kind() {
 }
 
 #[test]
+fn replicate_copies_fitted_state_or_declines() {
+    let (clean, _, dirty_batch) = fixtures();
+    for kind in ValidatorKind::ALL {
+        let mut validator = build_validator(kind, &test_config());
+        assert!(
+            validator.replicate().is_none(),
+            "{kind:?} must not replicate unfitted state"
+        );
+        validator.fit(&clean).expect("fit succeeds");
+        match validator.replicate() {
+            // A replica must be interchangeable with the original.
+            Some(replica) => {
+                assert_eq!(replica.name(), validator.name(), "{kind:?}");
+                assert_eq!(
+                    replica.validate(&dirty_batch).expect("same schema"),
+                    validator.validate(&dirty_batch).expect("same schema"),
+                    "{kind:?} replica verdicts must match the original's"
+                );
+            }
+            // Declining is legal: the engine shares the validator instead.
+            None => assert_ne!(kind, ValidatorKind::Dquag, "DQuaG must replicate"),
+        }
+    }
+}
+
+#[test]
 fn repair_is_gated_by_capabilities() {
     let (clean, _, dirty_batch) = fixtures();
     for kind in ValidatorKind::ALL {

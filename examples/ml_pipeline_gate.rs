@@ -132,13 +132,7 @@ fn main() {
             }
         }
     }
-    let summary = session.summary();
-    println!(
-        "\nweek summary: {} batches judged, {} flagged dirty, mean error rate {:.1}%",
-        summary.n_batches,
-        summary.n_dirty,
-        100.0 * summary.mean_error_rate
-    );
+    println!("\nweek summary — {}", session.summary());
     println!(
         "training pool grew from {} to {} rows",
         clean.n_rows(),

@@ -70,25 +70,10 @@ fn main() {
         fit.notes.join("; ")
     );
 
-    // 4. Stream the incoming batch through the session.
+    // 4. Stream the incoming batch through the session. `Verdict` implements
+    //    `Display`: headline plus violation messages, no hand-formatting.
     let verdict = session.push_batch(&incoming).expect("same schema").clone();
-    println!(
-        "incoming batch: {:.1}% of instances flagged → dataset is {}",
-        verdict.score * 100.0,
-        if verdict.is_dirty {
-            "PROBLEMATIC"
-        } else {
-            "clean"
-        }
-    );
-    for violation in verdict.violations.iter().take(3) {
-        println!("  - {violation}");
-    }
-    println!(
-        "flagged {} instances, {} individual cells",
-        verdict.flagged_instances.as_ref().map_or(0, Vec::len),
-        verdict.cell_flags.as_ref().map_or(0, Vec::len),
-    );
+    println!("{verdict}");
 
     // 5. Repair the flagged cells (a DQuaG capability) and re-validate.
     assert!(session.validator().capabilities().repair);
@@ -98,18 +83,6 @@ fn main() {
         .expect("repair succeeds")
         .expect("DQuaG supports repair");
     let after = session.push_batch(&repaired).expect("same schema");
-    println!(
-        "after repair: {:.1}% flagged → dataset is {}",
-        after.score * 100.0,
-        if after.is_dirty {
-            "still problematic"
-        } else {
-            "clean"
-        }
-    );
-    println!(
-        "session history: {} batches, rolling error rate {:.1}%",
-        session.n_batches(),
-        100.0 * session.rolling_error_rate(0)
-    );
+    println!("after repair: {after}");
+    println!("session: {}", session.summary());
 }

@@ -8,6 +8,9 @@
 //! * [`validate`] — **the unified validator API**: the `Validator` trait,
 //!   graded `Verdict`s, the `ValidatorKind` registry and the streaming
 //!   `ValidationSession`. Start here.
+//! * [`stream`] — the streaming ingestion engine: bounded-queue ingestion
+//!   with backpressure, sharded validator replicas, per-batch deadlines,
+//!   live stats and graceful shutdown.
 //! * [`core`] — the DQuaG pipeline: training, validation, repair.
 //! * [`gnn`] — GAT/GIN/GCN layers, encoder stacks, dual decoders.
 //! * [`graph`] — feature-graph construction and relationship inference.
@@ -48,6 +51,7 @@ pub use dquag_core as core;
 pub use dquag_datagen as datagen;
 pub use dquag_gnn as gnn;
 pub use dquag_graph as graph;
+pub use dquag_stream as stream;
 pub use dquag_tabular as tabular;
 pub use dquag_tensor as tensor;
 pub use dquag_validate as validate;
