@@ -2,6 +2,7 @@
 
 use dquag_gnn::{EncoderKind, ModelConfig};
 use dquag_graph::FeatureGraph;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// What a streaming producer experiences when the ingestion queue is full.
@@ -86,6 +87,94 @@ impl StreamConfig {
     }
 }
 
+/// Durable checkpointing of the serving pipeline (`dquag-sources`).
+///
+/// When a path is set, the source runtime periodically serialises a
+/// `Checkpoint` — per-source offsets plus the engine's cumulative
+/// `StreamStats` — to that file (atomically, via a temp-file rename), and
+/// again when it drains on shutdown. A restarted deployment restores the
+/// checkpoint so sources resume where they left off and statistics continue
+/// instead of resetting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointConfig {
+    /// Where the checkpoint JSON lives. `None` disables checkpointing.
+    pub path: Option<PathBuf>,
+    /// How often the background checkpointer persists a snapshot.
+    pub interval: Duration,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        Self {
+            path: None,
+            interval: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Configuration of the source-adapter layer (`dquag-sources`): the network
+/// listener, the polling directory watcher and durable checkpointing.
+///
+/// Lives in the core config for the same reason [`StreamConfig`] does: one
+/// `DquagConfig` describes a whole deployment, from model hyper-parameters
+/// down to the socket the serving pipeline listens on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceConfig {
+    /// Address the TCP/HTTP ingestion listener binds, e.g. `127.0.0.1:7431`.
+    /// Port `0` asks the OS for an ephemeral port (useful in tests).
+    pub bind_addr: String,
+    /// How long an idle source sleeps between polls (directory scans,
+    /// accept-loop passes). Also bounds how quickly sources notice shutdown.
+    pub poll_interval: Duration,
+    /// Upper bound on one framed batch payload, in bytes. Oversized frames
+    /// are refused with an error reply instead of buffering unboundedly.
+    pub max_frame_bytes: usize,
+    /// Durable checkpoint/restore settings.
+    pub checkpoint: CheckpointConfig,
+}
+
+impl Default for SourceConfig {
+    fn default() -> Self {
+        Self {
+            bind_addr: "127.0.0.1:0".to_string(),
+            poll_interval: Duration::from_millis(200),
+            max_frame_bytes: 16 * 1024 * 1024,
+            checkpoint: CheckpointConfig::default(),
+        }
+    }
+}
+
+impl SourceConfig {
+    /// Validate every field's range, returning the offending field on error.
+    /// The single source of truth for source-layer ranges: both
+    /// [`DquagConfig::validated`] and the `dquag-sources` runtime builder
+    /// call this.
+    pub fn validated(self) -> crate::Result<Self> {
+        if self.bind_addr.parse::<std::net::SocketAddr>().is_err() {
+            return Err(crate::CoreError::InvalidConfig(format!(
+                "source.bind_addr must be a literal socket address like 127.0.0.1:7431, got `{}`",
+                self.bind_addr
+            )));
+        }
+        if self.poll_interval.is_zero() {
+            return Err(crate::CoreError::InvalidConfig(
+                "source.poll_interval must be nonzero".to_string(),
+            ));
+        }
+        if self.max_frame_bytes == 0 {
+            return Err(crate::CoreError::InvalidConfig(
+                "source.max_frame_bytes must be at least 1".to_string(),
+            ));
+        }
+        if self.checkpoint.interval.is_zero() {
+            return Err(crate::CoreError::InvalidConfig(
+                "source.checkpoint.interval must be nonzero".to_string(),
+            ));
+        }
+        Ok(self)
+    }
+}
+
 /// Configuration of the end-to-end DQuaG pipeline.
 ///
 /// Defaults reproduce the paper's experimental setting (§4.4): a four-layer
@@ -122,6 +211,9 @@ pub struct DquagConfig {
     /// Streaming ingestion engine settings (queue, replicas, backpressure,
     /// deadlines) — consumed by `dquag-stream`.
     pub stream: StreamConfig,
+    /// Source-adapter settings (network listener, directory watcher,
+    /// checkpointing) — consumed by `dquag-sources`.
+    pub source: SourceConfig,
     /// Random seed controlling initialisation and batch shuffling.
     pub seed: u64,
     /// Bypass relationship inference and use this feature graph instead.
@@ -144,6 +236,7 @@ impl Default for DquagConfig {
             oracle_sample_size: 100,
             validation_threads: 1,
             stream: StreamConfig::default(),
+            source: SourceConfig::default(),
             seed: 42,
             feature_graph_override: None,
         }
@@ -239,6 +332,7 @@ impl DquagConfig {
             return fail("validation_threads must be at least 1".to_string());
         }
         self.stream.clone().validated()?;
+        self.source.clone().validated()?;
         if self.model.hidden_dim == 0 || self.model.n_layers == 0 {
             return fail(format!(
                 "model must have nonzero hidden_dim and n_layers, got {} × {}",
@@ -386,6 +480,42 @@ impl DquagConfigBuilder {
         self
     }
 
+    /// Replace the whole source-adapter configuration block.
+    pub fn source(mut self, source: SourceConfig) -> Self {
+        self.config.source = source;
+        self
+    }
+
+    /// Address the TCP/HTTP ingestion listener binds (port 0 = ephemeral).
+    pub fn source_bind_addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.source.bind_addr = addr.into();
+        self
+    }
+
+    /// How long an idle source sleeps between polls.
+    pub fn source_poll_interval(mut self, interval: Duration) -> Self {
+        self.config.source.poll_interval = interval;
+        self
+    }
+
+    /// Upper bound on one framed batch payload, in bytes.
+    pub fn source_max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.config.source.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Enable durable checkpointing to this file.
+    pub fn checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.source.checkpoint.path = Some(path.into());
+        self
+    }
+
+    /// How often the background checkpointer persists a snapshot.
+    pub fn checkpoint_interval(mut self, interval: Duration) -> Self {
+        self.config.source.checkpoint.interval = interval;
+        self
+    }
+
     /// Random seed controlling initialisation and batch shuffling.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -527,6 +657,22 @@ mod tests {
                 DquagConfig::builder().stream_batch_deadline(Duration::ZERO),
                 "batch_deadline",
             ),
+            (
+                DquagConfig::builder().source_bind_addr("not an address"),
+                "bind_addr",
+            ),
+            (
+                DquagConfig::builder().source_poll_interval(Duration::ZERO),
+                "poll_interval",
+            ),
+            (
+                DquagConfig::builder().source_max_frame_bytes(0),
+                "max_frame_bytes",
+            ),
+            (
+                DquagConfig::builder().checkpoint_interval(Duration::ZERO),
+                "checkpoint.interval",
+            ),
             (DquagConfig::builder().hidden_dim(0), "hidden_dim"),
         ];
         for (builder, field) in cases {
@@ -544,6 +690,42 @@ mod tests {
     fn validated_accepts_the_defaults() {
         assert!(DquagConfig::default().validated().is_ok());
         assert!(DquagConfig::fast().validated().is_ok());
+    }
+
+    #[test]
+    fn source_defaults_and_setters() {
+        let c = DquagConfig::default();
+        assert_eq!(c.source.bind_addr, "127.0.0.1:0");
+        assert_eq!(c.source.poll_interval, Duration::from_millis(200));
+        assert_eq!(c.source.max_frame_bytes, 16 * 1024 * 1024);
+        assert_eq!(c.source.checkpoint.path, None);
+        assert_eq!(c.source.checkpoint.interval, Duration::from_secs(5));
+
+        let c = DquagConfig::builder()
+            .source_bind_addr("127.0.0.1:7431")
+            .source_poll_interval(Duration::from_millis(25))
+            .source_max_frame_bytes(1024)
+            .checkpoint_path("/tmp/dquag.ckpt.json")
+            .checkpoint_interval(Duration::from_secs(1))
+            .build()
+            .expect("source values in range");
+        assert_eq!(c.source.bind_addr, "127.0.0.1:7431");
+        assert_eq!(c.source.poll_interval, Duration::from_millis(25));
+        assert_eq!(c.source.max_frame_bytes, 1024);
+        assert_eq!(
+            c.source.checkpoint.path.as_deref(),
+            Some(std::path::Path::new("/tmp/dquag.ckpt.json"))
+        );
+        assert_eq!(c.source.checkpoint.interval, Duration::from_secs(1));
+
+        let block = DquagConfig::builder()
+            .source(SourceConfig {
+                bind_addr: "0.0.0.0:9000".to_string(),
+                ..SourceConfig::default()
+            })
+            .build()
+            .expect("source block in range");
+        assert_eq!(block.source.bind_addr, "0.0.0.0:9000");
     }
 
     #[test]

@@ -50,7 +50,10 @@ mod pipeline;
 
 pub mod metrics;
 
-pub use config::{BackpressurePolicy, DquagConfig, DquagConfigBuilder, StreamConfig};
+pub use config::{
+    BackpressurePolicy, CheckpointConfig, DquagConfig, DquagConfigBuilder, SourceConfig,
+    StreamConfig,
+};
 pub use error::CoreError;
 pub use pipeline::{CellFlag, DquagValidator, TrainingSummary, ValidationReport};
 

@@ -1,0 +1,576 @@
+//! The network source: one TCP listener serving both the line-framed raw
+//! protocol and a minimal HTTP/1.1 endpoint.
+//!
+//! ## Raw protocol
+//!
+//! Line-framed, one reply line per command:
+//!
+//! ```text
+//! client: BATCH <csv|ndjson> <payload-bytes>\n<payload>
+//! server: ACK <seq> <rows>\n        (accepted; outcome appears on the verdict stream)
+//!         DROPPED\n | REJECTED\n | TIMEOUT\n   (backpressure policy verdicts)
+//!         ERR <message>\n            (decode/protocol problem; framing stays intact)
+//! client: STATS\n
+//! server: STATS <StreamStats JSON>\n
+//! client: QUIT\n
+//! server: BYE\n                      (connection closes)
+//! ```
+//!
+//! ## HTTP
+//!
+//! The same listener speaks HTTP when the first line looks like a request
+//! line: `POST /ingest` with a `Content-Length` body (`Content-Type:
+//! text/csv` or `application/x-ndjson`) answers `202 Accepted` with a JSON
+//! body, `GET /stats` serves the live [`StreamStats`], and decode problems
+//! come back as `400`. One request per connection (`Connection: close`).
+
+use crate::decode::{decode_batch, WireFormat};
+use crate::source::{PollOutcome, Source, SourceError, SourceSink};
+use dquag_stream::SubmitOutcome;
+use dquag_tabular::Schema;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Cap on a protocol header line; a peer streaming an endless first line is
+/// cut off instead of buffering unboundedly.
+const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// How long a blocked connection read waits before re-checking the stop
+/// flag.
+const READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// The TCP + HTTP ingestion listener.
+///
+/// Binding happens eagerly in [`bind`]/[`from_config`], so the caller can
+/// learn the ephemeral port via [`local_addr`] before handing the source to
+/// the runtime — and so a bad address fails at construction, not inside a
+/// supervisor thread.
+///
+/// [`bind`]: NetListenerSource::bind
+/// [`from_config`]: NetListenerSource::from_config
+/// [`local_addr`]: NetListenerSource::local_addr
+pub struct NetListenerSource {
+    name: String,
+    schema: Schema,
+    max_frame_bytes: usize,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Option<Arc<ConnShared>>,
+    handlers: Vec<JoinHandle<()>>,
+    /// The delivered-batch count as of shutdown, so [`Source::offset`]
+    /// stays truthful after the sink is released.
+    final_offset: u64,
+}
+
+/// Everything a per-connection handler thread needs.
+struct ConnShared {
+    schema: Schema,
+    max_frame_bytes: usize,
+    sink: SourceSink,
+}
+
+impl NetListenerSource {
+    /// Bind the listener on `addr` (port 0 = ephemeral), serving batches
+    /// typed by `schema`.
+    pub fn bind(addr: &str, schema: Schema) -> Result<Self, SourceError> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| SourceError::Io(format!("binding {addr}: {e}")))?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Self {
+            name: "net".to_string(),
+            schema,
+            max_frame_bytes: dquag_core::SourceConfig::default().max_frame_bytes,
+            listener,
+            local_addr,
+            shared: None,
+            handlers: Vec::new(),
+            final_offset: 0,
+        })
+    }
+
+    /// Bind according to a [`dquag_core::SourceConfig`] block.
+    pub fn from_config(
+        config: &dquag_core::SourceConfig,
+        schema: Schema,
+    ) -> Result<Self, SourceError> {
+        let mut source = Self::bind(&config.bind_addr, schema)?;
+        source.max_frame_bytes = config.max_frame_bytes;
+        Ok(source)
+    }
+
+    /// Override the source name (the checkpoint key); useful when one
+    /// runtime hosts several listeners.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Override the per-frame payload cap.
+    pub fn with_max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// The bound address — ask after construction to learn an ephemeral
+    /// port.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    fn reap_finished_handlers(&mut self) {
+        let mut alive = Vec::new();
+        for handle in self.handlers.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                alive.push(handle);
+            }
+        }
+        self.handlers = alive;
+    }
+}
+
+impl Source for NetListenerSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn start(&mut self, sink: &SourceSink, _resume_from: u64) -> Result<(), SourceError> {
+        // Network peers own redelivery (an unacknowledged frame is resent by
+        // the client), so resuming needs no positioning here — the restored
+        // offset already lives in the sink's counter.
+        self.shared = Some(Arc::new(ConnShared {
+            schema: self.schema.clone(),
+            max_frame_bytes: self.max_frame_bytes,
+            sink: sink.clone(),
+        }));
+        Ok(())
+    }
+
+    fn poll(&mut self, _sink: &SourceSink) -> Result<PollOutcome, SourceError> {
+        self.reap_finished_handlers();
+        let shared = self
+            .shared
+            .as_ref()
+            .expect("poll is only called after start")
+            .clone();
+        let mut accepted_any = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    accepted_any = true;
+                    // Replies are single small lines; Nagle + delayed ACK
+                    // would stall the request/reply rhythm by ~40 ms.
+                    stream.set_nodelay(true).ok();
+                    let conn = Arc::clone(&shared);
+                    let handle = std::thread::Builder::new()
+                        .name("dquag-source-conn".to_string())
+                        .spawn(move || {
+                            // Connection-level failures (peer reset, garbage
+                            // mid-frame) end that connection only; the
+                            // listener keeps serving.
+                            let _ = handle_connection(stream, &conn);
+                        })
+                        .expect("spawning a connection handler succeeds");
+                    self.handlers.push(handle);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(SourceError::Io(format!("accept: {e}"))),
+            }
+        }
+        Ok(if accepted_any {
+            PollOutcome::Progressed
+        } else {
+            PollOutcome::Idle
+        })
+    }
+
+    fn drain(&mut self, _sink: &SourceSink) {
+        // The stop flag is set; handlers notice it within one read timeout
+        // and exit after finishing the frame they are on, so joining here
+        // never hangs and never abandons an accepted frame.
+        for handle in self.handlers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.final_offset = self.offset();
+        self.shared = None;
+    }
+
+    fn offset(&self) -> u64 {
+        self.shared
+            .as_ref()
+            .map_or(self.final_offset, |s| s.sink.offset())
+    }
+}
+
+/// A line/payload reader over a non-blocking-ish socket: maintains its own
+/// buffer so a read timeout (used to stay responsive to shutdown) never
+/// loses partially received bytes.
+struct FrameReader {
+    stream: TcpStream,
+    buffered: Vec<u8>,
+}
+
+/// Why a read loop ended without producing data.
+enum ReadEnd {
+    /// Peer closed the connection cleanly between frames.
+    Eof,
+    /// The runtime asked us to stop.
+    Stopped,
+}
+
+impl FrameReader {
+    fn new(stream: TcpStream) -> Result<Self, SourceError> {
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        Ok(Self {
+            stream,
+            buffered: Vec::new(),
+        })
+    }
+
+    fn fill(&mut self, sink: &SourceSink) -> Result<Option<ReadEnd>, SourceError> {
+        if sink.should_stop() {
+            return Ok(Some(ReadEnd::Stopped));
+        }
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Ok(Some(ReadEnd::Eof)),
+            Ok(n) => {
+                self.buffered.extend_from_slice(&chunk[..n]);
+                Ok(None)
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(SourceError::Io(format!("connection read: {e}"))),
+        }
+    }
+
+    /// The next `\n`-terminated line (CR stripped), or `None` on clean EOF /
+    /// stop. EOF in the middle of a line is a protocol error.
+    fn read_line(&mut self, sink: &SourceSink) -> Result<Option<String>, SourceError> {
+        loop {
+            if let Some(pos) = self.buffered.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buffered.drain(..=pos).collect();
+                line.pop(); // the \n
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                let text = String::from_utf8(line)
+                    .map_err(|_| SourceError::Frame("non-UTF-8 protocol line".to_string()))?;
+                return Ok(Some(text));
+            }
+            if self.buffered.len() > MAX_LINE_BYTES {
+                return Err(SourceError::Frame("protocol line too long".to_string()));
+            }
+            match self.fill(sink)? {
+                Some(ReadEnd::Stopped) => return Ok(None),
+                Some(ReadEnd::Eof) if self.buffered.is_empty() => return Ok(None),
+                Some(ReadEnd::Eof) => {
+                    return Err(SourceError::Frame("connection closed mid-line".to_string()))
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// Exactly `n` payload bytes, or `None` when stopped mid-wait.
+    fn read_exact(&mut self, n: usize, sink: &SourceSink) -> Result<Option<Vec<u8>>, SourceError> {
+        loop {
+            if self.buffered.len() >= n {
+                return Ok(Some(self.buffered.drain(..n).collect()));
+            }
+            match self.fill(sink)? {
+                Some(ReadEnd::Stopped) => return Ok(None),
+                Some(ReadEnd::Eof) => {
+                    return Err(SourceError::Frame(format!(
+                        "connection closed {} bytes into a {n}-byte payload",
+                        self.buffered.len()
+                    )))
+                }
+                None => {}
+            }
+        }
+    }
+}
+
+/// Serve one connection until QUIT, EOF, stop, or an HTTP request (which is
+/// one-shot).
+fn handle_connection(stream: TcpStream, conn: &ConnShared) -> Result<(), SourceError> {
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| SourceError::Io(format!("cloning connection: {e}")))?;
+    let mut reader = FrameReader::new(stream)?;
+    loop {
+        let Some(line) = reader.read_line(&conn.sink)? else {
+            return Ok(());
+        };
+        if is_http_request_line(&line) {
+            handle_http(&line, &mut reader, &mut writer, conn)?;
+            return Ok(()); // Connection: close
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("BATCH") => {
+                let reply = match parse_batch_header(parts, conn.max_frame_bytes) {
+                    Ok((format, len)) => {
+                        let Some(payload) = reader.read_exact(len, &conn.sink)? else {
+                            return Ok(());
+                        };
+                        ingest_reply(&payload, format, conn)
+                    }
+                    // A bad or oversized header leaves us unsure where the
+                    // next frame starts; reply, then drop the connection to
+                    // resynchronise.
+                    Err(e) => {
+                        write_line(&mut writer, &format!("ERR {}", one_line(&e.to_string())))?;
+                        return Ok(());
+                    }
+                };
+                write_line(&mut writer, &reply)?;
+            }
+            Some("STATS") => {
+                let stats = serde_json::to_string(&conn.sink.stats())
+                    .expect("stats serialisation is infallible");
+                write_line(&mut writer, &format!("STATS {stats}"))?;
+            }
+            Some("QUIT") => {
+                write_line(&mut writer, "BYE")?;
+                return Ok(());
+            }
+            Some(other) => {
+                write_line(
+                    &mut writer,
+                    &format!("ERR unknown command `{}`", one_line(other)),
+                )?;
+                return Ok(());
+            }
+            None => {
+                // Blank keep-alive line; ignore.
+            }
+        }
+    }
+}
+
+/// `BATCH <fmt> <len>` → (format, len), enforcing the frame cap.
+fn parse_batch_header<'a>(
+    mut parts: impl Iterator<Item = &'a str>,
+    max_frame_bytes: usize,
+) -> Result<(WireFormat, usize), SourceError> {
+    let format: WireFormat = parts
+        .next()
+        .ok_or_else(|| SourceError::Frame("BATCH needs a format (csv|ndjson)".to_string()))?
+        .parse()?;
+    let len: usize = parts
+        .next()
+        .and_then(|raw| raw.parse().ok())
+        .ok_or_else(|| SourceError::Frame("BATCH needs a payload byte count".to_string()))?;
+    if parts.next().is_some() {
+        return Err(SourceError::Frame(
+            "BATCH takes exactly two arguments".to_string(),
+        ));
+    }
+    if len > max_frame_bytes {
+        return Err(SourceError::Frame(format!(
+            "frame of {len} bytes exceeds the {max_frame_bytes}-byte limit"
+        )));
+    }
+    Ok((format, len))
+}
+
+/// Decode and deliver one payload, producing the raw-protocol reply line.
+fn ingest_reply(payload: &[u8], format: WireFormat, conn: &ConnShared) -> String {
+    match decode_batch(format, payload, &conn.schema) {
+        Ok(batch) if batch.is_empty() => "ERR empty batch".to_string(),
+        Ok(batch) => {
+            let n_rows = batch.n_rows();
+            match conn.sink.deliver(batch) {
+                Ok(SubmitOutcome::Enqueued(seq)) => format!("ACK {seq} {n_rows}"),
+                // DROPPED / REJECTED / TIMEOUT — Display is the wire spelling.
+                Ok(other) => other.to_string(),
+                Err(_) => "ERR engine closed".to_string(),
+            }
+        }
+        Err(e) => format!("ERR {}", one_line(&e.to_string())),
+    }
+}
+
+/// Replies are single-line; squash any embedded line breaks from error
+/// messages.
+fn one_line(text: &str) -> String {
+    text.replace(['\r', '\n'], " ")
+}
+
+fn write_line(writer: &mut TcpStream, line: &str) -> Result<(), SourceError> {
+    writer
+        .write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| SourceError::Io(format!("connection write: {e}")))
+}
+
+// --- HTTP ------------------------------------------------------------------
+
+fn is_http_request_line(line: &str) -> bool {
+    line.ends_with("HTTP/1.1") || line.ends_with("HTTP/1.0")
+}
+
+/// Serve one HTTP request on the already-consumed request line.
+fn handle_http(
+    request_line: &str,
+    reader: &mut FrameReader,
+    writer: &mut TcpStream,
+    conn: &ConnShared,
+) -> Result<(), SourceError> {
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    // Drain headers, keeping the two we interpret.
+    let mut content_length: Option<usize> = None;
+    let mut content_type = String::new();
+    loop {
+        let Some(line) = reader.read_line(&conn.sink)? else {
+            return Ok(());
+        };
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().ok();
+            } else if name.eq_ignore_ascii_case("content-type") {
+                content_type = value.to_string();
+            }
+        }
+    }
+
+    match (method, path) {
+        ("POST", "/ingest") => {
+            let Some(len) = content_length else {
+                return http_reply(
+                    writer,
+                    "411 Length Required",
+                    "{\"error\": \"Content-Length is required\"}",
+                );
+            };
+            if len > conn.max_frame_bytes {
+                return http_reply(
+                    writer,
+                    "413 Payload Too Large",
+                    &format!(
+                        "{{\"error\": \"body of {len} bytes exceeds the {}-byte limit\"}}",
+                        conn.max_frame_bytes
+                    ),
+                );
+            }
+            let Some(body) = reader.read_exact(len, &conn.sink)? else {
+                return Ok(());
+            };
+            let format = WireFormat::from_content_type(&content_type);
+            match decode_batch(format, &body, &conn.schema) {
+                Ok(batch) if batch.is_empty() => {
+                    http_reply(writer, "400 Bad Request", "{\"error\": \"empty batch\"}")
+                }
+                Ok(batch) => {
+                    let n_rows = batch.n_rows();
+                    match conn.sink.deliver(batch) {
+                        Ok(SubmitOutcome::Enqueued(seq)) => http_reply(
+                            writer,
+                            "202 Accepted",
+                            &format!(
+                                "{{\"status\": \"enqueued\", \"seq\": {seq}, \"rows\": {n_rows}}}"
+                            ),
+                        ),
+                        Ok(other) => http_reply(
+                            writer,
+                            "503 Service Unavailable",
+                            &format!(
+                                "{{\"status\": \"{}\"}}",
+                                other.to_string().to_ascii_lowercase()
+                            ),
+                        ),
+                        Err(_) => http_reply(
+                            writer,
+                            "503 Service Unavailable",
+                            "{\"error\": \"engine closed\"}",
+                        ),
+                    }
+                }
+                Err(e) => {
+                    let message = one_line(&e.to_string()).replace('"', "'");
+                    http_reply(
+                        writer,
+                        "400 Bad Request",
+                        &format!("{{\"error\": \"{message}\"}}"),
+                    )
+                }
+            }
+        }
+        ("GET", "/stats") => {
+            let stats = serde_json::to_string(&conn.sink.stats())
+                .expect("stats serialisation is infallible");
+            http_reply(writer, "200 OK", &stats)
+        }
+        _ => http_reply(
+            writer,
+            "404 Not Found",
+            "{\"error\": \"try POST /ingest or GET /stats\"}",
+        ),
+    }
+}
+
+fn http_reply(writer: &mut TcpStream, status: &str, body: &str) -> Result<(), SourceError> {
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    writer
+        .write_all(response.as_bytes())
+        .map_err(|e| SourceError::Io(format!("connection write: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_headers_parse_and_enforce_limits() {
+        let (format, len) = parse_batch_header("csv 120".split_whitespace(), 1024).unwrap();
+        assert_eq!(format, WireFormat::Csv);
+        assert_eq!(len, 120);
+        assert!(parse_batch_header("csv".split_whitespace(), 1024).is_err());
+        assert!(parse_batch_header("csv many".split_whitespace(), 1024).is_err());
+        assert!(parse_batch_header("xml 10".split_whitespace(), 1024).is_err());
+        assert!(parse_batch_header("csv 10 extra".split_whitespace(), 1024).is_err());
+        let err = parse_batch_header("csv 2048".split_whitespace(), 1024).unwrap_err();
+        assert!(err.to_string().contains("limit"));
+    }
+
+    #[test]
+    fn http_request_lines_are_recognised() {
+        assert!(is_http_request_line("POST /ingest HTTP/1.1"));
+        assert!(is_http_request_line("GET /stats HTTP/1.0"));
+        assert!(!is_http_request_line("BATCH csv 99"));
+        assert!(!is_http_request_line("STATS"));
+    }
+
+    #[test]
+    fn replies_are_single_line() {
+        assert_eq!(one_line("a\nb\rc"), "a b c");
+    }
+}

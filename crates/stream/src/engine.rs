@@ -117,6 +117,7 @@ impl Shared {
 #[derive(Debug, Clone, Default)]
 pub struct StreamEngineBuilder {
     config: StreamConfig,
+    restored: Option<StreamStats>,
 }
 
 impl StreamEngineBuilder {
@@ -147,6 +148,16 @@ impl StreamEngineBuilder {
     /// Per-batch validation budget, measured from submission.
     pub fn batch_deadline(mut self, deadline: Duration) -> Self {
         self.config.batch_deadline = Some(deadline);
+        self
+    }
+
+    /// Resume the engine's statistics from a persisted snapshot (typically
+    /// the `stats` block of a `dquag-sources` checkpoint), so a restarted
+    /// deployment's cumulative counters and uptime continue instead of
+    /// resetting to zero. Live quantities — queue depth, in-flight count,
+    /// the latency percentile window — start fresh.
+    pub fn restore_stats(mut self, stats: StreamStats) -> Self {
+        self.restored = Some(stats);
         self
     }
 
@@ -185,7 +196,11 @@ impl StreamEngineBuilder {
                 in_flight: 0,
                 producers: 1,
                 closed: false,
-                stats: StatsInner::new(),
+                stats: self
+                    .restored
+                    .as_ref()
+                    .map(StatsInner::restored)
+                    .unwrap_or_else(StatsInner::new),
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),

@@ -143,6 +143,20 @@ impl SubmitOutcome {
     }
 }
 
+/// The wire spelling of a submission result: the network source adapters
+/// reply with exactly this text (`ACK <seq>` / `DROPPED` / `REJECTED` /
+/// `TIMEOUT`), so logs and protocol traces read the same.
+impl fmt::Display for SubmitOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitOutcome::Enqueued(seq) => write!(f, "ACK {seq}"),
+            SubmitOutcome::Dropped => f.write_str("DROPPED"),
+            SubmitOutcome::Rejected => f.write_str("REJECTED"),
+            SubmitOutcome::TimedOut => f.write_str("TIMEOUT"),
+        }
+    }
+}
+
 /// Submitting to (or receiving from) an engine whose ingestion side has been
 /// closed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,5 +206,13 @@ mod tests {
         assert_eq!(SubmitOutcome::Dropped.seq(), None);
         assert!(!SubmitOutcome::Rejected.is_enqueued());
         assert!(EngineClosed.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn submit_outcome_display_is_the_wire_spelling() {
+        assert_eq!(SubmitOutcome::Enqueued(42).to_string(), "ACK 42");
+        assert_eq!(SubmitOutcome::Dropped.to_string(), "DROPPED");
+        assert_eq!(SubmitOutcome::Rejected.to_string(), "REJECTED");
+        assert_eq!(SubmitOutcome::TimedOut.to_string(), "TIMEOUT");
     }
 }

@@ -1,5 +1,6 @@
 //! Live operational statistics of a running [`crate::StreamEngine`].
 
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -10,7 +11,12 @@ const LATENCY_WINDOW: usize = 4096;
 /// A point-in-time snapshot of a running engine, taken with
 /// [`crate::StreamEngine::stats`] (or from either handle) without pausing
 /// the workers.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serde-serialisable: the same JSON shape is used by durable checkpoints
+/// (`dquag-sources`) and by wire responses (the network listener's `STATS`
+/// command and `GET /stats` endpoint), so operational tooling reads one
+/// format everywhere.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StreamStats {
     /// Batches accepted into the queue so far.
     pub submitted: u64,
@@ -109,6 +115,9 @@ pub(crate) struct StatsInner {
     /// [`LATENCY_WINDOW`] so long-running engines stay bounded.
     latencies: VecDeque<f64>,
     started_at: Instant,
+    /// Uptime accumulated by previous incarnations of this engine, restored
+    /// from a checkpoint. Zero for a fresh engine.
+    prior_uptime: Duration,
 }
 
 impl StatsInner {
@@ -126,6 +135,32 @@ impl StatsInner {
             rows_validated: 0,
             latencies: VecDeque::new(),
             started_at: Instant::now(),
+            prior_uptime: Duration::ZERO,
+        }
+    }
+
+    /// Resume counters from a persisted snapshot so a restarted engine's
+    /// statistics continue where the previous incarnation left off.
+    ///
+    /// Cumulative counters (submitted, emitted, rows, drops, …) and the
+    /// accumulated uptime carry over; purely live quantities — queue depth,
+    /// in-flight count, the recent-latency percentile window — restart
+    /// empty, since they describe the previous process, not this one.
+    pub fn restored(stats: &StreamStats) -> Self {
+        Self {
+            submitted: stats.submitted,
+            dropped: stats.dropped,
+            rejected: stats.rejected,
+            timed_out: stats.timed_out,
+            emitted: stats.emitted,
+            dirty: stats.dirty,
+            failed: stats.failed,
+            deadline_exceeded: stats.deadline_exceeded,
+            late_discarded: stats.late_discarded,
+            rows_validated: stats.rows_validated,
+            latencies: VecDeque::new(),
+            started_at: Instant::now(),
+            prior_uptime: stats.uptime,
         }
     }
 
@@ -137,7 +172,7 @@ impl StatsInner {
     }
 
     pub fn snapshot(&self, queue_depth: usize, in_flight: usize, replicas: usize) -> StreamStats {
-        let uptime = self.started_at.elapsed();
+        let uptime = self.prior_uptime + self.started_at.elapsed();
         let mut sorted: Vec<f64> = self.latencies.iter().copied().collect();
         sorted.sort_by(|a, b| a.total_cmp(b));
         let percentile = |q: f64| -> Duration {
@@ -215,6 +250,55 @@ mod tests {
             inner.record_latency(Duration::from_millis(1));
         }
         assert_eq!(inner.latencies.len(), LATENCY_WINDOW);
+    }
+
+    #[test]
+    fn restored_counters_continue_and_live_state_resets() {
+        let mut first = StatsInner::new();
+        first.submitted = 10;
+        first.emitted = 9;
+        first.dirty = 3;
+        first.rows_validated = 900;
+        first.record_latency(Duration::from_millis(40));
+        let snapshot = first.snapshot(2, 1, 4);
+
+        let resumed = StatsInner::restored(&snapshot);
+        let after = resumed.snapshot(0, 0, 4);
+        assert_eq!(after.submitted, 10);
+        assert_eq!(after.emitted, 9);
+        assert_eq!(after.dirty, 3);
+        assert_eq!(after.rows_validated, 900);
+        // Live quantities describe this process, not the previous one.
+        assert_eq!(after.queue_depth, 0);
+        assert_eq!(after.p50_latency, Duration::ZERO);
+        // Uptime accumulates across incarnations.
+        assert!(after.uptime >= snapshot.uptime);
+    }
+
+    #[test]
+    fn snapshot_serde_round_trips() {
+        let mut inner = StatsInner::new();
+        for ms in [3u64, 17, 250] {
+            inner.record_latency(Duration::from_millis(ms));
+        }
+        inner.submitted = 7;
+        inner.emitted = 5;
+        inner.dirty = 2;
+        inner.deadline_exceeded = 1;
+        inner.rows_validated = 421;
+        let stats = inner.snapshot(1, 2, 3);
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: StreamStats = serde_json::from_str(&json).unwrap();
+        // rows_per_sec and the latency percentiles survive only to f64/ns
+        // precision; everything the checkpoint relies on must be exact.
+        assert_eq!(back.submitted, stats.submitted);
+        assert_eq!(back.emitted, stats.emitted);
+        assert_eq!(back.dirty, stats.dirty);
+        assert_eq!(back.deadline_exceeded, stats.deadline_exceeded);
+        assert_eq!(back.rows_validated, stats.rows_validated);
+        assert_eq!(back.p50_latency, stats.p50_latency);
+        assert_eq!(back.uptime, stats.uptime);
+        assert_eq!(back.replicas, stats.replicas);
     }
 
     #[test]

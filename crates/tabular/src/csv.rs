@@ -52,37 +52,144 @@ pub fn from_csv_str(text: &str, schema: &Schema) -> Result<DataFrame> {
 }
 
 /// Parse CSV bytes into a dataframe using the provided schema.
+///
+/// Implemented on top of [`CsvChunkDecoder`], so the one-shot and streamed
+/// (network-delivered) paths share one parser: CRLF line endings and a
+/// missing trailing newline are accepted on both.
 pub fn from_csv_bytes(bytes: &[u8], schema: &Schema) -> Result<DataFrame> {
-    let text = std::str::from_utf8(bytes).map_err(|e| TabularError::CsvParse {
-        line: 0,
-        message: format!("invalid UTF-8: {e}"),
-    })?;
-    let mut lines = split_records(text);
-    let header = lines.next().ok_or(TabularError::CsvParse {
-        line: 1,
-        message: "missing header row".to_string(),
-    })?;
-    let header_fields = parse_record(&header, 1)?;
-    let expected: Vec<&str> = schema.names();
-    if header_fields.len() != expected.len()
-        || header_fields.iter().zip(&expected).any(|(a, b)| a != b)
-    {
-        return Err(TabularError::CsvParse {
-            line: 1,
-            message: format!(
-                "header {:?} does not match schema columns {:?}",
-                header_fields, expected
-            ),
-        });
+    let mut decoder = CsvChunkDecoder::new(schema.clone());
+    decoder.push(bytes)?;
+    decoder.finish()
+}
+
+/// Incremental CSV decoder fed by byte chunks as they arrive from a socket
+/// or a file tail.
+///
+/// Chunks may split a record — or even a quoted field or a CRLF pair —
+/// anywhere; the decoder carries the partial record (and its quoting state)
+/// across [`push`] calls and only parses complete records. [`finish`]
+/// flushes a final record that arrived without a trailing newline, as
+/// network-delivered CSV often does.
+///
+/// ```
+/// use dquag_tabular::csv::CsvChunkDecoder;
+/// use dquag_tabular::{Field, Schema};
+///
+/// let schema = Schema::new(vec![
+///     Field::numeric("age", "age"),
+///     Field::categorical("city", "city"),
+/// ]);
+/// let mut decoder = CsvChunkDecoder::new(schema);
+/// decoder.push(b"age,city\r\n31,Par").unwrap();
+/// decoder.push(b"is\r\n2.5,Lyon").unwrap(); // no trailing newline
+/// let df = decoder.finish().unwrap();
+/// assert_eq!(df.n_rows(), 2);
+/// ```
+///
+/// [`push`]: CsvChunkDecoder::push
+/// [`finish`]: CsvChunkDecoder::finish
+#[derive(Debug)]
+pub struct CsvChunkDecoder {
+    df: DataFrame,
+    /// Bytes of the current, not-yet-terminated record.
+    pending: Vec<u8>,
+    /// Whether the scan position inside `pending` is within a quoted field
+    /// (a newline there belongs to the field, not the framing).
+    in_quotes: bool,
+    header_done: bool,
+    /// 1-based line number of the record currently being accumulated.
+    line_no: usize,
+}
+
+impl CsvChunkDecoder {
+    /// A decoder producing rows typed by `schema` (the first record must be
+    /// the matching header row).
+    pub fn new(schema: Schema) -> Self {
+        Self {
+            df: DataFrame::new(schema),
+            pending: Vec::new(),
+            in_quotes: false,
+            header_done: false,
+            line_no: 1,
+        }
     }
 
-    let mut df = DataFrame::new(schema.clone());
-    for (i, record) in lines.enumerate() {
-        let line_no = i + 2;
-        if record.trim().is_empty() {
-            continue;
+    /// Rows decoded so far.
+    pub fn n_rows(&self) -> usize {
+        self.df.n_rows()
+    }
+
+    /// Feed the next chunk, returning how many complete rows it produced.
+    pub fn push(&mut self, chunk: &[u8]) -> Result<usize> {
+        let before = self.df.n_rows();
+        for &byte in chunk {
+            match byte {
+                b'"' => {
+                    self.in_quotes = !self.in_quotes;
+                    self.pending.push(byte);
+                }
+                b'\n' if !self.in_quotes => {
+                    let mut record = std::mem::take(&mut self.pending);
+                    if record.last() == Some(&b'\r') {
+                        record.pop();
+                    }
+                    self.take_record(&record)?;
+                }
+                _ => self.pending.push(byte),
+            }
         }
-        let fields = parse_record(&record, line_no)?;
+        Ok(self.df.n_rows() - before)
+    }
+
+    /// Flush a trailing unterminated record and return the decoded frame.
+    /// Errors if no header was ever seen or a quoted field is left open.
+    pub fn finish(mut self) -> Result<DataFrame> {
+        if !self.pending.is_empty() {
+            let mut record = std::mem::take(&mut self.pending);
+            if record.last() == Some(&b'\r') {
+                record.pop();
+            }
+            self.take_record(&record)?;
+        }
+        if !self.header_done {
+            return Err(TabularError::CsvParse {
+                line: 1,
+                message: "missing header row".to_string(),
+            });
+        }
+        Ok(self.df)
+    }
+
+    /// Process one complete record (header bytes stripped of the newline).
+    fn take_record(&mut self, record: &[u8]) -> Result<()> {
+        let line_no = self.line_no;
+        self.line_no += 1;
+        let text = std::str::from_utf8(record).map_err(|e| TabularError::CsvParse {
+            line: line_no,
+            message: format!("invalid UTF-8: {e}"),
+        })?;
+        if !self.header_done {
+            let header_fields = parse_record(text, line_no)?;
+            let expected: Vec<&str> = self.df.schema().names();
+            if header_fields.len() != expected.len()
+                || header_fields.iter().zip(&expected).any(|(a, b)| a != b)
+            {
+                return Err(TabularError::CsvParse {
+                    line: line_no,
+                    message: format!(
+                        "header {:?} does not match schema columns {:?}",
+                        header_fields, expected
+                    ),
+                });
+            }
+            self.header_done = true;
+            return Ok(());
+        }
+        if text.trim().is_empty() {
+            return Ok(());
+        }
+        let fields = parse_record(text, line_no)?;
+        let schema = self.df.schema();
         if fields.len() != schema.len() {
             return Err(TabularError::CsvParse {
                 line: line_no,
@@ -110,9 +217,9 @@ pub fn from_csv_bytes(bytes: &[u8], schema: &Schema) -> Result<DataFrame> {
             };
             row.push(value);
         }
-        df.push_row(row)?;
+        self.df.push_row(row)?;
+        Ok(())
     }
-    Ok(df)
 }
 
 /// Read a CSV file into a dataframe.
@@ -121,45 +228,16 @@ pub fn read_csv(path: &Path, schema: &Schema) -> Result<DataFrame> {
     from_csv_bytes(&bytes, schema)
 }
 
-/// Quote a field if it contains separators, quotes or newlines.
+/// Quote a field if it contains separators, quotes or line breaks. A bare
+/// carriage return must be quoted too: unquoted, a trailing `\r` would be
+/// eaten by the reader's CRLF normalisation and the field would not
+/// round-trip.
 fn escape_field(field: &str) -> String {
-    if field.contains(',') || field.contains('"') || field.contains('\n') {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
         field.to_string()
     }
-}
-
-/// Split CSV text into records, respecting quoted newlines.
-fn split_records(text: &str) -> impl Iterator<Item = String> + '_ {
-    let mut records = Vec::new();
-    let mut current = String::new();
-    let mut in_quotes = false;
-    for ch in text.chars() {
-        match ch {
-            '"' => {
-                in_quotes = !in_quotes;
-                current.push(ch);
-            }
-            '\n' if !in_quotes => {
-                records.push(std::mem::take(&mut current));
-                // strip a trailing carriage return from CRLF input
-                if let Some(last) = records.last_mut() {
-                    if last.ends_with('\r') {
-                        last.pop();
-                    }
-                }
-            }
-            _ => current.push(ch),
-        }
-    }
-    if !current.is_empty() {
-        if current.ends_with('\r') {
-            current.pop();
-        }
-        records.push(current);
-    }
-    records.into_iter()
 }
 
 /// Parse one CSV record into fields, handling quoting and escaped quotes.
@@ -298,5 +376,120 @@ mod tests {
     #[test]
     fn missing_header_is_an_error() {
         assert!(from_csv_str("", &schema()).is_err());
+    }
+
+    // --- regression tests for network-delivered CSV -------------------------
+    // Batches arriving over a socket routinely use CRLF line endings and end
+    // without a trailing newline; both must parse identically to the tidy
+    // file-shaped input above.
+
+    #[test]
+    fn crlf_without_trailing_newline_parses() {
+        let text = "age,city\r\n31,Paris\r\n2.5,Lyon";
+        let df = from_csv_str(text, &schema()).unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.value(1, 0).unwrap(), Value::Number(2.5));
+        assert_eq!(df.value(1, 1).unwrap(), Value::Text("Lyon".into()));
+    }
+
+    #[test]
+    fn lf_without_trailing_newline_parses() {
+        let text = "age,city\n1,Paris\n2,Lyon";
+        let df = from_csv_str(text, &schema()).unwrap();
+        assert_eq!(df.n_rows(), 2);
+    }
+
+    #[test]
+    fn crlf_and_lf_line_endings_decode_identically() {
+        let lf = "age,city\n31,Paris\n,New York\n";
+        let crlf = "age,city\r\n31,Paris\r\n,New York\r\n";
+        let a = from_csv_str(lf, &schema()).unwrap();
+        let b = from_csv_str(crlf, &schema()).unwrap();
+        assert_eq!(a.n_rows(), b.n_rows());
+        for row in 0..a.n_rows() {
+            for col in 0..a.n_cols() {
+                assert_eq!(a.value(row, col).unwrap(), b.value(row, col).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn carriage_return_inside_a_field_round_trips() {
+        let mut df = DataFrame::new(schema());
+        df.push_row(vec![Value::Number(1.0), Value::Text("a\rb".into())])
+            .unwrap();
+        df.push_row(vec![Value::Number(2.0), Value::Text("tail\r".into())])
+            .unwrap();
+        let text = to_csv_string(&df);
+        let back = from_csv_str(&text, &schema()).unwrap();
+        assert_eq!(back.value(0, 1).unwrap(), Value::Text("a\rb".into()));
+        assert_eq!(back.value(1, 1).unwrap(), Value::Text("tail\r".into()));
+    }
+
+    // --- the incremental chunk decoder --------------------------------------
+
+    #[test]
+    fn chunk_decoder_matches_one_shot_for_every_split_point() {
+        let text = "age,city\r\n31,\"New York, NY\"\r\n,\"He said \"\"hi\"\"\"\r\n2.5,Lyon";
+        let expected = from_csv_str(text, &schema()).unwrap();
+        let bytes = text.as_bytes();
+        for split in 0..=bytes.len() {
+            let mut decoder = CsvChunkDecoder::new(schema());
+            decoder.push(&bytes[..split]).unwrap();
+            decoder.push(&bytes[split..]).unwrap();
+            let df = decoder.finish().unwrap();
+            assert_eq!(df.n_rows(), expected.n_rows(), "split at byte {split}");
+            for row in 0..df.n_rows() {
+                for col in 0..df.n_cols() {
+                    assert_eq!(
+                        df.value(row, col).unwrap(),
+                        expected.value(row, col).unwrap(),
+                        "split at byte {split}, cell ({row}, {col})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_decoder_reports_incremental_row_counts() {
+        let mut decoder = CsvChunkDecoder::new(schema());
+        assert_eq!(decoder.push(b"age,city\n1,Par").unwrap(), 0);
+        assert_eq!(decoder.n_rows(), 0);
+        assert_eq!(decoder.push(b"is\n2,Lyon\n3,Nice").unwrap(), 2);
+        assert_eq!(decoder.n_rows(), 2);
+        let df = decoder.finish().unwrap();
+        assert_eq!(df.n_rows(), 3);
+    }
+
+    #[test]
+    fn chunk_decoder_rejects_bad_input_with_line_numbers() {
+        // Bad number on line 3.
+        let mut decoder = CsvChunkDecoder::new(schema());
+        decoder.push(b"age,city\n1,Paris\n").unwrap();
+        match decoder.push(b"abc,Lyon\n") {
+            Err(TabularError::CsvParse { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("age"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // An open quote at end of input is an error, not silent truncation.
+        let mut decoder = CsvChunkDecoder::new(schema());
+        decoder.push(b"age,city\n1,\"Par").unwrap();
+        assert!(decoder.finish().is_err());
+        // Never seeing a header is an error even for empty input.
+        assert!(CsvChunkDecoder::new(schema()).finish().is_err());
+    }
+
+    #[test]
+    fn chunk_decoder_handles_quoted_newlines_across_chunks() {
+        let mut decoder = CsvChunkDecoder::new(schema());
+        decoder.push(b"age,city\n1,\"two\r\n").unwrap();
+        assert_eq!(decoder.n_rows(), 0); // newline was inside the quotes
+        decoder.push(b"lines\"\n").unwrap();
+        let df = decoder.finish().unwrap();
+        assert_eq!(df.n_rows(), 1);
+        assert_eq!(df.value(0, 1).unwrap(), Value::Text("two\r\nlines".into()));
     }
 }

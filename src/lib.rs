@@ -11,6 +11,9 @@
 //! * [`stream`] — the streaming ingestion engine: bounded-queue ingestion
 //!   with backpressure, sharded validator replicas, per-batch deadlines,
 //!   live stats and graceful shutdown.
+//! * [`sources`] — source adapters feeding the engine from the outside
+//!   world: a TCP/HTTP listener, a directory watcher replaying CSV drops,
+//!   and durable checkpoint/restore across restarts.
 //! * [`core`] — the DQuaG pipeline: training, validation, repair.
 //! * [`gnn`] — GAT/GIN/GCN layers, encoder stacks, dual decoders.
 //! * [`graph`] — feature-graph construction and relationship inference.
@@ -51,6 +54,7 @@ pub use dquag_core as core;
 pub use dquag_datagen as datagen;
 pub use dquag_gnn as gnn;
 pub use dquag_graph as graph;
+pub use dquag_sources as sources;
 pub use dquag_stream as stream;
 pub use dquag_tabular as tabular;
 pub use dquag_tensor as tensor;

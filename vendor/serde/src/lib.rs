@@ -375,6 +375,41 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
     }
 }
 
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        // The same `{secs, nanos}` object shape upstream serde uses, so
+        // checkpoint files stay readable by real-serde tooling.
+        let mut map = BTreeMap::new();
+        map.insert("secs".to_string(), Value::Number(self.as_secs() as f64));
+        map.insert(
+            "nanos".to_string(),
+            Value::Number(f64::from(self.subsec_nanos())),
+        );
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v.as_object().ok_or_else(|| {
+            DeError::custom(format!(
+                "expected {{secs, nanos}} object, found {}",
+                v.kind()
+            ))
+        })?;
+        let secs = u64::from_value(obj.get("secs").unwrap_or(&Value::Null))
+            .map_err(|e| DeError::custom(format!("Duration secs: {e}")))?;
+        let nanos = u32::from_value(obj.get("nanos").unwrap_or(&Value::Null))
+            .map_err(|e| DeError::custom(format!("Duration nanos: {e}")))?;
+        if nanos >= 1_000_000_000 {
+            return Err(DeError::custom(format!(
+                "Duration nanos must be below 1e9, got {nanos}"
+            )));
+        }
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
@@ -407,6 +442,25 @@ mod tests {
         assert!(u8::from_value(&Value::Number(300.0)).is_err());
         assert!(u8::from_value(&Value::Number(1.5)).is_err());
         assert!(i32::from_value(&Value::String("3".into())).is_err());
+    }
+
+    #[test]
+    fn durations_round_trip_exactly() {
+        use std::time::Duration;
+        for d in [
+            Duration::ZERO,
+            Duration::from_nanos(1),
+            Duration::from_millis(1234),
+            Duration::new(86_400 * 365, 999_999_999),
+        ] {
+            assert_eq!(Duration::from_value(&d.to_value()).unwrap(), d);
+        }
+        // The wire shape matches upstream serde's {secs, nanos}.
+        let v = Duration::from_millis(1_500).to_value();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("secs").unwrap().as_f64(), Some(1.0));
+        assert_eq!(obj.get("nanos").unwrap().as_f64(), Some(5e8));
+        assert!(Duration::from_value(&Value::Number(3.0)).is_err());
     }
 
     #[test]
