@@ -208,6 +208,16 @@ pub struct DquagConfig {
     pub oracle_sample_size: usize,
     /// Worker threads used during phase-2 validation (1 = sequential).
     pub validation_threads: usize,
+    /// Score rows through matrix-level batched forward passes (the fast
+    /// path). `false` falls back to one forward pass per row — kept for
+    /// equivalence testing and debugging; both paths produce identical
+    /// verdicts.
+    pub batched_inference: bool,
+    /// Rows stacked into one matrix-level forward pass when
+    /// [`DquagConfig::batched_inference`] is on. Larger batches amortise the
+    /// parameter binding and per-op overhead further but grow the transient
+    /// activation matrices linearly.
+    pub inference_batch_size: usize,
     /// Streaming ingestion engine settings (queue, replicas, backpressure,
     /// deadlines) — consumed by `dquag-stream`.
     pub stream: StreamConfig,
@@ -235,6 +245,8 @@ impl Default for DquagConfig {
             feature_sigma: 5.0,
             oracle_sample_size: 100,
             validation_threads: 1,
+            batched_inference: true,
+            inference_batch_size: 256,
             stream: StreamConfig::default(),
             source: SourceConfig::default(),
             seed: 42,
@@ -330,6 +342,9 @@ impl DquagConfig {
         }
         if self.validation_threads == 0 {
             return fail("validation_threads must be at least 1".to_string());
+        }
+        if self.inference_batch_size == 0 {
+            return fail("inference_batch_size must be at least 1".to_string());
         }
         self.stream.clone().validated()?;
         self.source.clone().validated()?;
@@ -446,6 +461,18 @@ impl DquagConfigBuilder {
     /// Worker threads used during phase-2 validation.
     pub fn validation_threads(mut self, threads: usize) -> Self {
         self.config.validation_threads = threads;
+        self
+    }
+
+    /// Toggle matrix-level batched inference (on by default).
+    pub fn batched_inference(mut self, enabled: bool) -> Self {
+        self.config.batched_inference = enabled;
+        self
+    }
+
+    /// Rows stacked into one batched forward pass.
+    pub fn inference_batch_size(mut self, rows: usize) -> Self {
+        self.config.inference_batch_size = rows;
         self
     }
 
@@ -583,6 +610,8 @@ mod tests {
             .feature_sigma(3.0)
             .oracle_sample_size(50)
             .validation_threads(4)
+            .batched_inference(false)
+            .inference_batch_size(64)
             .seed(9)
             .hidden_dim(12)
             .n_layers(3)
@@ -598,6 +627,8 @@ mod tests {
         assert!((c.feature_sigma - 3.0).abs() < 1e-9);
         assert_eq!(c.oracle_sample_size, 50);
         assert_eq!(c.validation_threads, 4);
+        assert!(!c.batched_inference);
+        assert_eq!(c.inference_batch_size, 64);
         assert_eq!(c.seed, 9);
         assert_eq!(c.model.hidden_dim, 12);
         assert_eq!(c.model.n_layers, 3);
@@ -647,6 +678,10 @@ mod tests {
             (
                 DquagConfig::builder().validation_threads(0),
                 "validation_threads",
+            ),
+            (
+                DquagConfig::builder().inference_batch_size(0),
+                "inference_batch_size",
             ),
             (
                 DquagConfig::builder().stream_queue_capacity(0),

@@ -192,9 +192,21 @@ impl DquagValidator {
         }
 
         // 5. Collect reconstruction-error statistics on the held-out clean
-        //    slice and set the threshold at the configured percentile.
-        let calibration_errors: Vec<f32> = (0..encoded_calibration.n_rows())
-            .map(|row| instance_error(&network.reconstruction_errors(encoded_calibration.row(row))))
+        //    slice and set the threshold at the configured percentile. The
+        //    rows go through the batched inference path: parameters bound
+        //    once, one matrix-level forward pass per chunk.
+        let session = network.inference_session();
+        let calibration_rows: Vec<&[f32]> = (0..encoded_calibration.n_rows())
+            .map(|row| encoded_calibration.row(row))
+            .collect();
+        let calibration_batch = if config.batched_inference {
+            config.inference_batch_size.max(1)
+        } else {
+            1
+        };
+        let calibration_errors: Vec<f32> = calibration_rows
+            .chunks(calibration_batch)
+            .flat_map(|chunk| network.score_errors(&session, chunk).instance_errors())
             .collect();
         let threshold = percentile_f32(&calibration_errors, config.threshold_percentile);
 
@@ -240,6 +252,14 @@ impl DquagValidator {
         &self.config
     }
 
+    /// Toggle batched inference on an already-trained validator (defaults to
+    /// the training configuration). Both settings produce identical verdicts
+    /// — the toggle exists for equivalence testing and debugging.
+    pub fn with_batched_inference(mut self, enabled: bool) -> Self {
+        self.config.batched_inference = enabled;
+        self
+    }
+
     /// Instance-level reconstruction errors for a dataframe (phase 2, step 1).
     pub fn reconstruction_errors(&self, df: &DataFrame) -> Result<Vec<f32>> {
         let encoded = self
@@ -249,34 +269,62 @@ impl DquagValidator {
         let rows: Vec<Vec<f32>> = (0..encoded.n_rows())
             .map(|r| encoded.row(r).to_vec())
             .collect();
-        Ok(self.errors_for_rows(&rows))
+        let flat = self.feature_errors_for_rows(&rows);
+        let stride = self.network.n_features().max(1);
+        Ok(flat.chunks(stride).map(instance_error).collect())
     }
 
-    fn errors_for_rows(&self, rows: &[Vec<f32>]) -> Vec<f32> {
+    /// Per-feature squared reconstruction errors for every row, flattened
+    /// row-major with stride `n_features` — the phase-2 hot path. Rows are
+    /// stacked into matrix-level forward passes of up to
+    /// `inference_batch_size` (or scored one by one when `batched_inference`
+    /// is off), on inference sessions that bind the parameters once per
+    /// worker instead of once per row. One flat buffer keeps memory at the
+    /// size of the encoded input instead of one allocation per row.
+    fn feature_errors_for_rows(&self, rows: &[Vec<f32>]) -> Vec<f32> {
+        let stride = self.network.n_features();
+        let mut results = vec![0.0f32; rows.len() * stride];
         let threads = self.config.validation_threads.max(1);
         if threads == 1 || rows.len() < 64 {
-            return rows
-                .iter()
-                .map(|row| instance_error(&self.network.reconstruction_errors(row)))
-                .collect();
+            self.score_rows_into(rows, &mut results);
+            return results;
         }
         // Parallel phase-2 validation: forward passes are independent, the
-        // network is immutable, so rows are simply split across scoped threads.
+        // network is immutable, so rows are simply split across scoped
+        // threads, each with its own inference session writing a disjoint
+        // range of the flat output.
         let chunk_size = rows.len().div_ceil(threads);
-        let mut results = vec![0.0f32; rows.len()];
         std::thread::scope(|scope| {
-            let network = &self.network;
-            for (row_chunk, out_chunk) in
-                rows.chunks(chunk_size).zip(results.chunks_mut(chunk_size))
+            for (row_chunk, out_chunk) in rows
+                .chunks(chunk_size)
+                .zip(results.chunks_mut(chunk_size * stride.max(1)))
             {
                 scope.spawn(move || {
-                    for (row, out) in row_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *out = instance_error(&network.reconstruction_errors(row));
-                    }
+                    self.score_rows_into(row_chunk, out_chunk);
                 });
             }
         });
         results
+    }
+
+    /// Score a contiguous run of rows on one inference session, writing
+    /// flattened per-feature errors (stride `n_features`) into `out`.
+    fn score_rows_into(&self, rows: &[Vec<f32>], out: &mut [f32]) {
+        let stride = self.network.n_features();
+        let batch = if self.config.batched_inference {
+            self.config.inference_batch_size.max(1)
+        } else {
+            1
+        };
+        let session = self.network.inference_session();
+        let mut offset = 0;
+        for chunk in rows.chunks(batch) {
+            let len = chunk.len() * stride;
+            self.network
+                .score_errors(&session, chunk)
+                .write_feature_errors(&mut out[offset..offset + len]);
+            offset += len;
+        }
     }
 
     /// Phase 2: validate a new dataset against the learned clean patterns.
@@ -288,7 +336,12 @@ impl DquagValidator {
         let rows: Vec<Vec<f32>> = (0..encoded.n_rows())
             .map(|r| encoded.row(r).to_vec())
             .collect();
-        let instance_errors = self.errors_for_rows(&rows);
+        let stride = self.network.n_features().max(1);
+        let flat_feature_errors = self.feature_errors_for_rows(&rows);
+        let instance_errors: Vec<f32> = flat_feature_errors
+            .chunks(stride)
+            .map(instance_error)
+            .collect();
 
         let flagged_instances: Vec<usize> = instance_errors
             .iter()
@@ -304,9 +357,11 @@ impl DquagValidator {
         let dataset_is_dirty = error_rate > self.config.dataset_error_rate_threshold();
 
         // Feature-level detection inside flagged instances: error > μ + kσ.
+        // The per-feature errors were already produced by the batched pass
+        // above — no second forward pass per flagged row.
         let mut cell_flags = Vec::new();
         for &row in &flagged_instances {
-            let feature_errors = self.network.reconstruction_errors(&rows[row]);
+            let feature_errors = &flat_feature_errors[row * stride..(row + 1) * stride];
             let mean = feature_errors.iter().sum::<f32>() / feature_errors.len().max(1) as f32;
             let variance = feature_errors
                 .iter()
@@ -353,20 +408,39 @@ impl DquagValidator {
             .transform(df)
             .map_err(|e| CoreError::SchemaMismatch(e.to_string()))?;
         let mut repaired = df.clone();
-        for &row in &report.flagged_instances {
-            let cells: Vec<usize> = report
-                .cell_flags
-                .iter()
-                .filter(|c| c.row == row)
-                .map(|c| c.column)
-                .collect();
-            if cells.is_empty() {
-                continue;
-            }
-            let suggestions = self.network.repair_values(encoded.row(row));
-            for column in cells {
-                let value: Value = self.encoder.decode_cell(column, suggestions[column])?;
-                repaired.set_value(row, column, value)?;
+        // Collect the rows that actually need repairs, then run the repair
+        // decoder over all of them in batched forward passes.
+        let targets: Vec<(usize, Vec<usize>)> = report
+            .flagged_instances
+            .iter()
+            .map(|&row| {
+                let cells: Vec<usize> = report
+                    .cell_flags
+                    .iter()
+                    .filter(|c| c.row == row)
+                    .map(|c| c.column)
+                    .collect();
+                (row, cells)
+            })
+            .filter(|(_, cells)| !cells.is_empty())
+            .collect();
+        let target_rows: Vec<&[f32]> = targets.iter().map(|&(row, _)| encoded.row(row)).collect();
+
+        let session = self.network.inference_session();
+        let batch = if self.config.batched_inference {
+            self.config.inference_batch_size.max(1)
+        } else {
+            1
+        };
+        for (chunk_start, chunk) in target_rows.chunks(batch).enumerate() {
+            let scores = self.network.score_repairs(&session, chunk);
+            for (offset, _) in chunk.iter().enumerate() {
+                let (row, cells) = &targets[chunk_start * batch + offset];
+                let suggestions = scores.repair_values(offset);
+                for &column in cells {
+                    let value: Value = self.encoder.decode_cell(column, suggestions[column])?;
+                    repaired.set_value(*row, column, value)?;
+                }
             }
         }
         Ok(repaired)
@@ -537,6 +611,64 @@ mod tests {
                 (a - b).abs() < 1e-6,
                 "parallel and sequential errors must agree"
             );
+        }
+    }
+
+    #[test]
+    fn batched_inference_matches_per_row_reports() {
+        // Equivalence gate at the pipeline level: the same trained validator
+        // with batching on vs off must produce identical reports — errors,
+        // flags, cell flags, dataset verdict — on clean and corrupted data.
+        let (validator, clean) = trained_credit_validator();
+        let batched = validator.clone().with_batched_inference(true);
+        let per_row = validator.with_batched_inference(false);
+
+        let mut rng = dquag_datagen::rng(29);
+        let mut dirty = dquag_datagen::sample_fraction(&clean, 0.3, &mut rng);
+        let cols = DatasetKind::CreditCard.default_ordinary_error_columns();
+        inject_ordinary(
+            &mut dirty,
+            OrdinaryError::NumericAnomalies,
+            &cols,
+            0.2,
+            &mut rng,
+        );
+
+        for (label, df) in [("clean", &clean), ("dirty", &dirty)] {
+            let a = batched.validate(df).unwrap();
+            let b = per_row.validate(df).unwrap();
+            assert_eq!(
+                a.flagged_instances, b.flagged_instances,
+                "{label}: flag decisions must be identical"
+            );
+            assert_eq!(a.cell_flags, b.cell_flags, "{label}: cell flags");
+            assert_eq!(a.dataset_is_dirty, b.dataset_is_dirty, "{label}: verdict");
+            assert_eq!(a.instance_errors.len(), b.instance_errors.len());
+            for (i, (x, y)) in a
+                .instance_errors
+                .iter()
+                .zip(b.instance_errors.iter())
+                .enumerate()
+            {
+                assert!(
+                    (x - y).abs() <= 1e-5,
+                    "{label}: row {i} error {x} vs {y} exceeds 1e-5"
+                );
+            }
+        }
+
+        // and repairs touch identical cells with identical suggestions
+        let report = batched.validate(&dirty).unwrap();
+        let repaired_batched = batched.repair(&dirty, &report).unwrap();
+        let repaired_per_row = per_row.repair(&dirty, &report).unwrap();
+        for row in 0..dirty.n_rows() {
+            for col in 0..dirty.n_cols() {
+                assert_eq!(
+                    repaired_batched.value(row, col).unwrap(),
+                    repaired_per_row.value(row, col).unwrap(),
+                    "repair ({row},{col}) must not depend on batching"
+                );
+            }
         }
     }
 

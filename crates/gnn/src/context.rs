@@ -1,11 +1,10 @@
 //! Per-tape constants derived from the feature graph.
 //!
 //! Every forward pass needs the same graph-derived matrices — the GIN
-//! aggregation adjacency, the GCN-normalised adjacency, the GAT attention
-//! mask and a row of ones used to broadcast attention logits. They are
-//! constants (no gradient), but they must live on the *current* tape, so
-//! [`GraphContext::bind`] materialises them per tape from a reusable
-//! [`GraphContext`].
+//! aggregation adjacency, the GCN-normalised adjacency and the GAT
+//! attention mask. They are constants (no gradient), but they must live on
+//! the *current* tape, so [`GraphContext::bind`] materialises them per tape
+//! from a reusable [`GraphContext`].
 
 use dquag_graph::FeatureGraph;
 use dquag_tensor::{Matrix, Tape, Var};
@@ -52,7 +51,6 @@ impl GraphContext {
             adjacency: tape.constant(self.adjacency.clone()),
             gcn_adjacency: tape.constant(self.gcn_adjacency.clone()),
             attention_mask: tape.constant(self.attention_mask.clone()),
-            ones_row: tape.constant(Matrix::ones(1, self.n_nodes)),
         }
     }
 }
@@ -67,8 +65,6 @@ pub struct BoundGraph {
     pub gcn_adjacency: Var,
     /// Additive attention mask: 0 on edges/self-loops, −1e9 elsewhere (GAT).
     pub attention_mask: Var,
-    /// Row of ones used to broadcast per-node logits into an `n × n` grid.
-    pub ones_row: Var,
 }
 
 impl BoundGraph {
@@ -122,8 +118,7 @@ mod tests {
         let tape = Tape::new();
         let bound = ctx.bind(&tape);
         assert_eq!(bound.n_nodes(), 3);
-        assert_eq!(bound.ones_row.shape(), (1, 3));
-        assert_eq!(tape.len(), 4, "four constants per binding");
+        assert_eq!(tape.len(), 3, "three constants per binding");
         // constants never expose gradients
         let x = tape.leaf(Matrix::ones(3, 1), true);
         let loss = bound.gcn_adjacency.matmul(&x).square().mean();

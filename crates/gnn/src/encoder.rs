@@ -57,11 +57,33 @@ enum AnyLayer {
 }
 
 impl AnyLayer {
-    fn forward(&self, params: &BoundParams, graph: &BoundGraph, h: &Var) -> Var {
+    fn forward_batch(
+        &self,
+        params: &BoundParams,
+        graph: &BoundGraph,
+        h: &Var,
+        batch: usize,
+    ) -> Var {
         match self {
-            AnyLayer::Gat(l) => l.forward(params, graph, h),
-            AnyLayer::Gin(l) => l.forward(params, graph, h),
-            AnyLayer::Gcn(l) => l.forward(params, graph, h),
+            AnyLayer::Gat(l) => l.forward_batch(params, graph, h, batch),
+            AnyLayer::Gin(l) => l.forward_batch(params, graph, h, batch),
+            AnyLayer::Gcn(l) => l.forward_batch(params, graph, h, batch),
+        }
+    }
+
+    /// Forward pass with the inter-layer ReLU fused into the layer's final
+    /// kernel pass.
+    fn forward_batch_relu(
+        &self,
+        params: &BoundParams,
+        graph: &BoundGraph,
+        h: &Var,
+        batch: usize,
+    ) -> Var {
+        match self {
+            AnyLayer::Gat(l) => l.forward_batch_relu(params, graph, h, batch),
+            AnyLayer::Gin(l) => l.forward_batch_relu(params, graph, h, batch),
+            AnyLayer::Gcn(l) => l.forward_batch_relu(params, graph, h, batch),
         }
     }
 }
@@ -196,18 +218,34 @@ impl Encoder {
     /// Forward pass: per-sample node features `x ∈ R^{n × 1}` → embeddings
     /// `Z ∈ R^{n × h}`.
     pub fn forward(&self, params: &BoundParams, graph: &BoundGraph, x: &Var) -> Var {
+        self.forward_batch(params, graph, x, 1)
+    }
+
+    /// Batched forward pass: `batch` samples stacked vertically,
+    /// `x ∈ R^{(B·n) × 1}` → embeddings `Z ∈ R^{(B·n) × h}`. Every layer
+    /// confines message passing to its own `n`-row block, so block `b` of the
+    /// result equals `forward` of sample `b` alone.
+    pub fn forward_batch(
+        &self,
+        params: &BoundParams,
+        graph: &BoundGraph,
+        x: &Var,
+        batch: usize,
+    ) -> Var {
         if let Some(path) = &self.graph2vec {
-            let structural = x.tape().constant(path.structural.clone());
+            let structural = x.tape().constant(path.structural.tile_rows(batch));
             let features = x.concat_cols(&structural);
-            return path.mlp.forward(params, &features).relu();
+            return path.mlp.forward_relu(params, &features);
         }
         let mut h = x.clone();
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(params, graph, &h);
-            if i != last {
-                h = h.relu();
-            }
+            h = if i != last {
+                // inter-layer ReLU fused into the layer's last kernel pass
+                layer.forward_batch_relu(params, graph, &h, batch)
+            } else {
+                layer.forward_batch(params, graph, &h, batch)
+            };
         }
         h
     }

@@ -3,8 +3,11 @@
 //! Every layer registers its weights in a shared [`ParamStore`] at
 //! construction time and performs its forward pass against the
 //! [`BoundParams`]/[`BoundGraph`] views created for the current tape. Layers
-//! operate on per-sample node-feature matrices of shape
-//! `n_features × channels`.
+//! operate on node-feature matrices of shape `n_features × channels`, or —
+//! through each message-passing layer's `forward_batch` — on `B` samples
+//! stacked vertically into a `(B·n_features) × channels` matrix. The
+//! per-sample `forward` is the `batch = 1` case of the batched path, so the
+//! two can never drift apart.
 
 use crate::context::BoundGraph;
 use crate::params::{BoundParams, ParamId, ParamStore};
@@ -73,10 +76,16 @@ impl Linear {
         self.out_dim
     }
 
-    /// Forward pass: `x (r × in) → r × out`.
+    /// Forward pass: `x (r × in) → r × out`, as one fused
+    /// matmul-plus-bias kernel pass.
     pub fn forward(&self, params: &BoundParams, x: &Var) -> Var {
-        x.matmul(params.var(self.weight))
-            .add_row_broadcast(params.var(self.bias))
+        x.matmul_bias(params.var(self.weight), params.var(self.bias))
+    }
+
+    /// Forward pass with a fused ReLU epilogue: `relu(x · W + b)` in one
+    /// kernel pass.
+    pub fn forward_relu(&self, params: &BoundParams, x: &Var) -> Var {
+        x.matmul_bias_relu(params.var(self.weight), params.var(self.bias))
     }
 }
 
@@ -109,10 +118,18 @@ impl Mlp {
         self.second.out_dim()
     }
 
-    /// Forward pass with a ReLU after the first layer.
+    /// Forward pass with a ReLU after the first layer (fused into the first
+    /// layer's kernel pass).
     pub fn forward(&self, params: &BoundParams, x: &Var) -> Var {
         self.second
-            .forward(params, &self.first.forward(params, x).relu())
+            .forward(params, &self.first.forward_relu(params, x))
+    }
+
+    /// Forward pass with ReLUs after both layers, each fused into its
+    /// layer's kernel pass.
+    pub fn forward_relu(&self, params: &BoundParams, x: &Var) -> Var {
+        self.second
+            .forward_relu(params, &self.first.forward_relu(params, x))
     }
 }
 
@@ -164,20 +181,46 @@ impl GatLayer {
 
     /// Forward pass: `h (n × in) → n × out`.
     pub fn forward(&self, params: &BoundParams, graph: &BoundGraph, h: &Var) -> Var {
-        let hw = h.matmul(params.var(self.weight)); // n × out
-        let src = hw.matmul(params.var(self.attn_src)); // n × 1
-        let dst = hw.matmul(params.var(self.attn_dst)); // n × 1
+        self.forward_batch(params, graph, h, 1)
+    }
 
-        // Broadcast the per-node logits into an n × n grid:
-        // logits[i][j] = src[i] + dst[j]
-        let src_grid = src.matmul(&graph.ones_row); // n × n (rows constant)
-        let dst_grid = dst.matmul(&graph.ones_row).transpose(); // n × n (cols constant)
-        let logits = src_grid
-            .add(&dst_grid)
-            .leaky_relu(GAT_LEAKY_SLOPE)
-            .add(&graph.attention_mask);
-        let attention = logits.softmax_rows(); // n × n, rows sum to 1 over N(i) ∪ {i}
-        attention.matmul(&hw)
+    /// Batched forward pass over `batch` vertically stacked samples:
+    /// `h (B·n × in) → B·n × out`. Attention is computed per block — sample
+    /// `b`'s nodes only attend within their own `n × n` grid — so the result
+    /// is bit-identical to `batch` independent [`GatLayer::forward`] calls.
+    pub fn forward_batch(
+        &self,
+        params: &BoundParams,
+        graph: &BoundGraph,
+        h: &Var,
+        batch: usize,
+    ) -> Var {
+        let hw = h.matmul(params.var(self.weight)); // B·n × out
+        let src = hw.matmul(params.var(self.attn_src)); // B·n × 1
+        let dst = hw.matmul(params.var(self.attn_dst)); // B·n × 1
+
+        // One fused pass builds the per-block n × n logit grids:
+        // logits[b·n + i][j] = leaky(src[b·n + i] + dst[b·n + j]) + mask[i][j]
+        let logits = src.attention_logits(&dst, &graph.attention_mask, GAT_LEAKY_SLOPE);
+        let attention = logits.softmax_rows(); // rows sum to 1 over N(i) ∪ {i}
+        attention.block_matmul(&hw, batch)
+    }
+
+    /// [`GatLayer::forward_batch`] with a fused trailing ReLU — the
+    /// inter-layer activation rides the attention-mixing kernel's store
+    /// epilogue instead of a separate pass.
+    pub fn forward_batch_relu(
+        &self,
+        params: &BoundParams,
+        graph: &BoundGraph,
+        h: &Var,
+        batch: usize,
+    ) -> Var {
+        let hw = h.matmul(params.var(self.weight));
+        let src = hw.matmul(params.var(self.attn_src));
+        let dst = hw.matmul(params.var(self.attn_dst));
+        let logits = src.attention_logits(&dst, &graph.attention_mask, GAT_LEAKY_SLOPE);
+        logits.softmax_rows().block_matmul_relu(&hw, batch)
     }
 
     /// The attention matrix itself (useful for interpretability tests).
@@ -185,12 +228,7 @@ impl GatLayer {
         let hw = h.matmul(params.var(self.weight));
         let src = hw.matmul(params.var(self.attn_src));
         let dst = hw.matmul(params.var(self.attn_dst));
-        let src_grid = src.matmul(&graph.ones_row);
-        let dst_grid = dst.matmul(&graph.ones_row).transpose();
-        src_grid
-            .add(&dst_grid)
-            .leaky_relu(GAT_LEAKY_SLOPE)
-            .add(&graph.attention_mask)
+        src.attention_logits(&dst, &graph.attention_mask, GAT_LEAKY_SLOPE)
             .softmax_rows()
     }
 }
@@ -228,12 +266,42 @@ impl GinLayer {
 
     /// Forward pass: `h (n × in) → n × out`.
     pub fn forward(&self, params: &BoundParams, graph: &BoundGraph, h: &Var) -> Var {
-        let neighbour_sum = graph.adjacency.matmul(h); // n × in
-                                                       // (1 + ε)·h — ε is a learnable scalar initialised to zero.
+        self.forward_batch(params, graph, h, 1)
+    }
+
+    /// Batched forward pass over vertically stacked samples: the shared
+    /// adjacency aggregates neighbours within each `n`-row block, the
+    /// `(1 + ε)` self-term and the MLP are row-wise and batch transparently.
+    pub fn forward_batch(
+        &self,
+        params: &BoundParams,
+        graph: &BoundGraph,
+        h: &Var,
+        _batch: usize,
+    ) -> Var {
+        let neighbour_sum = graph.adjacency.repeat_matmul(h); // B·n × in
+                                                              // (1 + ε)·h — ε is a learnable scalar initialised to zero,
+                                                              // folded into the aggregation as one fused pass.
         let one = h.tape().constant(Matrix::ones(1, 1));
         let scale = params.var(self.epsilon).add(&one);
-        let self_term = h.mul_scalar_var(&scale);
-        self.mlp.forward(params, &neighbour_sum.add(&self_term))
+        self.mlp
+            .forward(params, &neighbour_sum.scaled_add(h, &scale))
+    }
+
+    /// [`GinLayer::forward_batch`] with a fused trailing ReLU on the MLP's
+    /// output layer.
+    pub fn forward_batch_relu(
+        &self,
+        params: &BoundParams,
+        graph: &BoundGraph,
+        h: &Var,
+        _batch: usize,
+    ) -> Var {
+        let neighbour_sum = graph.adjacency.repeat_matmul(h);
+        let one = h.tape().constant(Matrix::ones(1, 1));
+        let scale = params.var(self.epsilon).add(&one);
+        self.mlp
+            .forward_relu(params, &neighbour_sum.scaled_add(h, &scale))
     }
 }
 
@@ -265,7 +333,32 @@ impl GcnLayer {
 
     /// Forward pass: `h (n × in) → n × out`.
     pub fn forward(&self, params: &BoundParams, graph: &BoundGraph, h: &Var) -> Var {
-        self.linear.forward(params, &graph.gcn_adjacency.matmul(h))
+        self.forward_batch(params, graph, h, 1)
+    }
+
+    /// Batched forward pass: the normalised adjacency propagates within each
+    /// `n`-row block, the dense layer is row-wise.
+    pub fn forward_batch(
+        &self,
+        params: &BoundParams,
+        graph: &BoundGraph,
+        h: &Var,
+        _batch: usize,
+    ) -> Var {
+        self.linear
+            .forward(params, &graph.gcn_adjacency.repeat_matmul(h))
+    }
+
+    /// [`GcnLayer::forward_batch`] with a fused trailing ReLU.
+    pub fn forward_batch_relu(
+        &self,
+        params: &BoundParams,
+        graph: &BoundGraph,
+        h: &Var,
+        _batch: usize,
+    ) -> Var {
+        self.linear
+            .forward_relu(params, &graph.gcn_adjacency.repeat_matmul(h))
     }
 }
 

@@ -25,6 +25,13 @@
 //! the (encoded, normalised) value of feature `i`, edges come from the
 //! feature graph built by `dquag-graph`. Layers therefore operate on
 //! `n_features × hidden` matrices via the `dquag-tensor` autograd tape.
+//!
+//! For inference, `B` samples are stacked vertically into one
+//! `(B·n_features) × hidden` matrix and pushed through the whole network in a
+//! single matrix-level forward pass ([`model::DquagNetwork::forward_batch`]),
+//! with parameters bound once per [`model::InferenceSession`] instead of once
+//! per sample. The batched and per-sample paths are held equivalent by the
+//! seeded randomized suite in `tests/batched_forward.rs`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -39,5 +46,8 @@ pub mod params;
 pub use context::GraphContext;
 pub use decoder::DualDecoder;
 pub use encoder::{Encoder, EncoderKind};
-pub use model::{DquagNetwork, ModelConfig, MultiTaskLoss, SampleOutput};
+pub use model::{
+    BatchOutput, BatchScores, DquagNetwork, InferenceSession, ModelConfig, MultiTaskLoss,
+    SampleOutput,
+};
 pub use params::{BoundParams, ParamId, ParamStore};

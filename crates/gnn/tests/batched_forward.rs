@@ -1,0 +1,281 @@
+//! Seeded randomized equivalence suite for batched inference.
+//!
+//! The batched matrix-level forward pass ([`DquagNetwork::score_matrix`])
+//! must be indistinguishable from the per-row reference path
+//! (`reconstruction_errors` / `repair_values`, one tape per sample): scores
+//! agree within 1e-5, flag decisions are identical, and the batched path's
+//! tape stays O(layers) regardless of the batch size. Random shapes and
+//! parameters across batch sizes {1, 2, 7, 64, 257}, including ragged final
+//! chunks and the empty batch.
+
+use dquag_gnn::{DquagNetwork, EncoderKind, ModelConfig};
+use dquag_graph::FeatureGraph;
+use dquag_tensor::optim::Adam;
+use dquag_tensor::Tape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tolerance of the score-level equivalence checks.
+const SCORE_TOL: f32 = 1e-5;
+
+fn random_graph(rng: &mut StdRng) -> FeatureGraph {
+    let n = rng.gen_range(3..9usize);
+    let names: Vec<String> = (0..n).map(|i| format!("f{i}")).collect();
+    let mut graph = FeatureGraph::new(names);
+    // A ring keeps every node connected; random chords vary the topology.
+    for i in 0..n {
+        graph.add_edge(i, (i + 1) % n).expect("ring edge");
+    }
+    for _ in 0..n {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            let _ = graph.add_edge(a, b);
+        }
+    }
+    graph
+}
+
+fn random_rows(rng: &mut StdRng, n_rows: usize, n_features: usize) -> Vec<Vec<f32>> {
+    (0..n_rows)
+        .map(|_| {
+            (0..n_features)
+                .map(|_| rng.gen_range(-2.0f32..2.0))
+                .collect()
+        })
+        .collect()
+}
+
+/// Assert that one batched `score_matrix` call over `rows` reproduces the
+/// per-row reference path: per-feature errors and repair values within
+/// [`SCORE_TOL`], and identical flag decisions at a data-derived threshold.
+fn assert_equivalent(net: &DquagNetwork, rows: &[Vec<f32>], context: &str) {
+    let session = net.inference_session();
+    let scores = net.score_matrix(&session, rows);
+    assert_eq!(scores.len(), rows.len(), "{context}: batch length");
+    assert_eq!(
+        session.tape_len(),
+        session.base_len(),
+        "{context}: session tape must rewind to its baseline"
+    );
+
+    let batched_errors = scores.instance_errors();
+    let mut reference_errors = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let reference_features = net.reconstruction_errors(row);
+        let batched_features = scores.per_feature_errors(i);
+        assert_eq!(reference_features.len(), batched_features.len());
+        for (f, (a, b)) in batched_features
+            .iter()
+            .zip(reference_features.iter())
+            .enumerate()
+        {
+            assert!(
+                (a - b).abs() <= SCORE_TOL,
+                "{context}: row {i} feature {f}: batched {a} vs per-row {b}"
+            );
+        }
+        let reference_error = if reference_features.is_empty() {
+            0.0
+        } else {
+            reference_features.iter().sum::<f32>() / reference_features.len() as f32
+        };
+        assert!(
+            (batched_errors[i] - reference_error).abs() <= SCORE_TOL,
+            "{context}: row {i} instance error: batched {} vs per-row {reference_error}",
+            batched_errors[i]
+        );
+        reference_errors.push(reference_error);
+
+        let reference_repair = net.repair_values(row);
+        let batched_repair = scores.repair_values(i);
+        for (f, (a, b)) in batched_repair
+            .iter()
+            .zip(reference_repair.iter())
+            .enumerate()
+        {
+            assert!(
+                (a - b).abs() <= SCORE_TOL,
+                "{context}: row {i} repair {f}: batched {a} vs per-row {b}"
+            );
+        }
+    }
+
+    // Flag decisions must be identical, not merely close: threshold at the
+    // median reference error so both flag outcomes actually occur.
+    let mut sorted = reference_errors.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+    let threshold = sorted[sorted.len() / 2];
+    for (i, (batched, reference)) in batched_errors
+        .iter()
+        .zip(reference_errors.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            batched > &threshold,
+            reference > &threshold,
+            "{context}: row {i} flag decision differs (batched {batched}, \
+             per-row {reference}, threshold {threshold})"
+        );
+    }
+}
+
+#[test]
+fn small_batches_match_per_row_across_random_shapes_and_encoders() {
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    for case in 0..6 {
+        let graph = random_graph(&mut rng);
+        let config = ModelConfig {
+            hidden_dim: rng.gen_range(4..13),
+            n_layers: rng.gen_range(1..4),
+            encoder: EncoderKind::ALL[rng.gen_range(0..EncoderKind::ALL.len())],
+            seed: rng.gen_range(0..1_000),
+            ..ModelConfig::default()
+        };
+        let net = DquagNetwork::new(&graph, config);
+        for &batch in &[1usize, 2, 7] {
+            let rows = random_rows(&mut rng, batch, net.n_features());
+            assert_equivalent(
+                &net,
+                &rows,
+                &format!("case {case} B={batch} {:?}", config.encoder),
+            );
+        }
+    }
+}
+
+#[test]
+fn large_batches_match_per_row() {
+    let mut rng = StdRng::seed_from_u64(0xBA7D);
+    let graph = random_graph(&mut rng);
+    let net = DquagNetwork::new(&graph, ModelConfig::small());
+    for &batch in &[64usize, 257] {
+        let rows = random_rows(&mut rng, batch, net.n_features());
+        assert_equivalent(&net, &rows, &format!("large B={batch}"));
+    }
+}
+
+#[test]
+fn ragged_chunking_matches_one_shot_batching() {
+    // 257 rows in chunks of 64 leaves a ragged final chunk of 1 — the shape
+    // the pipeline produces whenever a dataset is not a multiple of the
+    // inference batch size. Chunked scoring through one session must equal
+    // the single-call batched scores exactly.
+    let mut rng = StdRng::seed_from_u64(0xBA7E);
+    let graph = random_graph(&mut rng);
+    let net = DquagNetwork::new(&graph, ModelConfig::small());
+    let rows = random_rows(&mut rng, 257, net.n_features());
+
+    let session = net.inference_session();
+    let one_shot = net.score_matrix(&session, &rows).instance_errors();
+    let mut chunked = Vec::with_capacity(rows.len());
+    for chunk in rows.chunks(64) {
+        chunked.extend(net.score_matrix(&session, chunk).instance_errors());
+        assert_eq!(session.tape_len(), session.base_len());
+    }
+    assert_eq!(one_shot.len(), chunked.len());
+    for (i, (a, b)) in one_shot.iter().zip(chunked.iter()).enumerate() {
+        assert!(
+            (a - b).abs() <= SCORE_TOL,
+            "row {i}: one-shot {a} vs chunked {b}"
+        );
+    }
+}
+
+#[test]
+fn score_errors_matches_score_matrix_errors() {
+    // The validation-only scoring path must produce exactly the errors of
+    // the full path — it merely skips the repair decoder.
+    let mut rng = StdRng::seed_from_u64(0xBA82);
+    let graph = random_graph(&mut rng);
+    let net = DquagNetwork::new(&graph, ModelConfig::small());
+    let rows = random_rows(&mut rng, 97, net.n_features());
+    let session = net.inference_session();
+    let full = net.score_matrix(&session, &rows);
+    let errors_only = net.score_errors(&session, &rows);
+    assert_eq!(full.len(), errors_only.len());
+    assert_eq!(full.instance_errors(), errors_only.instance_errors());
+    for i in 0..rows.len() {
+        assert_eq!(
+            full.per_feature_errors(i),
+            errors_only.per_feature_errors(i)
+        );
+    }
+    assert_eq!(session.tape_len(), session.base_len());
+}
+
+#[test]
+fn empty_batch_yields_empty_scores() {
+    let mut rng = StdRng::seed_from_u64(0xBA7F);
+    let graph = random_graph(&mut rng);
+    let net = DquagNetwork::new(&graph, ModelConfig::small());
+    let session = net.inference_session();
+    let scores = net.score_matrix(&session, &Vec::<Vec<f32>>::new());
+    assert!(scores.is_empty());
+    assert_eq!(scores.len(), 0);
+    assert!(scores.instance_errors().is_empty());
+    assert_eq!(
+        session.tape_len(),
+        session.base_len(),
+        "the empty batch must not touch the tape"
+    );
+}
+
+#[test]
+fn no_grad_inference_allocates_zero_backward_nodes_and_o_layers_tape() {
+    let mut rng = StdRng::seed_from_u64(0xBA80);
+    let graph = random_graph(&mut rng);
+    let net = DquagNetwork::new(&graph, ModelConfig::small());
+    let rows = random_rows(&mut rng, 64, net.n_features());
+
+    let tape = Tape::no_grad();
+    let (params, bound_graph) = net.bind(&tape);
+    let base = tape.len();
+
+    let _ = net.forward_batch(&tape, &params, &bound_graph, &rows[..1]);
+    let growth_b1 = tape.len() - base;
+    assert_eq!(tape.n_backward_nodes(), 0, "no-grad pass, B=1");
+    tape.truncate(base);
+
+    let _ = net.forward_batch(&tape, &params, &bound_graph, &rows);
+    let growth_b64 = tape.len() - base;
+    assert_eq!(tape.n_backward_nodes(), 0, "no-grad pass, B=64");
+    assert_eq!(
+        growth_b1, growth_b64,
+        "tape node count must be O(layers), independent of the batch size"
+    );
+
+    // Control: the same forward on a gradient tape does build a backward
+    // graph, so the zero above is the no-grad mode at work.
+    let grad_tape = Tape::new();
+    let (grad_params, grad_graph) = net.bind(&grad_tape);
+    let _ = net.forward_batch(&grad_tape, &grad_params, &grad_graph, &rows[..1]);
+    assert!(grad_tape.n_backward_nodes() > 0);
+}
+
+#[test]
+fn refitting_and_rescoring_do_not_leak_tape_nodes() {
+    // Regression test for the hoisted-binding fix: training twice on the same
+    // network and scoring through a long-lived session must leave the session
+    // tape at its baseline after every batch — nothing accumulates.
+    let mut rng = StdRng::seed_from_u64(0xBA81);
+    let graph = random_graph(&mut rng);
+    let mut net = DquagNetwork::new(&graph, ModelConfig::small());
+    let rows = random_rows(&mut rng, 16, net.n_features());
+
+    let mut adam = Adam::with_learning_rate(0.01);
+    net.train_batch(&rows, &mut adam);
+    net.train_batch(&rows, &mut adam);
+
+    let session = net.inference_session();
+    let base = session.base_len();
+    for pass in 0..5 {
+        let scores = net.score_matrix(&session, &rows);
+        assert_eq!(scores.len(), rows.len());
+        assert_eq!(
+            session.tape_len(),
+            base,
+            "pass {pass}: session tape must not grow across batches"
+        );
+    }
+}

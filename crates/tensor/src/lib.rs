@@ -40,6 +40,7 @@
 
 mod error;
 mod matrix;
+mod simd;
 mod tape;
 
 pub mod init;
@@ -47,7 +48,49 @@ pub mod optim;
 
 pub use error::TensorError;
 pub use matrix::Matrix;
+pub use simd::{kernel_mode, set_kernel_mode, KernelMode};
 pub use tape::{Tape, Var};
+
+/// Tune the process allocator for sustained tensor inference.
+///
+/// A batched forward pass allocates and frees a few dozen megabyte-scale
+/// activation matrices per batch. With glibc's default trim threshold
+/// (128 KiB) the freed top-of-heap goes back to the kernel after every
+/// batch, so the next batch page-faults its whole working set in again —
+/// measured at more than half the batch wall time. This raises the trim
+/// threshold to 32 MiB and the mmap threshold to 64 MiB, once, so
+/// activation buffers (a few MiB per batch) are recycled in the arena while
+/// genuinely large frees — a training spike, a host application's buffers —
+/// are still returned to the kernel.
+///
+/// Idempotent and cheap; called automatically when an inference session is
+/// opened. The effect is process-wide and bounded: at most ~32 MiB of freed
+/// top-of-heap is retained. Hosts embedding this crate that need glibc's
+/// default trimming behaviour can set `DQUAG_NO_MALLOC_TUNING=1` before
+/// startup to disable it. No-op on platforms without glibc `mallopt`.
+pub fn tune_allocator_for_inference() {
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    {
+        use std::sync::Once;
+        static TUNE: Once = Once::new();
+        TUNE.call_once(|| {
+            if std::env::var_os("DQUAG_NO_MALLOC_TUNING").is_some_and(|v| v != "0") {
+                return;
+            }
+            extern "C" {
+                fn mallopt(param: core::ffi::c_int, value: core::ffi::c_int) -> core::ffi::c_int;
+            }
+            const M_TRIM_THRESHOLD: core::ffi::c_int = -1;
+            const M_MMAP_THRESHOLD: core::ffi::c_int = -3;
+            // SAFETY: glibc mallopt is thread-safe and these parameters only
+            // adjust allocator heuristics.
+            unsafe {
+                mallopt(M_TRIM_THRESHOLD, 32 * 1024 * 1024);
+                mallopt(M_MMAP_THRESHOLD, 64 * 1024 * 1024);
+            }
+        });
+    }
+}
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, TensorError>;

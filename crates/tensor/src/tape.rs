@@ -6,8 +6,16 @@
 //! and walks the nodes in reverse creation order, accumulating parent
 //! gradients according to each op's local derivative.
 //!
-//! A fresh tape is created for every forward pass (one per training sample or
+//! A fresh tape is created for every training forward pass (one per
 //! mini-batch step), which keeps lifetimes trivial and memory bounded.
+//!
+//! For inference there is a second mode: a tape created with
+//! [`Tape::no_grad`] records every operation result as a plain constant leaf
+//! — no op tag, no parent indices, no gradient slot — so the backward graph
+//! is never materialised. Combined with [`Tape::truncate`], a long-lived
+//! inference tape can bind model parameters once and be rewound to that
+//! baseline after every batch, instead of re-binding (and re-cloning) the
+//! parameters per sample.
 
 use crate::matrix::Matrix;
 use std::cell::RefCell;
@@ -69,6 +77,24 @@ enum Op {
     SliceCols(usize, usize, usize),
     /// Row slice `A[start..end, :]`
     SliceRows(usize, usize, usize),
+    /// Per-block product over `B` stacked blocks: `C_b = A_b · B_b`
+    BlockMatMul(usize, usize, usize),
+    /// Per-block product with fused activation: `C_b = relu(A_b · B_b)`
+    BlockMatMulRelu(usize, usize, usize),
+    /// One operator applied to every block: `C_b = A · B_b`
+    RepeatMatMul(usize, usize),
+    /// Block-wise transposed broadcast of a stacked column vector
+    BlockRowBroadcast(usize, usize),
+    /// `C = A + tile(M)`: one `n × c` matrix added to every `n`-row block
+    BlockAddBroadcast(usize, usize),
+    /// Fused dense layer `C = A · W + row(bias)`
+    MatMulBias(usize, usize, usize),
+    /// Fused dense layer with activation `C = relu(A · W + row(bias))`
+    MatMulBiasRelu(usize, usize, usize),
+    /// Fused batched GAT logits: `leaky(src_i + dst_j) + mask` per block
+    AttentionLogits(usize, usize, usize, f32, usize),
+    /// Fused `C = A + s · B` for a `1 × 1` scalar node `s`
+    ScaledAdd(usize, usize, usize),
 }
 
 #[derive(Debug)]
@@ -79,9 +105,19 @@ struct Node {
     op: Op,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct TapeInner {
     nodes: Vec<Node>,
+    grad_enabled: bool,
+}
+
+impl Default for TapeInner {
+    fn default() -> Self {
+        Self {
+            nodes: Vec::new(),
+            grad_enabled: true,
+        }
+    }
 }
 
 /// A reverse-mode autodiff tape.
@@ -123,6 +159,52 @@ impl Tape {
         Self::default()
     }
 
+    /// Create an empty inference tape: every operation still evaluates its
+    /// value, but the result is recorded as a plain constant leaf — no op
+    /// tag, no parent links, no gradient slot. [`Tape::backward`] is
+    /// unavailable; [`Tape::n_backward_nodes`] stays zero.
+    pub fn no_grad() -> Self {
+        let tape = Self::default();
+        tape.inner.borrow_mut().grad_enabled = false;
+        tape
+    }
+
+    /// True when this tape records the backward graph (the default); false
+    /// for tapes created with [`Tape::no_grad`].
+    pub fn is_grad_enabled(&self) -> bool {
+        self.inner.borrow().grad_enabled
+    }
+
+    /// Number of nodes carrying backward information (a non-leaf op). Always
+    /// zero on a [`Tape::no_grad`] tape.
+    pub fn n_backward_nodes(&self) -> usize {
+        self.inner
+            .borrow()
+            .nodes
+            .iter()
+            .filter(|node| !matches!(node.op, Op::Leaf))
+            .count()
+    }
+
+    /// Drop every node recorded after the first `len` — the tape-reuse
+    /// primitive: bind parameters once, note [`Tape::len`], run a forward
+    /// pass, read the outputs, truncate back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the current node count. `Var`s pointing past
+    /// the truncation point are invalidated; reading them panics on the
+    /// out-of-bounds node index.
+    pub fn truncate(&self, len: usize) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            len <= inner.nodes.len(),
+            "Tape::truncate({len}) beyond the current {} nodes",
+            inner.nodes.len()
+        );
+        inner.nodes.truncate(len);
+    }
+
     /// Number of nodes recorded so far.
     pub fn len(&self) -> usize {
         self.inner.borrow().nodes.len()
@@ -148,6 +230,13 @@ impl Tape {
 
     fn push(&self, value: Matrix, requires_grad: bool, op: Op) -> Var {
         let mut inner = self.inner.borrow_mut();
+        let (requires_grad, op) = if inner.grad_enabled {
+            (requires_grad, op)
+        } else {
+            // Inference mode: keep the value (downstream ops read it) but
+            // drop the backward metadata.
+            (false, Op::Leaf)
+        };
         inner.nodes.push(Node {
             value,
             grad: None,
@@ -178,11 +267,16 @@ impl Tape {
     ///
     /// # Panics
     ///
-    /// Panics if `output` is not a scalar node or belongs to another tape.
+    /// Panics if `output` is not a scalar node, belongs to another tape, or
+    /// the tape was created with [`Tape::no_grad`].
     pub fn backward(&self, output: &Var) {
         assert!(
             Rc::ptr_eq(&self.inner, &output.tape.inner),
             "backward called with a Var from a different tape"
+        );
+        assert!(
+            self.is_grad_enabled(),
+            "backward called on a no-grad (inference) tape"
         );
         let out_shape = self.shape_of(output.idx);
         assert_eq!(
@@ -410,9 +504,178 @@ impl Tape {
                     }
                     accumulate(&mut inner.nodes, a, da);
                 }
+                Op::BlockMatMulRelu(a, b, blocks) => {
+                    // Gate by the rectifier (value holds the post-relu
+                    // output), then per-block matmul backward.
+                    let mask = value.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                    let gated = grad_out.hadamard(&mask).expect("relu gate shape");
+                    block_matmul_backward(&mut inner.nodes, a, b, blocks, &gated);
+                }
+                Op::BlockMatMul(a, b, blocks) => {
+                    block_matmul_backward(&mut inner.nodes, a, b, blocks, &grad_out);
+                }
+                Op::RepeatMatMul(a, b) => {
+                    // dA = Σ_b dC_b · B_bᵀ, dB_b = Aᵀ · dC_b.
+                    let a_val = inner.nodes[a].value.clone();
+                    let b_val = inner.nodes[b].value.clone();
+                    let blocks = b_val.rows() / a_val.cols();
+                    let p = a_val.rows();
+                    let k = a_val.cols();
+                    let d = b_val.cols();
+                    let a_t = a_val.transpose();
+                    let mut da = Matrix::zeros(p, k);
+                    let mut db = Matrix::zeros(b_val.rows(), d);
+                    for blk in 0..blocks {
+                        let g = grad_out
+                            .slice_rows(blk * p, (blk + 1) * p)
+                            .expect("repeat_matmul backward: grad block");
+                        let bb = b_val
+                            .slice_rows(blk * k, (blk + 1) * k)
+                            .expect("repeat_matmul backward: B block");
+                        da = da
+                            .add(&g.matmul(&bb.transpose()).expect("repeat_matmul dA shape"))
+                            .expect("repeat_matmul dA accumulation");
+                        let dbb = a_t.matmul(&g).expect("repeat_matmul dB shape");
+                        db.as_mut_slice()[blk * k * d..(blk + 1) * k * d]
+                            .copy_from_slice(dbb.as_slice());
+                    }
+                    accumulate(&mut inner.nodes, a, da);
+                    accumulate(&mut inner.nodes, b, db);
+                }
+                Op::BlockRowBroadcast(a, block) => {
+                    // out[b·n + i][j] = v[b·n + j] → dv[b·n + j] = Σ_i grad[b·n + i][j]
+                    let rows = inner.nodes[a].value.rows();
+                    let blocks = rows / block;
+                    let mut dv = Matrix::zeros(rows, 1);
+                    for b in 0..blocks {
+                        for i in 0..block {
+                            for j in 0..block {
+                                let acc = dv.get(b * block + j, 0) + grad_out.get(b * block + i, j);
+                                dv.set(b * block + j, 0, acc);
+                            }
+                        }
+                    }
+                    accumulate(&mut inner.nodes, a, dv);
+                }
+                Op::BlockAddBroadcast(a, m) => {
+                    accumulate(&mut inner.nodes, a, grad_out.clone());
+                    let (n, c) = inner.nodes[m].value.shape();
+                    let blocks = grad_out.rows() / n;
+                    let mut dm = Matrix::zeros(n, c);
+                    for b in 0..blocks {
+                        for i in 0..n {
+                            for j in 0..c {
+                                let acc = dm.get(i, j) + grad_out.get(b * n + i, j);
+                                dm.set(i, j, acc);
+                            }
+                        }
+                    }
+                    accumulate(&mut inner.nodes, m, dm);
+                }
+                Op::MatMulBias(a, w, bias) => {
+                    let a_val = inner.nodes[a].value.clone();
+                    let w_val = inner.nodes[w].value.clone();
+                    let da = grad_out
+                        .matmul(&w_val.transpose())
+                        .expect("matmul_bias backward: dA shape");
+                    let dw = a_val
+                        .transpose()
+                        .matmul(&grad_out)
+                        .expect("matmul_bias backward: dW shape");
+                    accumulate(&mut inner.nodes, a, da);
+                    accumulate(&mut inner.nodes, w, dw);
+                    accumulate(&mut inner.nodes, bias, grad_out.sum_cols());
+                }
+                Op::MatMulBiasRelu(a, w, bias) => {
+                    // Gate the incoming gradient by the rectifier first
+                    // (value holds the post-relu output), then it is plain
+                    // matmul-plus-bias backward.
+                    let mask = value.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                    let gated = grad_out.hadamard(&mask).expect("relu gate shape");
+                    let a_val = inner.nodes[a].value.clone();
+                    let w_val = inner.nodes[w].value.clone();
+                    let da = gated
+                        .matmul(&w_val.transpose())
+                        .expect("matmul_bias_relu backward: dA shape");
+                    let dw = a_val
+                        .transpose()
+                        .matmul(&gated)
+                        .expect("matmul_bias_relu backward: dW shape");
+                    accumulate(&mut inner.nodes, a, da);
+                    accumulate(&mut inner.nodes, w, dw);
+                    accumulate(&mut inner.nodes, bias, gated.sum_cols());
+                }
+                Op::AttentionLogits(src, dst, mask, slope, block) => {
+                    // out = leaky(src_i + dst_j) + mask_ij, per n-row block.
+                    let src_val = inner.nodes[src].value.clone();
+                    let dst_val = inner.nodes[dst].value.clone();
+                    let n = block;
+                    let blocks = src_val.rows() / n;
+                    let mut dsrc = Matrix::zeros(src_val.rows(), 1);
+                    let mut ddst = Matrix::zeros(dst_val.rows(), 1);
+                    let (mask_rows, mask_cols) = inner.nodes[mask].value.shape();
+                    let mut dmask = Matrix::zeros(mask_rows, mask_cols);
+                    for b in 0..blocks {
+                        for i in 0..n {
+                            let s = src_val.get(b * n + i, 0);
+                            for j in 0..n {
+                                let g = grad_out.get(b * n + i, j);
+                                let pre = s + dst_val.get(b * n + j, 0);
+                                let factor = if pre > 0.0 { 1.0 } else { slope };
+                                let gf = g * factor;
+                                dsrc.set(b * n + i, 0, dsrc.get(b * n + i, 0) + gf);
+                                ddst.set(b * n + j, 0, ddst.get(b * n + j, 0) + gf);
+                                dmask.set(i, j, dmask.get(i, j) + g);
+                            }
+                        }
+                    }
+                    accumulate(&mut inner.nodes, src, dsrc);
+                    accumulate(&mut inner.nodes, dst, ddst);
+                    accumulate(&mut inner.nodes, mask, dmask);
+                }
+                Op::ScaledAdd(a, b, s) => {
+                    let b_val = inner.nodes[b].value.clone();
+                    let s_val = inner.nodes[s].value.get(0, 0);
+                    accumulate(&mut inner.nodes, a, grad_out.clone());
+                    accumulate(&mut inner.nodes, b, grad_out.scale(s_val));
+                    let ds = grad_out
+                        .hadamard(&b_val)
+                        .expect("scaled_add backward")
+                        .sum();
+                    accumulate(&mut inner.nodes, s, Matrix::filled(1, 1, ds));
+                }
             }
         }
     }
+}
+
+/// Backward pass shared by `BlockMatMul` and `BlockMatMulRelu`: per block,
+/// `dA_b = dC_b · B_bᵀ` and `dB_b = A_bᵀ · dC_b`.
+fn block_matmul_backward(nodes: &mut [Node], a: usize, b: usize, blocks: usize, grad_out: &Matrix) {
+    let a_val = nodes[a].value.clone();
+    let b_val = nodes[b].value.clone();
+    let p = a_val.rows() / blocks;
+    let k = a_val.cols();
+    let mut da = Matrix::zeros(a_val.rows(), a_val.cols());
+    let mut db = Matrix::zeros(b_val.rows(), b_val.cols());
+    for blk in 0..blocks {
+        let g = grad_out
+            .slice_rows(blk * p, (blk + 1) * p)
+            .expect("block_matmul backward: grad block");
+        let ab = a_val
+            .slice_rows(blk * p, (blk + 1) * p)
+            .expect("block_matmul backward: A block");
+        let bb = b_val
+            .slice_rows(blk * k, (blk + 1) * k)
+            .expect("block_matmul backward: B block");
+        let dab = g.matmul(&bb.transpose()).expect("block_matmul dA shape");
+        let dbb = ab.transpose().matmul(&g).expect("block_matmul dB shape");
+        da.as_mut_slice()[blk * p * k..(blk + 1) * p * k].copy_from_slice(dab.as_slice());
+        let d = b_val.cols();
+        db.as_mut_slice()[blk * k * d..(blk + 1) * k * d].copy_from_slice(dbb.as_slice());
+    }
+    accumulate(nodes, a, da);
+    accumulate(nodes, b, db);
 }
 
 /// Add `grad` into the gradient accumulator of node `idx` (creating it if
@@ -457,6 +720,25 @@ impl Var {
         &self.tape
     }
 
+    /// Evaluate `f` against this node's value without cloning it out of the
+    /// tape. Forward ops are value-read hot paths, so they borrow instead of
+    /// going through [`Var::value`].
+    fn with_value<R>(&self, f: impl FnOnce(&Matrix) -> R) -> R {
+        let inner = self.tape.inner.borrow();
+        f(&inner.nodes[self.idx].value)
+    }
+
+    /// Evaluate `f` against two node values under one borrow (both operands
+    /// must live on the same tape).
+    fn with_values<R>(&self, other: &Var, f: impl FnOnce(&Matrix, &Matrix) -> R) -> R {
+        assert!(
+            Rc::ptr_eq(&self.tape.inner, &other.tape.inner),
+            "cannot combine Vars from different tapes"
+        );
+        let inner = self.tape.inner.borrow();
+        f(&inner.nodes[self.idx].value, &inner.nodes[other.idx].value)
+    }
+
     fn unary(&self, op: Op, value: Matrix) -> Var {
         let requires = self.tape.requires_grad(self.idx) || !matches!(op, Op::Leaf);
         self.tape.push(value, requires, op)
@@ -472,176 +754,291 @@ impl Var {
 
     /// Matrix product `self · rhs`.
     pub fn matmul(&self, rhs: &Var) -> Var {
-        let value = self
-            .value()
-            .matmul(&rhs.value())
-            .expect("Var::matmul shape mismatch");
+        let value = self.with_values(rhs, |a, b| a.matmul(b).expect("Var::matmul shape mismatch"));
         self.binary(rhs, Op::MatMul(self.idx, rhs.idx), value)
     }
 
     /// Element-wise addition.
     pub fn add(&self, rhs: &Var) -> Var {
-        let value = self
-            .value()
-            .add(&rhs.value())
-            .expect("Var::add shape mismatch");
+        let value = self.with_values(rhs, |a, b| a.add(b).expect("Var::add shape mismatch"));
         self.binary(rhs, Op::Add(self.idx, rhs.idx), value)
     }
 
     /// Element-wise subtraction.
     pub fn sub(&self, rhs: &Var) -> Var {
-        let value = self
-            .value()
-            .sub(&rhs.value())
-            .expect("Var::sub shape mismatch");
+        let value = self.with_values(rhs, |a, b| a.sub(b).expect("Var::sub shape mismatch"));
         self.binary(rhs, Op::Sub(self.idx, rhs.idx), value)
     }
 
     /// Element-wise product.
     pub fn mul(&self, rhs: &Var) -> Var {
-        let value = self
-            .value()
-            .hadamard(&rhs.value())
-            .expect("Var::mul shape mismatch");
+        let value = self.with_values(rhs, |a, b| a.hadamard(b).expect("Var::mul shape mismatch"));
         self.binary(rhs, Op::Mul(self.idx, rhs.idx), value)
     }
 
     /// Add a `1 × cols` bias row to every row.
     pub fn add_row_broadcast(&self, row: &Var) -> Var {
-        let value = self
-            .value()
-            .add_row_broadcast(&row.value())
-            .expect("Var::add_row_broadcast shape mismatch");
+        let value = self.with_values(row, |a, r| {
+            a.add_row_broadcast(r)
+                .expect("Var::add_row_broadcast shape mismatch")
+        });
         self.binary(row, Op::AddRowBroadcast(self.idx, row.idx), value)
     }
 
     /// Multiply every element by a `1 × 1` scalar variable.
     pub fn mul_scalar_var(&self, scalar: &Var) -> Var {
         assert_eq!(scalar.shape(), (1, 1), "mul_scalar_var expects a 1x1 Var");
-        let value = self.value().scale(scalar.value().get(0, 0));
+        let value = self.with_values(scalar, |a, s| a.scale(s.get(0, 0)));
         self.binary(scalar, Op::MulScalarBroadcast(self.idx, scalar.idx), value)
     }
 
     /// Add a `1 × 1` scalar variable to every element.
     pub fn add_scalar_var(&self, scalar: &Var) -> Var {
         assert_eq!(scalar.shape(), (1, 1), "add_scalar_var expects a 1x1 Var");
-        let s = scalar.value().get(0, 0);
-        let value = self.value().map(|v| v + s);
+        let value = self.with_values(scalar, |a, s| {
+            let shift = s.get(0, 0);
+            a.map(|v| v + shift)
+        });
         self.binary(scalar, Op::AddScalarBroadcast(self.idx, scalar.idx), value)
     }
 
     /// Multiply every element by a constant scalar.
     pub fn scale(&self, k: f32) -> Var {
-        let value = self.value().scale(k);
+        let value = self.with_value(|a| a.scale(k));
         self.unary(Op::Scale(self.idx, k), value)
     }
 
     /// Negate every element.
     pub fn neg(&self) -> Var {
-        let value = self.value().scale(-1.0);
+        let value = self.with_value(|a| a.scale(-1.0));
         self.unary(Op::Neg(self.idx), value)
     }
 
     /// Rectified linear unit.
     pub fn relu(&self) -> Var {
-        let value = self.value().map(|v| v.max(0.0));
+        let value = self.with_value(|a| a.map(|v| v.max(0.0)));
         self.unary(Op::Relu(self.idx), value)
     }
 
     /// Leaky rectified linear unit with the given negative slope.
     pub fn leaky_relu(&self, slope: f32) -> Var {
-        let value = self.value().map(|v| if v > 0.0 { v } else { slope * v });
+        let value = self.with_value(|a| a.map(|v| if v > 0.0 { v } else { slope * v }));
         self.unary(Op::LeakyRelu(self.idx, slope), value)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Var {
-        let value = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
+        let value = self.with_value(|a| a.map(|v| 1.0 / (1.0 + (-v).exp())));
         self.unary(Op::Sigmoid(self.idx), value)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Var {
-        let value = self.value().map(f32::tanh);
+        let value = self.with_value(|a| a.map(f32::tanh));
         self.unary(Op::Tanh(self.idx), value)
     }
 
     /// Element-wise exponential.
     pub fn exp(&self) -> Var {
-        let value = self.value().map(f32::exp);
+        let value = self.with_value(|a| a.map(f32::exp));
         self.unary(Op::Exp(self.idx), value)
     }
 
     /// Element-wise square.
     pub fn square(&self) -> Var {
-        let value = self.value().map(|v| v * v);
+        let value = self.with_value(|a| a.map(|v| v * v));
         self.unary(Op::Square(self.idx), value)
     }
 
     /// Row-wise softmax.
     pub fn softmax_rows(&self) -> Var {
-        let value = self.value().softmax_rows();
+        let value = self.with_value(Matrix::softmax_rows);
         self.unary(Op::SoftmaxRows(self.idx), value)
     }
 
     /// Sum of all elements as a `1 × 1` node.
     pub fn sum(&self) -> Var {
-        let value = Matrix::filled(1, 1, self.value().sum());
+        let value = Matrix::filled(1, 1, self.with_value(Matrix::sum));
         self.unary(Op::Sum(self.idx), value)
     }
 
     /// Mean of all elements as a `1 × 1` node.
     pub fn mean(&self) -> Var {
-        let value = Matrix::filled(1, 1, self.value().mean());
+        let value = Matrix::filled(1, 1, self.with_value(Matrix::mean));
         self.unary(Op::Mean(self.idx), value)
     }
 
     /// Per-row sums as an `rows × 1` node.
     pub fn sum_rows_keep(&self) -> Var {
-        let value = self.value().sum_rows();
+        let value = self.with_value(Matrix::sum_rows);
         self.unary(Op::SumRowsKeep(self.idx), value)
     }
 
     /// Transpose.
     pub fn transpose(&self) -> Var {
-        let value = self.value().transpose();
+        let value = self.with_value(Matrix::transpose);
         self.unary(Op::Transpose(self.idx), value)
     }
 
     /// Horizontal concatenation `[self | rhs]`.
     pub fn concat_cols(&self, rhs: &Var) -> Var {
-        let value = self
-            .value()
-            .concat_cols(&rhs.value())
-            .expect("Var::concat_cols shape mismatch");
+        let value = self.with_values(rhs, |a, b| {
+            a.concat_cols(b).expect("Var::concat_cols shape mismatch")
+        });
         self.binary(rhs, Op::ConcatCols(self.idx, rhs.idx), value)
     }
 
     /// Vertical concatenation.
     pub fn concat_rows(&self, rhs: &Var) -> Var {
-        let value = self
-            .value()
-            .concat_rows(&rhs.value())
-            .expect("Var::concat_rows shape mismatch");
+        let value = self.with_values(rhs, |a, b| {
+            a.concat_rows(b).expect("Var::concat_rows shape mismatch")
+        });
         self.binary(rhs, Op::ConcatRows(self.idx, rhs.idx), value)
     }
 
     /// Column slice `self[:, start..end]`.
     pub fn slice_cols(&self, start: usize, end: usize) -> Var {
-        let value = self
-            .value()
-            .slice_cols(start, end)
-            .expect("Var::slice_cols out of bounds");
+        let value = self.with_value(|a| {
+            a.slice_cols(start, end)
+                .expect("Var::slice_cols out of bounds")
+        });
         self.unary(Op::SliceCols(self.idx, start, end), value)
     }
 
     /// Row slice `self[start..end, :]`.
     pub fn slice_rows(&self, start: usize, end: usize) -> Var {
-        let value = self
-            .value()
-            .slice_rows(start, end)
-            .expect("Var::slice_rows out of bounds");
+        let value = self.with_value(|a| {
+            a.slice_rows(start, end)
+                .expect("Var::slice_rows out of bounds")
+        });
         self.unary(Op::SliceRows(self.idx, start, end), value)
+    }
+
+    /// Per-block matrix product over `blocks` vertically stacked block pairs:
+    /// `out_b = self_b · rhs_b` (see [`Matrix::block_matmul`]).
+    pub fn block_matmul(&self, rhs: &Var, blocks: usize) -> Var {
+        let value = self.with_values(rhs, |a, b| {
+            a.block_matmul(b, blocks)
+                .expect("Var::block_matmul shape mismatch")
+        });
+        self.binary(rhs, Op::BlockMatMul(self.idx, rhs.idx, blocks), value)
+    }
+
+    /// Per-block matrix product with a fused ReLU epilogue:
+    /// `out_b = relu(self_b · rhs_b)` (see [`Matrix::block_matmul_relu`]).
+    pub fn block_matmul_relu(&self, rhs: &Var, blocks: usize) -> Var {
+        let value = self.with_values(rhs, |a, b| {
+            a.block_matmul_relu(b, blocks)
+                .expect("Var::block_matmul_relu shape mismatch")
+        });
+        self.binary(rhs, Op::BlockMatMulRelu(self.idx, rhs.idx, blocks), value)
+    }
+
+    /// Apply `self` (one `p × k` block) to every `k`-row block of `rhs`:
+    /// `out_b = self · rhs_b` (see [`Matrix::repeat_matmul`]).
+    pub fn repeat_matmul(&self, rhs: &Var) -> Var {
+        let value = self.with_values(rhs, |a, b| {
+            a.repeat_matmul(b)
+                .expect("Var::repeat_matmul shape mismatch")
+        });
+        self.binary(rhs, Op::RepeatMatMul(self.idx, rhs.idx), value)
+    }
+
+    /// Block-wise transposed broadcast of a stacked column vector (see
+    /// [`Matrix::block_row_broadcast`]).
+    pub fn block_row_broadcast(&self, block: usize) -> Var {
+        let value = self.with_value(|a| {
+            a.block_row_broadcast(block)
+                .expect("Var::block_row_broadcast shape mismatch")
+        });
+        self.unary(Op::BlockRowBroadcast(self.idx, block), value)
+    }
+
+    /// Add one `n × c` matrix to every `n`-row block of `self` (see
+    /// [`Matrix::block_add_broadcast`]).
+    pub fn block_add_broadcast(&self, m: &Var) -> Var {
+        let value = self.with_values(m, |a, b| {
+            a.block_add_broadcast(b)
+                .expect("Var::block_add_broadcast shape mismatch")
+        });
+        self.binary(m, Op::BlockAddBroadcast(self.idx, m.idx), value)
+    }
+
+    fn ternary(&self, b: &Var, c: &Var, op: Op, value: Matrix) -> Var {
+        assert!(
+            Rc::ptr_eq(&self.tape.inner, &b.tape.inner)
+                && Rc::ptr_eq(&self.tape.inner, &c.tape.inner),
+            "cannot combine Vars from different tapes"
+        );
+        self.tape.push(value, true, op)
+    }
+
+    /// Fused dense layer `self · w + bias` (bias is `1 × d`, broadcast over
+    /// rows); one kernel pass instead of a matmul followed by a broadcast
+    /// add (see [`Matrix::matmul_bias`]).
+    pub fn matmul_bias(&self, w: &Var, bias: &Var) -> Var {
+        let value = self.with_values(w, |a, wv| {
+            bias.with_value(|bv| {
+                a.matmul_bias(wv, bv)
+                    .expect("Var::matmul_bias shape mismatch")
+            })
+        });
+        self.ternary(w, bias, Op::MatMulBias(self.idx, w.idx, bias.idx), value)
+    }
+
+    /// Fused dense layer plus activation `relu(self · w + bias)` — the
+    /// rectifier rides in the kernel's store epilogue (see
+    /// [`Matrix::matmul_bias_relu`]).
+    pub fn matmul_bias_relu(&self, w: &Var, bias: &Var) -> Var {
+        let value = self.with_values(w, |a, wv| {
+            bias.with_value(|bv| {
+                a.matmul_bias_relu(wv, bv)
+                    .expect("Var::matmul_bias_relu shape mismatch")
+            })
+        });
+        self.ternary(
+            w,
+            bias,
+            Op::MatMulBiasRelu(self.idx, w.idx, bias.idx),
+            value,
+        )
+    }
+
+    /// Fused batched GAT attention logits (see
+    /// [`Matrix::attention_logits`]): `leaky(self_i + dst_j, slope) + mask`
+    /// per `n`-row block, in one pass.
+    pub fn attention_logits(&self, dst: &Var, mask: &Var, slope: f32) -> Var {
+        let block = mask.shape().0;
+        let value = self.with_values(dst, |s, d| {
+            mask.with_value(|m| {
+                s.attention_logits(d, m, slope)
+                    .expect("Var::attention_logits shape mismatch")
+            })
+        });
+        self.ternary(
+            dst,
+            mask,
+            Op::AttentionLogits(self.idx, dst.idx, mask.idx, slope, block),
+            value,
+        )
+    }
+
+    /// Fused `self + s · rhs` for a `1 × 1` scalar variable `s` — one pass
+    /// instead of a scalar-broadcast multiply followed by an add.
+    pub fn scaled_add(&self, rhs: &Var, scalar: &Var) -> Var {
+        assert_eq!(scalar.shape(), (1, 1), "scaled_add expects a 1x1 scalar");
+        let value = self.with_values(rhs, |a, b| {
+            scalar.with_value(|s| {
+                a.scaled_add(b, s.get(0, 0))
+                    .expect("Var::scaled_add shape mismatch")
+            })
+        });
+        self.ternary(
+            rhs,
+            scalar,
+            Op::ScaledAdd(self.idx, rhs.idx, scalar.idx),
+            value,
+        )
     }
 
     /// Mean-squared error against a target variable: `mean((self − target)²)`.
@@ -871,6 +1268,323 @@ mod tests {
         let a = t1.leaf(Matrix::zeros(1, 1), true);
         let b = t2.leaf(Matrix::zeros(1, 1), true);
         let _ = a.add(&b);
+    }
+
+    #[test]
+    fn block_matmul_gradients() {
+        // 2 blocks of 2x2 against a stacked 2-block rhs
+        grad_check(
+            Matrix::from_fn(4, 2, |r, c| (r as f32 - c as f32) * 0.4),
+            |t, p| {
+                let rhs = t.constant(Matrix::from_fn(4, 3, |r, c| (r + c) as f32 * 0.2));
+                p.block_matmul(&rhs, 2).square().mean()
+            },
+        );
+        // gradient through the rhs side
+        grad_check(
+            Matrix::from_fn(4, 3, |r, c| (r + c) as f32 * 0.2),
+            |t, p| {
+                let lhs = t.constant(Matrix::from_fn(4, 2, |r, c| (r as f32 - c as f32) * 0.4));
+                lhs.block_matmul(p, 2).square().mean()
+            },
+        );
+    }
+
+    #[test]
+    fn block_matmul_relu_gradients_and_value() {
+        let tape = Tape::new();
+        let a = tape.constant(Matrix::from_fn(4, 2, |r, c| (r as f32 - c as f32) * 0.4));
+        let b = tape.constant(Matrix::from_fn(4, 3, |r, c| (r + c) as f32 * 0.2 - 0.5));
+        let fused = a.block_matmul_relu(&b, 2).value();
+        let unfused = a.block_matmul(&b, 2).relu().value();
+        assert!(fused.max_abs_diff(&unfused) < 1e-6);
+
+        // offsets keep pre-activations off the relu kink
+        grad_check(
+            Matrix::from_fn(4, 2, |r, c| (r as f32 - c as f32) * 0.4 + 0.13),
+            |t, p| {
+                let rhs = t.constant(Matrix::from_fn(4, 3, |r, c| (r + c) as f32 * 0.2 - 0.5));
+                p.block_matmul_relu(&rhs, 2).square().mean()
+            },
+        );
+        grad_check(
+            Matrix::from_fn(4, 3, |r, c| (r + c) as f32 * 0.2 - 0.49),
+            |t, p| {
+                let lhs = t.constant(Matrix::from_fn(4, 2, |r, c| (r as f32 - c as f32) * 0.4));
+                lhs.block_matmul_relu(p, 2).square().mean()
+            },
+        );
+    }
+
+    #[test]
+    fn repeat_matmul_gradients() {
+        grad_check(
+            Matrix::from_rows(vec![vec![0.5, -1.0], vec![0.2, 0.8]]),
+            |t, p| {
+                let rhs = t.constant(Matrix::from_fn(6, 2, |r, c| (r + c) as f32 * 0.15));
+                p.repeat_matmul(&rhs).square().mean()
+            },
+        );
+        grad_check(
+            Matrix::from_fn(6, 2, |r, c| (r + c) as f32 * 0.15),
+            |t, p| {
+                let lhs = t.constant(Matrix::from_rows(vec![vec![0.5, -1.0], vec![0.2, 0.8]]));
+                lhs.repeat_matmul(p).square().mean()
+            },
+        );
+    }
+
+    #[test]
+    fn block_row_broadcast_gradients() {
+        grad_check(
+            Matrix::col_vector(&[0.3, -0.7, 1.1, 0.4, -0.2, 0.9]),
+            |_, p| p.block_row_broadcast(3).square().mean(),
+        );
+    }
+
+    #[test]
+    fn block_add_broadcast_gradients() {
+        grad_check(
+            Matrix::from_fn(6, 2, |r, c| (r + c) as f32 * 0.3),
+            |t, p| {
+                let m = t.constant(Matrix::from_rows(vec![vec![0.1, -0.2], vec![0.4, 0.0]]));
+                p.block_add_broadcast(&m).square().mean()
+            },
+        );
+        grad_check(
+            Matrix::from_rows(vec![vec![0.1, -0.2], vec![0.4, 0.0]]),
+            |t, p| {
+                let h = t.constant(Matrix::from_fn(6, 2, |r, c| (r + c) as f32 * 0.3));
+                h.block_add_broadcast(p).square().mean()
+            },
+        );
+    }
+
+    #[test]
+    fn batched_ops_match_per_block_composition() {
+        // One block must reproduce the exact un-batched op chain the GAT
+        // layer used before batching existed.
+        let tape = Tape::new();
+        let dst = tape.constant(Matrix::col_vector(&[0.2, -0.6, 1.4]));
+        let ones = tape.constant(Matrix::ones(1, 3));
+        let reference = dst.matmul(&ones).transpose().value();
+        let batched = dst.block_row_broadcast(3).value();
+        assert_eq!(reference, batched, "bit-identical for a single block");
+    }
+
+    #[test]
+    fn matmul_bias_gradients_and_value() {
+        // value matches the unfused chain within rounding
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::from_fn(3, 2, |r, c| (r + c) as f32 * 0.3));
+        let w = tape.constant(Matrix::from_fn(2, 4, |r, c| (r as f32 - c as f32) * 0.2));
+        let bias = tape.constant(Matrix::from_fn(1, 4, |_, c| c as f32 * 0.1));
+        let fused = x.matmul_bias(&w, &bias).value();
+        let unfused = x.matmul(&w).add_row_broadcast(&bias).value();
+        assert!(fused.max_abs_diff(&unfused) < 1e-5);
+
+        // gradients through every operand
+        grad_check(
+            Matrix::from_fn(3, 2, |r, c| (r + c) as f32 * 0.3),
+            |t, p| {
+                let w = t.constant(Matrix::from_fn(2, 4, |r, c| (r as f32 - c as f32) * 0.2));
+                let b = t.constant(Matrix::from_fn(1, 4, |_, c| c as f32 * 0.1));
+                p.matmul_bias(&w, &b).square().mean()
+            },
+        );
+        grad_check(
+            Matrix::from_fn(2, 4, |r, c| (r as f32 - c as f32) * 0.2),
+            |t, p| {
+                let x = t.constant(Matrix::from_fn(3, 2, |r, c| (r + c) as f32 * 0.3));
+                let b = t.constant(Matrix::from_fn(1, 4, |_, c| c as f32 * 0.1));
+                x.matmul_bias(p, &b).square().mean()
+            },
+        );
+        grad_check(Matrix::from_fn(1, 4, |_, c| c as f32 * 0.1), |t, p| {
+            let x = t.constant(Matrix::from_fn(3, 2, |r, c| (r + c) as f32 * 0.3));
+            let w = t.constant(Matrix::from_fn(2, 4, |r, c| (r as f32 - c as f32) * 0.2));
+            x.matmul_bias(&w, p).square().mean()
+        });
+    }
+
+    #[test]
+    fn matmul_bias_relu_gradients_and_value() {
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::from_fn(3, 2, |r, c| (r as f32 - c as f32) * 0.6));
+        let w = tape.constant(Matrix::from_fn(2, 4, |r, c| {
+            ((r + c) % 3) as f32 * 0.4 - 0.3
+        }));
+        let bias = tape.constant(Matrix::from_fn(1, 4, |_, c| c as f32 * 0.1 - 0.15));
+        let fused = x.matmul_bias_relu(&w, &bias).value();
+        let unfused = x.matmul(&w).add_row_broadcast(&bias).relu().value();
+        assert!(fused.max_abs_diff(&unfused) < 1e-5);
+        assert!(fused.min().unwrap() >= 0.0);
+
+        // offsets keep pre-activations away from the relu kink so the finite
+        // difference stays smooth
+        grad_check(
+            Matrix::from_fn(3, 2, |r, c| (r as f32 - c as f32) * 0.6 + 0.21),
+            |t, p| {
+                let w = t.constant(Matrix::from_fn(2, 4, |r, c| {
+                    ((r + c) % 3) as f32 * 0.4 - 0.3
+                }));
+                let b = t.constant(Matrix::from_fn(1, 4, |_, c| c as f32 * 0.1 - 0.15));
+                p.matmul_bias_relu(&w, &b).square().mean()
+            },
+        );
+        grad_check(
+            Matrix::from_fn(2, 4, |r, c| ((r + c) % 3) as f32 * 0.4 - 0.29),
+            |t, p| {
+                let x = t.constant(Matrix::from_fn(3, 2, |r, c| (r as f32 - c as f32) * 0.6));
+                let b = t.constant(Matrix::from_fn(1, 4, |_, c| c as f32 * 0.1 - 0.15));
+                x.matmul_bias_relu(p, &b).square().mean()
+            },
+        );
+        grad_check(
+            Matrix::from_fn(1, 4, |_, c| c as f32 * 0.1 - 0.13),
+            |t, p| {
+                let x = t.constant(Matrix::from_fn(3, 2, |r, c| (r as f32 - c as f32) * 0.6));
+                let w = t.constant(Matrix::from_fn(2, 4, |r, c| {
+                    ((r + c) % 3) as f32 * 0.4 - 0.3
+                }));
+                x.matmul_bias_relu(&w, p).square().mean()
+            },
+        );
+    }
+
+    #[test]
+    fn attention_logits_gradients_and_value() {
+        let mask = Matrix::from_rows(vec![
+            vec![0.0, -2.0, 0.0],
+            vec![-2.0, 0.0, 0.0],
+            vec![0.0, 0.0, -2.0],
+        ]);
+        // value matches the unfused chain (two blocks)
+        let tape = Tape::new();
+        let src = tape.constant(Matrix::col_vector(&[0.4, -0.6, 1.2, -0.1, 0.8, -1.4]));
+        let dst = tape.constant(Matrix::col_vector(&[0.2, 0.9, -0.5, 1.1, -0.7, 0.3]));
+        let m = tape.constant(mask.clone());
+        let ones = tape.constant(Matrix::ones(1, 3));
+        let fused = src.attention_logits(&dst, &m, 0.2).value();
+        let unfused = src
+            .matmul(&ones)
+            .add(&dst.block_row_broadcast(3))
+            .leaky_relu(0.2)
+            .block_add_broadcast(&m)
+            .value();
+        assert!(fused.max_abs_diff(&unfused) < 1e-6);
+
+        // gradients through src, dst and the mask
+        let mask_for = mask.clone();
+        grad_check(Matrix::col_vector(&[0.4, -0.6, 1.2, -0.1, 0.8, -1.4]), {
+            let mask = mask_for.clone();
+            move |t, p| {
+                let dst = t.constant(Matrix::col_vector(&[0.2, 0.9, -0.5, 1.1, -0.7, 0.3]));
+                let m = t.constant(mask.clone());
+                p.attention_logits(&dst, &m, 0.2).square().mean()
+            }
+        });
+        grad_check(Matrix::col_vector(&[0.2, 0.9, -0.5, 1.1, -0.7, 0.3]), {
+            let mask = mask_for.clone();
+            move |t, p| {
+                let src = t.constant(Matrix::col_vector(&[0.4, -0.6, 1.2, -0.1, 0.8, -1.4]));
+                let m = t.constant(mask.clone());
+                src.attention_logits(p, &m, 0.2).square().mean()
+            }
+        });
+        grad_check(mask_for, |t, p| {
+            let src = t.constant(Matrix::col_vector(&[0.4, -0.6, 1.2, -0.1, 0.8, -1.4]));
+            let dst = t.constant(Matrix::col_vector(&[0.2, 0.9, -0.5, 1.1, -0.7, 0.3]));
+            src.attention_logits(&dst, p, 0.2).square().mean()
+        });
+    }
+
+    #[test]
+    fn scaled_add_gradients_and_value() {
+        let tape = Tape::new();
+        let a = tape.constant(Matrix::from_fn(2, 3, |r, c| (r + c) as f32 * 0.4));
+        let b = tape.constant(Matrix::from_fn(2, 3, |r, c| (r as f32 - c as f32) * 0.3));
+        let s = tape.constant(Matrix::filled(1, 1, 1.7));
+        let fused = a.scaled_add(&b, &s).value();
+        let unfused = a.add(&b.mul_scalar_var(&s)).value();
+        assert!(fused.max_abs_diff(&unfused) < 1e-6);
+
+        grad_check(
+            Matrix::from_fn(2, 3, |r, c| (r + c) as f32 * 0.4),
+            |t, p| {
+                let b = t.constant(Matrix::from_fn(2, 3, |r, c| (r as f32 - c as f32) * 0.3));
+                let s = t.constant(Matrix::filled(1, 1, 1.7));
+                p.scaled_add(&b, &s).square().mean()
+            },
+        );
+        grad_check(
+            Matrix::from_fn(2, 3, |r, c| (r as f32 - c as f32) * 0.3),
+            |t, p| {
+                let a = t.constant(Matrix::from_fn(2, 3, |r, c| (r + c) as f32 * 0.4));
+                let s = t.constant(Matrix::filled(1, 1, 1.7));
+                a.scaled_add(p, &s).square().mean()
+            },
+        );
+        grad_check(Matrix::filled(1, 1, 1.7), |t, p| {
+            let a = t.constant(Matrix::from_fn(2, 3, |r, c| (r + c) as f32 * 0.4));
+            let b = t.constant(Matrix::from_fn(2, 3, |r, c| (r as f32 - c as f32) * 0.3));
+            a.scaled_add(&b, p).square().mean()
+        });
+    }
+
+    #[test]
+    fn no_grad_tape_records_only_leaves() {
+        let tape = Tape::no_grad();
+        assert!(!tape.is_grad_enabled());
+        let x = tape.leaf(Matrix::from_rows(vec![vec![1.0, 2.0]]), true);
+        let w = tape.constant(Matrix::from_rows(vec![vec![3.0], vec![4.0]]));
+        let y = x.matmul(&w).relu().square();
+        // values still flow
+        assert_eq!(y.value().get(0, 0), 121.0);
+        // but no backward metadata exists
+        assert_eq!(tape.n_backward_nodes(), 0);
+        assert_eq!(tape.len(), 5);
+        // and no node (not even the "requires_grad" leaf) tracks gradients
+        assert!(x.grad().is_none());
+    }
+
+    #[test]
+    fn grad_tape_counts_backward_nodes() {
+        let tape = Tape::new();
+        let x = tape.leaf(Matrix::filled(1, 1, 2.0), true);
+        let _ = x.square().mean();
+        assert_eq!(tape.n_backward_nodes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no-grad")]
+    fn backward_on_no_grad_tape_panics() {
+        let tape = Tape::no_grad();
+        let x = tape.leaf(Matrix::filled(1, 1, 2.0), true);
+        let loss = x.square().mean();
+        tape.backward(&loss);
+    }
+
+    #[test]
+    fn truncate_rewinds_the_tape() {
+        let tape = Tape::no_grad();
+        let x = tape.leaf(Matrix::filled(2, 1, 1.5), false);
+        let base = tape.len();
+        for _ in 0..3 {
+            let y = x.scale(2.0).square();
+            assert_eq!(y.value().get(0, 0), 9.0);
+            tape.truncate(base);
+            assert_eq!(tape.len(), base, "every pass rewinds to the baseline");
+        }
+        // the retained leaf is still readable after truncation
+        assert_eq!(x.value().get(1, 0), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the current")]
+    fn truncate_beyond_len_panics() {
+        let tape = Tape::new();
+        tape.truncate(1);
     }
 
     #[test]

@@ -110,6 +110,85 @@ fn analytic_gradients_match_finite_differences() {
 }
 
 #[test]
+fn batched_block_op_gradients_match_finite_differences() {
+    // The block-stacked batching ops (per-block matmul, one-operator-per-
+    // block matmul, block transposed broadcast, block add broadcast) must be
+    // differentiable end to end: random block counts, random shapes.
+    let mut rng = StdRng::seed_from_u64(0x6E53);
+    for case in 0..24 {
+        let blocks = rng.gen_range(1..4usize);
+        let n = rng.gen_range(1..4usize);
+        let d = rng.gen_range(1..4usize);
+        let param = small_matrix(&mut rng, blocks * n, 1);
+        let operator = small_matrix(&mut rng, n, n);
+        let mask = small_matrix(&mut rng, n, n);
+
+        let forward = |t: &Tape, v: &Var| {
+            // the shape of one batched GAT layer over `blocks` samples
+            let grid = v
+                .matmul(&t.constant(Matrix::ones(1, n)))
+                .add(&v.block_row_broadcast(n))
+                .leaky_relu(0.2)
+                .block_add_broadcast(&t.constant(mask.clone()))
+                .softmax_rows();
+            let mixed = grid.block_matmul(
+                &t.constant(operator.clone())
+                    .repeat_matmul(&v.matmul(&t.constant(Matrix::ones(1, d)))),
+                blocks,
+            );
+            mixed.square().mean()
+        };
+
+        let tape = Tape::new();
+        let x = tape.leaf(param.clone(), true);
+        let loss = forward(&tape, &x);
+        tape.backward(&loss);
+        let analytic = x.grad().expect("gradient");
+
+        let numeric = finite_difference_grad(
+            &param,
+            |m| {
+                let t = Tape::new();
+                let v = t.leaf(m.clone(), true);
+                forward(&t, &v).value().get(0, 0)
+            },
+            1e-2,
+        );
+        let diff = analytic.max_abs_diff(&numeric);
+        assert!(
+            diff < 5e-2,
+            "case {case} (blocks {blocks}, n {n}, d {d}): max grad diff {diff}"
+        );
+    }
+}
+
+#[test]
+fn block_matmul_equals_stacked_per_block_products() {
+    let mut rng = StdRng::seed_from_u64(0x6E54);
+    for _ in 0..24 {
+        let blocks = rng.gen_range(1..5usize);
+        let p = rng.gen_range(1..4usize);
+        let k = rng.gen_range(1..4usize);
+        let d = rng.gen_range(1..4usize);
+        let a = small_matrix(&mut rng, blocks * p, k);
+        let b = small_matrix(&mut rng, blocks * k, d);
+        let batched = a.block_matmul(&b, blocks).unwrap();
+        for blk in 0..blocks {
+            let expected = a
+                .slice_rows(blk * p, (blk + 1) * p)
+                .unwrap()
+                .matmul(&b.slice_rows(blk * k, (blk + 1) * k).unwrap())
+                .unwrap();
+            assert_eq!(
+                batched.slice_rows(blk * p, (blk + 1) * p).unwrap(),
+                expected,
+                "block results must be bit-identical to the per-block matmul"
+            );
+        }
+    }
+}
+
+#[test]
 fn matmul_matches_reference() {
     let mut rng = StdRng::seed_from_u64(0x6E4E);
     for _ in 0..48 {
