@@ -52,6 +52,40 @@ pub fn fit_validator(
     validator
 }
 
+/// Build the validator a spec tree declares (through the default registry)
+/// and fit it on the clean reference data — [`fit_validator`] for the open
+/// spec world: ensembles, drift detectors and gated pairs evaluate through
+/// the same batch protocol as any single backend.
+pub fn fit_spec(
+    spec: &dquag_validate::ValidatorSpec,
+    clean: &DataFrame,
+    config: &DquagConfig,
+) -> Box<dyn Validator> {
+    let mut validator =
+        dquag_validate::build_spec(spec, config).expect("spec resolves against the registry");
+    validator
+        .fit(clean)
+        .expect("fitting on generated clean data succeeds");
+    validator
+}
+
+/// Classify every batch with an already-fitted validator and score the
+/// predictions — the common core of [`evaluate_method`] and spec-driven
+/// evaluation.
+pub fn evaluate_fitted(validator: &dyn Validator, batches: &[Batch]) -> DetectionMetrics {
+    let labels: Vec<bool> = batches.iter().map(|b| b.is_dirty).collect();
+    let predictions: Vec<bool> = batches
+        .iter()
+        .map(|b| {
+            validator
+                .validate(&b.data)
+                .expect("batch shares the training schema")
+                .is_dirty
+        })
+        .collect();
+    DetectionMetrics::from_predictions(&predictions, &labels)
+}
+
 /// Evaluate one validator kind: fit on the clean reference data (or reuse
 /// `prefitted`, which must be a fitted validator of the same kind) and
 /// classify every batch.
@@ -69,7 +103,6 @@ pub fn evaluate_method(
             "prefitted validator must match the evaluated kind"
         );
     }
-    let labels: Vec<bool> = batches.iter().map(|b| b.is_dirty).collect();
     let owned;
     let validator: &dyn Validator = match prefitted {
         Some(v) => v,
@@ -78,18 +111,9 @@ pub fn evaluate_method(
             &*owned
         }
     };
-    let predictions: Vec<bool> = batches
-        .iter()
-        .map(|b| {
-            validator
-                .validate(&b.data)
-                .expect("batch shares the training schema")
-                .is_dirty
-        })
-        .collect();
     MethodResult {
         method: kind.label(),
-        metrics: DetectionMetrics::from_predictions(&predictions, &labels),
+        metrics: evaluate_fitted(validator, batches),
     }
 }
 
@@ -179,6 +203,45 @@ mod tests {
         assert_eq!(result.metrics.total(), 6);
         assert!(result.accuracy() >= 0.5);
         assert!(result.recall() >= 0.5);
+    }
+
+    #[test]
+    fn spec_evaluation_agrees_with_the_kind_path_and_composes() {
+        use dquag_validate::{ValidatorSpec, Voting};
+        let clean = DatasetKind::CreditCard.generate_clean(600, 23);
+        let dirty = DatasetKind::CreditCard.generate_dirty(600, 24);
+        let mut rng = dquag_datagen::rng(25);
+        let protocol = BatchProtocol {
+            n_clean: 2,
+            n_dirty: 2,
+            fraction: 0.2,
+            max_rows: None,
+        };
+        let batches = make_test_batches(&clean, &dirty, protocol, &mut rng);
+        let config = Scale::Smoke.dquag_config();
+
+        // A backend leaf scores exactly like its legacy-kind counterpart.
+        let via_spec = fit_spec(&ValidatorSpec::backend("gate"), &clean, &config);
+        let leaf_metrics = evaluate_fitted(&*via_spec, &batches);
+        let kind_result = evaluate_method(ValidatorKind::Gate, &clean, &batches, None, &config);
+        assert_eq!(leaf_metrics, kind_result.metrics);
+
+        // A composite spec runs through the very same protocol.
+        let ensemble = fit_spec(
+            &ValidatorSpec::ensemble(
+                vec![
+                    ValidatorSpec::backend("gate"),
+                    ValidatorSpec::backend("adqv"),
+                    ValidatorSpec::drift(),
+                ],
+                Voting::Majority,
+            ),
+            &clean,
+            &config,
+        );
+        let metrics = evaluate_fitted(&*ensemble, &batches);
+        assert_eq!(metrics.total(), 4);
+        assert!(metrics.recall() >= 0.5);
     }
 
     #[test]

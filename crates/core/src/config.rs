@@ -224,6 +224,11 @@ pub struct DquagConfig {
     /// Source-adapter settings (network listener, directory watcher,
     /// checkpointing) — consumed by `dquag-sources`.
     pub source: SourceConfig,
+    /// The validator this deployment runs, as a declarative
+    /// [`ValidatorSpec`] tree built by the `dquag-validate` registry. The
+    /// default is the plain DQuaG backend; ensembles, drift detectors and
+    /// gated pairs compose here without any code change.
+    pub validator: crate::spec::ValidatorSpec,
     /// Random seed controlling initialisation and batch shuffling.
     pub seed: u64,
     /// Bypass relationship inference and use this feature graph instead.
@@ -249,6 +254,7 @@ impl Default for DquagConfig {
             inference_batch_size: 256,
             stream: StreamConfig::default(),
             source: SourceConfig::default(),
+            validator: crate::spec::ValidatorSpec::backend("dquag"),
             seed: 42,
             feature_graph_override: None,
         }
@@ -348,6 +354,7 @@ impl DquagConfig {
         }
         self.stream.clone().validated()?;
         self.source.clone().validated()?;
+        self.validator.validated()?;
         if self.model.hidden_dim == 0 || self.model.n_layers == 0 {
             return fail(format!(
                 "model must have nonzero hidden_dim and n_layers, got {} × {}",
@@ -510,6 +517,13 @@ impl DquagConfigBuilder {
     /// Replace the whole source-adapter configuration block.
     pub fn source(mut self, source: SourceConfig) -> Self {
         self.config.source = source;
+        self
+    }
+
+    /// The validator this deployment runs, as a declarative spec tree (the
+    /// default is the plain `dquag` backend).
+    pub fn validator_spec(mut self, spec: crate::spec::ValidatorSpec) -> Self {
+        self.config.validator = spec;
         self
     }
 
@@ -725,6 +739,34 @@ mod tests {
     fn validated_accepts_the_defaults() {
         assert!(DquagConfig::default().validated().is_ok());
         assert!(DquagConfig::fast().validated().is_ok());
+    }
+
+    #[test]
+    fn validator_spec_defaults_and_setter() {
+        use crate::spec::{ValidatorSpec, Voting};
+        let c = DquagConfig::default();
+        assert_eq!(c.validator, ValidatorSpec::backend("dquag"));
+
+        let spec = ValidatorSpec::ensemble(
+            vec![ValidatorSpec::backend("dquag"), ValidatorSpec::drift()],
+            Voting::Majority,
+        );
+        let c = DquagConfig::builder()
+            .validator_spec(spec.clone())
+            .build()
+            .expect("spec in range");
+        assert_eq!(c.validator, spec);
+
+        // Spec validation rides the config's: an empty ensemble is rejected.
+        let bad = DquagConfig::builder()
+            .validator_spec(ValidatorSpec::ensemble(vec![], Voting::Any))
+            .build();
+        match bad {
+            Err(crate::CoreError::InvalidConfig(msg)) => {
+                assert!(msg.contains("member"), "got `{msg}`")
+            }
+            other => panic!("empty ensemble must be rejected, got {other:?}"),
+        }
     }
 
     #[test]

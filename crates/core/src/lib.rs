@@ -49,6 +49,7 @@ mod error;
 mod pipeline;
 
 pub mod metrics;
+pub mod spec;
 
 pub use config::{
     BackpressurePolicy, CheckpointConfig, DquagConfig, DquagConfigBuilder, SourceConfig,
@@ -56,6 +57,9 @@ pub use config::{
 };
 pub use error::CoreError;
 pub use pipeline::{CellFlag, DquagValidator, TrainingSummary, ValidationReport};
+pub use spec::{
+    BackendSpec, DriftSpec, DriftTest, EnsembleSpec, EscalateWhen, GatedSpec, ValidatorSpec, Voting,
+};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -2,6 +2,7 @@
 //! atomically as JSON and restored on startup.
 
 use crate::SourceError;
+use dquag_core::ValidatorSpec;
 use dquag_stream::StreamStats;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -34,6 +35,12 @@ pub struct Checkpoint {
     /// `StreamEngineBuilder::restore_stats` so counters continue across
     /// restarts.
     pub stats: StreamStats,
+    /// The declarative spec of the validator serving this deployment, when
+    /// the runtime was told it ([`crate::SourceRuntimeBuilder::spec`]). A
+    /// restart rebuilds the *same* validator tree from the checkpoint alone
+    /// — and an operator reading the file sees what was judging their data.
+    /// Absent in pre-spec checkpoints, which still load.
+    pub spec: Option<ValidatorSpec>,
 }
 
 impl Checkpoint {
@@ -43,7 +50,14 @@ impl Checkpoint {
             version: CHECKPOINT_VERSION,
             offsets,
             stats,
+            spec: None,
         }
+    }
+
+    /// Record the validator spec serving this deployment.
+    pub fn with_spec(mut self, spec: ValidatorSpec) -> Self {
+        self.spec = Some(spec);
+        self
     }
 
     /// The restored offset for one source (0 when the source is new).
@@ -166,6 +180,28 @@ mod tests {
         assert_eq!(back, checkpoint);
         assert_eq!(back.offset_for("net"), 17);
         assert_eq!(back.offset_for("unknown"), 0);
+    }
+
+    #[test]
+    fn validator_spec_rides_the_checkpoint_and_old_files_still_load() {
+        use dquag_core::spec::{ValidatorSpec, Voting};
+        let spec = ValidatorSpec::ensemble(
+            vec![ValidatorSpec::backend("dquag"), ValidatorSpec::drift()],
+            Voting::Majority,
+        );
+        let checkpoint = sample().with_spec(spec.clone());
+        let back = Checkpoint::from_json(&checkpoint.to_json()).unwrap();
+        assert_eq!(back.spec.as_ref(), Some(&spec));
+
+        // A pre-spec checkpoint (no `spec` key at all) loads with `None`.
+        let mut legacy = serde_json::to_value(&sample());
+        if let serde::Value::Object(map) = &mut legacy {
+            assert!(map.remove("spec").is_some());
+        }
+        let legacy_text = serde_json::to_string(&legacy).unwrap();
+        let restored = Checkpoint::from_json(&legacy_text).unwrap();
+        assert_eq!(restored.spec, None);
+        assert_eq!(restored.offset_for("net"), 17);
     }
 
     #[test]

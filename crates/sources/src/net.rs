@@ -56,6 +56,7 @@ pub struct NetListenerSource {
     name: String,
     schema: Schema,
     max_frame_bytes: usize,
+    spec: Option<dquag_core::ValidatorSpec>,
     listener: TcpListener,
     local_addr: SocketAddr,
     shared: Option<Arc<ConnShared>>,
@@ -69,7 +70,22 @@ pub struct NetListenerSource {
 struct ConnShared {
     schema: Schema,
     max_frame_bytes: usize,
+    spec: Option<dquag_core::ValidatorSpec>,
     sink: SourceSink,
+}
+
+impl ConnShared {
+    /// The `STATS` / `GET /stats` payload: the live [`dquag_stream::StreamStats`]
+    /// object, extended with an `active_spec` key naming the validator tree
+    /// when the listener knows it. Extra keys are invisible to
+    /// `StreamStats`-shaped readers, so pre-spec monitoring keeps parsing.
+    fn stats_json(&self) -> String {
+        let mut value = serde::Serialize::to_value(&self.sink.stats());
+        if let (serde::Value::Object(map), Some(spec)) = (&mut value, &self.spec) {
+            map.insert("active_spec".to_string(), serde::Serialize::to_value(spec));
+        }
+        serde_json::to_string(&value).expect("stats serialisation is infallible")
+    }
 }
 
 impl NetListenerSource {
@@ -84,6 +100,7 @@ impl NetListenerSource {
             name: "net".to_string(),
             schema,
             max_frame_bytes: dquag_core::SourceConfig::default().max_frame_bytes,
+            spec: None,
             listener,
             local_addr,
             shared: None,
@@ -112,6 +129,15 @@ impl NetListenerSource {
     /// Override the per-frame payload cap.
     pub fn with_max_frame_bytes(mut self, bytes: usize) -> Self {
         self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Advertise the declarative spec of the validator behind this
+    /// listener: `STATS` and `GET /stats` responses gain an `active_spec`
+    /// key, so a monitoring client sees *what* is judging the traffic, not
+    /// just how fast.
+    pub fn with_spec(mut self, spec: dquag_core::ValidatorSpec) -> Self {
+        self.spec = Some(spec);
         self
     }
 
@@ -146,6 +172,7 @@ impl Source for NetListenerSource {
         self.shared = Some(Arc::new(ConnShared {
             schema: self.schema.clone(),
             max_frame_bytes: self.max_frame_bytes,
+            spec: self.spec.clone(),
             sink: sink.clone(),
         }));
         Ok(())
@@ -345,9 +372,7 @@ fn handle_connection(stream: TcpStream, conn: &ConnShared) -> Result<(), SourceE
                 write_line(&mut writer, &reply)?;
             }
             Some("STATS") => {
-                let stats = serde_json::to_string(&conn.sink.stats())
-                    .expect("stats serialisation is infallible");
-                write_line(&mut writer, &format!("STATS {stats}"))?;
+                write_line(&mut writer, &format!("STATS {}", conn.stats_json()))?;
             }
             Some("QUIT") => {
                 write_line(&mut writer, "BYE")?;
@@ -521,11 +546,7 @@ fn handle_http(
                 }
             }
         }
-        ("GET", "/stats") => {
-            let stats = serde_json::to_string(&conn.sink.stats())
-                .expect("stats serialisation is infallible");
-            http_reply(writer, "200 OK", &stats)
-        }
+        ("GET", "/stats") => http_reply(writer, "200 OK", &conn.stats_json()),
         _ => http_reply(
             writer,
             "404 Not Found",

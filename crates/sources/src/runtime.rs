@@ -4,7 +4,7 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::source::{PollOutcome, Source, SourceError, SourceSink};
-use dquag_core::SourceConfig;
+use dquag_core::{SourceConfig, ValidatorSpec};
 use dquag_stream::IngestHandle;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -34,6 +34,9 @@ struct RuntimeShared {
     /// ingestion side open for the runtime's whole lifetime.
     ingest: IngestHandle,
     config: SourceConfig,
+    /// The declarative spec of the validator the engine runs, recorded into
+    /// every checkpoint when known.
+    spec: Option<ValidatorSpec>,
     /// Errors source supervisors survived (decode failures are handled
     /// inside the sources; what lands here is I/O-level trouble).
     errors: Mutex<Vec<String>>,
@@ -51,7 +54,11 @@ impl RuntimeShared {
             .iter()
             .map(|slot| (slot.name.clone(), slot.offset.load(Ordering::SeqCst)))
             .collect();
-        Checkpoint::new(offsets, self.ingest.stats())
+        let checkpoint = Checkpoint::new(offsets, self.ingest.stats());
+        match &self.spec {
+            Some(spec) => checkpoint.with_spec(spec.clone()),
+            None => checkpoint,
+        }
     }
 
     fn write_checkpoint(&self) -> Result<Option<Checkpoint>, SourceError> {
@@ -70,6 +77,7 @@ pub struct SourceRuntimeBuilder {
     config: SourceConfig,
     sources: Vec<Box<dyn Source>>,
     restored: Option<Checkpoint>,
+    spec: Option<ValidatorSpec>,
 }
 
 impl SourceRuntimeBuilder {
@@ -90,9 +98,23 @@ impl SourceRuntimeBuilder {
     /// Resume from a restored checkpoint: every registered source starts at
     /// its persisted offset. Pair this with
     /// `StreamEngineBuilder::restore_stats(checkpoint.stats)` on the engine
-    /// side so the statistics continue too.
+    /// side so the statistics continue too. A spec recorded in the
+    /// checkpoint carries over unless [`spec`] overrides it.
+    ///
+    /// [`spec`]: SourceRuntimeBuilder::spec
     pub fn restore(mut self, checkpoint: Checkpoint) -> Self {
+        if self.spec.is_none() {
+            self.spec = checkpoint.spec.clone();
+        }
         self.restored = Some(checkpoint);
+        self
+    }
+
+    /// Record the declarative spec of the validator the engine runs, so
+    /// every checkpoint (and the listener's stats surfaces) names the
+    /// active validator tree.
+    pub fn spec(mut self, spec: ValidatorSpec) -> Self {
+        self.spec = Some(spec);
         self
     }
 
@@ -151,6 +173,7 @@ impl SourceRuntimeBuilder {
             slots,
             ingest,
             config,
+            spec: self.spec,
             errors: Mutex::new(Vec::new()),
         });
 

@@ -197,6 +197,64 @@ fn http_post_produces_identical_verdicts_and_stats_endpoint_serves_json() {
     assert_eq!(outcome_verdicts(&direct), outcome_verdicts(&networked));
 }
 
+#[test]
+fn stats_surfaces_report_the_active_spec_and_checkpoints_record_it() {
+    use dquag_core::spec::{ValidatorSpec, Voting};
+
+    let spec = ValidatorSpec::ensemble(
+        vec![ValidatorSpec::backend("deequ-auto"), ValidatorSpec::drift()],
+        Voting::Any,
+    );
+
+    let (engine, ingest, verdicts) = start_engine();
+    let source = NetListenerSource::bind("127.0.0.1:0", KIND.schema())
+        .expect("loopback bind succeeds")
+        .with_spec(spec.clone());
+    let addr = source.local_addr();
+    let config = DquagConfig::builder()
+        .source_poll_interval(Duration::from_millis(10))
+        .build()
+        .expect("config in range");
+    let runtime = SourceRuntime::builder()
+        .config(&config.source)
+        .source(Box::new(source))
+        .spec(spec.clone())
+        .start(ingest)
+        .expect("runtime starts");
+
+    // GET /stats still parses as StreamStats (extra keys are invisible to
+    // shape-typed readers) *and* carries the spec for spec-aware clients.
+    let response = http_request(addr, "GET /stats HTTP/1.1\r\nHost: test\r\n\r\n");
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    let body = response
+        .split("\r\n\r\n")
+        .nth(1)
+        .expect("response has a body");
+    let _stats: StreamStats = serde_json::from_str(body).expect("stats parse");
+    let value: serde::Value = serde_json::from_str(body).expect("body is JSON");
+    let active = value
+        .as_object()
+        .and_then(|map| map.get("active_spec"))
+        .expect("active_spec key present");
+    let reported: ValidatorSpec = serde_json::from_value(active).expect("spec parses");
+    assert_eq!(reported, spec);
+
+    // The raw-protocol STATS line reports the same document.
+    let mut stream = connect(addr);
+    stream.write_all(b"STATS\n").expect("stats write");
+    let reply = read_reply_line(&mut stream);
+    let json = reply.strip_prefix("STATS ").expect("STATS prefix");
+    assert!(json.contains("active_spec"), "{json}");
+    drop(stream);
+
+    // The shutdown checkpoint records which validator tree was serving.
+    let checkpoint = runtime.shutdown().expect("runtime drains");
+    assert_eq!(checkpoint.spec.as_ref(), Some(&spec));
+
+    drop(verdicts);
+    engine.shutdown();
+}
+
 fn http_request(addr: SocketAddr, request: &str) -> String {
     let mut stream = connect(addr);
     stream.write_all(request.as_bytes()).expect("request write");

@@ -13,12 +13,25 @@
 //!   detail: dataset verdict + anomaly score + violation messages for every
 //!   backend, plus optional instance errors and cell flags where the backend
 //!   supports them (DQuaG);
-//! * [`ValidatorKind`] + [`build_validator`] — a registry/factory so benches,
-//!   examples and future backends construct validators uniformly;
+//! * [`ValidatorRegistry`] + [`ValidatorSpec`] — an **open registry** of
+//!   named backend builders and a declarative, serde-round-trippable spec
+//!   tree: `Backend` leaves compose under `Ensemble` voting, `Drift`
+//!   detection and `Gated` escalation nodes, and downstream code
+//!   [`register`]s custom backends without touching this crate (the legacy
+//!   closed [`ValidatorKind`] + [`build_validator`] shim lowers onto it);
+//! * [`DriftValidator`] — a KS/PSI drift-detector backend: per-column
+//!   empirical-CDF and population-stability tests against the fitted
+//!   reference;
+//! * [`EnsembleValidator`] / [`GatedValidator`] — composite validators that
+//!   fit, validate and [`replicate`] *compositionally*, so the streaming
+//!   engine shards any spec tree unchanged;
 //! * [`ValidationSession`] — owns a fitted validator and streams incoming
 //!   batches: `push_batch`/iterator ingestion, verdict history, rolling
 //!   error rate, and parallel multi-batch validation honouring
 //!   `DquagConfig::validation_threads`.
+//!
+//! [`register`]: ValidatorRegistry::register
+//! [`replicate`]: Validator::replicate
 //!
 //! ## Quickstart
 //!
@@ -43,14 +56,24 @@
 #![warn(rust_2018_idioms)]
 
 mod backends;
+mod combinators;
+mod drift;
 mod registry;
 mod session;
+pub mod spec;
 mod validator;
 mod verdict;
 
 pub use backends::{BaselineBackend, DquagBackend};
-pub use registry::{build_validator, ValidatorKind};
+pub use combinators::{EnsembleValidator, GatedValidator};
+pub use drift::{ColumnDrift, DriftValidator};
+pub use registry::{
+    build_spec, build_validator, default_registry, BackendBuilder, ValidatorKind, ValidatorRegistry,
+};
 pub use session::{SessionSummary, ValidationSession};
+pub use spec::{
+    BackendSpec, DriftSpec, DriftTest, EnsembleSpec, EscalateWhen, GatedSpec, ValidatorSpec, Voting,
+};
 pub use validator::{ValidateError, Validator};
 pub use verdict::{Capabilities, FitReport, Verdict};
 

@@ -1,16 +1,313 @@
-//! The backend registry: [`ValidatorKind`] and the [`build_validator`]
-//! factory.
+//! The open backend registry: named builders, spec-tree construction, and
+//! the legacy [`ValidatorKind`] shim.
+//!
+//! A [`ValidatorRegistry`] maps backend names to builder closures and turns
+//! declarative [`ValidatorSpec`] trees into boxed [`Validator`]s:
+//! `Backend` leaves resolve through the name table, `Ensemble`/`Gated`
+//! nodes become [`crate::EnsembleValidator`]/[`crate::GatedValidator`]
+//! compositions, and `Drift` nodes become [`crate::DriftValidator`]s. The
+//! seven paper backends plus `drift` come pre-registered
+//! ([`ValidatorRegistry::with_defaults`]); downstream code adds its own
+//! backends with [`ValidatorRegistry::register`] — no enum to extend, no
+//! fork of this crate.
+//!
+//! ```no_run
+//! use dquag_validate::ValidatorRegistry;
+//! use dquag_core::DquagConfig;
+//!
+//! let spec: dquag_core::ValidatorSpec = serde_json::from_str(
+//!     r#"{"Ensemble": {"members": [
+//!         {"Backend": {"name": "dquag", "params": {}}},
+//!         {"Drift": {"tests": ["Ks", "Psi"],
+//!                    "ks_threshold": 0.15, "psi_threshold": 0.25, "bins": 10}}
+//!     ], "voting": "Any"}}"#,
+//! ).unwrap();
+//! let validator = ValidatorRegistry::with_defaults()
+//!     .build(&spec, &DquagConfig::default())
+//!     .unwrap();
+//! ```
 
 use crate::backends::{BaselineBackend, DquagBackend};
-use crate::Validator;
+use crate::combinators::{EnsembleValidator, GatedValidator};
+use crate::drift::DriftValidator;
+use crate::{Result, ValidateError, Validator};
 use dquag_baselines::BaselineKind;
+use dquag_core::spec::{normalize_backend_name, BackendSpec, DriftSpec, ValidatorSpec};
 use dquag_core::DquagConfig;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
+use std::sync::{Arc, OnceLock};
 
-/// Every validator configuration the paper evaluates, constructible through
-/// [`build_validator`].
+/// A builder closure turning a backend leaf plus the deployment
+/// configuration into an unfitted validator.
+pub type BackendBuilder =
+    dyn Fn(&BackendSpec, &DquagConfig) -> Result<Box<dyn Validator>> + Send + Sync;
+
+/// One registered backend: the display name plus its builder.
+struct Entry {
+    /// Canonical display name, as [`ValidatorRegistry::names`] reports it.
+    name: String,
+    build: Arc<BackendBuilder>,
+}
+
+/// An open mapping from backend names to builder closures.
+///
+/// Lookup is case-insensitive and punctuation-blind
+/// ([`dquag_core::spec::normalize_backend_name`]), so `"Deequ auto"`,
+/// `"deequ-auto"` and `"DEEQU_AUTO"` all resolve the same entry.
+/// Re-registering a name replaces its builder, which is how downstream code
+/// overrides a built-in.
+pub struct ValidatorRegistry {
+    entries: BTreeMap<String, Entry>,
+}
+
+impl ValidatorRegistry {
+    /// An empty registry (no backends; combinator and drift nodes still
+    /// build).
+    pub fn new() -> Self {
+        Self {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// A registry with the seven paper backends (`dquag`, `deequ-auto`,
+    /// `deequ-expert`, `tfdv-auto`, `tfdv-expert`, `adqv`, `gate`) plus the
+    /// `drift` detector pre-registered.
+    pub fn with_defaults() -> Self {
+        let mut registry = Self::new();
+        registry.register("dquag", build_dquag);
+        for kind in BaselineKind::ALL {
+            registry.register(baseline_key(kind), move |spec, _config| {
+                reject_params(spec)?;
+                Ok(Box::new(BaselineBackend::new(kind)))
+            });
+        }
+        registry.register("drift", build_drift_leaf);
+        registry
+    }
+
+    /// Register (or replace) a backend under `name`.
+    ///
+    /// The builder receives the backend leaf — name plus numeric params —
+    /// and the deployment [`DquagConfig`]; it returns an *unfitted*
+    /// validator. Builders should reject unknown params instead of ignoring
+    /// them.
+    pub fn register<F>(&mut self, name: impl Into<String>, build: F) -> &mut Self
+    where
+        F: Fn(&BackendSpec, &DquagConfig) -> Result<Box<dyn Validator>> + Send + Sync + 'static,
+    {
+        let name = name.into();
+        self.entries.insert(
+            normalize_backend_name(&name),
+            Entry {
+                name,
+                build: Arc::new(build),
+            },
+        );
+        self
+    }
+
+    /// Canonical names of every registered backend, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.values().map(|e| e.name.as_str()).collect()
+    }
+
+    /// True when `name` resolves to a registered backend.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(&normalize_backend_name(name))
+    }
+
+    /// Build an unfitted validator from a spec tree.
+    ///
+    /// The tree is structurally validated first, then built bottom-up:
+    /// unknown backend names fail with a [`ValidateError::InvalidConfig`]
+    /// listing every registered name.
+    pub fn build(&self, spec: &ValidatorSpec, config: &DquagConfig) -> Result<Box<dyn Validator>> {
+        spec.validated()
+            .map_err(|e| ValidateError::InvalidConfig(e.to_string()))?;
+        self.build_node(spec, config)
+    }
+
+    fn build_node(&self, spec: &ValidatorSpec, config: &DquagConfig) -> Result<Box<dyn Validator>> {
+        match spec {
+            ValidatorSpec::Backend(backend) => {
+                let entry = self
+                    .entries
+                    .get(&normalize_backend_name(&backend.name))
+                    .ok_or_else(|| self.unknown_backend(&backend.name))?;
+                (entry.build)(backend, config)
+            }
+            ValidatorSpec::Ensemble(ensemble) => {
+                let members: Vec<Box<dyn Validator>> = ensemble
+                    .members
+                    .iter()
+                    .map(|member| self.build_node(member, config))
+                    .collect::<Result<_>>()?;
+                Ok(Box::new(EnsembleValidator::new(
+                    members,
+                    ensemble.voting.clone(),
+                )?))
+            }
+            ValidatorSpec::Drift(drift) => Ok(Box::new(DriftValidator::new(drift.clone()))),
+            ValidatorSpec::Gated(gated) => Ok(Box::new(GatedValidator::new(
+                self.build_node(&gated.cheap, config)?,
+                self.build_node(&gated.expensive, config)?,
+                gated.escalate_when.clone(),
+            )?)),
+        }
+    }
+
+    /// Build the validator a configuration declares (`config.validator`).
+    pub fn build_from_config(&self, config: &DquagConfig) -> Result<Box<dyn Validator>> {
+        self.build(&config.validator, config)
+    }
+
+    fn unknown_backend(&self, name: &str) -> ValidateError {
+        ValidateError::InvalidConfig(format!(
+            "unknown validator backend `{name}`; registered backends: {}",
+            self.names().join(", ")
+        ))
+    }
+}
+
+impl Default for ValidatorRegistry {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+impl fmt::Debug for ValidatorRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ValidatorRegistry")
+            .field("backends", &self.names())
+            .finish()
+    }
+}
+
+/// The process-wide default registry (the paper backends plus `drift`),
+/// used by [`build_spec`] and the [`ValidatorKind`] shim.
+///
+/// The default registry is immutable by design — process-global mutable
+/// state would make two deployments in one process fight over names. Code
+/// that registers custom backends owns a [`ValidatorRegistry`] value
+/// instead.
+pub fn default_registry() -> &'static ValidatorRegistry {
+    static DEFAULT: OnceLock<ValidatorRegistry> = OnceLock::new();
+    DEFAULT.get_or_init(ValidatorRegistry::with_defaults)
+}
+
+/// Build an unfitted validator from a spec tree using the default registry.
+pub fn build_spec(spec: &ValidatorSpec, config: &DquagConfig) -> Result<Box<dyn Validator>> {
+    default_registry().build(spec, config)
+}
+
+/// The `dquag` backend builder: numeric params override the corresponding
+/// configuration fields, and the amended configuration is range-checked.
+///
+/// A leaf with *no* params adopts the caller's configuration as-is, without
+/// re-validating it — hand-assembled configurations behaved that way under
+/// the PR 1 factory (problems surface at `fit`, not at construction), and
+/// the infallible [`build_validator`] shim relies on it.
+fn build_dquag(spec: &BackendSpec, config: &DquagConfig) -> Result<Box<dyn Validator>> {
+    if spec.params.is_empty() {
+        return Ok(Box::new(DquagBackend::new(config.clone())));
+    }
+    let mut config = config.clone();
+    for (key, &value) in &spec.params {
+        match key.as_str() {
+            "epochs" => config.epochs = param_usize(key, value)?,
+            "batch_size" => config.batch_size = param_usize(key, value)?,
+            "hidden_dim" => config.model.hidden_dim = param_usize(key, value)?,
+            "n_layers" => config.model.n_layers = param_usize(key, value)?,
+            "learning_rate" => config.learning_rate = value as f32,
+            "threshold_percentile" => config.threshold_percentile = value,
+            "dataset_flag_factor" => config.dataset_flag_factor = value,
+            "feature_sigma" => config.feature_sigma = value as f32,
+            "validation_threads" => config.validation_threads = param_usize(key, value)?,
+            "inference_batch_size" => config.inference_batch_size = param_usize(key, value)?,
+            "seed" => config.seed = param_usize(key, value)? as u64,
+            other => {
+                return Err(ValidateError::InvalidConfig(format!(
+                    "backend `dquag` does not understand param `{other}` (supported: \
+                     epochs, batch_size, hidden_dim, n_layers, learning_rate, \
+                     threshold_percentile, dataset_flag_factor, feature_sigma, \
+                     validation_threads, inference_batch_size, seed)"
+                )))
+            }
+        }
+    }
+    let config = config
+        .validated()
+        .map_err(|e| ValidateError::InvalidConfig(e.to_string()))?;
+    Ok(Box::new(DquagBackend::new(config)))
+}
+
+/// The `drift` backend leaf: thresholds and binning as numeric params, both
+/// tests enabled (use a `Drift` spec node to pick a single test).
+fn build_drift_leaf(spec: &BackendSpec, _config: &DquagConfig) -> Result<Box<dyn Validator>> {
+    let mut drift = DriftSpec::default();
+    for (key, &value) in &spec.params {
+        match key.as_str() {
+            "ks_threshold" => drift.ks_threshold = value,
+            "psi_threshold" => drift.psi_threshold = value,
+            "bins" => drift.bins = param_usize(key, value)?,
+            other => {
+                return Err(ValidateError::InvalidConfig(format!(
+                    "backend `drift` does not understand param `{other}` (supported: \
+                     ks_threshold, psi_threshold, bins)"
+                )))
+            }
+        }
+    }
+    ValidatorSpec::Drift(drift.clone())
+        .validated()
+        .map_err(|e| ValidateError::InvalidConfig(e.to_string()))?;
+    Ok(Box::new(DriftValidator::new(drift)))
+}
+
+/// Baselines are self-configuring; a param is a typo, not a knob.
+fn reject_params(spec: &BackendSpec) -> Result<()> {
+    if let Some(key) = spec.params.keys().next() {
+        return Err(ValidateError::InvalidConfig(format!(
+            "backend `{}` accepts no params, got `{key}`",
+            spec.name
+        )));
+    }
+    Ok(())
+}
+
+/// A non-negative integer-valued param, rejected otherwise.
+fn param_usize(key: &str, value: f64) -> Result<usize> {
+    if value.fract() != 0.0 || value < 0.0 || value > usize::MAX as f64 {
+        return Err(ValidateError::InvalidConfig(format!(
+            "param `{key}` must be a non-negative integer, got {value}"
+        )));
+    }
+    Ok(value as usize)
+}
+
+/// Registry key for a baseline configuration.
+fn baseline_key(kind: BaselineKind) -> &'static str {
+    match kind {
+        BaselineKind::DeequAuto => "deequ-auto",
+        BaselineKind::DeequExpert => "deequ-expert",
+        BaselineKind::TfdvAuto => "tfdv-auto",
+        BaselineKind::TfdvExpert => "tfdv-expert",
+        BaselineKind::Adqv => "adqv",
+        BaselineKind::Gate => "gate",
+    }
+}
+
+/// Every validator configuration the paper evaluates.
+///
+/// **Deprecated shim**: the closed enum predates the open
+/// [`ValidatorRegistry`]; new code should build a [`ValidatorSpec`] instead
+/// (every variant lowers to a `Backend` leaf via
+/// `ValidatorSpec::from(kind)`). It stays for the paper-table call sites —
+/// iterating [`ValidatorKind::ALL`] in a fixed order is genuinely handy for
+/// experiments — and keeps PR 1–4 code compiling unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ValidatorKind {
     /// Deequ with automatically suggested constraints.
@@ -55,6 +352,19 @@ impl ValidatorKind {
         }
     }
 
+    /// The canonical registry key this kind lowers to.
+    pub fn key(&self) -> &'static str {
+        match self {
+            ValidatorKind::Dquag => "dquag",
+            ValidatorKind::DeequAuto => "deequ-auto",
+            ValidatorKind::DeequExpert => "deequ-expert",
+            ValidatorKind::TfdvAuto => "tfdv-auto",
+            ValidatorKind::TfdvExpert => "tfdv-expert",
+            ValidatorKind::Adqv => "adqv",
+            ValidatorKind::Gate => "gate",
+        }
+    }
+
     /// The underlying baseline configuration, for every kind but DQuaG.
     pub fn baseline(&self) -> Option<BaselineKind> {
         match self {
@@ -76,31 +386,42 @@ impl fmt::Display for ValidatorKind {
 }
 
 impl FromStr for ValidatorKind {
-    type Err = String;
+    type Err = ValidateError;
 
     /// Parse a display label or a compact CLI spelling (`dquag`,
-    /// `deequ-auto`, `tfdv_expert`, `gate`, …), case-insensitively.
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let normalised: String = s
-            .chars()
-            .filter(|c| c.is_ascii_alphanumeric())
-            .collect::<String>()
-            .to_ascii_lowercase();
+    /// `deequ-auto`, `tfdv_expert`, `gate`, …), case-insensitively. A miss
+    /// is a [`ValidateError::InvalidConfig`] listing the parseable kinds
+    /// and the registered backend names.
+    fn from_str(s: &str) -> Result<Self> {
+        let normalised = normalize_backend_name(s);
         ValidatorKind::ALL
             .into_iter()
             .find(|kind| {
-                kind.label()
-                    .chars()
-                    .filter(|c| c.is_ascii_alphanumeric())
-                    .collect::<String>()
-                    .to_ascii_lowercase()
-                    == normalised
+                normalize_backend_name(kind.label()) == normalised
+                    || normalize_backend_name(kind.key()) == normalised
             })
-            .ok_or_else(|| format!("unknown validator kind `{s}`"))
+            .ok_or_else(|| {
+                // Registry-only backends (`drift`, custom registrations) are
+                // deliberately listed apart: they are real names, but this
+                // legacy parser cannot produce them — they need a
+                // `ValidatorSpec`.
+                let kinds: Vec<&str> = ValidatorKind::ALL.iter().map(|k| k.key()).collect();
+                ValidateError::InvalidConfig(format!(
+                    "unknown validator kind `{s}`; known kinds: {}. Other registered \
+                     backends ({}) are reachable through a ValidatorSpec, not a kind",
+                    kinds.join(", "),
+                    default_registry().names().join(", ")
+                ))
+            })
     }
 }
 
 /// Construct an unfitted validator of the given kind.
+///
+/// **Deprecated shim** over the open registry: lowers `kind` to its
+/// [`ValidatorSpec::Backend`] leaf and builds it through
+/// [`default_registry`]. New code should carry a [`ValidatorSpec`] and call
+/// [`build_spec`] (or own a [`ValidatorRegistry`]) instead.
 ///
 /// `config` parameterises the DQuaG backend (epochs, architecture, threshold
 /// percentile, …); the baselines are self-configuring and ignore it. Every
@@ -117,10 +438,9 @@ impl FromStr for ValidatorKind {
 /// }
 /// ```
 pub fn build_validator(kind: ValidatorKind, config: &DquagConfig) -> Box<dyn Validator> {
-    match kind.baseline() {
-        Some(baseline) => Box::new(BaselineBackend::new(baseline)),
-        None => Box::new(DquagBackend::new(config.clone())),
-    }
+    default_registry()
+        .build(&ValidatorSpec::from(kind), config)
+        .expect("built-in kinds always resolve and carry no params")
 }
 
 #[cfg(test)]
@@ -177,7 +497,34 @@ mod tests {
             "GATE".parse::<ValidatorKind>().unwrap(),
             ValidatorKind::Gate
         );
-        assert!("nope".parse::<ValidatorKind>().is_err());
+    }
+
+    #[test]
+    fn kind_parse_miss_lists_registered_backends() {
+        match "nope".parse::<ValidatorKind>() {
+            Err(ValidateError::InvalidConfig(msg)) => {
+                assert!(msg.contains("`nope`"), "got `{msg}`");
+                for name in ["dquag", "deequ-auto", "gate", "drift"] {
+                    assert!(msg.contains(name), "missing `{name}` in `{msg}`");
+                }
+            }
+            other => panic!("parse miss must be InvalidConfig, got {other:?}"),
+        }
+
+        // A registry-only backend name is a miss for the legacy parser, and
+        // the message must not present it as a retry candidate.
+        match "drift".parse::<ValidatorKind>() {
+            Err(ValidateError::InvalidConfig(msg)) => {
+                assert!(msg.contains("ValidatorSpec"), "got `{msg}`");
+                let kinds = msg
+                    .split("known kinds:")
+                    .nth(1)
+                    .and_then(|rest| rest.split('.').next())
+                    .expect("message names the known kinds");
+                assert!(!kinds.contains("drift"), "got `{msg}`");
+            }
+            other => panic!("`drift` is not a kind, got {other:?}"),
+        }
     }
 
     #[test]
@@ -192,5 +539,140 @@ mod tests {
     #[test]
     fn display_matches_label() {
         assert_eq!(ValidatorKind::Adqv.to_string(), "ADQV");
+    }
+
+    #[test]
+    fn default_registry_knows_the_paper_backends_plus_drift() {
+        let registry = default_registry();
+        assert_eq!(
+            registry.names(),
+            vec![
+                "adqv",
+                "deequ-auto",
+                "deequ-expert",
+                "dquag",
+                "drift",
+                "gate",
+                "tfdv-auto",
+                "tfdv-expert"
+            ]
+        );
+        // Lookup is case- and punctuation-insensitive.
+        assert!(registry.contains("Deequ auto"));
+        assert!(registry.contains("DEEQU_AUTO"));
+        assert!(!registry.contains("nope"));
+    }
+
+    #[test]
+    fn unknown_backends_fail_with_the_name_list() {
+        let config = DquagConfig::fast();
+        match default_registry()
+            .build(&ValidatorSpec::backend("nope"), &config)
+            .map(|_| ())
+        {
+            Err(ValidateError::InvalidConfig(msg)) => {
+                assert!(msg.contains("`nope`"), "got `{msg}`");
+                assert!(msg.contains("dquag"), "got `{msg}`");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_backends_register_and_build() {
+        struct Custom;
+        impl Validator for Custom {
+            fn name(&self) -> &str {
+                "Custom"
+            }
+            fn capabilities(&self) -> crate::Capabilities {
+                crate::Capabilities::dataset_level()
+            }
+            fn fit(&mut self, _clean: &dquag_tabular::DataFrame) -> Result<crate::FitReport> {
+                unimplemented!("registration test never fits")
+            }
+            fn validate(&self, _batch: &dquag_tabular::DataFrame) -> Result<crate::Verdict> {
+                unimplemented!("registration test never validates")
+            }
+        }
+
+        let mut registry = ValidatorRegistry::with_defaults();
+        registry.register("custom", |_spec, _config| Ok(Box::new(Custom)));
+        let config = DquagConfig::fast();
+        let built = registry
+            .build(&ValidatorSpec::backend("CUSTOM"), &config)
+            .expect("custom backend resolves case-insensitively");
+        assert_eq!(built.name(), "Custom");
+
+        // Composition reaches custom backends too.
+        let spec = ValidatorSpec::ensemble(
+            vec![ValidatorSpec::backend("custom"), ValidatorSpec::drift()],
+            dquag_core::spec::Voting::Any,
+        );
+        let ensemble = registry.build(&spec, &config).expect("ensemble builds");
+        assert_eq!(ensemble.name(), "any(Custom, KS/PSI drift)");
+    }
+
+    #[test]
+    fn dquag_params_override_the_config() {
+        let config = DquagConfig::fast();
+        let spec = ValidatorSpec::backend_with(
+            "dquag",
+            [("epochs".to_string(), 3.0), ("hidden_dim".to_string(), 8.0)],
+        );
+        // Builds fine; the override is visible through the backend's config.
+        let built = default_registry().build(&spec, &config).unwrap();
+        assert_eq!(built.name(), "DQuaG");
+
+        // Out-of-range and unknown params are rejected, not ignored.
+        let bad = ValidatorSpec::backend_with("dquag", [("epochs".to_string(), 0.0)]);
+        assert!(default_registry().build(&bad, &config).is_err());
+        let unknown = ValidatorSpec::backend_with("dquag", [("epoches".to_string(), 3.0)]);
+        match default_registry().build(&unknown, &config).map(|_| ()) {
+            Err(ValidateError::InvalidConfig(msg)) => {
+                assert!(msg.contains("epoches"), "got `{msg}`")
+            }
+            other => panic!("unknown param must fail, got {other:?}"),
+        }
+
+        // Baselines accept no params at all.
+        let baseline = ValidatorSpec::backend_with("gate", [("level".to_string(), 2.0)]);
+        assert!(default_registry().build(&baseline, &config).is_err());
+    }
+
+    #[test]
+    fn build_validator_stays_infallible_on_hand_assembled_configs() {
+        // Regression: the PR 1 factory never failed at construction — bad
+        // configurations surfaced at `fit`. A param-free `dquag` leaf must
+        // keep that contract (the shim `expect`s on it), even when the
+        // caller hand-assembled an out-of-range configuration.
+        let mut config = DquagConfig::fast();
+        config.epochs = 0;
+        let validator = build_validator(ValidatorKind::Dquag, &config);
+        assert_eq!(validator.name(), "DQuaG");
+    }
+
+    #[test]
+    fn drift_leaf_params_configure_the_detector() {
+        let config = DquagConfig::fast();
+        let spec = ValidatorSpec::backend_with(
+            "drift",
+            [("ks_threshold".to_string(), 0.3), ("bins".to_string(), 6.0)],
+        );
+        let built = default_registry().build(&spec, &config).unwrap();
+        assert_eq!(built.name(), "KS/PSI drift");
+
+        let bad = ValidatorSpec::backend_with("drift", [("bins".to_string(), 1.0)]);
+        assert!(default_registry().build(&bad, &config).is_err());
+    }
+
+    #[test]
+    fn build_from_config_uses_the_declared_spec() {
+        let config = DquagConfig::builder()
+            .validator_spec(ValidatorSpec::drift())
+            .build()
+            .unwrap();
+        let built = default_registry().build_from_config(&config).unwrap();
+        assert_eq!(built.name(), "KS/PSI drift");
     }
 }

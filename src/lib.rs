@@ -6,8 +6,10 @@
 //! downstream users can depend on a single `dquag` crate:
 //!
 //! * [`validate`] — **the unified validator API**: the `Validator` trait,
-//!   graded `Verdict`s, the `ValidatorKind` registry and the streaming
-//!   `ValidationSession`. Start here.
+//!   graded `Verdict`s, the open `ValidatorRegistry` building declarative
+//!   `ValidatorSpec` trees (ensemble voting, KS/PSI drift detection, gated
+//!   escalation, custom backends) and the streaming `ValidationSession`.
+//!   Start here.
 //! * [`stream`] — the streaming ingestion engine: bounded-queue ingestion
 //!   with backpressure, sharded validator replicas, per-batch deadlines,
 //!   live stats and graceful shutdown.

@@ -241,6 +241,18 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
@@ -470,6 +482,11 @@ mod tests {
 
         let opt: Option<f32> = None;
         assert_eq!(Option::<f32>::from_value(&opt.to_value()).unwrap(), None);
+
+        // Box is transparent on the wire — what recursive spec trees rely on.
+        let boxed: Box<u64> = Box::new(11);
+        assert_eq!(boxed.to_value(), 11u64.to_value());
+        assert_eq!(*Box::<u64>::from_value(&boxed.to_value()).unwrap(), 11);
 
         let arr = [1.0f64, 2.0, 3.0, 4.0, 5.0];
         assert_eq!(<[f64; 5]>::from_value(&arr.to_value()).unwrap(), arr);
