@@ -16,7 +16,9 @@ use std::time::Duration;
 /// [`Block`]: BackpressurePolicy::Block
 /// [`DropNewest`]: BackpressurePolicy::DropNewest
 /// [`Reject`]: BackpressurePolicy::Reject
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum BackpressurePolicy {
     /// Block the producer until a queue slot frees up (lossless).
     #[default]
@@ -32,7 +34,7 @@ pub enum BackpressurePolicy {
 /// Lives in the core config so one `DquagConfig` describes a whole
 /// deployment: model, training, validation fan-out *and* the serving-side
 /// queue discipline.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct StreamConfig {
     /// Capacity of the bounded ingestion queue. The engine bounds its whole
     /// unemitted backlog — queued, in-flight and awaiting emission — at
@@ -95,7 +97,7 @@ impl StreamConfig {
 /// again when it drains on shutdown. A restarted deployment restores the
 /// checkpoint so sources resume where they left off and statistics continue
 /// instead of resetting.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CheckpointConfig {
     /// Where the checkpoint JSON lives. `None` disables checkpointing.
     pub path: Option<PathBuf>,
@@ -118,7 +120,7 @@ impl Default for CheckpointConfig {
 /// Lives in the core config for the same reason [`StreamConfig`] does: one
 /// `DquagConfig` describes a whole deployment, from model hyper-parameters
 /// down to the socket the serving pipeline listens on.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SourceConfig {
     /// Address the TCP/HTTP ingestion listener binds, e.g. `127.0.0.1:7431`.
     /// Port `0` asks the OS for an ephemeral port (useful in tests).
@@ -181,7 +183,7 @@ impl SourceConfig {
 /// GAT+GIN encoder with hidden dimension 64, learning rate 0.01, batch size
 /// 128, a detection threshold at the 95th percentile of clean reconstruction
 /// errors and a dataset-level flagging factor of `n = 1.2`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DquagConfig {
     /// Network architecture and loss weights.
     pub model: ModelConfig,

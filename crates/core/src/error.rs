@@ -15,6 +15,10 @@ pub enum CoreError {
     Tabular(String),
     /// An error bubbled up from feature-graph construction.
     Graph(String),
+    /// A persisted model state is structurally inconsistent or fails its
+    /// parameter checksum. Loading fails closed: a model that cannot prove
+    /// its integrity never scores a batch.
+    CorruptModel(String),
 }
 
 impl fmt::Display for CoreError {
@@ -25,6 +29,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::Tabular(msg) => write!(f, "tabular error: {msg}"),
             CoreError::Graph(msg) => write!(f, "feature-graph error: {msg}"),
+            CoreError::CorruptModel(msg) => write!(f, "corrupt model state: {msg}"),
         }
     }
 }

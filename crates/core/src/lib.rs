@@ -56,7 +56,7 @@ pub use config::{
     StreamConfig,
 };
 pub use error::CoreError;
-pub use pipeline::{CellFlag, DquagValidator, TrainingSummary, ValidationReport};
+pub use pipeline::{CellFlag, DquagModelState, DquagValidator, TrainingSummary, ValidationReport};
 pub use spec::{
     BackendSpec, DriftSpec, DriftTest, EnsembleSpec, EscalateWhen, GatedSpec, ValidatorSpec, Voting,
 };

@@ -117,6 +117,33 @@ pub struct DquagValidator {
     summary: TrainingSummary,
 }
 
+/// The complete serialisable state of a fitted [`DquagValidator`]: config,
+/// feature graph, fitted encoders, every network parameter (exact `f32`
+/// bits — the JSON codec round-trips finite floats losslessly), calibrated
+/// threshold and training diagnostics.
+///
+/// The checksum is stored as a hexadecimal string rather than a bare `u64`
+/// because the JSON number line is `f64`: a 64-bit hash above 2⁵³ would
+/// silently lose low bits in numeric form and every load would fail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DquagModelState {
+    /// Pipeline configuration in force when the model was fitted.
+    pub config: DquagConfig,
+    /// The feature graph the network was built over.
+    pub graph: FeatureGraph,
+    /// Fitted per-column encoders.
+    pub encoder: DatasetEncoder,
+    /// Network parameters as `(name, matrix)` pairs in registration order.
+    pub params: Vec<(String, dquag_tensor::Matrix)>,
+    /// FNV-1a checksum over the parameter names, shapes and raw bits,
+    /// formatted as 16 lowercase hex digits.
+    pub param_checksum: String,
+    /// Calibrated detection threshold.
+    pub threshold: f32,
+    /// Training diagnostics carried along for observability.
+    pub summary: TrainingSummary,
+}
+
 impl DquagValidator {
     /// Phase 1: train on a clean dataset.
     ///
@@ -229,6 +256,76 @@ impl DquagValidator {
             graph,
             threshold,
             summary,
+        })
+    }
+
+    /// Export the complete fitted state — everything [`Self::from_state`]
+    /// needs to reconstruct a validator that scores identically, plus a
+    /// checksum over the parameter bits so loads can fail closed.
+    pub fn export_state(&self) -> DquagModelState {
+        DquagModelState {
+            config: self.config.clone(),
+            graph: self.graph.clone(),
+            encoder: self.encoder.clone(),
+            params: self.network.params().export(),
+            param_checksum: format!("{:016x}", self.network.params().checksum()),
+            threshold: self.threshold,
+            summary: self.summary.clone(),
+        }
+    }
+
+    /// Reconstruct a fitted validator from exported state without refitting.
+    ///
+    /// The network structure is rebuilt deterministically from the persisted
+    /// config and feature graph, then the stored parameters overwrite the
+    /// fresh initialisation. Loading fails closed: any structural mismatch
+    /// (parameter names, shapes, count) or checksum mismatch returns
+    /// [`CoreError::CorruptModel`] — a model that cannot prove its integrity
+    /// never scores a batch.
+    pub fn from_state(state: DquagModelState) -> Result<DquagValidator> {
+        let config = state.config.validated()?;
+        let declared = u64::from_str_radix(&state.param_checksum, 16).map_err(|_| {
+            CoreError::CorruptModel(format!(
+                "param_checksum `{}` is not a hexadecimal u64",
+                state.param_checksum
+            ))
+        })?;
+        // Mirror `train` step 4: the model seed is overridden by the
+        // pipeline seed before construction, so structure and parameter
+        // registration order match the exporting network exactly.
+        let mut model_config = config.model;
+        model_config.seed = config.seed;
+        let mut network = DquagNetwork::new(&state.graph, model_config);
+        network
+            .import_params(&state.params)
+            .map_err(CoreError::CorruptModel)?;
+        let actual = network.params().checksum();
+        if actual != declared {
+            return Err(CoreError::CorruptModel(format!(
+                "parameter checksum mismatch: stored {} but loaded parameters hash to {actual:016x}",
+                state.param_checksum
+            )));
+        }
+        if state.encoder.n_features() != state.graph.n_nodes() {
+            return Err(CoreError::CorruptModel(format!(
+                "encoder covers {} features but the feature graph has {} nodes",
+                state.encoder.n_features(),
+                state.graph.n_nodes()
+            )));
+        }
+        if !state.threshold.is_finite() {
+            return Err(CoreError::CorruptModel(format!(
+                "detection threshold {} is not finite",
+                state.threshold
+            )));
+        }
+        Ok(DquagValidator {
+            config,
+            network,
+            encoder: state.encoder,
+            graph: state.graph,
+            threshold: state.threshold,
+            summary: state.summary,
         })
     }
 
@@ -490,6 +587,72 @@ mod tests {
         assert!(summary.n_weights > 0);
         assert!(!summary.graph_edges.is_empty());
         assert!(validator.feature_graph().n_nodes() >= 10);
+    }
+
+    #[test]
+    fn exported_state_round_trips_to_an_identical_validator() {
+        let (validator, clean) = trained_credit_validator();
+        let mut rng = dquag_datagen::rng(29);
+        let mut batch = dquag_datagen::sample_fraction(&clean, 0.2, &mut rng);
+        let cols = DatasetKind::CreditCard.default_ordinary_error_columns();
+        inject_ordinary(
+            &mut batch,
+            OrdinaryError::NumericAnomalies,
+            &cols,
+            0.2,
+            &mut rng,
+        );
+
+        let json = serde_json::to_string(&validator.export_state()).unwrap();
+        let state: DquagModelState = serde_json::from_str(&json).unwrap();
+        let restored = DquagValidator::from_state(state).unwrap();
+
+        assert_eq!(restored.threshold(), validator.threshold());
+        let original = validator.validate(&batch).unwrap();
+        let reloaded = restored.validate(&batch).unwrap();
+        // Bit-exact parameter restoration ⇒ identical reports, not just
+        // statistically similar ones.
+        assert_eq!(original, reloaded);
+    }
+
+    #[test]
+    fn tampered_state_fails_closed() {
+        let (validator, _) = trained_credit_validator();
+        let pristine = validator.export_state();
+
+        // Flip one low bit of one weight: the checksum must catch it.
+        let mut bitflip = pristine.clone();
+        let m = &mut bitflip.params[0].1;
+        let poked = f32::from_bits(m.get(0, 0).to_bits() ^ 1);
+        m.set(0, 0, poked);
+        assert!(matches!(
+            DquagValidator::from_state(bitflip),
+            Err(CoreError::CorruptModel(_))
+        ));
+
+        // A checksum that is not hex fails before touching the network.
+        let mut badsum = pristine.clone();
+        badsum.param_checksum = "not-hex".to_string();
+        assert!(matches!(
+            DquagValidator::from_state(badsum),
+            Err(CoreError::CorruptModel(_))
+        ));
+
+        // Dropping a parameter is a structural mismatch.
+        let mut truncated = pristine.clone();
+        truncated.params.pop();
+        assert!(matches!(
+            DquagValidator::from_state(truncated),
+            Err(CoreError::CorruptModel(_))
+        ));
+
+        // A non-finite threshold is rejected even with intact parameters.
+        let mut bad_threshold = pristine;
+        bad_threshold.threshold = f32::NAN;
+        assert!(matches!(
+            DquagValidator::from_state(bad_threshold),
+            Err(CoreError::CorruptModel(_))
+        ));
     }
 
     #[test]

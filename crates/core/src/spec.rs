@@ -57,7 +57,7 @@ pub enum ValidatorSpec {
 }
 
 /// A backend leaf: a registry name plus numeric parameter overrides.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BackendSpec {
     /// Registry name, matched case-insensitively and ignoring punctuation
     /// (`"deequ-auto"`, `"Deequ auto"` and `"DEEQU_AUTO"` all resolve the
@@ -67,6 +67,52 @@ pub struct BackendSpec {
     /// `dquag` backend understands `epochs`, `hidden_dim`, … — unknown keys
     /// are rejected at build time, not silently dropped).
     pub params: BTreeMap<String, f64>,
+    /// String-valued options for backends whose configuration is not
+    /// numeric — the `persisted-dquag` backend reads its model `path` here.
+    /// Like `params`, unknown keys are rejected at build time.
+    pub options: BTreeMap<String, String>,
+}
+
+// Hand-written serde impls instead of derives: `options` was added after
+// specs started riding in checkpoints, so deserialisation must treat a
+// missing (or null) `options` key as empty for older files — the derive
+// would reject them.
+impl Serialize for BackendSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut map = BTreeMap::new();
+        map.insert("name".to_string(), self.name.to_value());
+        map.insert("params".to_string(), self.params.to_value());
+        map.insert("options".to_string(), self.options.to_value());
+        serde::Value::Object(map)
+    }
+}
+
+impl Deserialize for BackendSpec {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let obj = v.as_object().ok_or_else(|| {
+            serde::DeError::custom(format!(
+                "expected object for BackendSpec, found {}",
+                v.kind()
+            ))
+        })?;
+        let name = String::from_value(obj.get("name").unwrap_or(&serde::Value::Null))
+            .map_err(|e| serde::DeError::custom(format!("field `name` of BackendSpec: {e}")))?;
+        let params = BTreeMap::<String, f64>::from_value(
+            obj.get("params").unwrap_or(&serde::Value::Null),
+        )
+        .map_err(|e| serde::DeError::custom(format!("field `params` of BackendSpec: {e}")))?;
+        let options = match obj.get("options") {
+            None | Some(serde::Value::Null) => BTreeMap::new(),
+            Some(value) => BTreeMap::<String, String>::from_value(value).map_err(|e| {
+                serde::DeError::custom(format!("field `options` of BackendSpec: {e}"))
+            })?,
+        };
+        Ok(BackendSpec {
+            name,
+            params,
+            options,
+        })
+    }
 }
 
 /// How an ensemble turns member verdicts into one decision.
@@ -156,6 +202,7 @@ impl ValidatorSpec {
         ValidatorSpec::Backend(BackendSpec {
             name: name.into(),
             params: BTreeMap::new(),
+            options: BTreeMap::new(),
         })
     }
 
@@ -167,6 +214,20 @@ impl ValidatorSpec {
         ValidatorSpec::Backend(BackendSpec {
             name: name.into(),
             params: params.into_iter().collect(),
+            options: BTreeMap::new(),
+        })
+    }
+
+    /// A backend leaf with string-valued options (e.g. the `persisted-dquag`
+    /// backend's model `path`).
+    pub fn backend_with_options(
+        name: impl Into<String>,
+        options: impl IntoIterator<Item = (String, String)>,
+    ) -> Self {
+        ValidatorSpec::Backend(BackendSpec {
+            name: name.into(),
+            params: BTreeMap::new(),
+            options: options.into_iter().collect(),
         })
     }
 
@@ -245,6 +306,14 @@ impl ValidatorSpec {
                     if !value.is_finite() {
                         return fail(format!(
                             "spec param `{key}` of backend `{}` must be finite, got {value}",
+                            b.name
+                        ));
+                    }
+                }
+                for key in b.options.keys() {
+                    if key.trim().is_empty() {
+                        return fail(format!(
+                            "spec option keys of backend `{}` must be non-empty",
                             b.name
                         ));
                     }
@@ -377,6 +446,37 @@ mod tests {
             ),
             EscalateWhen::ScoreAtLeast(0.5),
         )
+    }
+
+    #[test]
+    fn backend_options_round_trip_and_legacy_wire_still_parses() {
+        let spec = ValidatorSpec::backend_with_options(
+            "persisted-dquag",
+            [("path".to_string(), "/tmp/model.json".to_string())],
+        );
+        spec.validated().unwrap();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ValidatorSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+
+        // Pre-options wire form (params only, no `options` key) must keep
+        // parsing: specs ride in checkpoints written by older builds.
+        let legacy = r#"{"Backend": {"name": "dquag", "params": {"epochs": 5}}}"#;
+        let parsed: ValidatorSpec = serde_json::from_str(legacy).unwrap();
+        match &parsed {
+            ValidatorSpec::Backend(b) => {
+                assert!(b.options.is_empty());
+                assert_eq!(b.params.get("epochs"), Some(&5.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Empty option keys are rejected by validation.
+        let bad = ValidatorSpec::backend_with_options(
+            "persisted-dquag",
+            [(" ".to_string(), String::new())],
+        );
+        assert!(bad.validated().is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use dquag_tensor::init::InitRng;
 use dquag_tensor::{Matrix, Var};
 
 /// The encoder architecture. Variants match Table 2 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum EncoderKind {
     /// Structural Graph2Vec-style embedding followed by an MLP (no message
     /// passing conditioned on the sample values).

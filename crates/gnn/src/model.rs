@@ -17,7 +17,7 @@ use dquag_tensor::{Matrix, Tape, Var};
 /// Hyper-parameters of the network. Defaults reproduce the paper's §4.4
 /// setting: four layers, hidden dimension 64, GAT+GIN interleaving,
 /// α = β = 1.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ModelConfig {
     /// Hidden embedding width `h`.
     pub hidden_dim: usize,
@@ -373,6 +373,18 @@ impl DquagNetwork {
     /// The parameter store (read access, e.g. for checkpoint-style tests).
     pub fn params(&self) -> &ParamStore {
         &self.params
+    }
+
+    /// Overwrite the network's parameters with exported `(name, matrix)`
+    /// pairs (see [`ParamStore::import`]).
+    ///
+    /// The network must have been built from the same `ModelConfig` and
+    /// feature graph as the exporting network — `DquagNetwork::new` is
+    /// deterministic in those inputs, so rebuild-then-import reconstructs a
+    /// fitted network exactly. Structural mismatches are rejected with an
+    /// error naming the offending parameter.
+    pub fn import_params(&mut self, params: &[(String, Matrix)]) -> Result<(), String> {
+        self.params.import(params)
     }
 
     /// Bind parameters and graph constants to a fresh forward tape.

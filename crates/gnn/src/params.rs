@@ -85,6 +85,67 @@ impl ParamStore {
         optimizer.step(&mut params, &grads);
     }
 
+    /// Export every parameter as `(name, matrix)` pairs in registration
+    /// order — the wire form the persisted-model format stores.
+    pub fn export(&self) -> Vec<(String, Matrix)> {
+        self.names
+            .iter()
+            .cloned()
+            .zip(self.values.iter().cloned())
+            .collect()
+    }
+
+    /// Iterate `(name, &matrix)` pairs in registration order without
+    /// cloning — the view [`checksum`](Self::checksum) and save paths use.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Matrix)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.values.iter())
+    }
+
+    /// Overwrite all parameters from exported `(name, matrix)` pairs.
+    ///
+    /// The store must already hold the same parameters (same count, names
+    /// and shapes, in the same order) — i.e. the model structure must have
+    /// been rebuilt from the same config before importing. Any mismatch is
+    /// an error naming the offending parameter, so a file from a different
+    /// architecture fails loudly instead of silently mis-loading.
+    pub fn import(&mut self, params: &[(String, Matrix)]) -> Result<(), String> {
+        if params.len() != self.values.len() {
+            return Err(format!(
+                "parameter count mismatch: store has {}, import has {}",
+                self.values.len(),
+                params.len()
+            ));
+        }
+        for (i, (name, matrix)) in params.iter().enumerate() {
+            if *name != self.names[i] {
+                return Err(format!(
+                    "parameter {i} name mismatch: store has `{}`, import has `{name}`",
+                    self.names[i]
+                ));
+            }
+            if matrix.shape() != self.values[i].shape() {
+                return Err(format!(
+                    "parameter `{name}` shape mismatch: store has {:?}, import has {:?}",
+                    self.values[i].shape(),
+                    matrix.shape()
+                ));
+            }
+        }
+        for (i, (_, matrix)) in params.iter().enumerate() {
+            self.values[i] = matrix.clone();
+        }
+        Ok(())
+    }
+
+    /// Order- and name-sensitive checksum over every parameter's raw bits
+    /// (see [`dquag_tensor::params_checksum`]).
+    pub fn checksum(&self) -> u64 {
+        dquag_tensor::params_checksum(self.iter())
+    }
+
     /// Squared L2 norm of all parameters — handy for regularisation ablations
     /// and for asserting that training actually changes the weights.
     pub fn squared_norm(&self) -> f32 {
@@ -190,6 +251,38 @@ mod tests {
         store.add("a", Matrix::filled(1, 2, 2.0));
         store.add("b", Matrix::filled(1, 1, 3.0));
         assert!((store.squared_norm() - 17.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn export_import_round_trips_and_rejects_mismatches() {
+        let mut store = ParamStore::new();
+        store.add("w", Matrix::filled(2, 3, 1.5));
+        store.add("b", Matrix::filled(1, 3, -0.25));
+        let exported = store.export();
+        let checksum = store.checksum();
+
+        // Same structure, different values → import succeeds, values land.
+        let mut fresh = ParamStore::new();
+        fresh.add("w", Matrix::zeros(2, 3));
+        fresh.add("b", Matrix::zeros(1, 3));
+        fresh.import(&exported).unwrap();
+        assert_eq!(fresh.checksum(), checksum);
+        assert_eq!(fresh.values[0].get(1, 2), 1.5);
+
+        // Wrong name, wrong shape, wrong count each fail loudly.
+        let mut renamed = ParamStore::new();
+        renamed.add("w", Matrix::zeros(2, 3));
+        renamed.add("bias", Matrix::zeros(1, 3));
+        assert!(renamed.import(&exported).unwrap_err().contains("name"));
+
+        let mut reshaped = ParamStore::new();
+        reshaped.add("w", Matrix::zeros(3, 2));
+        reshaped.add("b", Matrix::zeros(1, 3));
+        assert!(reshaped.import(&exported).unwrap_err().contains("shape"));
+
+        let mut short = ParamStore::new();
+        short.add("w", Matrix::zeros(2, 3));
+        assert!(short.import(&exported).unwrap_err().contains("count"));
     }
 
     #[test]

@@ -85,6 +85,46 @@ pub struct FeatureGraph {
     neighbors: Vec<BTreeSet<usize>>,
 }
 
+// Hand-written serde impls: the adjacency sets are an in-memory index, so
+// the wire form stores node names plus the undirected edge list and rebuilds
+// the sets on load. Keeps persisted models readable and the invariants
+// (no self-loops, indices in range) enforced by `add_edge` on the way in.
+impl Serialize for FeatureGraph {
+    fn to_value(&self) -> serde::Value {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("node_names".to_string(), self.node_names.to_value());
+        map.insert(
+            "edges".to_string(),
+            self.edges().collect::<Vec<(usize, usize)>>().to_value(),
+        );
+        serde::Value::Object(map)
+    }
+}
+
+impl Deserialize for FeatureGraph {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let obj = v.as_object().ok_or_else(|| {
+            serde::DeError::custom(format!(
+                "expected object for FeatureGraph, found {}",
+                v.kind()
+            ))
+        })?;
+        let node_names =
+            Vec::<String>::from_value(obj.get("node_names").unwrap_or(&serde::Value::Null))
+                .map_err(|e| serde::DeError::custom(format!("FeatureGraph node_names: {e}")))?;
+        let edges =
+            Vec::<(usize, usize)>::from_value(obj.get("edges").unwrap_or(&serde::Value::Null))
+                .map_err(|e| serde::DeError::custom(format!("FeatureGraph edges: {e}")))?;
+        let mut graph = FeatureGraph::new(node_names);
+        for (i, j) in edges {
+            graph
+                .add_edge(i, j)
+                .map_err(|e| serde::DeError::custom(format!("FeatureGraph edge ({i},{j}): {e}")))?;
+        }
+        Ok(graph)
+    }
+}
+
 impl FeatureGraph {
     /// Create a graph with the given nodes and no edges.
     pub fn new<S: Into<String>>(node_names: Vec<S>) -> Self {
@@ -281,6 +321,17 @@ mod tests {
     #![allow(clippy::identity_op, clippy::erasing_op)]
 
     use super::*;
+
+    #[test]
+    fn feature_graph_round_trips_through_json() {
+        let g = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: FeatureGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+        // Out-of-range edges in a tampered file fail instead of panicking.
+        let bad = r#"{"node_names": ["a", "b"], "edges": [[0, 9]]}"#;
+        assert!(serde_json::from_str::<FeatureGraph>(bad).is_err());
+    }
 
     fn diamond() -> FeatureGraph {
         // 0 - 1

@@ -1,0 +1,66 @@
+//! Error type for model persistence.
+
+use dquag_validate::ValidateError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything that can go wrong saving or loading a persisted model.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The filesystem refused us (missing file, permissions, full disk).
+    Io(String),
+    /// The file exists but its contents are not a trustworthy model: broken
+    /// JSON, a failed checksum, a payload that does not decode, or an
+    /// envelope whose declared kind contradicts its payload. When possible
+    /// the offending file has been moved to the quarantine path carried
+    /// here, so a crashing writer can never be re-read as a model.
+    Corrupt {
+        /// What exactly failed to verify.
+        reason: String,
+        /// Where the corrupt file was moved, when the rename succeeded.
+        quarantined: Option<PathBuf>,
+    },
+    /// The file is a model from a different (newer) format version; it is
+    /// left untouched on disk.
+    Unsupported(String),
+    /// The validator has no persistable fitted state to save — it is
+    /// unfitted, or its backend (or one composed member) does not implement
+    /// the Persistable capability.
+    NotPersistable(String),
+    /// The state decoded and verified, but rebuilding the validator from it
+    /// failed (invalid spec, parameter checksum mismatch, …).
+    Rebuild(ValidateError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(msg) => write!(f, "model persistence I/O error: {msg}"),
+            PersistError::Corrupt {
+                reason,
+                quarantined,
+            } => {
+                write!(f, "corrupt model file: {reason}")?;
+                match quarantined {
+                    Some(path) => write!(f, " (file quarantined to {})", path.display()),
+                    None => write!(f, " (file could not be quarantined)"),
+                }
+            }
+            PersistError::Unsupported(msg) => write!(f, "unsupported model file: {msg}"),
+            PersistError::NotPersistable(name) => write!(
+                f,
+                "validator `{name}` has no persistable fitted state \
+                 (unfitted, or its backend does not support persistence)"
+            ),
+            PersistError::Rebuild(e) => write!(f, "rebuilding the persisted validator: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<ValidateError> for PersistError {
+    fn from(e: ValidateError) -> Self {
+        PersistError::Rebuild(e)
+    }
+}

@@ -7,7 +7,7 @@ use dquag_stream::StreamStats;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Current checkpoint format version; bumped on incompatible layout changes
 /// so a restore can refuse files from a future format instead of
@@ -41,6 +41,45 @@ pub struct Checkpoint {
     /// — and an operator reading the file sees what was judging their data.
     /// Absent in pre-spec checkpoints, which still load.
     pub spec: Option<ValidatorSpec>,
+    /// Where the fitted model was persisted (`dquag_persist::save_validator`),
+    /// when the deployment persists one. A restart can rebuild the *fitted*
+    /// validator straight from this file — zero refit — instead of training
+    /// from scratch. Absent in pre-persistence checkpoints, which still
+    /// load.
+    pub model_path: Option<PathBuf>,
+}
+
+/// A structured warning about capabilities a restored checkpoint cannot
+/// offer because it was written by an older layout (or a deployment that
+/// never recorded the field). Surfaced by [`Checkpoint::warnings`] so
+/// restart flows can log exactly what degraded instead of silently
+/// refitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointWarning {
+    /// No validator spec: the restart cannot rebuild the validator tree
+    /// declaratively and must be configured out of band.
+    MissingSpec,
+    /// No persisted-model path: the restart cannot reload the fitted model
+    /// from disk and will refit from scratch before serving.
+    MissingModelPath,
+}
+
+impl std::fmt::Display for CheckpointWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingSpec => write!(
+                f,
+                "checkpoint predates validator specs (no `spec`): the restart \
+                 cannot rebuild the validator tree from the checkpoint alone"
+            ),
+            Self::MissingModelPath => write!(
+                f,
+                "checkpoint predates persisted models (no `model_path`): the \
+                 restart will refit from scratch instead of loading the \
+                 fitted model from disk"
+            ),
+        }
+    }
 }
 
 impl Checkpoint {
@@ -51,6 +90,7 @@ impl Checkpoint {
             offsets,
             stats,
             spec: None,
+            model_path: None,
         }
     }
 
@@ -58,6 +98,27 @@ impl Checkpoint {
     pub fn with_spec(mut self, spec: ValidatorSpec) -> Self {
         self.spec = Some(spec);
         self
+    }
+
+    /// Record where the fitted model is persisted, so a restart reloads it
+    /// instead of refitting.
+    pub fn with_model_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.model_path = Some(path.into());
+        self
+    }
+
+    /// Structured warnings about restore capabilities this checkpoint lacks
+    /// — empty for a fully-populated current-layout checkpoint. Legacy files
+    /// (pre-spec, pre-model-path) load fine; this names what degraded.
+    pub fn warnings(&self) -> Vec<CheckpointWarning> {
+        let mut warnings = Vec::new();
+        if self.spec.is_none() {
+            warnings.push(CheckpointWarning::MissingSpec);
+        }
+        if self.model_path.is_none() {
+            warnings.push(CheckpointWarning::MissingModelPath);
+        }
+        warnings
     }
 
     /// The restored offset for one source (0 when the source is new).
@@ -201,6 +262,57 @@ mod tests {
         let legacy_text = serde_json::to_string(&legacy).unwrap();
         let restored = Checkpoint::from_json(&legacy_text).unwrap();
         assert_eq!(restored.spec, None);
+        assert_eq!(restored.offset_for("net"), 17);
+    }
+
+    #[test]
+    fn legacy_layouts_load_with_structured_warnings() {
+        use dquag_core::spec::ValidatorSpec;
+
+        // A fully-populated current-layout checkpoint: nothing degraded.
+        let full = sample()
+            .with_spec(ValidatorSpec::drift())
+            .with_model_path("/var/lib/dquag/model.json");
+        let back = Checkpoint::from_json(&full.to_json()).unwrap();
+        assert_eq!(
+            back.model_path.as_deref(),
+            Some(Path::new("/var/lib/dquag/model.json"))
+        );
+        assert!(back.warnings().is_empty());
+
+        // Spec-era fixture (specs existed, persisted models did not): the
+        // `model_path` key is absent from the file entirely.
+        let mut spec_era = serde_json::to_value(&full);
+        if let serde::Value::Object(map) = &mut spec_era {
+            assert!(map.remove("model_path").is_some());
+        }
+        let text = serde_json::to_string(&spec_era).unwrap();
+        let restored = Checkpoint::from_json(&text).unwrap();
+        assert_eq!(restored.model_path, None);
+        assert_eq!(
+            restored.warnings(),
+            vec![CheckpointWarning::MissingModelPath]
+        );
+        assert!(restored.warnings()[0]
+            .to_string()
+            .contains("refit from scratch"));
+
+        // Pre-spec fixture (the oldest layout): neither key exists. Offsets
+        // and stats still restore; both capabilities are reported missing.
+        let mut pre_spec = serde_json::to_value(&full);
+        if let serde::Value::Object(map) = &mut pre_spec {
+            assert!(map.remove("spec").is_some());
+            assert!(map.remove("model_path").is_some());
+        }
+        let text = serde_json::to_string(&pre_spec).unwrap();
+        let restored = Checkpoint::from_json(&text).unwrap();
+        assert_eq!(
+            restored.warnings(),
+            vec![
+                CheckpointWarning::MissingSpec,
+                CheckpointWarning::MissingModelPath
+            ]
+        );
         assert_eq!(restored.offset_for("net"), 17);
     }
 

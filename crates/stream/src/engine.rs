@@ -51,6 +51,13 @@ struct State {
     in_flight: usize,
     producers: usize,
     closed: bool,
+    /// Current model generation. A hot swap bumps it and spawns fresh
+    /// workers pinned to the new value; workers pinned to an older value
+    /// retire the next time they look for work. Because both the bump and
+    /// every queue pop happen under this mutex, and pops are FIFO, each
+    /// accepted batch is judged by exactly one generation and the
+    /// generation is monotone in submission order.
+    generation: u64,
     stats: StatsInner,
 }
 
@@ -196,6 +203,7 @@ impl StreamEngineBuilder {
                 in_flight: 0,
                 producers: 1,
                 closed: false,
+                generation: 0,
                 stats: self
                     .restored
                     .as_ref()
@@ -211,17 +219,19 @@ impl StreamEngineBuilder {
             replicas: config.replicas,
         });
 
-        let workers = validators
-            .into_iter()
-            .enumerate()
-            .map(|(index, validator)| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("dquag-stream-{index}"))
-                    .spawn(move || worker_loop(&shared, &*validator))
-                    .expect("spawning a stream worker thread succeeds")
-            })
-            .collect();
+        let workers = Arc::new(Mutex::new(
+            validators
+                .into_iter()
+                .enumerate()
+                .map(|(index, validator)| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("dquag-stream-{index}"))
+                        .spawn(move || worker_loop(&shared, &*validator, 0))
+                        .expect("spawning a stream worker thread succeeds")
+                })
+                .collect::<Vec<_>>(),
+        ));
 
         Ok((
             StreamEngine {
@@ -237,11 +247,23 @@ impl StreamEngineBuilder {
 }
 
 /// One worker: pop → validate → file the outcome for re-sequencing.
-fn worker_loop(shared: &Shared, validator: &dyn Validator) {
+///
+/// `generation` pins the worker to the model it was spawned with: a hot swap
+/// bumps the engine generation, and a worker that finds itself outdated
+/// retires *before* taking another job — its in-flight batch (if any) still
+/// finishes under the old model, so every batch is judged by exactly one
+/// generation and nothing is dropped mid-swap.
+fn worker_loop(shared: &Shared, validator: &dyn Validator, generation: u64) {
     loop {
         let job = {
             let mut st = shared.lock();
             loop {
+                // The generation check comes before the pop: once a swap has
+                // happened under this same mutex, an old-generation worker
+                // can never take another batch.
+                if st.generation != generation {
+                    break None;
+                }
                 if let Some(job) = st.queue.pop_front() {
                     // No not_full notify: a pop moves the batch from queued
                     // to in-flight, leaving the outstanding total unchanged.
@@ -326,7 +348,92 @@ fn worker_loop(shared: &Shared, validator: &dyn Validator) {
 /// [`shutdown`]: StreamEngine::shutdown
 pub struct StreamEngine {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// Replace the engine's validator with a freshly fitted one, without
+/// stopping the stream. Shared by [`StreamEngine::swap_validator`] and
+/// [`SwapHandle::swap_validator`].
+///
+/// New replicas spin up pinned to the next generation; the old generation's
+/// workers retire as they drain (each finishes its in-flight batch under the
+/// old model first). Submission sequencing and re-sequenced emission are
+/// untouched, so no batch is lost or reordered, and because queue pops are
+/// FIFO under the same mutex as the generation bump, the judging generation
+/// is monotone in submission order.
+fn swap_validator_impl(
+    shared: &Arc<Shared>,
+    workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    validator: Box<dyn Validator>,
+) -> Result<u64, EngineClosed> {
+    // Build the replica set before touching any lock: replication is pure.
+    let primary: Arc<dyn Validator> = Arc::from(validator);
+    let mut validators: Vec<Arc<dyn Validator>> = vec![Arc::clone(&primary)];
+    for _ in 1..shared.replicas {
+        validators.push(match primary.replicate() {
+            Some(replica) => Arc::from(replica),
+            None => Arc::clone(&primary),
+        });
+    }
+
+    let generation = {
+        let mut st = shared.lock();
+        if st.closed {
+            return Err(EngineClosed);
+        }
+        st.generation += 1;
+        st.generation
+    };
+    // Wake retiring workers parked on the empty-queue condvar so they
+    // notice the new generation and exit.
+    shared.not_empty.notify_all();
+
+    let mut handles = workers.lock().expect("worker list mutex poisoned");
+    for (index, validator) in validators.into_iter().enumerate() {
+        let shared = Arc::clone(shared);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("dquag-stream-g{generation}-{index}"))
+                .spawn(move || worker_loop(&shared, &*validator, generation))
+                .expect("spawning a stream worker thread succeeds"),
+        );
+    }
+    Ok(generation)
+}
+
+/// A cloneable handle for hot-swapping the engine's validator from another
+/// thread (typically a background refit supervisor), plus generation and
+/// stats introspection. Obtained from [`StreamEngine::swap_handle`].
+pub struct SwapHandle {
+    shared: Arc<Shared>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl SwapHandle {
+    /// Hot-swap a freshly fitted validator into the running engine. See
+    /// [`StreamEngine::swap_validator`].
+    pub fn swap_validator(&self, validator: Box<dyn Validator>) -> Result<u64, EngineClosed> {
+        swap_validator_impl(&self.shared, &self.workers, validator)
+    }
+
+    /// The current model generation (0 until the first swap).
+    pub fn generation(&self) -> u64 {
+        self.shared.lock().generation
+    }
+
+    /// Snapshot the live statistics.
+    pub fn stats(&self) -> StreamStats {
+        self.shared.snapshot()
+    }
+}
+
+impl Clone for SwapHandle {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+            workers: Arc::clone(&self.workers),
+        }
+    }
 }
 
 impl StreamEngine {
@@ -350,30 +457,76 @@ impl StreamEngine {
         self.shared.snapshot()
     }
 
-    /// Number of validator replicas (worker threads).
+    /// Number of validator replicas (worker threads) per generation.
     pub fn replicas(&self) -> usize {
         self.shared.replicas
+    }
+
+    /// The current model generation (0 until the first swap).
+    pub fn generation(&self) -> u64 {
+        self.shared.lock().generation
+    }
+
+    /// Hot-swap a freshly fitted validator into the running engine with
+    /// zero downtime: a new set of replicas spins up on the next model
+    /// generation while the old generation's workers retire as they drain
+    /// (each finishes its current in-flight batch under the old model).
+    ///
+    /// Guarantees, pinned by the swap-mid-stream invariance test:
+    /// * no accepted batch is lost or reordered — submission sequencing and
+    ///   re-sequenced emission are untouched by the swap;
+    /// * every batch is judged by exactly one model generation, and the
+    ///   generation is monotone in submission order (queue pops are FIFO
+    ///   under the same mutex that bumps the generation).
+    ///
+    /// Returns the new generation number, or [`EngineClosed`] once shutdown
+    /// has begun (the draining batches keep their current model).
+    pub fn swap_validator(&self, validator: Box<dyn Validator>) -> Result<u64, EngineClosed> {
+        swap_validator_impl(&self.shared, &self.workers, validator)
+    }
+
+    /// A cloneable [`SwapHandle`] for swapping from other threads (e.g. a
+    /// background refit supervisor).
+    pub fn swap_handle(&self) -> SwapHandle {
+        SwapHandle {
+            shared: Arc::clone(&self.shared),
+            workers: Arc::clone(&self.workers),
+        }
     }
 
     /// Gracefully shut down: close ingestion, let the workers drain every
     /// queued and in-flight batch, join them, and return the final
     /// statistics. Already-produced outcomes stay available on the
     /// [`VerdictStream`] — no accepted batch is lost.
-    pub fn shutdown(mut self) -> StreamStats {
+    pub fn shutdown(self) -> StreamStats {
         self.shared.close();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        Self::join_workers(&self.workers);
         self.stats()
+    }
+
+    /// Join every worker thread spawned so far, across all generations.
+    /// Tolerates a swap racing shutdown: handles pushed while joining are
+    /// picked up by the next sweep of the loop.
+    fn join_workers(workers: &Arc<Mutex<Vec<JoinHandle<()>>>>) {
+        loop {
+            let drained: Vec<JoinHandle<()>> = {
+                let mut handles = workers.lock().expect("worker list mutex poisoned");
+                handles.drain(..).collect()
+            };
+            if drained.is_empty() {
+                return;
+            }
+            for worker in drained {
+                let _ = worker.join();
+            }
+        }
     }
 }
 
 impl Drop for StreamEngine {
     fn drop(&mut self) {
         self.shared.close();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        Self::join_workers(&self.workers);
     }
 }
 

@@ -24,6 +24,12 @@
 //! * **Per-batch deadlines** — a batch that exceeds its validation budget is
 //!   reported as [`StreamOutcome::DeadlineExceeded`] the moment the budget
 //!   lapses; a straggling batch never stalls the verdicts behind it.
+//! * **Zero-downtime hot swap** — [`StreamEngine::swap_validator`] (or a
+//!   cloneable [`SwapHandle`] from another thread) replaces the fitted model
+//!   under live traffic: fresh replicas spin up on the next model
+//!   generation, old workers retire as they drain, and the re-sequenced
+//!   stream loses and reorders nothing — every batch is judged by exactly
+//!   one generation.
 //! * **Live statistics** — [`StreamStats`] (throughput, queue depth,
 //!   in-flight count, dirty rate, drops, p50/p99 latency) snapshotable from
 //!   any handle while the engine runs.
@@ -76,6 +82,6 @@ mod engine;
 mod outcome;
 mod stats;
 
-pub use engine::{IngestHandle, StreamEngine, StreamEngineBuilder, VerdictStream};
+pub use engine::{IngestHandle, StreamEngine, StreamEngineBuilder, SwapHandle, VerdictStream};
 pub use outcome::{EngineClosed, StreamItem, StreamOutcome, SubmitOutcome};
 pub use stats::StreamStats;

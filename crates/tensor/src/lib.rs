@@ -45,9 +45,11 @@ mod tape;
 
 pub mod init;
 pub mod optim;
+pub mod persist;
 
 pub use error::TensorError;
 pub use matrix::Matrix;
+pub use persist::{matrix_checksum, params_checksum};
 pub use simd::{kernel_mode, set_kernel_mode, KernelMode};
 pub use tape::{Tape, Var};
 

@@ -183,6 +183,12 @@ impl Validator for DquagBackend {
             }) as Box<dyn Validator>
         })
     }
+
+    fn persisted_state(&self) -> Option<crate::PersistedValidatorState> {
+        self.fitted
+            .as_ref()
+            .map(|fitted| crate::PersistedValidatorState::Dquag(Box::new(fitted.export_state())))
+    }
 }
 
 /// One of the four baseline systems (six configurations) behind the unified

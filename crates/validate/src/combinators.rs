@@ -176,6 +176,18 @@ impl Validator for EnsembleValidator {
             name: self.name.clone(),
         }))
     }
+
+    fn persisted_state(&self) -> Option<crate::PersistedValidatorState> {
+        // Persistable iff every member is; a part-persisted ensemble would
+        // silently change its verdicts after a reload.
+        let members: Option<Vec<_>> = self.members.iter().map(|m| m.persisted_state()).collect();
+        Some(crate::PersistedValidatorState::Ensemble(
+            crate::EnsembleState {
+                members: members?,
+                voting: self.voting.clone(),
+            },
+        ))
+    }
 }
 
 /// A cheap validator screening every batch, escalating suspicious ones to an
@@ -295,6 +307,14 @@ impl Validator for GatedValidator {
             expensive: self.expensive.replicate()?,
             escalate_when: self.escalate_when.clone(),
             name: self.name.clone(),
+        }))
+    }
+
+    fn persisted_state(&self) -> Option<crate::PersistedValidatorState> {
+        Some(crate::PersistedValidatorState::Gated(crate::GatedState {
+            cheap: Box::new(self.cheap.persisted_state()?),
+            expensive: Box::new(self.expensive.persisted_state()?),
+            escalate_when: self.escalate_when.clone(),
         }))
     }
 }

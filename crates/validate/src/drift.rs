@@ -21,9 +21,13 @@
 //! dirty and the score stays comparable across threshold settings). The
 //! violation messages grade the verdict with per-column KS/PSI values.
 
+use crate::persist_state::{
+    CategoricalProfileState, CategoryProportion, DriftColumnState, DriftState, NumericProfileState,
+    PersistedValidatorState,
+};
 use crate::verdict::Capabilities;
 use crate::{FitReport, Result, ValidateError, Validator, Verdict};
-use dquag_core::spec::{DriftSpec, DriftTest};
+use dquag_core::spec::{DriftSpec, DriftTest, ValidatorSpec};
 use dquag_tabular::{DataFrame, DataType};
 use std::collections::BTreeMap;
 
@@ -34,6 +38,10 @@ const PSI_EPSILON: f64 = 1e-4;
 /// How many drifted columns are spelled out as violation messages before the
 /// rest are summarised in one line.
 const MAX_COLUMN_VIOLATIONS: usize = 8;
+
+/// How many unseen categories are named inside one column's violation
+/// message before the rest are counted.
+const MAX_UNSEEN_CATEGORIES: usize = 4;
 
 /// The fitted reference profile of one column.
 #[derive(Debug, Clone)]
@@ -64,6 +72,12 @@ pub struct ColumnDrift {
     pub psi: Option<f64>,
     /// Largest statistic-to-threshold ratio among the enabled tests.
     pub ratio: f64,
+    /// Batch categories that were absent from the reference at fit time
+    /// (categorical columns only; always empty for numeric columns). These
+    /// contribute to PSI through the epsilon floor, and the violation
+    /// message names them so the operator sees *which* new category
+    /// appeared, not just a statistic.
+    pub unseen: Vec<String>,
 }
 
 impl ColumnDrift {
@@ -128,6 +142,7 @@ impl DriftValidator {
                     "batch is missing the reference column `{name}`"
                 ))
             })?;
+            let mut unseen = Vec::new();
             let (ks, psi) = match profile {
                 ColumnProfile::Numeric {
                     sorted,
@@ -160,10 +175,14 @@ impl DriftValidator {
                             "reference column `{name}` is categorical but the batch column is not"
                         ))
                     })?;
-                    let psi = (psi_enabled && !values.is_empty()).then(|| {
-                        let batch_props = categorical_proportions(values);
-                        categorical_psi(proportions, &batch_props)
-                    });
+                    let batch_props = categorical_proportions(values);
+                    unseen = batch_props
+                        .keys()
+                        .filter(|category| !proportions.contains_key(*category))
+                        .filter_map(|category| category.clone())
+                        .collect();
+                    let psi = (psi_enabled && !values.is_empty())
+                        .then(|| categorical_psi(proportions, &batch_props));
                     // KS needs an ordering; it does not apply to categories.
                     (None, psi)
                 }
@@ -180,10 +199,123 @@ impl DriftValidator {
                 ks,
                 psi,
                 ratio,
+                unseen,
             });
         }
         Ok(drifts)
     }
+
+    /// Export the fitted reference profile as serialisable state, or `None`
+    /// when the detector has not been fitted yet.
+    pub fn export_state(&self) -> Option<DriftState> {
+        let profiles = self.profiles.as_ref()?;
+        let profiles = profiles
+            .iter()
+            .map(|(column, profile)| match profile {
+                ColumnProfile::Numeric {
+                    sorted,
+                    edges,
+                    proportions,
+                } => DriftColumnState {
+                    column: column.clone(),
+                    numeric: Some(NumericProfileState {
+                        sorted: sorted.clone(),
+                        edges: edges.clone(),
+                        proportions: proportions.clone(),
+                    }),
+                    categorical: None,
+                },
+                ColumnProfile::Categorical { proportions } => DriftColumnState {
+                    column: column.clone(),
+                    numeric: None,
+                    categorical: Some(CategoricalProfileState {
+                        categories: proportions
+                            .iter()
+                            .map(|(category, &proportion)| CategoryProportion {
+                                category: category.clone(),
+                                proportion,
+                            })
+                            .collect(),
+                    }),
+                },
+            })
+            .collect();
+        Some(DriftState {
+            spec: self.spec.clone(),
+            profiles,
+        })
+    }
+
+    /// Rebuild a fitted detector from persisted state.
+    ///
+    /// Fails closed: an invalid spec, a profile carrying neither (or both) of
+    /// its distributions, mis-sized numeric buckets, an unsorted CDF sample,
+    /// or non-finite proportions are all rejected rather than loaded into a
+    /// detector that would mis-score.
+    pub fn from_state(state: DriftState) -> Result<Self> {
+        ValidatorSpec::Drift(state.spec.clone()).validated()?;
+        let mut profiles = Vec::with_capacity(state.profiles.len());
+        for column_state in state.profiles {
+            column_state.validated()?;
+            let corrupt = |what: &str| {
+                ValidateError::InvalidConfig(format!(
+                    "persisted drift profile for column `{}` {what}",
+                    column_state.column
+                ))
+            };
+            let profile = if let Some(numeric) = &column_state.numeric {
+                if numeric.proportions.len() != numeric.edges.len() + 2 {
+                    return Err(corrupt(&format!(
+                        "has {} bucket proportions for {} edges (expected {})",
+                        numeric.proportions.len(),
+                        numeric.edges.len(),
+                        numeric.edges.len() + 2
+                    )));
+                }
+                if numeric.sorted.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(corrupt("has an unsorted reference sample"));
+                }
+                if numeric.edges.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(corrupt("has non-increasing bin edges"));
+                }
+                if !proportions_are_sane(&numeric.proportions) {
+                    return Err(corrupt("has non-finite or negative bucket proportions"));
+                }
+                ColumnProfile::Numeric {
+                    sorted: numeric.sorted.clone(),
+                    edges: numeric.edges.clone(),
+                    proportions: numeric.proportions.clone(),
+                }
+            } else {
+                let categorical = column_state
+                    .categorical
+                    .as_ref()
+                    .expect("validated: exactly one profile side is set");
+                let mut proportions = BTreeMap::new();
+                for record in &categorical.categories {
+                    if !record.proportion.is_finite() || record.proportion < 0.0 {
+                        return Err(corrupt("has non-finite or negative category proportions"));
+                    }
+                    if proportions
+                        .insert(record.category.clone(), record.proportion)
+                        .is_some()
+                    {
+                        return Err(corrupt("lists a category twice"));
+                    }
+                }
+                ColumnProfile::Categorical { proportions }
+            };
+            profiles.push((column_state.column, profile));
+        }
+        let mut detector = DriftValidator::new(state.spec);
+        detector.profiles = Some(profiles);
+        Ok(detector)
+    }
+}
+
+/// Every proportion finite and non-negative.
+fn proportions_are_sane(proportions: &[f64]) -> bool {
+    proportions.iter().all(|p| p.is_finite() && *p >= 0.0)
 }
 
 impl Validator for DriftValidator {
@@ -284,6 +416,30 @@ impl Validator for DriftValidator {
                 if let Some(psi) = drift.psi {
                     parts.push(format!("PSI {psi:.3} (limit {})", self.spec.psi_threshold));
                 }
+                if !drift.unseen.is_empty() {
+                    let named: Vec<String> = drift
+                        .unseen
+                        .iter()
+                        .take(MAX_UNSEEN_CATEGORIES)
+                        .map(|c| format!("`{c}`"))
+                        .collect();
+                    let overflow = drift.unseen.len().saturating_sub(MAX_UNSEEN_CATEGORIES);
+                    let suffix = if overflow > 0 {
+                        format!(" and {overflow} more")
+                    } else {
+                        String::new()
+                    };
+                    parts.push(format!(
+                        "{} unseen at fit time: {}{}",
+                        if drift.unseen.len() == 1 {
+                            "category"
+                        } else {
+                            "categories"
+                        },
+                        named.join(", "),
+                        suffix
+                    ));
+                }
                 violations.push(format!("column `{}`: {}", drift.column, parts.join(", ")));
             }
             if drifted.len() > MAX_COLUMN_VIOLATIONS {
@@ -308,6 +464,10 @@ impl Validator for DriftValidator {
         self.profiles
             .is_some()
             .then(|| Box::new(self.clone()) as Box<dyn Validator>)
+    }
+
+    fn persisted_state(&self) -> Option<PersistedValidatorState> {
+        self.export_state().map(PersistedValidatorState::Drift)
     }
 }
 
@@ -506,6 +666,147 @@ mod tests {
                 .unwrap();
         }
         assert!(both.validate(&novel).unwrap().is_dirty);
+    }
+
+    #[test]
+    fn unseen_category_is_named_in_the_violation_message() {
+        use dquag_core::spec::DriftSpec;
+        use dquag_tabular::{DataFrame, Field, Schema, Value};
+
+        let schema = Schema::new(vec![Field::categorical("city", "")]);
+        let mut reference = DataFrame::new(schema.clone());
+        for city in ["rome", "oslo", "lima", "rome", "oslo", "lima"] {
+            reference
+                .push_row(vec![Value::Text(city.to_string())])
+                .unwrap();
+        }
+        let mut detector = DriftValidator::new(DriftSpec::default());
+        detector.fit(&reference).unwrap();
+
+        // A batch dominated by a category that did not exist at fit time.
+        let mut batch = DataFrame::new(schema);
+        for city in ["atlantis", "atlantis", "atlantis", "rome"] {
+            batch.push_row(vec![Value::Text(city.to_string())]).unwrap();
+        }
+
+        let drifts = detector.column_drift(&batch).unwrap();
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].unseen, vec!["atlantis".to_string()]);
+
+        let verdict = detector.validate(&batch).unwrap();
+        assert!(verdict.is_dirty);
+        let named = verdict.violations.iter().any(|v| {
+            v.contains("column `city`")
+                && v.contains("unseen at fit time")
+                && v.contains("`atlantis`")
+        });
+        assert!(
+            named,
+            "violations must name the unseen category, got {:?}",
+            verdict.violations
+        );
+
+        // A batch of only known categories reports nothing unseen.
+        let mut known = DataFrame::new(reference.schema().clone());
+        for city in ["rome", "oslo"] {
+            known.push_row(vec![Value::Text(city.to_string())]).unwrap();
+        }
+        assert!(detector.column_drift(&known).unwrap()[0].unseen.is_empty());
+    }
+
+    #[test]
+    fn fitted_detector_round_trips_through_persisted_state() {
+        use dquag_core::spec::DriftSpec;
+        use dquag_tabular::{DataFrame, Field, Schema, Value};
+        use serde::Serialize;
+
+        let schema = Schema::new(vec![
+            Field::numeric("amount", ""),
+            Field::categorical("city", ""),
+        ]);
+        let mut reference = DataFrame::new(schema.clone());
+        for i in 0..40 {
+            reference
+                .push_row(vec![
+                    Value::Number(i as f64 / 3.0),
+                    Value::Text(if i % 2 == 0 { "rome" } else { "oslo" }.to_string()),
+                ])
+                .unwrap();
+        }
+        let mut detector = DriftValidator::new(DriftSpec::default());
+        detector.fit(&reference).unwrap();
+
+        let state = detector.export_state().expect("fitted detectors export");
+        let json = serde_json::to_string(&state.to_value()).unwrap();
+        let parsed: DriftState = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, state);
+        let reloaded = DriftValidator::from_state(parsed).unwrap();
+
+        // Verdicts are identical on a drifted batch, missing values and all.
+        let mut batch = DataFrame::new(schema);
+        for i in 0..12 {
+            batch
+                .push_row(vec![
+                    Value::Number(100.0 + i as f64),
+                    Value::Text("atlantis".to_string()),
+                ])
+                .unwrap();
+        }
+        batch.push_row(vec![Value::Null, Value::Null]).unwrap();
+        let before = detector.validate(&batch).unwrap();
+        let after = reloaded.validate(&batch).unwrap();
+        assert_eq!(before, after);
+        assert!(after.is_dirty);
+
+        // An unfitted detector has nothing to export.
+        assert!(DriftValidator::new(DriftSpec::default())
+            .export_state()
+            .is_none());
+    }
+
+    #[test]
+    fn tampered_drift_state_fails_closed() {
+        use dquag_core::spec::DriftSpec;
+        use dquag_tabular::{DataFrame, Field, Schema, Value};
+
+        let schema = Schema::new(vec![Field::numeric("amount", "")]);
+        let mut reference = DataFrame::new(schema);
+        for i in 0..30 {
+            reference.push_row(vec![Value::Number(i as f64)]).unwrap();
+        }
+        let mut detector = DriftValidator::new(DriftSpec::default());
+        detector.fit(&reference).unwrap();
+        let state = detector.export_state().unwrap();
+
+        // Dropping a bucket proportion breaks the edges/buckets contract.
+        let mut short = state.clone();
+        short.profiles[0]
+            .numeric
+            .as_mut()
+            .unwrap()
+            .proportions
+            .pop();
+        assert!(DriftValidator::from_state(short).is_err());
+
+        // A profile with no distribution at all.
+        let mut hollow = state.clone();
+        hollow.profiles[0].numeric = None;
+        assert!(DriftValidator::from_state(hollow).is_err());
+
+        // A NaN proportion would poison every future PSI.
+        let mut poisoned = state.clone();
+        poisoned.profiles[0].numeric.as_mut().unwrap().proportions[0] = f64::NAN;
+        assert!(DriftValidator::from_state(poisoned).is_err());
+
+        // An unsorted CDF sample would corrupt every future KS statistic.
+        let mut shuffled = state;
+        shuffled.profiles[0]
+            .numeric
+            .as_mut()
+            .unwrap()
+            .sorted
+            .reverse();
+        assert!(DriftValidator::from_state(shuffled).is_err());
     }
 
     #[test]

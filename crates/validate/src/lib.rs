@@ -58,6 +58,7 @@
 mod backends;
 mod combinators;
 mod drift;
+mod persist_state;
 mod registry;
 mod session;
 pub mod spec;
@@ -67,6 +68,10 @@ mod verdict;
 pub use backends::{BaselineBackend, DquagBackend};
 pub use combinators::{EnsembleValidator, GatedValidator};
 pub use drift::{ColumnDrift, DriftValidator};
+pub use persist_state::{
+    rebuild_validator, CategoricalProfileState, CategoryProportion, DriftColumnState, DriftState,
+    EnsembleState, GatedState, NumericProfileState, PersistedValidatorState,
+};
 pub use registry::{
     build_spec, build_validator, default_registry, BackendBuilder, ValidatorKind, ValidatorRegistry,
 };

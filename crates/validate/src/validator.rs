@@ -87,6 +87,19 @@ pub trait Validator: Send + Sync {
     fn replicate(&self) -> Option<Box<dyn Validator>> {
         None
     }
+
+    /// Export this validator's complete fitted state for persistence, or
+    /// `None` when the backend does not support it (the default) or has not
+    /// been fitted yet.
+    ///
+    /// This is the *Persistable* capability: a returned state, fed through
+    /// [`crate::rebuild_validator`], yields a scoring-ready validator whose
+    /// verdicts are identical to this one's — across process restarts, with
+    /// no refit. Composites (ensemble, gated) are persistable exactly when
+    /// every member is.
+    fn persisted_state(&self) -> Option<crate::PersistedValidatorState> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,10 @@
 //! * [`sources`] — source adapters feeding the engine from the outside
 //!   world: a TCP/HTTP listener, a directory watcher replaying CSV drops,
 //!   and durable checkpoint/restore across restarts.
+//! * [`persist`] — persisted fitted models: versioned checksummed model
+//!   files, the `persisted-dquag` restore-from-disk backend, and the
+//!   drift-triggered background-refit supervisor that hot-swaps new models
+//!   into a live stream.
 //! * [`core`] — the DQuaG pipeline: training, validation, repair.
 //! * [`gnn`] — GAT/GIN/GCN layers, encoder stacks, dual decoders.
 //! * [`graph`] — feature-graph construction and relationship inference.
@@ -56,6 +60,7 @@ pub use dquag_core as core;
 pub use dquag_datagen as datagen;
 pub use dquag_gnn as gnn;
 pub use dquag_graph as graph;
+pub use dquag_persist as persist;
 pub use dquag_sources as sources;
 pub use dquag_stream as stream;
 pub use dquag_tabular as tabular;

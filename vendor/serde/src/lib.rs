@@ -387,6 +387,20 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
     }
 }
 
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> Value {
+        // Lossy is acceptable: checkpoint/model paths in this workspace are
+        // produced from UTF-8 strings in the first place.
+        Value::String(self.to_string_lossy().into_owned())
+    }
+}
+
+impl Deserialize for std::path::PathBuf {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        String::from_value(v).map(std::path::PathBuf::from)
+    }
+}
+
 impl Serialize for std::time::Duration {
     fn to_value(&self) -> Value {
         // The same `{secs, nanos}` object shape upstream serde uses, so

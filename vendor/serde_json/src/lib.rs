@@ -136,9 +136,17 @@ fn write_number(n: f64, out: &mut String) {
     if !n.is_finite() {
         // JSON has no NaN/Infinity; serde_json writes null for them.
         out.push_str("null");
+    } else if n == 0.0 && n.is_sign_negative() {
+        // The integer fast path below would cast to i64 and print `0`,
+        // losing the sign bit. Persisted tensor parameters require exact
+        // bit-level round-trips, so spell the negative zero out.
+        out.push_str("-0.0");
     } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
         out.push_str(&format!("{}", n as i64));
     } else {
+        // Rust's `{}` for f64 is the shortest representation that parses
+        // back to the same bits, and `str::parse::<f64>` is correctly
+        // rounded — together they guarantee an exact round-trip.
         out.push_str(&format!("{n}"));
     }
 }
@@ -451,5 +459,68 @@ mod tests {
     fn integers_print_without_fraction() {
         assert_eq!(to_string(&3.0f64).unwrap(), "3");
         assert_eq!(to_string(&3.5f64).unwrap(), "3.5");
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign() {
+        let json = to_string(&-0.0f64).unwrap();
+        let back: f64 = from_str(&json).unwrap();
+        assert_eq!(back.to_bits(), (-0.0f64).to_bits(), "wire form {json:?}");
+        // Positive zero still takes the compact integer form.
+        assert_eq!(to_string(&0.0f64).unwrap(), "0");
+    }
+
+    /// Every finite f64 must survive serialise → parse bit-exactly: the
+    /// persisted-model format stores tensor parameters through this codec.
+    /// Non-finite values are JSON-unrepresentable and become `null` by
+    /// design, so the test skips them.
+    #[test]
+    fn random_finite_f64_round_trip_is_bit_exact() {
+        // splitmix64: tiny, seeded, and good enough to sweep the full bit
+        // space (exponent extremes, subnormals, negative zero) without a
+        // rand dependency.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let mut checked = 0usize;
+        for _ in 0..20_000 {
+            let n = f64::from_bits(next());
+            if !n.is_finite() {
+                continue;
+            }
+            let json = to_string(&n).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(
+                back.to_bits(),
+                n.to_bits(),
+                "{n:?} did not round-trip through {json:?}"
+            );
+            checked += 1;
+        }
+        // Uniform u64 bit patterns are finite ~99.95% of the time; make
+        // sure the skip branch did not swallow the whole sweep.
+        assert!(checked > 15_000, "only {checked} finite samples checked");
+        // Deterministic edge cases the sweep may miss.
+        for n in [
+            f64::MIN,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            5e-324,  // smallest subnormal
+            -5e-324, // and its negation
+            -0.0,
+            0.0,
+            9.0e15, // just past the integer fast-path bound
+            -9.0e15,
+            9007199254740993.0, // 2^53 + 1 rounds; still must round-trip
+        ] {
+            let back: f64 = from_str(&to_string(&n).unwrap()).unwrap();
+            assert_eq!(back.to_bits(), n.to_bits(), "{n:?}");
+        }
     }
 }
