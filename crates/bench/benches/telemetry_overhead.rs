@@ -1,0 +1,176 @@
+//! Observability overhead: end-to-end streaming rows/s with the full
+//! telemetry bundle attached (engine counters + gauges + latency histogram,
+//! queue-wait/emit stage spans, validator graph-build/forward/verdict spans,
+//! GNN forward-pass counters, flight recorder) versus the same pipeline with
+//! telemetry off.
+//!
+//! The instrumented hot path is one `Option` check plus a handful of relaxed
+//! atomics per batch, so the measured overhead must stay under 3%. Besides
+//! the criterion timings, rows/s for both variants go to
+//! `BENCH_observability.json` in the workspace root; the <3% acceptance gate
+//! is asserted in full runs (skipped under `DQUAG_BENCH_FAST=1`, whose
+//! sample counts are too small to be stable).
+//!
+//! On/off rounds are interleaved and summarised by the median of per-round
+//! ratios, so scheduler noise on small shared runners hits both variants
+//! equally instead of biasing whichever ran during a slow window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dquag_core::{DquagConfig, DquagValidator};
+use dquag_datagen::datasets::nytaxi;
+use dquag_gnn::ModelConfig;
+use dquag_stream::StreamEngine;
+use dquag_tabular::DataFrame;
+use dquag_telemetry::{Telemetry, TelemetryOptions};
+use dquag_validate::DquagBackend;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn quick_config() -> DquagConfig {
+    DquagConfig {
+        epochs: 6,
+        batch_size: 64,
+        model: ModelConfig {
+            hidden_dim: 24,
+            n_layers: 4,
+            ..ModelConfig::default()
+        },
+        ..DquagConfig::default()
+    }
+}
+
+fn quiet_bundle() -> Arc<Telemetry> {
+    Telemetry::with_options(TelemetryOptions {
+        flight_recorder_capacity: 256,
+        dump_on_error: false,
+    })
+}
+
+/// Stream every batch through a fresh engine; `telemetry` instruments both
+/// the engine and the validator when set. Returns the emitted-batch count.
+fn run_pipeline(
+    trained: &DquagValidator,
+    batches: &[DataFrame],
+    telemetry: Option<&Arc<Telemetry>>,
+) -> usize {
+    let mut backend = DquagBackend::from_trained(trained.clone());
+    if let Some(bundle) = telemetry {
+        backend = backend.with_telemetry(Arc::clone(bundle));
+    }
+    let mut builder = StreamEngine::builder().queue_capacity(batches.len());
+    if let Some(bundle) = telemetry {
+        builder = builder.telemetry(Arc::clone(bundle));
+    }
+    let (engine, ingest, verdicts) = builder.start(Box::new(backend)).expect("engine starts");
+    for batch in batches {
+        ingest.submit(batch.clone()).expect("engine open");
+    }
+    drop(ingest);
+    let emitted = verdicts.count();
+    engine.shutdown();
+    emitted
+}
+
+/// Time one full pipeline run and return rows/s.
+fn one_pass(
+    trained: &DquagValidator,
+    batches: &[DataFrame],
+    total_rows: usize,
+    telemetry: Option<&Arc<Telemetry>>,
+) -> f64 {
+    let start = Instant::now();
+    let emitted = run_pipeline(trained, batches, telemetry);
+    assert_eq!(emitted, batches.len());
+    total_rows as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let fast = std::env::var_os("DQUAG_BENCH_FAST").is_some();
+    let (train_rows, batch_rows, n_batches, samples, rounds) = if fast {
+        (500, 60, 6, 2, 3)
+    } else {
+        (1_500, 250, 24, 10, 21)
+    };
+    let total_rows = n_batches * batch_rows;
+
+    let clean = nytaxi::generate_clean(train_rows, 10, 7);
+    let trained = DquagValidator::train(&clean, &[], &quick_config()).expect("training");
+    let batches: Vec<DataFrame> = (0..n_batches)
+        .map(|i| nytaxi::generate_clean(batch_rows, 10, 100 + i as u64))
+        .collect();
+    let bundle = quiet_bundle();
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(samples);
+    group.throughput(Throughput::Elements(total_rows as u64));
+    group.bench_with_input(
+        BenchmarkId::new("telemetry", "off"),
+        &batches,
+        |b, batches| {
+            b.iter(|| run_pipeline(&trained, batches, None));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("telemetry", "on"),
+        &batches,
+        |b, batches| {
+            b.iter(|| run_pipeline(&trained, batches, Some(&bundle)));
+        },
+    );
+    group.finish();
+
+    // Record the trajectory and gate the overhead on interleaved medians.
+    one_pass(&trained, &batches, total_rows, None); // warm-up
+    one_pass(&trained, &batches, total_rows, Some(&bundle));
+    let mut off_samples = Vec::with_capacity(rounds);
+    let mut on_samples = Vec::with_capacity(rounds);
+    let mut ratio_samples = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let off = one_pass(&trained, &batches, total_rows, None);
+        let on = one_pass(&trained, &batches, total_rows, Some(&bundle));
+        off_samples.push(off);
+        on_samples.push(on);
+        ratio_samples.push(on / off.max(1e-9));
+    }
+    let off = median(&mut off_samples);
+    let on = median(&mut on_samples);
+    let ratio = median(&mut ratio_samples);
+    let overhead_pct = 100.0 * (1.0 - ratio);
+    println!(
+        "telemetry_overhead: off {off:.0} rows/s, on {on:.0} rows/s \
+         ({overhead_pct:+.2}% overhead, {} series live)",
+        bundle.registry().series_count()
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"telemetry_overhead\",\n  \"fast_mode\": {fast},\n  \
+         \"batch_rows\": {batch_rows},\n  \"n_batches\": {n_batches},\n  \
+         \"off_rows_per_s\": {off:.1},\n  \"on_rows_per_s\": {on:.1},\n  \
+         \"throughput_ratio_on_vs_off\": {ratio:.4},\n  \
+         \"overhead_pct\": {overhead_pct:.2},\n  \"series_count\": {}\n}}\n",
+        bundle.registry().series_count()
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_observability.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    if !fast {
+        assert!(
+            ratio >= 0.97,
+            "telemetry-on throughput must stay within 3% of telemetry-off, \
+             got {overhead_pct:.2}% overhead"
+        );
+    }
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

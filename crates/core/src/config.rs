@@ -177,6 +177,68 @@ impl SourceConfig {
     }
 }
 
+/// Observability settings (`dquag-telemetry`): the metrics registry,
+/// per-stage span timing, the bounded flight recorder and the periodic
+/// structured-log emitter.
+///
+/// Lives in the core config for the same reason [`StreamConfig`] does: one
+/// `DquagConfig` describes a whole deployment, and whether that deployment
+/// exposes `/metrics` or journals refit outcomes is part of its contract.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TelemetryConfig {
+    /// Master switch. When off, no bundle is built and every instrumented
+    /// hot path degrades to a single `Option` check.
+    pub enabled: bool,
+    /// Ring-buffer capacity of the flight recorder (events retained).
+    pub flight_recorder_capacity: usize,
+    /// How often the structured-log emitter writes one JSON snapshot line.
+    /// `None` disables the periodic emitter (scrape-only deployments).
+    pub log_interval: Option<Duration>,
+    /// Render the flight recorder to stderr whenever an error-class event
+    /// (refit failure, quarantine, source error, deadline miss) is recorded.
+    pub dump_on_error: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            flight_recorder_capacity: 256,
+            log_interval: None,
+            dump_on_error: true,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Validate every field's range, returning the offending field on error.
+    pub fn validated(self) -> crate::Result<Self> {
+        if self.flight_recorder_capacity == 0 {
+            return Err(crate::CoreError::InvalidConfig(
+                "telemetry.flight_recorder_capacity must be at least 1".to_string(),
+            ));
+        }
+        if self.log_interval == Some(Duration::ZERO) {
+            return Err(crate::CoreError::InvalidConfig(
+                "telemetry.log_interval must be nonzero when set".to_string(),
+            ));
+        }
+        Ok(self)
+    }
+
+    /// Build the shared telemetry bundle this block describes, or `None`
+    /// when disabled. One bundle is meant to be shared across the engine,
+    /// sources, validators and the refit supervisor of one deployment.
+    pub fn build(&self) -> Option<std::sync::Arc<dquag_telemetry::Telemetry>> {
+        self.enabled.then(|| {
+            dquag_telemetry::Telemetry::with_options(dquag_telemetry::TelemetryOptions {
+                flight_recorder_capacity: self.flight_recorder_capacity,
+                dump_on_error: self.dump_on_error,
+            })
+        })
+    }
+}
+
 /// Configuration of the end-to-end DQuaG pipeline.
 ///
 /// Defaults reproduce the paper's experimental setting (§4.4): a four-layer
@@ -226,6 +288,9 @@ pub struct DquagConfig {
     /// Source-adapter settings (network listener, directory watcher,
     /// checkpointing) — consumed by `dquag-sources`.
     pub source: SourceConfig,
+    /// Observability settings (metrics registry, stage spans, flight
+    /// recorder, structured-log emitter) — consumed by `dquag-telemetry`.
+    pub telemetry: TelemetryConfig,
     /// The validator this deployment runs, as a declarative
     /// [`ValidatorSpec`] tree built by the `dquag-validate` registry. The
     /// default is the plain DQuaG backend; ensembles, drift detectors and
@@ -256,6 +321,7 @@ impl Default for DquagConfig {
             inference_batch_size: 256,
             stream: StreamConfig::default(),
             source: SourceConfig::default(),
+            telemetry: TelemetryConfig::default(),
             validator: crate::spec::ValidatorSpec::backend("dquag"),
             seed: 42,
             feature_graph_override: None,
@@ -356,6 +422,7 @@ impl DquagConfig {
         }
         self.stream.clone().validated()?;
         self.source.clone().validated()?;
+        self.telemetry.clone().validated()?;
         self.validator.validated()?;
         if self.model.hidden_dim == 0 || self.model.n_layers == 0 {
             return fail(format!(
@@ -559,6 +626,36 @@ impl DquagConfigBuilder {
         self
     }
 
+    /// Replace the whole observability configuration block.
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.config.telemetry = telemetry;
+        self
+    }
+
+    /// Master observability switch (on by default).
+    pub fn telemetry_enabled(mut self, enabled: bool) -> Self {
+        self.config.telemetry.enabled = enabled;
+        self
+    }
+
+    /// Ring-buffer capacity of the flight recorder.
+    pub fn flight_recorder_capacity(mut self, capacity: usize) -> Self {
+        self.config.telemetry.flight_recorder_capacity = capacity;
+        self
+    }
+
+    /// Enable the periodic structured-log emitter at this interval.
+    pub fn telemetry_log_interval(mut self, interval: Duration) -> Self {
+        self.config.telemetry.log_interval = Some(interval);
+        self
+    }
+
+    /// Render the flight recorder to stderr on error-class events.
+    pub fn telemetry_dump_on_error(mut self, dump: bool) -> Self {
+        self.config.telemetry.dump_on_error = dump;
+        self
+    }
+
     /// Random seed controlling initialisation and batch shuffling.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -724,6 +821,14 @@ mod tests {
                 DquagConfig::builder().checkpoint_interval(Duration::ZERO),
                 "checkpoint.interval",
             ),
+            (
+                DquagConfig::builder().flight_recorder_capacity(0),
+                "flight_recorder_capacity",
+            ),
+            (
+                DquagConfig::builder().telemetry_log_interval(Duration::ZERO),
+                "log_interval",
+            ),
             (DquagConfig::builder().hidden_dim(0), "hidden_dim"),
         ];
         for (builder, field) in cases {
@@ -805,6 +910,43 @@ mod tests {
             .build()
             .expect("source block in range");
         assert_eq!(block.source.bind_addr, "0.0.0.0:9000");
+    }
+
+    #[test]
+    fn telemetry_defaults_setters_and_build() {
+        let c = DquagConfig::default();
+        assert!(c.telemetry.enabled);
+        assert_eq!(c.telemetry.flight_recorder_capacity, 256);
+        assert_eq!(c.telemetry.log_interval, None);
+        assert!(c.telemetry.dump_on_error);
+
+        let c = DquagConfig::builder()
+            .flight_recorder_capacity(32)
+            .telemetry_log_interval(Duration::from_secs(10))
+            .telemetry_dump_on_error(false)
+            .build()
+            .expect("telemetry values in range");
+        assert_eq!(c.telemetry.flight_recorder_capacity, 32);
+        assert_eq!(c.telemetry.log_interval, Some(Duration::from_secs(10)));
+        assert!(!c.telemetry.dump_on_error);
+
+        // The block builds the live bundle it describes — or nothing at all.
+        let bundle = c.telemetry.build().expect("enabled block builds a bundle");
+        assert_eq!(bundle.recorder().capacity(), 32);
+        let off = DquagConfig::builder()
+            .telemetry_enabled(false)
+            .build()
+            .expect("disabled block in range");
+        assert!(off.telemetry.build().is_none());
+
+        let block = DquagConfig::builder()
+            .telemetry(TelemetryConfig {
+                enabled: false,
+                ..TelemetryConfig::default()
+            })
+            .build()
+            .expect("telemetry block in range");
+        assert!(!block.telemetry.enabled);
     }
 
     #[test]

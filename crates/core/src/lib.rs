@@ -53,7 +53,7 @@ pub mod spec;
 
 pub use config::{
     BackpressurePolicy, CheckpointConfig, DquagConfig, DquagConfigBuilder, SourceConfig,
-    StreamConfig,
+    StreamConfig, TelemetryConfig,
 };
 pub use error::CoreError;
 pub use pipeline::{CellFlag, DquagModelState, DquagValidator, TrainingSummary, ValidationReport};

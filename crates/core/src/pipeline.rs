@@ -8,6 +8,7 @@ use dquag_graph::FeatureGraph;
 use dquag_tabular::encode::DatasetEncoder;
 use dquag_tabular::stats::percentile_f32;
 use dquag_tabular::{DataFrame, Value};
+use dquag_telemetry::{Stage, Telemetry};
 use dquag_tensor::optim::Adam;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -115,6 +116,7 @@ pub struct DquagValidator {
     graph: FeatureGraph,
     threshold: f32,
     summary: TrainingSummary,
+    telemetry: Option<std::sync::Arc<Telemetry>>,
 }
 
 /// The complete serialisable state of a fitted [`DquagValidator`]: config,
@@ -256,6 +258,7 @@ impl DquagValidator {
             graph,
             threshold,
             summary,
+            telemetry: None,
         })
     }
 
@@ -326,6 +329,7 @@ impl DquagValidator {
             graph: state.graph,
             threshold: state.threshold,
             summary: state.summary,
+            telemetry: None,
         })
     }
 
@@ -355,6 +359,40 @@ impl DquagValidator {
     pub fn with_batched_inference(mut self, enabled: bool) -> Self {
         self.config.batched_inference = enabled;
         self
+    }
+
+    /// Attach a telemetry bundle: phase-2 calls time their graph-build,
+    /// forward and verdict-assembly stages and count GNN forward passes into
+    /// its registry. Without a bundle the hot path stays untouched.
+    pub fn with_telemetry(mut self, telemetry: std::sync::Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Record one finished stage span when a bundle is attached.
+    fn observe_stage(&self, stage: Stage, started: std::time::Instant) {
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.record_stage(stage, started.elapsed());
+        }
+    }
+
+    /// Fold one inference session's counters into the registry.
+    fn observe_session(&self, session: &dquag_gnn::InferenceSession) {
+        if let Some(telemetry) = &self.telemetry {
+            let registry = telemetry.registry();
+            registry
+                .counter(
+                    "dquag_gnn_forward_passes_total",
+                    "Matrix-level GNN forward passes (one per cache-sized tile).",
+                )
+                .add(session.forward_passes());
+            registry
+                .counter(
+                    "dquag_gnn_rows_scored_total",
+                    "Encoded rows scored through GNN inference sessions.",
+                )
+                .add(session.rows_scored());
+        }
     }
 
     /// Instance-level reconstruction errors for a dataframe (phase 2, step 1).
@@ -422,10 +460,12 @@ impl DquagValidator {
                 .write_feature_errors(&mut out[offset..offset + len]);
             offset += len;
         }
+        self.observe_session(&session);
     }
 
     /// Phase 2: validate a new dataset against the learned clean patterns.
     pub fn validate(&self, df: &DataFrame) -> Result<ValidationReport> {
+        let build_started = std::time::Instant::now();
         let encoded = self
             .encoder
             .transform(df)
@@ -433,8 +473,12 @@ impl DquagValidator {
         let rows: Vec<Vec<f32>> = (0..encoded.n_rows())
             .map(|r| encoded.row(r).to_vec())
             .collect();
+        self.observe_stage(Stage::GraphBuild, build_started);
         let stride = self.network.n_features().max(1);
+        let forward_started = std::time::Instant::now();
         let flat_feature_errors = self.feature_errors_for_rows(&rows);
+        self.observe_stage(Stage::Forward, forward_started);
+        let verdict_started = std::time::Instant::now();
         let instance_errors: Vec<f32> = flat_feature_errors
             .chunks(stride)
             .map(instance_error)
@@ -487,13 +531,15 @@ impl DquagValidator {
             }
         }
 
-        Ok(ValidationReport::new(
+        let report = ValidationReport::new(
             instance_errors,
             flagged_instances,
             cell_flags,
             dataset_is_dirty,
             self.threshold,
-        ))
+        );
+        self.observe_stage(Stage::Verdict, verdict_started);
+        Ok(report)
     }
 
     /// Phase 2, repair step: return a copy of `df` in which every flagged
@@ -879,6 +925,37 @@ mod tests {
             assert!(!report.is_flagged(row), "row {row} must not be found");
         }
         assert!((report.error_rate - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn telemetry_times_stages_and_counts_forward_passes() {
+        let (validator, clean) = trained_credit_validator();
+        let telemetry = Telemetry::new();
+        let observed = validator.with_telemetry(std::sync::Arc::clone(&telemetry));
+        let batch = clean.split_at(120).unwrap().0;
+        observed.validate(&batch).unwrap();
+
+        for stage in [Stage::GraphBuild, Stage::Forward, Stage::Verdict] {
+            assert_eq!(
+                telemetry.stage_histogram(stage).count(),
+                1,
+                "one validate call must record exactly one {stage:?} span"
+            );
+        }
+        let registry = telemetry.registry();
+        assert_eq!(
+            registry.counter("dquag_gnn_rows_scored_total", "").get(),
+            120
+        );
+        assert!(registry.counter("dquag_gnn_forward_passes_total", "").get() >= 1);
+
+        // A second call accumulates instead of resetting.
+        observed.validate(&batch).unwrap();
+        assert_eq!(telemetry.stage_histogram(Stage::Forward).count(), 2);
+        assert_eq!(
+            registry.counter("dquag_gnn_rows_scored_total", "").get(),
+            240
+        );
     }
 
     #[test]

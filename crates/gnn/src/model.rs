@@ -243,6 +243,8 @@ pub struct InferenceSession {
     params: BoundParams,
     graph: BoundGraph,
     base_len: usize,
+    forward_passes: std::cell::Cell<u64>,
+    rows_scored: std::cell::Cell<u64>,
 }
 
 impl InferenceSession {
@@ -255,6 +257,17 @@ impl InferenceSession {
     /// Node count right after binding — the truncation baseline.
     pub fn base_len(&self) -> usize {
         self.base_len
+    }
+
+    /// Matrix-level forward passes (one per cache-sized tile) executed on
+    /// this session since it was opened.
+    pub fn forward_passes(&self) -> u64 {
+        self.forward_passes.get()
+    }
+
+    /// Encoded rows scored through this session since it was opened.
+    pub fn rows_scored(&self) -> u64 {
+        self.rows_scored.get()
     }
 }
 
@@ -469,6 +482,8 @@ impl DquagNetwork {
             params,
             graph,
             base_len,
+            forward_passes: std::cell::Cell::new(0),
+            rows_scored: std::cell::Cell::new(0),
         }
     }
 
@@ -556,6 +571,10 @@ impl DquagNetwork {
                     .extend_from_slice(self.decoder.repair(&session.params, &z).value().as_slice());
             }
             session.tape.truncate(session.base_len);
+            session.forward_passes.set(session.forward_passes.get() + 1);
+            session
+                .rows_scored
+                .set(session.rows_scored.get() + chunk.len() as u64);
         }
         BatchScores {
             n_features: self.n_features,

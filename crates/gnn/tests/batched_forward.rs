@@ -279,3 +279,27 @@ fn refitting_and_rescoring_do_not_leak_tape_nodes() {
         );
     }
 }
+
+#[test]
+fn session_counters_track_tiles_and_rows() {
+    let mut rng = StdRng::seed_from_u64(0xC0C0);
+    let graph = random_graph(&mut rng);
+    let net = DquagNetwork::new(&graph, ModelConfig::small());
+    let rows = random_rows(&mut rng, 23, net.n_features());
+
+    let session = net.inference_session();
+    assert_eq!(session.forward_passes(), 0);
+    assert_eq!(session.rows_scored(), 0);
+
+    net.score_errors(&session, &rows);
+    assert!(session.forward_passes() >= 1);
+    assert_eq!(session.rows_scored(), 23);
+
+    // Counters are cumulative across calls and ignore the empty batch.
+    net.score_errors(&session, &rows[..5]);
+    let after_two = session.forward_passes();
+    assert_eq!(session.rows_scored(), 28);
+    net.score_errors(&session, &rows[..0]);
+    assert_eq!(session.forward_passes(), after_two);
+    assert_eq!(session.rows_scored(), 28);
+}

@@ -34,7 +34,7 @@ mod supervisor;
 pub use error::PersistError;
 pub use registry::{register_persistence, registry_with_persistence, PERSISTED_DQUAG};
 pub use store::{
-    load_model, load_validator, recover_model, save_model, save_validator, RecoveredModel, Result,
-    MODEL_FORMAT, MODEL_FORMAT_VERSION,
+    load_model, load_validator, recover_model, recover_model_observed, save_model, save_validator,
+    RecoveredModel, Result, MODEL_FORMAT, MODEL_FORMAT_VERSION,
 };
 pub use supervisor::{RefitOutcome, RefitSupervisor, SupervisorConfig};

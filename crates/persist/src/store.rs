@@ -248,6 +248,39 @@ pub fn recover_model(path: &Path) -> RecoveredModel {
     }
 }
 
+/// As [`recover_model`], additionally recording what went wrong in a
+/// telemetry bundle: a quarantined file bumps
+/// `dquag_model_quarantines_total` and journals a
+/// [`dquag_telemetry::FlightEventKind::Quarantine`] event (error-class, so
+/// it triggers the flight-recorder dump when that is enabled); any other
+/// warning is journaled as a source error against the model path.
+pub fn recover_model_observed(
+    path: &Path,
+    telemetry: &dquag_telemetry::Telemetry,
+) -> RecoveredModel {
+    let recovered = recover_model(path);
+    if let Some(quarantined) = &recovered.quarantined {
+        telemetry
+            .registry()
+            .counter(
+                "dquag_model_quarantines_total",
+                "Corrupt model envelopes moved aside on load.",
+            )
+            .inc();
+        telemetry.event(dquag_telemetry::FlightEventKind::Quarantine {
+            path: quarantined.display().to_string(),
+        });
+    } else if recovered.state.is_none() {
+        for warning in &recovered.warnings {
+            telemetry.event(dquag_telemetry::FlightEventKind::SourceError {
+                source: format!("model:{}", path.display()),
+                message: warning.clone(),
+            });
+        }
+    }
+    recovered
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,6 +468,57 @@ mod tests {
         );
         assert!(bad.quarantined.is_some());
         assert!(!path.exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn observed_recovery_journals_quarantines() {
+        use dquag_telemetry::{FlightEventKind, Telemetry, TelemetryOptions};
+        let telemetry = Telemetry::with_options(TelemetryOptions {
+            flight_recorder_capacity: 16,
+            dump_on_error: false,
+        });
+        let dir = unique_dir("observed");
+        let path = dir.join("model.json");
+        let (clean, _) = frames();
+
+        // An intact file records nothing.
+        save_validator(&path, &fitted_drift(&clean)).unwrap();
+        let good = recover_model_observed(&path, &telemetry);
+        assert!(good.state.is_some());
+        assert!(telemetry.recorder().is_empty());
+
+        // A corrupt file bumps the counter and journals the quarantine path.
+        fs::write(&path, "not json at all").unwrap();
+        let bad = recover_model_observed(&path, &telemetry);
+        let quarantined = bad.quarantined.expect("garbage is quarantined");
+        assert_eq!(
+            telemetry
+                .registry()
+                .counter("dquag_model_quarantines_total", "")
+                .get(),
+            1
+        );
+        assert!(telemetry.recorder().dump().iter().any(|e| e.kind
+            == FlightEventKind::Quarantine {
+                path: quarantined.display().to_string(),
+            }));
+
+        // A merely missing file is a source error, not a quarantine.
+        let missing = recover_model_observed(&dir.join("absent.json"), &telemetry);
+        assert!(missing.state.is_none());
+        assert_eq!(
+            telemetry
+                .registry()
+                .counter("dquag_model_quarantines_total", "")
+                .get(),
+            1
+        );
+        assert!(telemetry
+            .recorder()
+            .dump()
+            .iter()
+            .any(|e| e.kind.label() == "source_error"));
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -14,9 +14,11 @@
 use crate::store::save_validator;
 use dquag_stream::SwapHandle;
 use dquag_tabular::DataFrame;
+use dquag_telemetry::{Counter, FlightEventKind, Telemetry};
 use dquag_validate::{Validator, Verdict};
 use std::collections::VecDeque;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Tuning knobs for a [`RefitSupervisor`].
@@ -90,6 +92,59 @@ pub struct RefitSupervisor {
     pending: Option<JoinHandle<RefitOutcome>>,
     outcomes: Vec<RefitOutcome>,
     refits_started: usize,
+    metrics: Option<RefitMetrics>,
+}
+
+/// Pre-resolved refit handles: the counters are looked up once when the
+/// bundle is attached, so the refit thread touches only atomics.
+#[derive(Clone)]
+struct RefitMetrics {
+    telemetry: Arc<Telemetry>,
+    swapped: Arc<Counter>,
+    failed: Arc<Counter>,
+}
+
+impl RefitMetrics {
+    fn new(telemetry: Arc<Telemetry>) -> Self {
+        let registry = telemetry.registry();
+        let help = "Background refit completions by outcome.";
+        let swapped = registry.counter_with(
+            "dquag_refit_outcomes_total",
+            help,
+            &[("outcome", "swapped")],
+        );
+        let failed =
+            registry.counter_with("dquag_refit_outcomes_total", help, &[("outcome", "failed")]);
+        Self {
+            telemetry,
+            swapped,
+            failed,
+        }
+    }
+
+    /// Count one finished refit and journal it in the flight recorder.
+    fn record(&self, outcome: &RefitOutcome) {
+        match outcome {
+            RefitOutcome::Swapped {
+                generation,
+                fit_rows,
+                ..
+            } => {
+                self.swapped.inc();
+                self.telemetry.event(FlightEventKind::RefitSwapped {
+                    generation: *generation,
+                    fit_rows: *fit_rows,
+                });
+            }
+            RefitOutcome::Failed { stage, reason } => {
+                self.failed.inc();
+                self.telemetry.event(FlightEventKind::RefitFailed {
+                    stage: stage.to_string(),
+                    reason: reason.clone(),
+                });
+            }
+        }
+    }
 }
 
 impl RefitSupervisor {
@@ -111,7 +166,18 @@ impl RefitSupervisor {
             pending: None,
             outcomes: Vec::new(),
             refits_started: 0,
+            metrics: None,
         }
+    }
+
+    /// Attach a telemetry bundle: every completed refit is counted in
+    /// `dquag_refit_outcomes_total{outcome=...}` and journaled in the flight
+    /// recorder ([`FlightEventKind::RefitSwapped`] /
+    /// [`FlightEventKind::RefitFailed`]) the moment the background thread
+    /// finishes — visible even before the caller harvests outcomes.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.metrics = Some(RefitMetrics::new(telemetry));
+        self
     }
 
     /// Feed one `(batch, verdict)` pair from the live stream. Clean batches
@@ -192,17 +258,22 @@ impl RefitSupervisor {
         let candidate = (self.factory)();
         let swap = self.swap.clone();
         let model_path = self.config.model_path.clone();
+        let metrics = self.metrics.clone();
         let handle = std::thread::Builder::new()
             .name("dquag-refit".to_string())
             .spawn(move || {
-                refit_job(
+                let outcome = refit_job(
                     candidate,
                     &batches,
                     fit_rows,
                     fit_batches,
                     model_path,
                     &swap,
-                )
+                );
+                if let Some(metrics) = &metrics {
+                    metrics.record(&outcome);
+                }
+                outcome
             })
             .expect("spawning the refit thread");
         self.pending = Some(handle);
@@ -468,6 +539,89 @@ mod tests {
             other => panic!("expected a fit failure, got {other:?}"),
         }
         assert_eq!(engine.generation(), 0, "old model keeps serving");
+
+        drop(ingest);
+        drop(verdicts);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn refit_outcomes_are_visible_in_registry_and_flight_recorder() {
+        use dquag_telemetry::TelemetryOptions;
+        let telemetry = Telemetry::with_options(TelemetryOptions {
+            flight_recorder_capacity: 64,
+            dump_on_error: false,
+        });
+        let (engine, ingest, verdicts) = StreamEngineFixture::start();
+        let boot = fitted_drift();
+
+        // Round 1: a factory whose candidates cannot fit — the failure must
+        // surface in the counter and the journal, not just in the harvested
+        // outcome.
+        let mut supervisor = RefitSupervisor::new(
+            engine.swap_handle(),
+            SupervisorConfig {
+                reservoir_capacity: 4,
+                patience: 1,
+                min_fit_rows: 1,
+                model_path: None,
+            },
+            || Box::new(FailingFit),
+        )
+        .with_telemetry(Arc::clone(&telemetry));
+
+        let clean_verdict = boot.validate(&clean_batch(40)).unwrap();
+        supervisor.observe(&clean_batch(40), &clean_verdict);
+        let dirty_verdict = boot.validate(&shifted_batch(40)).unwrap();
+        assert!(supervisor.observe(&shifted_batch(40), &dirty_verdict));
+        assert!(matches!(
+            supervisor.wait_idle().as_slice(),
+            [RefitOutcome::Failed { stage: "fit", .. }]
+        ));
+
+        let registry = telemetry.registry();
+        let failed =
+            registry.counter_with("dquag_refit_outcomes_total", "", &[("outcome", "failed")]);
+        let swapped =
+            registry.counter_with("dquag_refit_outcomes_total", "", &[("outcome", "swapped")]);
+        assert_eq!(failed.get(), 1);
+        assert_eq!(swapped.get(), 0);
+        let events = telemetry.recorder().dump();
+        assert!(
+            events.iter().any(|e| matches!(
+                &e.kind,
+                FlightEventKind::RefitFailed { stage, reason }
+                    if stage == "fit" && reason.contains("synthetic fit failure")
+            )),
+            "journal: {events:?}"
+        );
+
+        // Round 2: a working factory on the same bundle — the swap lands in
+        // the other counter with generation and fit-row detail journaled.
+        let mut supervisor = RefitSupervisor::new(
+            engine.swap_handle(),
+            SupervisorConfig {
+                reservoir_capacity: 4,
+                patience: 1,
+                min_fit_rows: 1,
+                model_path: None,
+            },
+            || Box::new(DriftValidator::new(DriftSpec::default())),
+        )
+        .with_telemetry(Arc::clone(&telemetry));
+        supervisor.observe(&clean_batch(40), &clean_verdict);
+        assert!(supervisor.observe(&shifted_batch(40), &dirty_verdict));
+        assert!(matches!(
+            supervisor.wait_idle().as_slice(),
+            [RefitOutcome::Swapped { .. }]
+        ));
+        assert_eq!(swapped.get(), 1);
+        assert_eq!(failed.get(), 1);
+        assert!(telemetry.recorder().dump().iter().any(|e| e.kind
+            == FlightEventKind::RefitSwapped {
+                generation: 1,
+                fit_rows: 40,
+            }));
 
         drop(ingest);
         drop(verdicts);

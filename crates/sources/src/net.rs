@@ -12,6 +12,8 @@
 //!         ERR <message>\n            (decode/protocol problem; framing stays intact)
 //! client: STATS\n
 //! server: STATS <StreamStats JSON>\n
+//! client: METRICS\n
+//! server: METRICS <payload-bytes>\n<payload>   (Prometheus text; multi-line)
 //! client: QUIT\n
 //! server: BYE\n                      (connection closes)
 //! ```
@@ -21,18 +23,30 @@
 //! The same listener speaks HTTP when the first line looks like a request
 //! line: `POST /ingest` with a `Content-Length` body (`Content-Type:
 //! text/csv` or `application/x-ndjson`) answers `202 Accepted` with a JSON
-//! body, `GET /stats` serves the live [`StreamStats`], and decode problems
-//! come back as `400`. One request per connection (`Connection: close`).
+//! body, `GET /stats` serves the live [`StreamStats`] as
+//! `application/json`, `GET /metrics` serves the attached telemetry
+//! bundle's registry as Prometheus text (`text/plain; version=0.0.4`), and
+//! decode problems come back as `400`. One request per connection
+//! (`Connection: close`).
+//!
+//! [`StreamStats`]: dquag_stream::StreamStats
 
 use crate::decode::{decode_batch, WireFormat};
 use crate::source::{PollOutcome, Source, SourceError, SourceSink};
 use dquag_stream::SubmitOutcome;
-use dquag_tabular::Schema;
+use dquag_tabular::{DataFrame, Schema};
+use dquag_telemetry::{Counter, Stage, Telemetry};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// `Content-Type` of `GET /stats` (and every JSON error body).
+const CONTENT_TYPE_JSON: &str = "application/json";
+/// `Content-Type` of `GET /metrics` — the Prometheus text exposition
+/// format version clients content-negotiate on.
+const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4";
 
 /// Cap on a protocol header line; a peer streaming an endless first line is
 /// cut off instead of buffering unboundedly.
@@ -57,6 +71,7 @@ pub struct NetListenerSource {
     schema: Schema,
     max_frame_bytes: usize,
     spec: Option<dquag_core::ValidatorSpec>,
+    telemetry: Option<Arc<Telemetry>>,
     listener: TcpListener,
     local_addr: SocketAddr,
     shared: Option<Arc<ConnShared>>,
@@ -66,12 +81,37 @@ pub struct NetListenerSource {
     final_offset: u64,
 }
 
+/// Telemetry handles the listener resolves once at start.
+struct NetMetrics {
+    telemetry: Arc<Telemetry>,
+    connections: Arc<Counter>,
+    decode_errors: Arc<Counter>,
+}
+
+impl NetMetrics {
+    fn new(telemetry: Arc<Telemetry>) -> Self {
+        let r = telemetry.registry();
+        Self {
+            connections: r.counter(
+                "dquag_source_connections_total",
+                "TCP connections accepted by the network listener",
+            ),
+            decode_errors: r.counter(
+                "dquag_source_decode_errors_total",
+                "Payloads that failed wire-format decoding",
+            ),
+            telemetry,
+        }
+    }
+}
+
 /// Everything a per-connection handler thread needs.
 struct ConnShared {
     schema: Schema,
     max_frame_bytes: usize,
     spec: Option<dquag_core::ValidatorSpec>,
     sink: SourceSink,
+    metrics: Option<NetMetrics>,
 }
 
 impl ConnShared {
@@ -85,6 +125,33 @@ impl ConnShared {
             map.insert("active_spec".to_string(), serde::Serialize::to_value(spec));
         }
         serde_json::to_string(&value).expect("stats serialisation is infallible")
+    }
+
+    /// Decode one payload, timing the `decode` stage and counting failures
+    /// when telemetry is attached.
+    fn decode_observed(
+        &self,
+        format: WireFormat,
+        payload: &[u8],
+    ) -> Result<DataFrame, SourceError> {
+        let started = Instant::now();
+        let decoded = decode_batch(format, payload, &self.schema);
+        if let Some(metrics) = &self.metrics {
+            metrics
+                .telemetry
+                .record_stage(Stage::Decode, started.elapsed());
+            if decoded.is_err() {
+                metrics.decode_errors.inc();
+            }
+        }
+        decoded
+    }
+
+    /// The Prometheus payload, or `None` when no telemetry is attached.
+    fn prometheus(&self) -> Option<String> {
+        self.metrics
+            .as_ref()
+            .map(|metrics| metrics.telemetry.prometheus())
     }
 }
 
@@ -101,6 +168,7 @@ impl NetListenerSource {
             schema,
             max_frame_bytes: dquag_core::SourceConfig::default().max_frame_bytes,
             spec: None,
+            telemetry: None,
             listener,
             local_addr,
             shared: None,
@@ -141,6 +209,16 @@ impl NetListenerSource {
         self
     }
 
+    /// Attach a telemetry bundle: the listener counts connections and
+    /// decode errors, times the `decode` stage, and serves the bundle's
+    /// whole registry over `GET /metrics` (Prometheus text format) and the
+    /// raw-protocol `METRICS` command. Share the same bundle with the
+    /// engine so one scrape covers the full pipeline.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// The bound address — ask after construction to learn an ephemeral
     /// port.
     pub fn local_addr(&self) -> SocketAddr {
@@ -174,6 +252,7 @@ impl Source for NetListenerSource {
             max_frame_bytes: self.max_frame_bytes,
             spec: self.spec.clone(),
             sink: sink.clone(),
+            metrics: self.telemetry.clone().map(NetMetrics::new),
         }));
         Ok(())
     }
@@ -190,6 +269,9 @@ impl Source for NetListenerSource {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     accepted_any = true;
+                    if let Some(metrics) = &shared.metrics {
+                        metrics.connections.inc();
+                    }
                     // Replies are single small lines; Nagle + delayed ACK
                     // would stall the request/reply rhythm by ~40 ms.
                     stream.set_nodelay(true).ok();
@@ -374,6 +456,17 @@ fn handle_connection(stream: TcpStream, conn: &ConnShared) -> Result<(), SourceE
             Some("STATS") => {
                 write_line(&mut writer, &format!("STATS {}", conn.stats_json()))?;
             }
+            Some("METRICS") => match conn.prometheus() {
+                // The payload is multi-line, so it is length-framed like
+                // BATCH rather than line-framed like STATS.
+                Some(text) => {
+                    write_line(&mut writer, &format!("METRICS {}", text.len()))?;
+                    writer
+                        .write_all(text.as_bytes())
+                        .map_err(|e| SourceError::Io(format!("connection write: {e}")))?;
+                }
+                None => write_line(&mut writer, "ERR telemetry not enabled")?,
+            },
             Some("QUIT") => {
                 write_line(&mut writer, "BYE")?;
                 return Ok(());
@@ -420,7 +513,7 @@ fn parse_batch_header<'a>(
 
 /// Decode and deliver one payload, producing the raw-protocol reply line.
 fn ingest_reply(payload: &[u8], format: WireFormat, conn: &ConnShared) -> String {
-    match decode_batch(format, payload, &conn.schema) {
+    match conn.decode_observed(format, payload) {
         Ok(batch) if batch.is_empty() => "ERR empty batch".to_string(),
         Ok(batch) => {
             let n_rows = batch.n_rows();
@@ -487,14 +580,14 @@ fn handle_http(
     match (method, path) {
         ("POST", "/ingest") => {
             let Some(len) = content_length else {
-                return http_reply(
+                return http_json(
                     writer,
                     "411 Length Required",
                     "{\"error\": \"Content-Length is required\"}",
                 );
             };
             if len > conn.max_frame_bytes {
-                return http_reply(
+                return http_json(
                     writer,
                     "413 Payload Too Large",
                     &format!(
@@ -507,21 +600,21 @@ fn handle_http(
                 return Ok(());
             };
             let format = WireFormat::from_content_type(&content_type);
-            match decode_batch(format, &body, &conn.schema) {
+            match conn.decode_observed(format, &body) {
                 Ok(batch) if batch.is_empty() => {
-                    http_reply(writer, "400 Bad Request", "{\"error\": \"empty batch\"}")
+                    http_json(writer, "400 Bad Request", "{\"error\": \"empty batch\"}")
                 }
                 Ok(batch) => {
                     let n_rows = batch.n_rows();
                     match conn.sink.deliver(batch) {
-                        Ok(SubmitOutcome::Enqueued(seq)) => http_reply(
+                        Ok(SubmitOutcome::Enqueued(seq)) => http_json(
                             writer,
                             "202 Accepted",
                             &format!(
                                 "{{\"status\": \"enqueued\", \"seq\": {seq}, \"rows\": {n_rows}}}"
                             ),
                         ),
-                        Ok(other) => http_reply(
+                        Ok(other) => http_json(
                             writer,
                             "503 Service Unavailable",
                             &format!(
@@ -529,7 +622,7 @@ fn handle_http(
                                 other.to_string().to_ascii_lowercase()
                             ),
                         ),
-                        Err(_) => http_reply(
+                        Err(_) => http_json(
                             writer,
                             "503 Service Unavailable",
                             "{\"error\": \"engine closed\"}",
@@ -538,7 +631,7 @@ fn handle_http(
                 }
                 Err(e) => {
                     let message = one_line(&e.to_string()).replace('"', "'");
-                    http_reply(
+                    http_json(
                         writer,
                         "400 Bad Request",
                         &format!("{{\"error\": \"{message}\"}}"),
@@ -546,18 +639,36 @@ fn handle_http(
                 }
             }
         }
-        ("GET", "/stats") => http_reply(writer, "200 OK", &conn.stats_json()),
-        _ => http_reply(
+        ("GET", "/stats") => http_json(writer, "200 OK", &conn.stats_json()),
+        ("GET", "/metrics") => match conn.prometheus() {
+            Some(text) => http_reply(writer, "200 OK", CONTENT_TYPE_PROMETHEUS, &text),
+            None => http_json(
+                writer,
+                "404 Not Found",
+                "{\"error\": \"telemetry not enabled\"}",
+            ),
+        },
+        _ => http_json(
             writer,
             "404 Not Found",
-            "{\"error\": \"try POST /ingest or GET /stats\"}",
+            "{\"error\": \"try POST /ingest, GET /stats or GET /metrics\"}",
         ),
     }
 }
 
-fn http_reply(writer: &mut TcpStream, status: &str, body: &str) -> Result<(), SourceError> {
+/// A JSON-bodied reply (every route except the Prometheus scrape).
+fn http_json(writer: &mut TcpStream, status: &str, body: &str) -> Result<(), SourceError> {
+    http_reply(writer, status, CONTENT_TYPE_JSON, body)
+}
+
+fn http_reply(
+    writer: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> Result<(), SourceError> {
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     writer

@@ -6,6 +6,7 @@ use crate::checkpoint::Checkpoint;
 use crate::source::{PollOutcome, Source, SourceError, SourceSink};
 use dquag_core::{SourceConfig, ValidatorSpec};
 use dquag_stream::IngestHandle;
+use dquag_telemetry::{Counter, FlightEventKind, Telemetry};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -40,12 +41,38 @@ struct RuntimeShared {
     /// Errors source supervisors survived (decode failures are handled
     /// inside the sources; what lands here is I/O-level trouble).
     errors: Mutex<Vec<String>>,
+    metrics: Option<RuntimeMetrics>,
+}
+
+/// Telemetry handles the runtime resolves once at start.
+struct RuntimeMetrics {
+    telemetry: Arc<Telemetry>,
+    checkpoint_writes: Arc<Counter>,
+}
+
+impl RuntimeMetrics {
+    fn new(telemetry: Arc<Telemetry>) -> Self {
+        Self {
+            checkpoint_writes: telemetry.registry().counter(
+                "dquag_checkpoint_writes_total",
+                "Durable source-offset checkpoints written",
+            ),
+            telemetry,
+        }
+    }
 }
 
 impl RuntimeShared {
     fn record_error(&self, source: &str, error: &SourceError) {
         let mut errors = self.errors.lock().expect("runtime error log poisoned");
         errors.push(format!("{source}: {error}"));
+        drop(errors);
+        if let Some(metrics) = &self.metrics {
+            metrics.telemetry.event(FlightEventKind::SourceError {
+                source: source.to_string(),
+                message: error.to_string(),
+            });
+        }
     }
 
     fn snapshot(&self) -> Checkpoint {
@@ -67,6 +94,12 @@ impl RuntimeShared {
         };
         let checkpoint = self.snapshot();
         checkpoint.save(path)?;
+        if let Some(metrics) = &self.metrics {
+            metrics.checkpoint_writes.inc();
+            metrics.telemetry.event(FlightEventKind::CheckpointWrite {
+                path: path.display().to_string(),
+            });
+        }
         Ok(Some(checkpoint))
     }
 }
@@ -78,6 +111,7 @@ pub struct SourceRuntimeBuilder {
     sources: Vec<Box<dyn Source>>,
     restored: Option<Checkpoint>,
     spec: Option<ValidatorSpec>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl SourceRuntimeBuilder {
@@ -115,6 +149,14 @@ impl SourceRuntimeBuilder {
     /// active validator tree.
     pub fn spec(mut self, spec: ValidatorSpec) -> Self {
         self.spec = Some(spec);
+        self
+    }
+
+    /// Attach a telemetry bundle: the runtime counts checkpoint writes and
+    /// journals checkpoint/error events in the flight recorder. Share the
+    /// engine's bundle so the whole pipeline lands in one registry.
+    pub fn telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -175,6 +217,7 @@ impl SourceRuntimeBuilder {
             config,
             spec: self.spec,
             errors: Mutex::new(Vec::new()),
+            metrics: self.telemetry.map(RuntimeMetrics::new),
         });
 
         let supervisors = started

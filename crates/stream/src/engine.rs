@@ -1,10 +1,12 @@
 //! The streaming engine: bounded ingestion, sharded workers, re-sequenced
 //! emission.
 
+use crate::metrics::StreamMetrics;
 use crate::outcome::{EngineClosed, StreamItem, StreamOutcome, SubmitOutcome};
 use crate::stats::{StatsInner, StreamStats};
 use dquag_core::{BackpressurePolicy, DquagConfig, StreamConfig};
 use dquag_tabular::DataFrame;
+use dquag_telemetry::{FlightEventKind, Stage, Telemetry};
 use dquag_validate::{ValidateError, Validator};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -33,6 +35,9 @@ struct PendingMeta {
 struct Done {
     outcome: StreamOutcome,
     submitted_at: Instant,
+    /// When the worker filed the outcome — emission minus this is the
+    /// `emit` stage span (re-sequencing wait plus consumer lag).
+    finished_at: Instant,
     n_rows: usize,
 }
 
@@ -85,6 +90,9 @@ struct Shared {
     policy: BackpressurePolicy,
     default_budget: Option<Duration>,
     replicas: usize,
+    /// Pre-registered telemetry handles; `None` means telemetry off and the
+    /// hot path pays only this option check.
+    metrics: Option<StreamMetrics>,
 }
 
 impl Shared {
@@ -100,8 +108,14 @@ impl Shared {
 
     fn close(&self) {
         let mut st = self.lock();
+        let first_close = !st.closed;
         st.closed = true;
         drop(st);
+        if first_close {
+            if let Some(metrics) = &self.metrics {
+                metrics.event(FlightEventKind::EngineClosed);
+            }
+        }
         self.not_empty.notify_all();
         self.not_full.notify_all();
         self.progress.notify_all();
@@ -125,6 +139,7 @@ impl Shared {
 pub struct StreamEngineBuilder {
     config: StreamConfig,
     restored: Option<StreamStats>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl StreamEngineBuilder {
@@ -165,6 +180,16 @@ impl StreamEngineBuilder {
     /// the latency percentile window — start fresh.
     pub fn restore_stats(mut self, stats: StreamStats) -> Self {
         self.restored = Some(stats);
+        self
+    }
+
+    /// Attach a telemetry bundle: the engine registers its counters, gauges
+    /// and latency histogram, times the `queue_wait`/`emit` stages, and logs
+    /// lifecycle events (start, swaps, drops, deadline misses, close) in the
+    /// flight recorder. Without this the engine exports nothing and pays
+    /// nothing — every instrumentation point is one `Option` check.
+    pub fn telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -217,7 +242,13 @@ impl StreamEngineBuilder {
             policy: config.backpressure,
             default_budget: config.batch_deadline,
             replicas: config.replicas,
+            metrics: self.telemetry.map(StreamMetrics::new),
         });
+        if let Some(metrics) = &shared.metrics {
+            metrics.event(FlightEventKind::EngineStarted {
+                replicas: config.replicas,
+            });
+        }
 
         let workers = Arc::new(Mutex::new(
             validators
@@ -268,6 +299,10 @@ fn worker_loop(shared: &Shared, validator: &dyn Validator, generation: u64) {
                     // No not_full notify: a pop moves the batch from queued
                     // to in-flight, leaving the outstanding total unchanged.
                     st.in_flight += 1;
+                    if let Some(metrics) = &shared.metrics {
+                        metrics.stage(Stage::QueueWait, job.submitted_at.elapsed());
+                        metrics.set_occupancy(st.queue.len(), st.in_flight);
+                    }
                     break Some(job);
                 }
                 if st.closed {
@@ -316,7 +351,14 @@ fn worker_loop(shared: &Shared, validator: &dyn Validator, generation: u64) {
         st.in_flight -= 1;
         if validated {
             st.stats.rows_validated += n_rows as u64;
+            if let Some(metrics) = &shared.metrics {
+                metrics.rows_validated.add(n_rows as u64);
+            }
         }
+        if let Some(metrics) = &shared.metrics {
+            metrics.set_occupancy(st.queue.len(), st.in_flight);
+        }
+        let mut late_seq = None;
         if job.seq >= st.next_emit {
             st.pending.remove(&job.seq);
             st.done.insert(
@@ -324,6 +366,7 @@ fn worker_loop(shared: &Shared, validator: &dyn Validator, generation: u64) {
                 Done {
                     outcome,
                     submitted_at: job.submitted_at,
+                    finished_at: Instant::now(),
                     n_rows,
                 },
             );
@@ -331,9 +374,14 @@ fn worker_loop(shared: &Shared, validator: &dyn Validator, generation: u64) {
             // The consumer already reported this seq as deadline-exceeded;
             // discarding it frees an outstanding slot.
             st.stats.late_discarded += 1;
+            late_seq = Some(job.seq);
             shared.not_full.notify_one();
         }
         drop(st);
+        if let (Some(seq), Some(metrics)) = (late_seq, &shared.metrics) {
+            metrics.late_discarded.inc();
+            metrics.event(FlightEventKind::LateDiscard { seq });
+        }
         shared.progress.notify_all();
     }
 }
@@ -384,6 +432,10 @@ fn swap_validator_impl(
         st.generation += 1;
         st.generation
     };
+    if let Some(metrics) = &shared.metrics {
+        metrics.generation.set(generation as f64);
+        metrics.event(FlightEventKind::SwapGeneration { generation });
+    }
     // Wake retiring workers parked on the empty-queue condvar so they
     // notice the new generation and exit.
     shared.not_empty.notify_all();
@@ -588,10 +640,24 @@ impl IngestHandle {
             match shared.policy {
                 BackpressurePolicy::DropNewest => {
                     st.stats.dropped += 1;
+                    drop(st);
+                    if let Some(metrics) = &shared.metrics {
+                        metrics.drops_drop_newest.inc();
+                        metrics.event(FlightEventKind::BackpressureDrop {
+                            policy: "drop_newest".into(),
+                        });
+                    }
                     return Ok(SubmitOutcome::Dropped);
                 }
                 BackpressurePolicy::Reject => {
                     st.stats.rejected += 1;
+                    drop(st);
+                    if let Some(metrics) = &shared.metrics {
+                        metrics.drops_reject.inc();
+                        metrics.event(FlightEventKind::BackpressureDrop {
+                            policy: "reject".into(),
+                        });
+                    }
                     return Ok(SubmitOutcome::Rejected);
                 }
                 BackpressurePolicy::Block => {
@@ -602,6 +668,13 @@ impl IngestHandle {
                                 let now = Instant::now();
                                 if now >= give_up_at {
                                     st.stats.timed_out += 1;
+                                    drop(st);
+                                    if let Some(metrics) = &shared.metrics {
+                                        metrics.drops_timeout.inc();
+                                        metrics.event(FlightEventKind::BackpressureDrop {
+                                            policy: "timeout".into(),
+                                        });
+                                    }
                                     return Ok(SubmitOutcome::TimedOut);
                                 }
                                 shared
@@ -644,6 +717,10 @@ impl IngestHandle {
             budget,
         });
         st.stats.submitted += 1;
+        if let Some(metrics) = &shared.metrics {
+            metrics.submitted.inc();
+            metrics.set_occupancy(st.queue.len(), st.in_flight);
+        }
         drop(st);
         shared.not_empty.notify_one();
         // The consumer tracks the deadline of the next seq to emit, so it
@@ -714,6 +791,10 @@ impl VerdictStream {
                 st.next_emit += 1;
                 let latency = done.submitted_at.elapsed();
                 Self::count_emission(&mut st, &done.outcome, latency);
+                if let Some(metrics) = &shared.metrics {
+                    metrics.stage(Stage::Emit, done.finished_at.elapsed());
+                    Self::count_emission_metrics(metrics, seq, &done.outcome, latency);
+                }
                 // Emission frees an outstanding slot — a blocked producer can
                 // move again (backpressure is end to end, consumer included).
                 shared.not_full.notify_one();
@@ -747,6 +828,9 @@ impl VerdictStream {
                         waited,
                     };
                     Self::count_emission(&mut st, &outcome, waited);
+                    if let Some(metrics) = &shared.metrics {
+                        Self::count_emission_metrics(metrics, seq, &outcome, waited);
+                    }
                     return Some(StreamItem {
                         seq,
                         n_rows: meta.n_rows,
@@ -783,6 +867,30 @@ impl VerdictStream {
             StreamOutcome::Failed(_) => st.stats.failed += 1,
         }
         st.stats.record_latency(latency);
+    }
+
+    /// Mirror of [`count_emission`](Self::count_emission) into the shared
+    /// registry; deadline misses also land in the flight recorder.
+    fn count_emission_metrics(
+        metrics: &StreamMetrics,
+        seq: u64,
+        outcome: &StreamOutcome,
+        latency: Duration,
+    ) {
+        metrics.emitted.inc();
+        metrics.latency.record(latency);
+        match outcome {
+            StreamOutcome::Verdict(verdict) => {
+                if verdict.is_dirty {
+                    metrics.dirty.inc();
+                }
+            }
+            StreamOutcome::DeadlineExceeded { .. } => {
+                metrics.deadline_missed.inc();
+                metrics.event(FlightEventKind::DeadlineMiss { seq });
+            }
+            StreamOutcome::Failed(_) => metrics.failed.inc(),
+        }
     }
 
     /// Snapshot the live statistics.

@@ -79,6 +79,7 @@
 #![warn(rust_2018_idioms)]
 
 mod engine;
+mod metrics;
 mod outcome;
 mod stats;
 

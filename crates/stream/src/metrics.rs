@@ -1,0 +1,107 @@
+//! Pre-registered telemetry handles for the stream engine.
+//!
+//! Registration happens once at engine start (or swap); everything the hot
+//! path touches afterwards is an `Arc`'d atomic, so a telemetry-enabled
+//! engine adds a few relaxed atomic ops per batch and nothing else.
+
+use dquag_telemetry::{Counter, FlightEventKind, Gauge, Histogram, Stage, Telemetry};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Every series the engine exports, resolved to handles at start time.
+pub(crate) struct StreamMetrics {
+    telemetry: Arc<Telemetry>,
+    pub submitted: Arc<Counter>,
+    pub emitted: Arc<Counter>,
+    pub dirty: Arc<Counter>,
+    pub failed: Arc<Counter>,
+    pub deadline_missed: Arc<Counter>,
+    pub late_discarded: Arc<Counter>,
+    pub rows_validated: Arc<Counter>,
+    pub drops_drop_newest: Arc<Counter>,
+    pub drops_reject: Arc<Counter>,
+    pub drops_timeout: Arc<Counter>,
+    pub queue_depth: Arc<Gauge>,
+    pub in_flight: Arc<Gauge>,
+    pub generation: Arc<Gauge>,
+    pub latency: Arc<Histogram>,
+}
+
+impl StreamMetrics {
+    pub fn new(telemetry: Arc<Telemetry>) -> Self {
+        let r = telemetry.registry();
+        let drops = |policy: &str| {
+            r.counter_with(
+                "dquag_stream_drops_total",
+                "Batches lost to backpressure, by policy",
+                &[("policy", policy)],
+            )
+        };
+        Self {
+            submitted: r.counter(
+                "dquag_stream_batches_submitted_total",
+                "Batches accepted into the ingestion queue",
+            ),
+            emitted: r.counter(
+                "dquag_stream_batches_emitted_total",
+                "Outcomes emitted on the verdict stream",
+            ),
+            dirty: r.counter(
+                "dquag_stream_batches_dirty_total",
+                "Emitted verdicts that judged the batch dirty",
+            ),
+            failed: r.counter(
+                "dquag_stream_batches_failed_total",
+                "Emitted outcomes where the backend errored",
+            ),
+            deadline_missed: r.counter(
+                "dquag_stream_deadline_missed_total",
+                "Batches reported past their validation deadline",
+            ),
+            late_discarded: r.counter(
+                "dquag_stream_late_discarded_total",
+                "Verdicts discarded because their batch was already reported late",
+            ),
+            rows_validated: r.counter(
+                "dquag_stream_rows_validated_total",
+                "Rows of all batches that completed validation",
+            ),
+            drops_drop_newest: drops("drop_newest"),
+            drops_reject: drops("reject"),
+            drops_timeout: drops("timeout"),
+            queue_depth: r.gauge(
+                "dquag_stream_queue_depth",
+                "Batches waiting in the ingestion queue",
+            ),
+            in_flight: r.gauge(
+                "dquag_stream_in_flight",
+                "Batches currently being validated by a worker",
+            ),
+            generation: r.gauge(
+                "dquag_stream_generation",
+                "Current model generation (bumped by each hot swap)",
+            ),
+            latency: r.histogram(
+                "dquag_stream_batch_latency_seconds",
+                "Submission-to-emission latency per batch",
+            ),
+            telemetry,
+        }
+    }
+
+    /// Record a lifecycle event in the flight recorder.
+    pub fn event(&self, kind: FlightEventKind) {
+        self.telemetry.event(kind);
+    }
+
+    /// Attribute a span to one pipeline stage.
+    pub fn stage(&self, stage: Stage, elapsed: Duration) {
+        self.telemetry.record_stage(stage, elapsed);
+    }
+
+    /// Refresh the occupancy gauges after a queue/in-flight transition.
+    pub fn set_occupancy(&self, queue_depth: usize, in_flight: usize) {
+        self.queue_depth.set(queue_depth as f64);
+        self.in_flight.set(in_flight as f64);
+    }
+}

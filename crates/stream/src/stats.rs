@@ -67,6 +67,18 @@ impl StreamStats {
     }
 }
 
+/// `NaN`/`±inf` → `0.0`, so no display path ever prints a non-finite value.
+/// Snapshots taken by a live engine are always finite, but `StreamStats` is
+/// also deserialized from checkpoints and constructed by tooling, where a
+/// zero-uptime division can smuggle in `NaN` or `inf`.
+fn finite_or_zero(value: f64) -> f64 {
+    if value.is_finite() {
+        value
+    } else {
+        0.0
+    }
+}
+
 /// One line for dashboards and logs, e.g.
 /// `12 emitted (3 dirty, 25.0%), queue 2, in-flight 4, 18432 rows/s, p50 41.2 ms, p99 97.0 ms`.
 impl fmt::Display for StreamStats {
@@ -77,10 +89,10 @@ impl fmt::Display for StreamStats {
              p50 {:.1} ms, p99 {:.1} ms",
             self.emitted,
             self.dirty,
-            100.0 * self.dirty_rate(),
+            finite_or_zero(100.0 * self.dirty_rate()),
             self.queue_depth,
             self.in_flight,
-            self.rows_per_sec,
+            finite_or_zero(self.rows_per_sec),
             self.p50_latency.as_secs_f64() * 1e3,
             self.p99_latency.as_secs_f64() * 1e3,
         )?;
@@ -299,6 +311,25 @@ mod tests {
         assert_eq!(back.p50_latency, stats.p50_latency);
         assert_eq!(back.uptime, stats.uptime);
         assert_eq!(back.replicas, stats.replicas);
+    }
+
+    #[test]
+    fn display_never_prints_nan_or_inf() {
+        // A snapshot from a live engine is always finite, but stats can also
+        // arrive from a checkpoint or be built by tooling with zero uptime —
+        // Display must print zeros, never `NaN`/`inf`.
+        let mut stats = StatsInner::new().snapshot(0, 0, 1);
+        assert_eq!(stats.emitted, 0);
+        stats.rows_per_sec = f64::NAN;
+        let line = stats.to_string();
+        assert!(line.contains("0 dirty, 0.0%"), "dirty rate wrong: {line}");
+        assert!(line.contains("0 rows/s"), "rows/s wrong: {line}");
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+
+        stats.rows_per_sec = f64::INFINITY;
+        let line = stats.to_string();
+        assert!(line.contains("0 rows/s"), "rows/s wrong: {line}");
+        assert!(!line.contains("inf"), "{line}");
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Telemetry integration: an engine with a bundle attached exports its
+//! counters/gauges/latency series, times the queue-wait and emit stages,
+//! and journals lifecycle events in the flight recorder — while an engine
+//! without one behaves identically and exports nothing.
+
+use dquag_core::BackpressurePolicy;
+use dquag_stream::{StreamEngine, SubmitOutcome};
+use dquag_tabular::{DataFrame, Field, Schema, Value};
+use dquag_telemetry::{FlightEventKind, Stage, Telemetry, TelemetryOptions};
+use dquag_validate::{Capabilities, FitReport, Validator, Verdict};
+use std::time::Duration;
+
+/// A deterministic instant validator; telemetry tests need event ordering,
+/// not model quality.
+struct InstantValidator {
+    dirty: bool,
+}
+
+impl Validator for InstantValidator {
+    fn name(&self) -> &str {
+        "Instant"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::dataset_level()
+    }
+
+    fn fit(&mut self, clean: &DataFrame) -> dquag_validate::Result<FitReport> {
+        Ok(FitReport {
+            validator: self.name().to_string(),
+            n_rows: clean.n_rows(),
+            n_columns: clean.n_cols(),
+            threshold: None,
+            n_parameters: None,
+            notes: vec![],
+        })
+    }
+
+    fn validate(&self, batch: &DataFrame) -> dquag_validate::Result<Verdict> {
+        Ok(Verdict::dataset_level(
+            self.name(),
+            self.dirty,
+            if self.dirty { 1.0 } else { 0.0 },
+            batch.n_rows(),
+            vec![],
+        ))
+    }
+}
+
+fn tiny_batch(rows: usize) -> DataFrame {
+    let schema = Schema::new(vec![Field::numeric("x", "")]);
+    let mut df = DataFrame::new(schema);
+    for i in 0..rows {
+        df.push_row(vec![Value::Number(i as f64)]).unwrap();
+    }
+    df
+}
+
+fn quiet_telemetry() -> std::sync::Arc<Telemetry> {
+    Telemetry::with_options(TelemetryOptions {
+        flight_recorder_capacity: 64,
+        dump_on_error: false,
+    })
+}
+
+#[test]
+fn engine_exports_counters_stages_and_lifecycle_events() {
+    let telemetry = quiet_telemetry();
+    let (engine, ingest, verdicts) = StreamEngine::builder()
+        .replicas(2)
+        .queue_capacity(8)
+        .telemetry(std::sync::Arc::clone(&telemetry))
+        .start(Box::new(InstantValidator { dirty: true }))
+        .expect("engine starts");
+
+    for _ in 0..5 {
+        assert!(matches!(
+            ingest.submit(tiny_batch(10)).expect("accepted"),
+            SubmitOutcome::Enqueued(_)
+        ));
+    }
+    ingest.close();
+    let items: Vec<_> = verdicts.collect();
+    assert_eq!(items.len(), 5);
+    engine.shutdown();
+
+    let registry = telemetry.registry();
+    assert_eq!(
+        registry
+            .counter("dquag_stream_batches_submitted_total", "")
+            .get(),
+        5
+    );
+    assert_eq!(
+        registry
+            .counter("dquag_stream_batches_emitted_total", "")
+            .get(),
+        5
+    );
+    assert_eq!(
+        registry
+            .counter("dquag_stream_batches_dirty_total", "")
+            .get(),
+        5
+    );
+    assert_eq!(
+        registry
+            .counter("dquag_stream_rows_validated_total", "")
+            .get(),
+        50
+    );
+    // Both engine-owned stages saw every batch.
+    assert_eq!(telemetry.stage_histogram(Stage::QueueWait).count(), 5);
+    assert_eq!(telemetry.stage_histogram(Stage::Emit).count(), 5);
+    assert_eq!(
+        registry
+            .histogram("dquag_stream_batch_latency_seconds", "")
+            .count(),
+        5
+    );
+    // Occupancy gauges drained back to zero.
+    assert_eq!(registry.gauge("dquag_stream_queue_depth", "").get(), 0.0);
+    assert_eq!(registry.gauge("dquag_stream_in_flight", "").get(), 0.0);
+
+    let events = telemetry.recorder().dump();
+    let labels: Vec<&str> = events.iter().map(|e| e.kind.label()).collect();
+    assert_eq!(labels.first(), Some(&"engine_started"));
+    assert!(labels.contains(&"engine_closed"), "events: {labels:?}");
+}
+
+#[test]
+fn swap_sets_generation_gauge_and_records_event() {
+    let telemetry = quiet_telemetry();
+    let (engine, ingest, mut verdicts) = StreamEngine::builder()
+        .replicas(1)
+        .queue_capacity(4)
+        .telemetry(std::sync::Arc::clone(&telemetry))
+        .start(Box::new(InstantValidator { dirty: false }))
+        .expect("engine starts");
+
+    ingest.submit(tiny_batch(3)).expect("accepted");
+    verdicts.recv().expect("one verdict");
+    let generation = engine
+        .swap_validator(Box::new(InstantValidator { dirty: true }))
+        .expect("swap succeeds");
+    assert_eq!(generation, 1);
+    assert_eq!(
+        telemetry
+            .registry()
+            .gauge("dquag_stream_generation", "")
+            .get(),
+        1.0
+    );
+    assert!(telemetry
+        .recorder()
+        .dump()
+        .iter()
+        .any(|e| e.kind == FlightEventKind::SwapGeneration { generation: 1 }));
+    drop(ingest);
+    engine.shutdown();
+}
+
+#[test]
+fn backpressure_drops_are_counted_by_policy_and_journaled() {
+    let telemetry = quiet_telemetry();
+    let (engine, ingest, verdicts) = StreamEngine::builder()
+        .replicas(1)
+        .queue_capacity(1)
+        .backpressure(BackpressurePolicy::Reject)
+        .telemetry(std::sync::Arc::clone(&telemetry))
+        .start(Box::new(SlowValidator))
+        .expect("engine starts");
+
+    // Fill the outstanding bound (queue 1 + 1 worker), then overflow it.
+    let mut rejected = 0;
+    for _ in 0..12 {
+        if matches!(
+            ingest.submit(tiny_batch(2)).expect("engine open"),
+            SubmitOutcome::Rejected
+        ) {
+            rejected += 1;
+        }
+    }
+    assert!(rejected > 0, "bound never overflowed");
+    assert_eq!(
+        telemetry
+            .registry()
+            .counter_with("dquag_stream_drops_total", "", &[("policy", "reject")])
+            .get(),
+        rejected
+    );
+    assert!(telemetry.recorder().dump().iter().any(|e| e.kind
+        == FlightEventKind::BackpressureDrop {
+            policy: "reject".into()
+        }));
+    drop(ingest);
+    drop(verdicts);
+    engine.shutdown();
+}
+
+/// Slow enough that a 1-deep queue overflows under a submit burst.
+struct SlowValidator;
+
+impl Validator for SlowValidator {
+    fn name(&self) -> &str {
+        "Slow"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::dataset_level()
+    }
+
+    fn fit(&mut self, _clean: &DataFrame) -> dquag_validate::Result<FitReport> {
+        unreachable!("tests start from a fitted stub")
+    }
+
+    fn validate(&self, batch: &DataFrame) -> dquag_validate::Result<Verdict> {
+        std::thread::sleep(Duration::from_millis(30));
+        Ok(Verdict::dataset_level(
+            self.name(),
+            false,
+            0.0,
+            batch.n_rows(),
+            vec![],
+        ))
+    }
+}

@@ -1,0 +1,237 @@
+//! # dquag-telemetry — observability for the DQuaG validation pipeline
+//!
+//! Hand-rolled (no external deps beyond the vendored stand-ins) and built
+//! around one [`Telemetry`] bundle that every subsystem shares by `Arc`:
+//!
+//! - a [`MetricsRegistry`] of lock-cheap counters, gauges, and
+//!   log-bucketed [`Histogram`]s with p50/p90/p99/p999 reconstruction,
+//!   rendered in Prometheus text format by [`Telemetry::prometheus`];
+//! - per-[`Stage`] span timing ([`Telemetry::time_stage`]) so an
+//!   end-to-end p99 decomposes into decode / graph build / forward /
+//!   verdict / queue wait / emit;
+//! - an always-on bounded [`FlightRecorder`] of lifecycle events (swaps,
+//!   refit outcomes, drops, checkpoint writes, quarantines, deadline
+//!   misses), dumpable on demand and automatically on error;
+//! - a periodic structured-log emitter ([`Telemetry::start_log_emitter`])
+//!   for environments without a scraper.
+//!
+//! The design rule throughout: registration and scrapes take a mutex,
+//! recording on the hot path is relaxed atomics only. A pipeline built
+//! without telemetry pays nothing — every integration point is an
+//! `Option<Arc<Telemetry>>` checked once per batch, which the
+//! `telemetry_overhead` bench holds to <3% throughput cost.
+//!
+//! ```
+//! use dquag_telemetry::{Stage, Telemetry};
+//! use std::time::Duration;
+//!
+//! let telemetry = Telemetry::new();
+//! {
+//!     let _span = telemetry.time_stage(Stage::Forward);
+//!     // ... score a batch ...
+//! }
+//! telemetry.registry().counter("dquag_batches_total", "Batches seen").inc();
+//! let text = telemetry.prometheus();
+//! assert!(text.contains("dquag_batches_total 1"));
+//! assert!(text.contains("dquag_stage_duration_seconds_count{stage=\"forward\"} 1"));
+//! ```
+
+mod logemit;
+mod metrics;
+mod recorder;
+mod stage;
+
+pub use logemit::LogEmitter;
+pub use metrics::{Counter, Gauge, Histogram, Labels, MetricsRegistry};
+pub use recorder::{FlightEvent, FlightEventKind, FlightRecorder};
+pub use stage::{Stage, StageSpan};
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Construction options for [`Telemetry::with_options`].
+#[derive(Debug, Clone)]
+pub struct TelemetryOptions {
+    /// Events retained by the flight recorder ring (default 256).
+    pub flight_recorder_capacity: usize,
+    /// Dump the ring to stderr when an error-class event lands
+    /// (default `true`).
+    pub dump_on_error: bool,
+}
+
+impl Default for TelemetryOptions {
+    fn default() -> Self {
+        Self {
+            flight_recorder_capacity: 256,
+            dump_on_error: true,
+        }
+    }
+}
+
+/// The shared observability bundle: registry + flight recorder + the six
+/// pre-registered stage histograms. Cheap to clone as `Arc<Telemetry>`;
+/// every subsystem that accepts one records into the same series.
+pub struct Telemetry {
+    registry: MetricsRegistry,
+    recorder: FlightRecorder,
+    stages: [Arc<Histogram>; 6],
+    started: Instant,
+}
+
+impl Telemetry {
+    /// A bundle with default options.
+    pub fn new() -> Arc<Self> {
+        Self::with_options(TelemetryOptions::default())
+    }
+
+    /// A bundle with explicit recorder capacity / dump policy.
+    pub fn with_options(options: TelemetryOptions) -> Arc<Self> {
+        let registry = MetricsRegistry::new();
+        let stages = Stage::ALL.map(|stage| {
+            registry.histogram_with(
+                "dquag_stage_duration_seconds",
+                "Wall time per pipeline stage",
+                &[("stage", stage.label())],
+            )
+        });
+        Arc::new(Self {
+            registry,
+            recorder: FlightRecorder::new(options.flight_recorder_capacity, options.dump_on_error),
+            stages,
+            started: Instant::now(),
+        })
+    }
+
+    /// The metrics registry, for subsystems registering their own series.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Time from construction — the clock flight events are stamped with.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Record a finished stage span.
+    pub fn record_stage(&self, stage: Stage, elapsed: Duration) {
+        self.stages[stage.index()].record(elapsed);
+    }
+
+    /// Start a drop-guard span for `stage` (creation → drop is recorded).
+    pub fn time_stage(&self, stage: Stage) -> StageSpan<'_> {
+        StageSpan::new(self, stage)
+    }
+
+    /// The histogram behind one stage's spans.
+    pub fn stage_histogram(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage.index()]
+    }
+
+    /// Record a lifecycle event, stamped with the current uptime.
+    pub fn event(&self, kind: FlightEventKind) {
+        self.recorder.record(self.uptime(), kind);
+    }
+
+    /// Render every registered series in Prometheus text format 0.0.4.
+    pub fn prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// One structured JSON log line: uptime, flight-recorder depth, and a
+    /// snapshot of every series.
+    pub fn structured_line(&self) -> String {
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert(
+            "uptime_s".to_string(),
+            serde::Value::Number(self.uptime().as_secs_f64()),
+        );
+        obj.insert(
+            "flight_events".to_string(),
+            serde::Value::Number(self.recorder.len() as f64),
+        );
+        obj.insert("metrics".to_string(), self.registry.snapshot_json());
+        serde_json::to_string(&serde::Value::Object(obj)).expect("metrics snapshot serializes")
+    }
+
+    /// Spawn the periodic structured-log emitter, writing one JSON line
+    /// per `interval` to stderr. Stops when the handle is dropped.
+    pub fn start_log_emitter(self: &Arc<Self>, interval: Duration) -> LogEmitter {
+        self.start_log_emitter_with(interval, Box::new(|line| eprintln!("{line}")))
+    }
+
+    /// As [`start_log_emitter`](Self::start_log_emitter), with a custom
+    /// sink (used by tests).
+    pub fn start_log_emitter_with(
+        self: &Arc<Self>,
+        interval: Duration,
+        sink: Box<dyn Fn(&str) + Send>,
+    ) -> LogEmitter {
+        LogEmitter::spawn(Arc::clone(self), interval, sink)
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("series", &self.registry.series_count())
+            .field("flight_events", &self.recorder.len())
+            .field("uptime", &self.uptime())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_histograms_are_preregistered_as_one_family() {
+        let telemetry = Telemetry::new();
+        assert_eq!(telemetry.registry().series_count(), 6);
+        telemetry.record_stage(Stage::Decode, Duration::from_micros(80));
+        telemetry.record_stage(Stage::Emit, Duration::from_micros(10));
+        let text = telemetry.prometheus();
+        assert!(text.contains("# TYPE dquag_stage_duration_seconds histogram"));
+        assert!(text.contains("dquag_stage_duration_seconds_count{stage=\"decode\"} 1"));
+        assert!(text.contains("dquag_stage_duration_seconds_count{stage=\"emit\"} 1"));
+        assert!(text.contains("dquag_stage_duration_seconds_count{stage=\"forward\"} 0"));
+    }
+
+    #[test]
+    fn events_are_stamped_with_uptime() {
+        let telemetry = Telemetry::with_options(TelemetryOptions {
+            flight_recorder_capacity: 4,
+            dump_on_error: false,
+        });
+        telemetry.event(FlightEventKind::EngineStarted { replicas: 2 });
+        std::thread::sleep(Duration::from_millis(2));
+        telemetry.event(FlightEventKind::EngineClosed);
+        let events = telemetry.recorder().dump();
+        assert_eq!(events.len(), 2);
+        assert!(events[1].uptime > events[0].uptime);
+    }
+
+    #[test]
+    fn structured_line_round_trips_as_json() {
+        let telemetry = Telemetry::new();
+        telemetry
+            .registry()
+            .gauge("dquag_depth", "queue depth")
+            .set(3.0);
+        let line = telemetry.structured_line();
+        let value: serde::Value = serde_json::from_str(&line).expect("valid JSON");
+        let obj = value.as_object().expect("object");
+        assert!(obj["uptime_s"].as_f64().unwrap() >= 0.0);
+        assert_eq!(
+            obj["metrics"].as_object().unwrap()["dquag_depth"]
+                .as_f64()
+                .unwrap(),
+            3.0
+        );
+    }
+}

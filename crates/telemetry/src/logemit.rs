@@ -1,0 +1,111 @@
+//! Periodic structured-log emitter: a background thread that renders one
+//! JSON line per interval from the registry snapshot, for environments
+//! without a Prometheus scraper.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::Telemetry;
+
+/// Handle to a running emitter thread. Stops (and joins) on [`stop`] or
+/// drop.
+///
+/// [`stop`]: LogEmitter::stop
+pub struct LogEmitter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl LogEmitter {
+    pub(crate) fn spawn(
+        telemetry: Arc<Telemetry>,
+        interval: Duration,
+        sink: Box<dyn Fn(&str) + Send>,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("dquag-telemetry-log".into())
+            .spawn(move || {
+                let tick = interval.max(Duration::from_millis(1));
+                // Sleep in short slices so stop() returns promptly even
+                // with multi-second intervals.
+                let slice = tick.min(Duration::from_millis(50));
+                let mut elapsed = Duration::ZERO;
+                loop {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(slice);
+                    elapsed += slice;
+                    if elapsed >= tick {
+                        elapsed = Duration::ZERO;
+                        sink(&telemetry.structured_line());
+                    }
+                }
+            })
+            .expect("spawn telemetry log emitter");
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signal the thread to stop and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for LogEmitter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for LogEmitter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogEmitter")
+            .field("stopped", &self.stop.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn emitter_produces_parseable_lines_and_stops() {
+        let telemetry = Telemetry::new();
+        telemetry
+            .registry()
+            .counter("dquag_emit_test_total", "test")
+            .add(3);
+        let lines: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let captured = Arc::clone(&lines);
+        let emitter = telemetry.start_log_emitter_with(
+            Duration::from_millis(10),
+            Box::new(move |line| captured.lock().unwrap().push(line.to_string())),
+        );
+        std::thread::sleep(Duration::from_millis(80));
+        emitter.stop();
+        let lines = lines.lock().unwrap();
+        assert!(!lines.is_empty(), "no log lines emitted");
+        let parsed: serde::Value = serde_json::from_str(&lines[0]).expect("line is valid JSON");
+        let obj = parsed.as_object().expect("object line");
+        assert!(obj.contains_key("uptime_s"));
+        let metrics = obj["metrics"].as_object().expect("metrics object");
+        assert!(metrics.contains_key("dquag_emit_test_total"));
+    }
+}

@@ -1,0 +1,120 @@
+//! The six pipeline stages a batch passes through, and a drop-guard span
+//! timer that attributes wall time to one of them.
+
+use std::time::Instant;
+
+use crate::Telemetry;
+
+/// One stage of the validation pipeline. A batch's end-to-end latency
+/// decomposes into exactly these spans: wire decode, graph/feature build,
+/// GNN forward, verdict assembly, time spent queued, and time between the
+/// worker finishing and the consumer receiving the verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Wire-format decode (CSV/NDJSON payload → `DataFrame`).
+    Decode,
+    /// Graph construction and feature encoding (`encoder.transform`).
+    GraphBuild,
+    /// Batched GNN forward pass (reconstruction-error scoring).
+    Forward,
+    /// Flag computation and verdict/report assembly.
+    Verdict,
+    /// Time a submitted batch spends waiting in the bounded queue.
+    QueueWait,
+    /// Time between the worker finishing a batch and the consumer
+    /// receiving it (re-sequencing plus consumer lag).
+    Emit,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Decode,
+        Stage::GraphBuild,
+        Stage::Forward,
+        Stage::Verdict,
+        Stage::QueueWait,
+        Stage::Emit,
+    ];
+
+    /// The `stage="…"` label value for this stage.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Decode => "decode",
+            Stage::GraphBuild => "graph_build",
+            Stage::Forward => "forward",
+            Stage::Verdict => "verdict",
+            Stage::QueueWait => "queue_wait",
+            Stage::Emit => "emit",
+        }
+    }
+
+    /// Position in [`Stage::ALL`] — index into the pre-registered
+    /// per-stage histogram array.
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Stage::Decode => 0,
+            Stage::GraphBuild => 1,
+            Stage::Forward => 2,
+            Stage::Verdict => 3,
+            Stage::QueueWait => 4,
+            Stage::Emit => 5,
+        }
+    }
+}
+
+/// A drop-guard that records elapsed time into one stage histogram. Created
+/// by [`Telemetry::time_stage`]; the measured span is creation → drop.
+#[must_use = "the span records on drop; binding it to `_` ends it immediately"]
+pub struct StageSpan<'a> {
+    telemetry: &'a Telemetry,
+    stage: Stage,
+    started: Instant,
+}
+
+impl<'a> StageSpan<'a> {
+    pub(crate) fn new(telemetry: &'a Telemetry, stage: Stage) -> Self {
+        Self {
+            telemetry,
+            stage,
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Drop for StageSpan<'_> {
+    fn drop(&mut self) {
+        self.telemetry
+            .record_stage(self.stage, self.started.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct_and_ordered() {
+        let labels: Vec<&str> = Stage::ALL.iter().map(|s| s.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 6, "stage labels collide: {labels:?}");
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i);
+        }
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let telemetry = Telemetry::new();
+        {
+            let _span = telemetry.time_stage(Stage::Forward);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let h = telemetry.stage_histogram(Stage::Forward);
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= std::time::Duration::from_millis(1));
+        assert_eq!(telemetry.stage_histogram(Stage::Decode).count(), 0);
+    }
+}

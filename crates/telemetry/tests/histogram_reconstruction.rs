@@ -1,0 +1,128 @@
+//! Seeded randomized proof that log-bucket percentile reconstruction stays
+//! within one bucket width of the exact sorted-sample percentile, across
+//! three magnitudes of latency (microseconds, milliseconds, tens of
+//! milliseconds-to-seconds) and several distributions.
+
+use std::time::Duration;
+
+use dquag_telemetry::Histogram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const QUANTILES: [f64; 4] = [0.50, 0.90, 0.99, 0.999];
+
+/// Exact sorted-sample quantile with the same rank rule the histogram
+/// uses: rank ⌊q·(n−1)⌉.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank]
+}
+
+/// Record `samples` and assert every quantile reconstruction lands within
+/// one bucket width of the exact value.
+fn assert_reconstruction(mut samples: Vec<u64>, scenario: &str) {
+    let h = Histogram::new();
+    for &nanos in &samples {
+        h.record(Duration::from_nanos(nanos));
+    }
+    samples.sort_unstable();
+    for q in QUANTILES {
+        let exact = exact_quantile(&samples, q);
+        let reconstructed = h.percentile(q).as_nanos() as u64;
+        let (lower, upper) = Histogram::bucket_for(exact);
+        let width = upper - lower;
+        let error = reconstructed.abs_diff(exact);
+        assert!(
+            error <= width,
+            "{scenario}: q={q} exact={exact}ns reconstructed={reconstructed}ns \
+             error={error}ns exceeds bucket width {width}ns"
+        );
+    }
+}
+
+/// Uniform draws within one magnitude band.
+fn uniform_band(rng: &mut StdRng, n: usize, lo: u64, hi: u64) -> Vec<u64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+#[test]
+fn microsecond_band_reconstruction() {
+    // 1–100 µs: fast in-memory stages (decode, verdict assembly).
+    let mut rng = StdRng::seed_from_u64(0xD0A1);
+    for trial in 0..5 {
+        let samples = uniform_band(&mut rng, 4_000, 1_000, 100_000);
+        assert_reconstruction(samples, &format!("uniform µs trial {trial}"));
+    }
+}
+
+#[test]
+fn millisecond_band_reconstruction() {
+    // 1–100 ms: GNN forwards and queue waits under load.
+    let mut rng = StdRng::seed_from_u64(0xD0A2);
+    for trial in 0..5 {
+        let samples = uniform_band(&mut rng, 4_000, 1_000_000, 100_000_000);
+        assert_reconstruction(samples, &format!("uniform ms trial {trial}"));
+    }
+}
+
+#[test]
+fn second_band_reconstruction() {
+    // 0.1–10 s: refits, drains, pathological stalls.
+    let mut rng = StdRng::seed_from_u64(0xD0A3);
+    for trial in 0..5 {
+        let samples = uniform_band(&mut rng, 4_000, 100_000_000, 10_000_000_000);
+        assert_reconstruction(samples, &format!("uniform s trial {trial}"));
+    }
+}
+
+#[test]
+fn mixed_magnitudes_and_heavy_tail() {
+    // Realistic shape: most observations fast, a long tail three orders
+    // of magnitude slower — the case where linear buckets fall apart.
+    let mut rng = StdRng::seed_from_u64(0xD0A4);
+    for trial in 0..5 {
+        let mut samples = Vec::with_capacity(6_000);
+        samples.extend(uniform_band(&mut rng, 5_000, 10_000, 500_000)); // 10–500 µs body
+        samples.extend(uniform_band(&mut rng, 900, 1_000_000, 50_000_000)); // 1–50 ms shoulder
+        samples.extend(uniform_band(&mut rng, 100, 100_000_000, 2_000_000_000)); // 0.1–2 s tail
+        assert_reconstruction(samples, &format!("heavy tail trial {trial}"));
+    }
+}
+
+#[test]
+fn lognormal_like_distribution() {
+    // Multiplicative noise: product of uniform factors approximates a
+    // log-normal, the canonical latency distribution.
+    let mut rng = StdRng::seed_from_u64(0xD0A5);
+    for trial in 0..5 {
+        let samples: Vec<u64> = (0..4_000)
+            .map(|_| {
+                let mut v = 50_000.0f64; // 50 µs median
+                for _ in 0..4 {
+                    v *= rng.gen_range(0.4..2.5);
+                }
+                v as u64
+            })
+            .collect();
+        assert_reconstruction(samples, &format!("lognormal trial {trial}"));
+    }
+}
+
+#[test]
+fn point_mass_is_exact_to_one_bucket() {
+    // Every observation identical: all quantiles must collapse to that
+    // bucket's midpoint.
+    let h = Histogram::new();
+    let value = 7_300_000u64; // 7.3 ms
+    for _ in 0..1_000 {
+        h.record(Duration::from_nanos(value));
+    }
+    let (lower, upper) = Histogram::bucket_for(value);
+    for q in QUANTILES {
+        let reconstructed = h.percentile(q).as_nanos() as u64;
+        assert!(
+            reconstructed >= lower && reconstructed <= upper,
+            "q={q} reconstructed {reconstructed} outside bucket [{lower}, {upper}]"
+        );
+    }
+}

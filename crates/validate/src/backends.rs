@@ -6,6 +6,8 @@ use crate::{FitReport, Result, ValidateError, Validator, Verdict};
 use dquag_baselines::{BaselineKind, BatchValidator};
 use dquag_core::{DquagConfig, DquagValidator};
 use dquag_tabular::DataFrame;
+use dquag_telemetry::Telemetry;
+use std::sync::Arc;
 
 /// How many flagged instances are spelled out as violation messages before
 /// the rest are summarised in one line.
@@ -20,6 +22,7 @@ pub struct DquagBackend {
     config: DquagConfig,
     future: Vec<DataFrame>,
     fitted: Option<DquagValidator>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl DquagBackend {
@@ -29,6 +32,7 @@ impl DquagBackend {
             config,
             future: Vec::new(),
             fitted: None,
+            telemetry: None,
         }
     }
 
@@ -45,7 +49,19 @@ impl DquagBackend {
             config: validator.config().clone(),
             future: Vec::new(),
             fitted: Some(validator),
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry bundle: the fitted core validator (current and
+    /// every future refit through this backend) times its phase-2 stages and
+    /// counts forward passes into the bundle's registry.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        if let Some(fitted) = self.fitted.take() {
+            self.fitted = Some(fitted.with_telemetry(Arc::clone(&telemetry)));
+        }
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// The trained core validator, if fitted — the escape hatch for
@@ -72,7 +88,10 @@ impl Validator for DquagBackend {
 
     fn fit(&mut self, clean: &DataFrame) -> Result<FitReport> {
         let future: Vec<&DataFrame> = self.future.iter().collect();
-        let validator = DquagValidator::train(clean, &future, &self.config)?;
+        let mut validator = DquagValidator::train(clean, &future, &self.config)?;
+        if let Some(telemetry) = &self.telemetry {
+            validator = validator.with_telemetry(Arc::clone(telemetry));
+        }
         let summary = validator.training_summary();
         let report = FitReport {
             validator: self.name().to_string(),
@@ -180,6 +199,7 @@ impl Validator for DquagBackend {
                 config: self.config.clone(),
                 future: self.future.clone(),
                 fitted: Some(fitted.clone()),
+                telemetry: self.telemetry.clone(),
             }) as Box<dyn Validator>
         })
     }

@@ -20,6 +20,9 @@
 //!   files, the `persisted-dquag` restore-from-disk backend, and the
 //!   drift-triggered background-refit supervisor that hot-swaps new models
 //!   into a live stream.
+//! * [`telemetry`] — observability: a lock-cheap metrics registry with
+//!   log-bucketed latency histograms, per-stage pipeline spans, Prometheus
+//!   text exposition, and a bounded flight recorder of lifecycle events.
 //! * [`core`] — the DQuaG pipeline: training, validation, repair.
 //! * [`gnn`] — GAT/GIN/GCN layers, encoder stacks, dual decoders.
 //! * [`graph`] — feature-graph construction and relationship inference.
@@ -64,5 +67,6 @@ pub use dquag_persist as persist;
 pub use dquag_sources as sources;
 pub use dquag_stream as stream;
 pub use dquag_tabular as tabular;
+pub use dquag_telemetry as telemetry;
 pub use dquag_tensor as tensor;
 pub use dquag_validate as validate;
