@@ -197,6 +197,64 @@ pub struct TelemetryConfig {
     /// Render the flight recorder to stderr whenever an error-class event
     /// (refit failure, quarantine, source error, deadline miss) is recorded.
     pub dump_on_error: bool,
+    /// Data-plane telemetry: per-column drift gauges and the drift
+    /// scoreboard.
+    pub data: TelemetryDataConfig,
+}
+
+/// Data-plane telemetry settings: per-column drift gauges under a bounded
+/// cardinality policy, plus the `GET /drift` scoreboard.
+///
+/// Off by default — pipeline telemetry alone carries no per-column series.
+/// When enabled, the gauge family is bounded either by `top_k` (rank-based
+/// slots with hysteresis eviction) or, when `allowlist` is set, by the
+/// declared column list.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TelemetryDataConfig {
+    /// Enable the data-plane layer (requires `telemetry.enabled`).
+    pub enabled: bool,
+    /// Gauge slots when ranking by drift ratio (ignored under an
+    /// allowlist).
+    pub top_k: usize,
+    /// When set, only these columns ever get gauge series.
+    pub allowlist: Option<Vec<String>>,
+    /// Minimum wall-clock spacing between gauge-maintenance passes; the
+    /// scoreboard and crossing events update every batch regardless.
+    /// `None` maintains gauges on every validated batch.
+    pub min_emit_interval: Option<Duration>,
+}
+
+impl Default for TelemetryDataConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            top_k: 8,
+            allowlist: None,
+            min_emit_interval: None,
+        }
+    }
+}
+
+impl TelemetryDataConfig {
+    /// Validate every field's range, returning the offending field on error.
+    pub fn validated(self) -> crate::Result<Self> {
+        if self.top_k == 0 {
+            return Err(crate::CoreError::InvalidConfig(
+                "telemetry.data.top_k must be at least 1".to_string(),
+            ));
+        }
+        if self.allowlist.as_deref() == Some(&[]) {
+            return Err(crate::CoreError::InvalidConfig(
+                "telemetry.data.allowlist must name at least one column when set".to_string(),
+            ));
+        }
+        if self.min_emit_interval == Some(Duration::ZERO) {
+            return Err(crate::CoreError::InvalidConfig(
+                "telemetry.data.min_emit_interval must be nonzero when set".to_string(),
+            ));
+        }
+        Ok(self)
+    }
 }
 
 impl Default for TelemetryConfig {
@@ -206,6 +264,7 @@ impl Default for TelemetryConfig {
             flight_recorder_capacity: 256,
             log_interval: None,
             dump_on_error: true,
+            data: TelemetryDataConfig::default(),
         }
     }
 }
@@ -223,7 +282,8 @@ impl TelemetryConfig {
                 "telemetry.log_interval must be nonzero when set".to_string(),
             ));
         }
-        Ok(self)
+        let data = self.data.validated()?;
+        Ok(Self { data, ..self })
     }
 
     /// Build the shared telemetry bundle this block describes, or `None`
@@ -234,6 +294,14 @@ impl TelemetryConfig {
             dquag_telemetry::Telemetry::with_options(dquag_telemetry::TelemetryOptions {
                 flight_recorder_capacity: self.flight_recorder_capacity,
                 dump_on_error: self.dump_on_error,
+                data: self
+                    .data
+                    .enabled
+                    .then(|| dquag_telemetry::DataTelemetryOptions {
+                        top_k: self.data.top_k,
+                        allowlist: self.data.allowlist.clone(),
+                        min_emit_interval: self.data.min_emit_interval,
+                    }),
             })
         })
     }
@@ -656,6 +724,34 @@ impl DquagConfigBuilder {
         self
     }
 
+    /// Enable the data-plane telemetry layer (per-column drift gauges and
+    /// the drift scoreboard). Off by default.
+    pub fn telemetry_data_enabled(mut self, enabled: bool) -> Self {
+        self.config.telemetry.data.enabled = enabled;
+        self
+    }
+
+    /// Gauge slots for the top-K drifting columns (default 8).
+    pub fn telemetry_data_top_k(mut self, top_k: usize) -> Self {
+        self.config.telemetry.data.top_k = top_k;
+        self
+    }
+
+    /// Restrict per-column drift gauges to these schema-declared columns.
+    pub fn telemetry_data_allowlist(
+        mut self,
+        columns: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        self.config.telemetry.data.allowlist = Some(columns.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Minimum wall-clock spacing between drift-gauge maintenance passes.
+    pub fn telemetry_data_min_emit_interval(mut self, interval: Duration) -> Self {
+        self.config.telemetry.data.min_emit_interval = Some(interval);
+        self
+    }
+
     /// Random seed controlling initialisation and batch shuffling.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -829,6 +925,15 @@ mod tests {
                 DquagConfig::builder().telemetry_log_interval(Duration::ZERO),
                 "log_interval",
             ),
+            (DquagConfig::builder().telemetry_data_top_k(0), "data.top_k"),
+            (
+                DquagConfig::builder().telemetry_data_allowlist(Vec::<String>::new()),
+                "data.allowlist",
+            ),
+            (
+                DquagConfig::builder().telemetry_data_min_emit_interval(Duration::ZERO),
+                "data.min_emit_interval",
+            ),
             (DquagConfig::builder().hidden_dim(0), "hidden_dim"),
         ];
         for (builder, field) in cases {
@@ -947,6 +1052,49 @@ mod tests {
             .build()
             .expect("telemetry block in range");
         assert!(!block.telemetry.enabled);
+    }
+
+    #[test]
+    fn telemetry_data_block_defaults_setters_and_build() {
+        // Off by default: the built bundle has no data layer.
+        let c = DquagConfig::default();
+        assert!(!c.telemetry.data.enabled);
+        assert_eq!(c.telemetry.data.top_k, 8);
+        assert_eq!(c.telemetry.data.allowlist, None);
+        assert_eq!(c.telemetry.data.min_emit_interval, None);
+        let bundle = c.telemetry.build().expect("telemetry on by default");
+        assert!(bundle.data().is_none());
+
+        let c = DquagConfig::builder()
+            .telemetry_data_enabled(true)
+            .telemetry_data_top_k(3)
+            .telemetry_data_min_emit_interval(Duration::from_millis(500))
+            .build()
+            .expect("data values in range");
+        assert!(c.telemetry.data.enabled);
+        assert_eq!(c.telemetry.data.top_k, 3);
+        assert_eq!(
+            c.telemetry.data.min_emit_interval,
+            Some(Duration::from_millis(500))
+        );
+        let bundle = c.telemetry.build().expect("bundle builds");
+        assert!(bundle.data().is_some());
+
+        let c = DquagConfig::builder()
+            .telemetry_data_enabled(true)
+            .telemetry_data_allowlist(["age", "fare"])
+            .build()
+            .expect("allowlist in range");
+        assert_eq!(
+            c.telemetry.data.allowlist,
+            Some(vec!["age".to_string(), "fare".to_string()])
+        );
+
+        // The data block rides the config's serde round trip.
+        let json = serde_json::to_string(&c.telemetry).unwrap();
+        assert!(json.contains("allowlist"), "{json}");
+        let back: TelemetryConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c.telemetry);
     }
 
     #[test]

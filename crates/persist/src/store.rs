@@ -477,6 +477,7 @@ mod tests {
         let telemetry = Telemetry::with_options(TelemetryOptions {
             flight_recorder_capacity: 16,
             dump_on_error: false,
+            ..TelemetryOptions::default()
         });
         let dir = unique_dir("observed");
         let path = dir.join("model.json");

@@ -66,6 +66,9 @@ pub enum RefitOutcome {
         fit_batches: usize,
         /// Where the model was persisted, when configured.
         persisted_to: Option<PathBuf>,
+        /// Columns past their drift threshold when the refit launched,
+        /// strongest first (empty without data telemetry).
+        trigger_columns: Vec<String>,
     },
     /// The refit aborted; the previous generation keeps serving.
     Failed {
@@ -128,12 +131,14 @@ impl RefitMetrics {
             RefitOutcome::Swapped {
                 generation,
                 fit_rows,
+                trigger_columns,
                 ..
             } => {
                 self.swapped.inc();
                 self.telemetry.event(FlightEventKind::RefitSwapped {
                     generation: *generation,
                     fit_rows: *fit_rows,
+                    trigger_columns: trigger_columns.clone(),
                 });
             }
             RefitOutcome::Failed { stage, reason } => {
@@ -255,6 +260,22 @@ impl RefitSupervisor {
         let batches: Vec<DataFrame> = self.reservoir.iter().cloned().collect();
         let fit_batches = batches.len();
         let fit_rows = self.reservoir_rows;
+        // Snapshot which columns stand past their drift threshold right
+        // now — the answer to "why did this refit fire", ranked strongest
+        // first. Empty when data telemetry is off.
+        let trigger_columns: Vec<String> = self
+            .metrics
+            .as_ref()
+            .and_then(|m| m.telemetry.drift_scoreboard())
+            .map(|board| {
+                board
+                    .columns
+                    .iter()
+                    .filter(|column| column.drifted)
+                    .map(|column| column.column.clone())
+                    .collect()
+            })
+            .unwrap_or_default();
         let candidate = (self.factory)();
         let swap = self.swap.clone();
         let model_path = self.config.model_path.clone();
@@ -269,6 +290,7 @@ impl RefitSupervisor {
                     fit_batches,
                     model_path,
                     &swap,
+                    trigger_columns,
                 );
                 if let Some(metrics) = &metrics {
                     metrics.record(&outcome);
@@ -312,6 +334,7 @@ fn refit_job(
     fit_batches: usize,
     model_path: Option<PathBuf>,
     swap: &SwapHandle,
+    trigger_columns: Vec<String>,
 ) -> RefitOutcome {
     let clean = match concat_batches(batches) {
         Ok(frame) => frame,
@@ -346,6 +369,7 @@ fn refit_job(
             fit_rows,
             fit_batches,
             persisted_to,
+            trigger_columns,
         },
         Err(closed) => RefitOutcome::Failed {
             stage: "swap",
@@ -453,11 +477,16 @@ mod tests {
                 fit_rows,
                 fit_batches,
                 persisted_to,
+                trigger_columns,
             } => {
                 assert_eq!(*generation, 1);
                 assert_eq!(*fit_batches, 3);
                 assert_eq!(*fit_rows, 120);
                 assert_eq!(persisted_to.as_deref(), Some(model_path.as_path()));
+                assert!(
+                    trigger_columns.is_empty(),
+                    "no data telemetry attached, so no trigger columns"
+                );
             }
             other => panic!("expected a swap, got {other:?}"),
         }
@@ -551,6 +580,7 @@ mod tests {
         let telemetry = Telemetry::with_options(TelemetryOptions {
             flight_recorder_capacity: 64,
             dump_on_error: false,
+            ..TelemetryOptions::default()
         });
         let (engine, ingest, verdicts) = StreamEngineFixture::start();
         let boot = fitted_drift();
@@ -617,11 +647,14 @@ mod tests {
         ));
         assert_eq!(swapped.get(), 1);
         assert_eq!(failed.get(), 1);
-        assert!(telemetry.recorder().dump().iter().any(|e| e.kind
-            == FlightEventKind::RefitSwapped {
+        assert!(telemetry.recorder().dump().iter().any(|e| matches!(
+            &e.kind,
+            FlightEventKind::RefitSwapped {
                 generation: 1,
                 fit_rows: 40,
-            }));
+                ..
+            }
+        )));
 
         drop(ingest);
         drop(verdicts);

@@ -14,6 +14,8 @@
 //! server: STATS <StreamStats JSON>\n
 //! client: METRICS\n
 //! server: METRICS <payload-bytes>\n<payload>   (Prometheus text; multi-line)
+//! client: DRIFT\n
+//! server: DRIFT <scoreboard JSON>\n  (ERR when data telemetry is off)
 //! client: QUIT\n
 //! server: BYE\n                      (connection closes)
 //! ```
@@ -25,9 +27,10 @@
 //! text/csv` or `application/x-ndjson`) answers `202 Accepted` with a JSON
 //! body, `GET /stats` serves the live [`StreamStats`] as
 //! `application/json`, `GET /metrics` serves the attached telemetry
-//! bundle's registry as Prometheus text (`text/plain; version=0.0.4`), and
-//! decode problems come back as `400`. One request per connection
-//! (`Connection: close`).
+//! bundle's registry as Prometheus text (`text/plain; version=0.0.4`),
+//! `GET /drift` serves the per-column drift scoreboard as JSON (404 when
+//! the bundle's data layer is off), and decode problems come back as
+//! `400`. One request per connection (`Connection: close`).
 //!
 //! [`StreamStats`]: dquag_stream::StreamStats
 
@@ -152,6 +155,16 @@ impl ConnShared {
         self.metrics
             .as_ref()
             .map(|metrics| metrics.telemetry.prometheus())
+    }
+
+    /// The `DRIFT` / `GET /drift` payload: the ranked per-column drift
+    /// scoreboard as JSON, or `None` when no telemetry is attached or its
+    /// data layer is off.
+    fn drift_json(&self) -> Option<String> {
+        self.metrics
+            .as_ref()
+            .and_then(|metrics| metrics.telemetry.drift_scoreboard())
+            .map(|board| board.to_json_string())
     }
 }
 
@@ -456,6 +469,10 @@ fn handle_connection(stream: TcpStream, conn: &ConnShared) -> Result<(), SourceE
             Some("STATS") => {
                 write_line(&mut writer, &format!("STATS {}", conn.stats_json()))?;
             }
+            Some("DRIFT") => match conn.drift_json() {
+                Some(json) => write_line(&mut writer, &format!("DRIFT {json}"))?,
+                None => write_line(&mut writer, "ERR data telemetry not enabled")?,
+            },
             Some("METRICS") => match conn.prometheus() {
                 // The payload is multi-line, so it is length-framed like
                 // BATCH rather than line-framed like STATS.
@@ -648,10 +665,18 @@ fn handle_http(
                 "{\"error\": \"telemetry not enabled\"}",
             ),
         },
+        ("GET", "/drift") => match conn.drift_json() {
+            Some(json) => http_json(writer, "200 OK", &json),
+            None => http_json(
+                writer,
+                "404 Not Found",
+                "{\"error\": \"data telemetry not enabled\"}",
+            ),
+        },
         _ => http_json(
             writer,
             "404 Not Found",
-            "{\"error\": \"try POST /ingest, GET /stats or GET /metrics\"}",
+            "{\"error\": \"try POST /ingest, GET /stats, GET /metrics or GET /drift\"}",
         ),
     }
 }

@@ -205,10 +205,16 @@ impl StreamEngineBuilder {
     /// (consumer side, emits outcomes in submission order).
     pub fn start(
         self,
-        validator: Box<dyn Validator>,
+        mut validator: Box<dyn Validator>,
     ) -> Result<(StreamEngine, IngestHandle, VerdictStream), ValidateError> {
         let config = self.config.validated().map_err(ValidateError::from)?;
 
+        // Observing validators (a drift node anywhere in the spec tree)
+        // report into the engine's bundle; replicas inherit the attachment
+        // through `replicate`.
+        if let Some(telemetry) = &self.telemetry {
+            validator.attach_telemetry(telemetry);
+        }
         let primary: Arc<dyn Validator> = Arc::from(validator);
         let mut validators: Vec<Arc<dyn Validator>> = vec![Arc::clone(&primary)];
         for _ in 1..config.replicas {
@@ -412,8 +418,13 @@ pub struct StreamEngine {
 fn swap_validator_impl(
     shared: &Arc<Shared>,
     workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-    validator: Box<dyn Validator>,
+    mut validator: Box<dyn Validator>,
 ) -> Result<u64, EngineClosed> {
+    // The incoming validator inherits the engine's telemetry bundle, just
+    // like the one handed to `start`; replicas inherit through `replicate`.
+    if let Some(metrics) = &shared.metrics {
+        validator.attach_telemetry(metrics.telemetry());
+    }
     // Build the replica set before touching any lock: replication is pure.
     let primary: Arc<dyn Validator> = Arc::from(validator);
     let mut validators: Vec<Arc<dyn Validator>> = vec![Arc::clone(&primary)];
@@ -881,15 +892,23 @@ impl VerdictStream {
         metrics.latency.record(latency);
         match outcome {
             StreamOutcome::Verdict(verdict) => {
+                metrics.record_score(verdict.score);
                 if verdict.is_dirty {
                     metrics.dirty.inc();
+                    metrics.verdict_dirty.inc();
+                } else {
+                    metrics.verdict_clean.inc();
                 }
             }
             StreamOutcome::DeadlineExceeded { .. } => {
                 metrics.deadline_missed.inc();
+                metrics.verdict_deadline.inc();
                 metrics.event(FlightEventKind::DeadlineMiss { seq });
             }
-            StreamOutcome::Failed(_) => metrics.failed.inc(),
+            StreamOutcome::Failed(_) => {
+                metrics.failed.inc();
+                metrics.verdict_failed.inc();
+            }
         }
     }
 

@@ -25,6 +25,11 @@ pub(crate) struct StreamMetrics {
     pub in_flight: Arc<Gauge>,
     pub generation: Arc<Gauge>,
     pub latency: Arc<Histogram>,
+    pub verdict_score: Arc<Histogram>,
+    pub verdict_clean: Arc<Counter>,
+    pub verdict_dirty: Arc<Counter>,
+    pub verdict_failed: Arc<Counter>,
+    pub verdict_deadline: Arc<Counter>,
 }
 
 impl StreamMetrics {
@@ -35,6 +40,13 @@ impl StreamMetrics {
                 "dquag_stream_drops_total",
                 "Batches lost to backpressure, by policy",
                 &[("policy", policy)],
+            )
+        };
+        let outcome = |outcome: &str| {
+            r.counter_with(
+                "dquag_verdict_outcomes_total",
+                "Emitted outcomes by kind",
+                &[("outcome", outcome)],
             )
         };
         Self {
@@ -85,8 +97,22 @@ impl StreamMetrics {
                 "dquag_stream_batch_latency_seconds",
                 "Submission-to-emission latency per batch",
             ),
+            verdict_score: r.histogram(
+                "dquag_verdict_score",
+                "Distribution of verdict scores (bucket bounds in score units)",
+            ),
+            verdict_clean: outcome("clean"),
+            verdict_dirty: outcome("dirty"),
+            verdict_failed: outcome("failed"),
+            verdict_deadline: outcome("deadline_exceeded"),
             telemetry,
         }
+    }
+
+    /// The telemetry bundle these handles were registered against, for
+    /// attaching observing validators at swap time.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Record a lifecycle event in the flight recorder.
@@ -97,6 +123,18 @@ impl StreamMetrics {
     /// Attribute a span to one pipeline stage.
     pub fn stage(&self, stage: Stage, elapsed: Duration) {
         self.telemetry.record_stage(stage, elapsed);
+    }
+
+    /// Record a verdict score into the score histogram. The histogram
+    /// stores nanosecond durations; feeding the score through
+    /// `Duration::from_secs_f64` makes the rendered `le` bucket bounds
+    /// read directly in score units. Non-finite or negative scores are
+    /// dropped rather than recorded as garbage buckets.
+    pub fn record_score(&self, score: f64) {
+        if score.is_finite() && score >= 0.0 {
+            self.verdict_score
+                .record(Duration::from_secs_f64(score.min(1e9)));
+        }
     }
 
     /// Refresh the occupancy gauges after a queue/in-flight transition.

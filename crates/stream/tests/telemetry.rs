@@ -60,6 +60,7 @@ fn quiet_telemetry() -> std::sync::Arc<Telemetry> {
     Telemetry::with_options(TelemetryOptions {
         flight_recorder_capacity: 64,
         dump_on_error: false,
+        ..TelemetryOptions::default()
     })
 }
 
@@ -158,6 +159,49 @@ fn swap_sets_generation_gauge_and_records_event() {
         .any(|e| e.kind == FlightEventKind::SwapGeneration { generation: 1 }));
     drop(ingest);
     engine.shutdown();
+}
+
+#[test]
+fn verdict_scores_and_outcome_counters_are_exported() {
+    let telemetry = quiet_telemetry();
+    let (engine, ingest, mut verdicts) = StreamEngine::builder()
+        .replicas(1)
+        .queue_capacity(8)
+        .telemetry(std::sync::Arc::clone(&telemetry))
+        .start(Box::new(InstantValidator { dirty: false }))
+        .expect("engine starts");
+
+    for _ in 0..3 {
+        ingest.submit(tiny_batch(4)).expect("accepted");
+    }
+    for _ in 0..3 {
+        verdicts.recv().expect("clean verdict");
+    }
+    engine
+        .swap_validator(Box::new(InstantValidator { dirty: true }))
+        .expect("swap succeeds");
+    for _ in 0..2 {
+        ingest.submit(tiny_batch(4)).expect("accepted");
+    }
+    for _ in 0..2 {
+        verdicts.recv().expect("dirty verdict");
+    }
+    ingest.close();
+    engine.shutdown();
+
+    let registry = telemetry.registry();
+    // Every emitted verdict lands in the score histogram…
+    assert_eq!(registry.histogram("dquag_verdict_score", "").count(), 5);
+    // …and in exactly one outcome counter.
+    let outcome = |kind: &str| {
+        registry
+            .counter_with("dquag_verdict_outcomes_total", "", &[("outcome", kind)])
+            .get()
+    };
+    assert_eq!(outcome("clean"), 3);
+    assert_eq!(outcome("dirty"), 2);
+    assert_eq!(outcome("failed"), 0);
+    assert_eq!(outcome("deadline_exceeded"), 0);
 }
 
 #[test]

@@ -36,11 +36,16 @@
 //! assert!(text.contains("dquag_stage_duration_seconds_count{stage=\"forward\"} 1"));
 //! ```
 
+mod data;
 mod logemit;
 mod metrics;
 mod recorder;
 mod stage;
 
+pub use data::{
+    CardinalityPolicy, ColumnDriftSample, DataTelemetry, DataTelemetryOptions, DriftScoreboard,
+    ScoreboardColumn, COLUMN_DRIFT_METRIC, COLUMN_RATIO_METRIC,
+};
 pub use logemit::LogEmitter;
 pub use metrics::{Counter, Gauge, Histogram, Labels, MetricsRegistry};
 pub use recorder::{FlightEvent, FlightEventKind, FlightRecorder};
@@ -57,6 +62,11 @@ pub struct TelemetryOptions {
     /// Dump the ring to stderr when an error-class event lands
     /// (default `true`).
     pub dump_on_error: bool,
+    /// Enable the data-plane layer (per-column drift gauges and the drift
+    /// scoreboard) with these cardinality settings. `None` (the default)
+    /// leaves it off: [`Telemetry::observe_column_drift`] degrades to one
+    /// `Option` check.
+    pub data: Option<DataTelemetryOptions>,
 }
 
 impl Default for TelemetryOptions {
@@ -64,6 +74,7 @@ impl Default for TelemetryOptions {
         Self {
             flight_recorder_capacity: 256,
             dump_on_error: true,
+            data: None,
         }
     }
 }
@@ -75,6 +86,7 @@ pub struct Telemetry {
     registry: MetricsRegistry,
     recorder: FlightRecorder,
     stages: [Arc<Histogram>; 6],
+    data: Option<DataTelemetry>,
     started: Instant,
 }
 
@@ -94,10 +106,14 @@ impl Telemetry {
                 &[("stage", stage.label())],
             )
         });
+        let data = options
+            .data
+            .map(|data_options| DataTelemetry::new(&registry, data_options));
         Arc::new(Self {
             registry,
             recorder: FlightRecorder::new(options.flight_recorder_capacity, options.dump_on_error),
             stages,
+            data,
             started: Instant::now(),
         })
     }
@@ -137,6 +153,32 @@ impl Telemetry {
         self.recorder.record(self.uptime(), kind);
     }
 
+    /// The data-plane layer, when the `data` block is enabled.
+    pub fn data(&self) -> Option<&DataTelemetry> {
+        self.data.as_ref()
+    }
+
+    /// Fold one validated batch's per-column drift statistics into the
+    /// data-plane layer: scoreboard, bounded gauge family, and one
+    /// [`FlightEventKind::DriftCrossing`] per column whose ratio rose
+    /// above threshold. A no-op when the layer is off.
+    pub fn observe_column_drift(&self, samples: &[ColumnDriftSample]) {
+        if let Some(data) = &self.data {
+            for crossing in data.observe(&self.registry, self.uptime(), samples) {
+                self.event(FlightEventKind::DriftCrossing {
+                    column: crossing.column,
+                    ratio: crossing.ratio,
+                });
+            }
+        }
+    }
+
+    /// Ranked per-column drift snapshot, or `None` when the data-plane
+    /// layer is off.
+    pub fn drift_scoreboard(&self) -> Option<DriftScoreboard> {
+        self.data.as_ref().map(DataTelemetry::scoreboard)
+    }
+
     /// Render every registered series in Prometheus text format 0.0.4.
     pub fn prometheus(&self) -> String {
         self.registry.render_prometheus()
@@ -155,6 +197,25 @@ impl Telemetry {
             serde::Value::Number(self.recorder.len() as f64),
         );
         obj.insert("metrics".to_string(), self.registry.snapshot_json());
+        if let Some(data) = &self.data {
+            // Empty-safe: null until the first column has been observed.
+            let board = data.scoreboard();
+            match board.top() {
+                Some(top) => {
+                    obj.insert(
+                        "top_drift_column".to_string(),
+                        serde::Value::String(top.column.clone()),
+                    );
+                    obj.insert(
+                        "top_drift_ratio".to_string(),
+                        serde::Value::Number(top.ratio),
+                    );
+                }
+                None => {
+                    obj.insert("top_drift_column".to_string(), serde::Value::Null);
+                }
+            }
+        }
         serde_json::to_string(&serde::Value::Object(obj)).expect("metrics snapshot serializes")
     }
 
@@ -207,6 +268,7 @@ mod tests {
         let telemetry = Telemetry::with_options(TelemetryOptions {
             flight_recorder_capacity: 4,
             dump_on_error: false,
+            ..TelemetryOptions::default()
         });
         telemetry.event(FlightEventKind::EngineStarted { replicas: 2 });
         std::thread::sleep(Duration::from_millis(2));
@@ -214,6 +276,88 @@ mod tests {
         let events = telemetry.recorder().dump();
         assert_eq!(events.len(), 2);
         assert!(events[1].uptime > events[0].uptime);
+    }
+
+    fn drift_sample(column: &str, ratio: f64) -> ColumnDriftSample {
+        ColumnDriftSample {
+            column: column.to_string(),
+            ks: Some(ratio * 0.1),
+            psi: None,
+            ratio,
+        }
+    }
+
+    #[test]
+    fn observe_column_drift_is_a_noop_without_the_data_layer() {
+        let telemetry = Telemetry::new();
+        assert!(telemetry.data().is_none());
+        telemetry.observe_column_drift(&[drift_sample("age", 5.0)]);
+        assert!(telemetry.drift_scoreboard().is_none());
+        assert!(telemetry.recorder().is_empty(), "no crossing events");
+        assert_eq!(telemetry.registry().series_count(), 6);
+    }
+
+    #[test]
+    fn data_layer_feeds_gauges_scoreboard_and_flight_events() {
+        let telemetry = Telemetry::with_options(TelemetryOptions {
+            dump_on_error: false,
+            data: Some(DataTelemetryOptions {
+                top_k: 4,
+                ..DataTelemetryOptions::default()
+            }),
+            ..TelemetryOptions::default()
+        });
+        telemetry.observe_column_drift(&[drift_sample("age", 2.0), drift_sample("fare", 0.3)]);
+        let text = telemetry.prometheus();
+        assert!(text.contains("dquag_column_drift{column=\"age\",stat=\"ks\"}"));
+        assert!(text.contains("dquag_column_drift_threshold_ratio{column=\"age\"} 2"));
+        assert!(text.contains("dquag_column_drift_tracked 2"));
+
+        let board = telemetry.drift_scoreboard().expect("data layer is on");
+        assert_eq!(board.top().unwrap().column, "age");
+
+        let crossings: Vec<_> = telemetry
+            .recorder()
+            .dump()
+            .into_iter()
+            .filter(|e| e.kind.label() == "drift_crossing")
+            .collect();
+        assert_eq!(crossings.len(), 1);
+        assert_eq!(
+            crossings[0].kind,
+            FlightEventKind::DriftCrossing {
+                column: "age".into(),
+                ratio: 2.0
+            }
+        );
+    }
+
+    #[test]
+    fn structured_line_reports_the_top_drifting_column_empty_safe() {
+        let telemetry = Telemetry::with_options(TelemetryOptions {
+            data: Some(DataTelemetryOptions::default()),
+            ..TelemetryOptions::default()
+        });
+        // Empty-safe: before any observation the field is null.
+        let line = telemetry.structured_line();
+        let value: serde::Value = serde_json::from_str(&line).expect("valid JSON");
+        assert!(matches!(
+            value.as_object().unwrap()["top_drift_column"],
+            serde::Value::Null
+        ));
+
+        telemetry.observe_column_drift(&[drift_sample("fare", 1.8), drift_sample("age", 0.2)]);
+        let line = telemetry.structured_line();
+        let value: serde::Value = serde_json::from_str(&line).expect("valid JSON");
+        let obj = value.as_object().unwrap();
+        assert_eq!(obj["top_drift_column"].as_str(), Some("fare"));
+        assert_eq!(obj["top_drift_ratio"].as_f64(), Some(1.8));
+
+        // Without the data layer the fields are absent entirely.
+        let plain = Telemetry::new();
+        let line = plain.structured_line();
+        let value: serde::Value = serde_json::from_str(&line).expect("valid JSON");
+        assert!(!value.as_object().unwrap().contains_key("top_drift_column"));
     }
 
     #[test]

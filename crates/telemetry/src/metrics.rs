@@ -323,6 +323,23 @@ impl MetricsRegistry {
         family.series.entry(label_key).or_insert_with(build).clone()
     }
 
+    /// Remove one labelled series — and its family, once empty — so
+    /// bounded-cardinality emitters can retire a series from the scrape
+    /// instead of leaving a stale value behind. Returns whether the series
+    /// existed. Handles already held stay usable; they just stop rendering.
+    pub fn remove_series(&self, name: &str, labels: &[(&str, &str)]) -> bool {
+        let label_key = render_labels(labels);
+        let mut families = self.families.lock().expect("metrics registry poisoned");
+        let Some(family) = families.get_mut(name) else {
+            return false;
+        };
+        let removed = family.series.remove(&label_key).is_some();
+        if family.series.is_empty() {
+            families.remove(name);
+        }
+        removed
+    }
+
     /// Number of distinct series (name + label combination) registered.
     pub fn series_count(&self) -> usize {
         let families = self.families.lock().expect("metrics registry poisoned");
@@ -480,6 +497,39 @@ mod tests {
         // A different label set is a different series.
         registry.gauge_with("dquag_depth", "help", &[("side", "out")]);
         assert_eq!(registry.series_count(), 3);
+    }
+
+    #[test]
+    fn removed_series_leave_the_scrape_and_can_reregister() {
+        let registry = MetricsRegistry::new();
+        registry
+            .gauge_with("dquag_col", "help", &[("column", "a")])
+            .set(1.0);
+        registry
+            .gauge_with("dquag_col", "help", &[("column", "b")])
+            .set(2.0);
+        assert!(registry.remove_series("dquag_col", &[("column", "a")]));
+        assert!(
+            !registry.remove_series("dquag_col", &[("column", "a")]),
+            "second removal is a no-op"
+        );
+        assert_eq!(registry.series_count(), 1);
+        let text = registry.render_prometheus();
+        assert!(!text.contains("column=\"a\""));
+        assert!(text.contains("dquag_col{column=\"b\"} 2"));
+
+        // Removing the last series drops the family (no orphan HELP/TYPE).
+        assert!(registry.remove_series("dquag_col", &[("column", "b")]));
+        assert!(!registry.render_prometheus().contains("dquag_col"));
+        assert!(!registry.remove_series("dquag_col", &[("column", "b")]));
+
+        // A retired series can come back with a fresh handle.
+        registry
+            .gauge_with("dquag_col", "help", &[("column", "a")])
+            .set(3.0);
+        assert!(registry
+            .render_prometheus()
+            .contains("dquag_col{column=\"a\"} 3"));
     }
 
     #[test]

@@ -22,7 +22,17 @@ pub enum FlightEventKind {
     /// A validator hot swap bumped the model generation.
     SwapGeneration { generation: u64 },
     /// A background refit fit, persisted, and swapped a new model.
-    RefitSwapped { generation: u64, fit_rows: usize },
+    /// `trigger_columns` names the drifting columns that caused it (empty
+    /// when data-plane telemetry is off or nothing was above threshold).
+    RefitSwapped {
+        generation: u64,
+        fit_rows: usize,
+        trigger_columns: Vec<String>,
+    },
+    /// A column's drift ratio crossed its threshold (ratio rose above 1.0)
+    /// on this batch — the moment a feature started drifting, sequenced
+    /// against swaps and refits.
+    DriftCrossing { column: String, ratio: f64 },
     /// A background refit died at `stage` (fit / persist / swap).
     RefitFailed { stage: String, reason: String },
     /// Backpressure dropped or rejected a batch under this policy.
@@ -50,6 +60,7 @@ impl FlightEventKind {
             FlightEventKind::EngineClosed => "engine_closed",
             FlightEventKind::SwapGeneration { .. } => "swap_generation",
             FlightEventKind::RefitSwapped { .. } => "refit_swapped",
+            FlightEventKind::DriftCrossing { .. } => "drift_crossing",
             FlightEventKind::RefitFailed { .. } => "refit_failed",
             FlightEventKind::BackpressureDrop { .. } => "backpressure_drop",
             FlightEventKind::DeadlineMiss { .. } => "deadline_miss",
@@ -88,10 +99,15 @@ impl std::fmt::Display for FlightEventKind {
             FlightEventKind::RefitSwapped {
                 generation,
                 fit_rows,
+                trigger_columns,
             } => write!(
                 f,
-                "refit_swapped generation={generation} fit_rows={fit_rows}"
+                "refit_swapped generation={generation} fit_rows={fit_rows} triggers=[{}]",
+                trigger_columns.join(",")
             ),
+            FlightEventKind::DriftCrossing { column, ratio } => {
+                write!(f, "drift_crossing column={column} ratio={ratio:.4}")
+            }
             FlightEventKind::RefitFailed { stage, reason } => {
                 write!(f, "refit_failed stage={stage} reason={reason:?}")
             }
@@ -288,6 +304,11 @@ mod tests {
         .is_error());
         assert!(FlightEventKind::DeadlineMiss { seq: 3 }.is_error());
         assert!(!FlightEventKind::SwapGeneration { generation: 1 }.is_error());
+        assert!(!FlightEventKind::DriftCrossing {
+            column: "age".into(),
+            ratio: 1.4
+        }
+        .is_error());
         assert!(!FlightEventKind::CheckpointWrite {
             path: "c.json".into()
         }

@@ -191,6 +191,13 @@ impl Validator for DquagBackend {
         Ok(Some(validator.repair(batch, &report)?))
     }
 
+    fn attach_telemetry(&mut self, telemetry: &Arc<Telemetry>) {
+        if let Some(fitted) = self.fitted.take() {
+            self.fitted = Some(fitted.with_telemetry(Arc::clone(telemetry)));
+        }
+        self.telemetry = Some(Arc::clone(telemetry));
+    }
+
     fn replicate(&self) -> Option<Box<dyn Validator>> {
         // The fitted core validator is plain data (weights, encoder,
         // thresholds), so a clone is a true independent replica.

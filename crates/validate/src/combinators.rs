@@ -164,6 +164,14 @@ impl Validator for EnsembleValidator {
         ))
     }
 
+    fn attach_telemetry(&mut self, telemetry: &std::sync::Arc<dquag_telemetry::Telemetry>) {
+        // Recurse so any observing node (a drift detector, the DQuaG
+        // backend) reports no matter how deep in the spec tree it sits.
+        for member in &mut self.members {
+            member.attach_telemetry(telemetry);
+        }
+    }
+
     fn replicate(&self) -> Option<Box<dyn Validator>> {
         // An ensemble replicates iff every member does; one Arc-shared
         // member would make the "independent replica" promise a lie.
@@ -299,6 +307,11 @@ impl Validator for GatedValidator {
             return Ok(None);
         }
         self.expensive.repair(batch, verdict)
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &std::sync::Arc<dquag_telemetry::Telemetry>) {
+        self.cheap.attach_telemetry(telemetry);
+        self.expensive.attach_telemetry(telemetry);
     }
 
     fn replicate(&self) -> Option<Box<dyn Validator>> {

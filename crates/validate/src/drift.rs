@@ -29,7 +29,9 @@ use crate::verdict::Capabilities;
 use crate::{FitReport, Result, ValidateError, Validator, Verdict};
 use dquag_core::spec::{DriftSpec, DriftTest, ValidatorSpec};
 use dquag_tabular::{DataFrame, DataType};
+use dquag_telemetry::{ColumnDriftSample, Telemetry};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Laplace-style floor keeping PSI finite when a bucket is empty on one
 /// side.
@@ -98,6 +100,11 @@ pub struct DriftValidator {
     spec: DriftSpec,
     name: String,
     profiles: Option<Vec<(String, ColumnProfile)>>,
+    /// Data-plane telemetry sink: when attached, every validation feeds
+    /// its per-column statistics into the bundle's drift gauges and
+    /// scoreboard. Survives [`Validator::replicate`] (a clone), so every
+    /// engine replica reports into the same series.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl DriftValidator {
@@ -117,6 +124,7 @@ impl DriftValidator {
             spec,
             name: name.to_string(),
             profiles: None,
+            telemetry: None,
         }
     }
 
@@ -396,6 +404,18 @@ impl Validator for DriftValidator {
 
     fn validate(&self, batch: &DataFrame) -> Result<Verdict> {
         let drifts = self.column_drift(batch)?;
+        if let Some(telemetry) = &self.telemetry {
+            let samples: Vec<ColumnDriftSample> = drifts
+                .iter()
+                .map(|d| ColumnDriftSample {
+                    column: d.column.clone(),
+                    ks: d.ks,
+                    psi: d.psi,
+                    ratio: d.ratio,
+                })
+                .collect();
+            telemetry.observe_column_drift(&samples);
+        }
         let score = drifts.iter().map(|d| d.ratio).fold(0.0f64, f64::max);
         let drifted: Vec<&ColumnDrift> = drifts.iter().filter(|d| d.drifted()).collect();
         let is_dirty = !drifted.is_empty();
@@ -457,6 +477,10 @@ impl Validator for DriftValidator {
             batch.n_rows(),
             violations,
         ))
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Arc<Telemetry>) {
+        self.telemetry = Some(Arc::clone(telemetry));
     }
 
     fn replicate(&self) -> Option<Box<dyn Validator>> {
@@ -807,6 +831,63 @@ mod tests {
             .sorted
             .reverse();
         assert!(DriftValidator::from_state(shuffled).is_err());
+    }
+
+    #[test]
+    fn attached_telemetry_receives_per_column_statistics() {
+        use dquag_core::spec::DriftSpec;
+        use dquag_tabular::{DataFrame, Field, Schema, Value};
+        use dquag_telemetry::{DataTelemetryOptions, TelemetryOptions};
+
+        let schema = Schema::new(vec![
+            Field::numeric("amount", ""),
+            Field::numeric("delay", ""),
+        ]);
+        let mut reference = DataFrame::new(schema.clone());
+        for i in 0..60 {
+            reference
+                .push_row(vec![
+                    Value::Number(i as f64 / 10.0),
+                    Value::Number((i % 7) as f64),
+                ])
+                .unwrap();
+        }
+        let mut detector = DriftValidator::new(DriftSpec::default());
+        detector.fit(&reference).unwrap();
+
+        let telemetry = Telemetry::with_options(TelemetryOptions {
+            dump_on_error: false,
+            data: Some(DataTelemetryOptions::default()),
+            ..TelemetryOptions::default()
+        });
+        detector.attach_telemetry(&telemetry);
+
+        // `amount` shifts far from the reference; `delay` stays put.
+        let mut batch = DataFrame::new(schema);
+        for i in 0..30 {
+            batch
+                .push_row(vec![
+                    Value::Number(500.0 + i as f64),
+                    Value::Number((i % 7) as f64),
+                ])
+                .unwrap();
+        }
+        let verdict = detector.validate(&batch).unwrap();
+        assert!(verdict.is_dirty);
+
+        let board = telemetry.drift_scoreboard().expect("data layer on");
+        assert_eq!(board.batches, 1);
+        assert_eq!(board.columns.len(), 2);
+        assert_eq!(board.top().unwrap().column, "amount");
+        assert!(board.top().unwrap().drifted);
+        let text = telemetry.prometheus();
+        assert!(text.contains("dquag_column_drift{column=\"amount\",stat=\"ks\"}"));
+        assert!(text.contains("dquag_column_drift_threshold_ratio{column=\"amount\"}"));
+
+        // A replica keeps reporting into the same bundle.
+        let replica = detector.replicate().expect("fitted detectors replicate");
+        replica.validate(&batch).unwrap();
+        assert_eq!(telemetry.drift_scoreboard().unwrap().batches, 2);
     }
 
     #[test]

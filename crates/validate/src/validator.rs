@@ -4,7 +4,9 @@ use crate::verdict::Capabilities;
 use crate::{FitReport, Result, Verdict};
 use dquag_core::CoreError;
 use dquag_tabular::DataFrame;
+use dquag_telemetry::Telemetry;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors surfaced by the unified validator API.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +88,16 @@ pub trait Validator: Send + Sync {
     /// the replica must produce verdicts identical to the original's.
     fn replicate(&self) -> Option<Box<dyn Validator>> {
         None
+    }
+
+    /// Attach a shared telemetry bundle so this validator reports
+    /// data-plane observations (per-column drift, backend scores) as it
+    /// validates. The default is a no-op; composites recurse into their
+    /// members so any spec containing an observing node reports. The
+    /// streaming engine calls this automatically on start and on every
+    /// hot swap when it was built with telemetry.
+    fn attach_telemetry(&mut self, telemetry: &Arc<Telemetry>) {
+        let _ = telemetry;
     }
 
     /// Export this validator's complete fitted state for persistence, or

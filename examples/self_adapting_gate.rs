@@ -172,6 +172,7 @@ fn main() {
             fit_rows,
             fit_batches,
             persisted_to,
+            ..
         }] => println!(
             "\nhot swap complete: generation {generation} (refit on {fit_rows} rows / \
              {fit_batches} batches, persisted to {})\n",
