@@ -114,6 +114,79 @@ impl Default for CheckpointConfig {
     }
 }
 
+/// The serving edge's connection discipline (`dquag-sources`): how many
+/// sockets the listener multiplexes, over how many worker threads, and how
+/// long it lets them linger.
+///
+/// The listener is readiness-based: a small fixed pool of worker threads
+/// drives every open connection off `poll(2)`-style readiness, so the
+/// thread count is `workers` regardless of how many peers are connected.
+/// Connections beyond [`max_connections`] are answered with a fast
+/// `503 Service Unavailable` (HTTP) or `REJECTED` (raw protocol) and
+/// closed — the gate degrades loudly under overload instead of growing a
+/// thread per socket until something snaps.
+///
+/// [`max_connections`]: ServingConfig::max_connections
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServingConfig {
+    /// Worker threads multiplexing all open connections. The listener's
+    /// thread budget is exactly this, independent of connection count.
+    pub workers: usize,
+    /// Open-connection cap. Accepts beyond it are refused with a fast
+    /// `503`/`REJECTED` reply and an `accept_overflow` flight event.
+    pub max_connections: usize,
+    /// Honor `Connection: keep-alive` on HTTP requests, letting scrapers
+    /// and producers reuse one socket for many requests. Requests that do
+    /// not ask for keep-alive are answered `Connection: close`, matching
+    /// pre-keep-alive clients.
+    pub keep_alive: bool,
+    /// HTTP requests served on one kept-alive connection before the
+    /// listener answers `Connection: close` and recycles the socket.
+    pub max_requests_per_connection: usize,
+    /// How long a connection may sit idle (no bytes in either direction)
+    /// before the listener closes it.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_connections: 1024,
+            keep_alive: true,
+            max_requests_per_connection: 1000,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ServingConfig {
+    /// Validate every field's range, returning the offending field on error.
+    pub fn validated(self) -> crate::Result<Self> {
+        if self.workers == 0 {
+            return Err(crate::CoreError::InvalidConfig(
+                "source.serving.workers must be at least 1".to_string(),
+            ));
+        }
+        if self.max_connections == 0 {
+            return Err(crate::CoreError::InvalidConfig(
+                "source.serving.max_connections must be at least 1".to_string(),
+            ));
+        }
+        if self.max_requests_per_connection == 0 {
+            return Err(crate::CoreError::InvalidConfig(
+                "source.serving.max_requests_per_connection must be at least 1".to_string(),
+            ));
+        }
+        if self.idle_timeout.is_zero() {
+            return Err(crate::CoreError::InvalidConfig(
+                "source.serving.idle_timeout must be nonzero".to_string(),
+            ));
+        }
+        Ok(self)
+    }
+}
+
 /// Configuration of the source-adapter layer (`dquag-sources`): the network
 /// listener, the polling directory watcher and durable checkpointing.
 ///
@@ -131,6 +204,9 @@ pub struct SourceConfig {
     /// Upper bound on one framed batch payload, in bytes. Oversized frames
     /// are refused with an error reply instead of buffering unboundedly.
     pub max_frame_bytes: usize,
+    /// Connection discipline of the network listener: worker-pool size,
+    /// connection cap, keep-alive and idle timeout.
+    pub serving: ServingConfig,
     /// Durable checkpoint/restore settings.
     pub checkpoint: CheckpointConfig,
 }
@@ -141,6 +217,7 @@ impl Default for SourceConfig {
             bind_addr: "127.0.0.1:0".to_string(),
             poll_interval: Duration::from_millis(200),
             max_frame_bytes: 16 * 1024 * 1024,
+            serving: ServingConfig::default(),
             checkpoint: CheckpointConfig::default(),
         }
     }
@@ -173,7 +250,8 @@ impl SourceConfig {
                 "source.checkpoint.interval must be nonzero".to_string(),
             ));
         }
-        Ok(self)
+        let serving = self.serving.validated()?;
+        Ok(Self { serving, ..self })
     }
 }
 
@@ -682,6 +760,43 @@ impl DquagConfigBuilder {
         self
     }
 
+    /// Replace the whole serving-edge configuration block.
+    pub fn serving(mut self, serving: ServingConfig) -> Self {
+        self.config.source.serving = serving;
+        self
+    }
+
+    /// Worker threads multiplexing the listener's open connections.
+    pub fn serving_workers(mut self, workers: usize) -> Self {
+        self.config.source.serving.workers = workers;
+        self
+    }
+
+    /// Open-connection cap; accepts beyond it are refused with a fast
+    /// `503`/`REJECTED` reply.
+    pub fn serving_max_connections(mut self, max: usize) -> Self {
+        self.config.source.serving.max_connections = max;
+        self
+    }
+
+    /// Honor `Connection: keep-alive` on HTTP requests (on by default).
+    pub fn serving_keep_alive(mut self, keep_alive: bool) -> Self {
+        self.config.source.serving.keep_alive = keep_alive;
+        self
+    }
+
+    /// HTTP requests served on one kept-alive connection before recycling.
+    pub fn serving_max_requests_per_connection(mut self, max: usize) -> Self {
+        self.config.source.serving.max_requests_per_connection = max;
+        self
+    }
+
+    /// How long a connection may sit idle before the listener closes it.
+    pub fn serving_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.config.source.serving.idle_timeout = timeout;
+        self
+    }
+
     /// Enable durable checkpointing to this file.
     pub fn checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.config.source.checkpoint.path = Some(path.into());
@@ -917,6 +1032,19 @@ mod tests {
                 DquagConfig::builder().checkpoint_interval(Duration::ZERO),
                 "checkpoint.interval",
             ),
+            (DquagConfig::builder().serving_workers(0), "serving.workers"),
+            (
+                DquagConfig::builder().serving_max_connections(0),
+                "serving.max_connections",
+            ),
+            (
+                DquagConfig::builder().serving_max_requests_per_connection(0),
+                "serving.max_requests_per_connection",
+            ),
+            (
+                DquagConfig::builder().serving_idle_timeout(Duration::ZERO),
+                "serving.idle_timeout",
+            ),
             (
                 DquagConfig::builder().flight_recorder_capacity(0),
                 "flight_recorder_capacity",
@@ -1015,6 +1143,45 @@ mod tests {
             .build()
             .expect("source block in range");
         assert_eq!(block.source.bind_addr, "0.0.0.0:9000");
+    }
+
+    #[test]
+    fn serving_defaults_and_setters() {
+        let c = DquagConfig::default();
+        assert_eq!(c.source.serving.workers, 4);
+        assert_eq!(c.source.serving.max_connections, 1024);
+        assert!(c.source.serving.keep_alive);
+        assert_eq!(c.source.serving.max_requests_per_connection, 1000);
+        assert_eq!(c.source.serving.idle_timeout, Duration::from_secs(30));
+
+        let c = DquagConfig::builder()
+            .serving_workers(2)
+            .serving_max_connections(64)
+            .serving_keep_alive(false)
+            .serving_max_requests_per_connection(16)
+            .serving_idle_timeout(Duration::from_secs(5))
+            .build()
+            .expect("serving values in range");
+        assert_eq!(c.source.serving.workers, 2);
+        assert_eq!(c.source.serving.max_connections, 64);
+        assert!(!c.source.serving.keep_alive);
+        assert_eq!(c.source.serving.max_requests_per_connection, 16);
+        assert_eq!(c.source.serving.idle_timeout, Duration::from_secs(5));
+
+        let block = DquagConfig::builder()
+            .serving(ServingConfig {
+                workers: 1,
+                ..ServingConfig::default()
+            })
+            .build()
+            .expect("serving block in range");
+        assert_eq!(block.source.serving.workers, 1);
+
+        // The serving block rides the source block's serde round trip.
+        let json = serde_json::to_string(&c.source).unwrap();
+        assert!(json.contains("max_connections"), "{json}");
+        let back: SourceConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c.source);
     }
 
     #[test]

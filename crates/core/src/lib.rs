@@ -52,8 +52,8 @@ pub mod metrics;
 pub mod spec;
 
 pub use config::{
-    BackpressurePolicy, CheckpointConfig, DquagConfig, DquagConfigBuilder, SourceConfig,
-    StreamConfig, TelemetryConfig,
+    BackpressurePolicy, CheckpointConfig, DquagConfig, DquagConfigBuilder, ServingConfig,
+    SourceConfig, StreamConfig, TelemetryConfig,
 };
 pub use error::CoreError;
 pub use pipeline::{CellFlag, DquagModelState, DquagValidator, TrainingSummary, ValidationReport};

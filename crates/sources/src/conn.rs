@@ -1,0 +1,904 @@
+//! One multiplexed connection: a nonblocking protocol state machine the
+//! worker pool drives off readiness.
+//!
+//! The old listener parked one thread per socket in blocking reads; here a
+//! [`Conn`] owns buffered input/output and a [`State`], and every
+//! [`drive`] call makes whatever progress the socket allows — read what's
+//! there, advance the protocol over complete frames, flush what's queued —
+//! then returns to the worker's poll loop. Both wire protocols (line-framed
+//! raw and HTTP/1.1) run on the same machine, and HTTP gains keep-alive:
+//! a request carrying `Connection: keep-alive` is answered in kind and the
+//! connection returns to [`State::Line`] for the next request, up to the
+//! configured per-connection request cap. Requests without the header are
+//! answered `Connection: close` exactly as before, so pre-keep-alive
+//! clients (and everything that reads to EOF) see no change.
+//!
+//! Closes are graceful: the reply is flushed, the write side is shut down
+//! (FIN), and the connection lingers briefly draining the peer's remaining
+//! bytes so a close never turns into a RST that destroys a reply in
+//! flight — the difference between an overflow client *seeing* its 503 and
+//! seeing a reset.
+//!
+//! [`drive`]: Conn::drive
+
+use crate::decode::{decode_batch, WireFormat};
+use crate::source::{SourceError, SourceSink};
+use dquag_stream::SubmitOutcome;
+use dquag_tabular::{DataFrame, Schema};
+use dquag_telemetry::{Counter, Gauge, Stage, Telemetry};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// `Content-Type` of `GET /stats` (and every JSON error body).
+const CONTENT_TYPE_JSON: &str = "application/json";
+/// `Content-Type` of `GET /metrics` — the Prometheus text exposition
+/// format version clients content-negotiate on.
+pub(crate) const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4";
+
+/// Cap on a protocol header line; a peer streaming an endless first line is
+/// cut off instead of buffering unboundedly.
+const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// How long an over-capacity connection may wait for its first line before
+/// being dropped, and how long a rejected one lingers for the peer to read
+/// its refusal.
+const REJECT_LINGER: Duration = Duration::from_secs(2);
+
+/// After the write side is shut down, how long to keep draining the peer
+/// before fully closing.
+const CLOSE_LINGER: Duration = Duration::from_secs(1);
+
+/// Bytes read from one socket per [`Conn::drive`] call, so a firehose peer
+/// cannot starve the other connections on its worker.
+const READ_BUDGET_CHUNKS: usize = 16;
+
+/// Telemetry handles the listener resolves once at start.
+pub(crate) struct NetMetrics {
+    pub(crate) telemetry: Arc<Telemetry>,
+    pub(crate) connections: Arc<Counter>,
+    pub(crate) decode_errors: Arc<Counter>,
+    pub(crate) accept_rejects: Arc<Counter>,
+    pub(crate) accept_errors: Arc<Counter>,
+    pub(crate) keepalive_reuse: Arc<Counter>,
+    pub(crate) open_connections: Arc<Gauge>,
+}
+
+impl NetMetrics {
+    pub(crate) fn new(telemetry: Arc<Telemetry>) -> Self {
+        let r = telemetry.registry();
+        Self {
+            connections: r.counter(
+                "dquag_source_connections_total",
+                "TCP connections accepted by the network listener",
+            ),
+            decode_errors: r.counter(
+                "dquag_source_decode_errors_total",
+                "Payloads that failed wire-format decoding",
+            ),
+            accept_rejects: r.counter(
+                "dquag_source_accept_rejects_total",
+                "Connections refused because the listener was at max_connections",
+            ),
+            accept_errors: r.counter(
+                "dquag_source_accept_errors_total",
+                "Accepted sockets dropped because handing them to a worker failed",
+            ),
+            keepalive_reuse: r.counter(
+                "dquag_source_keepalive_reuse_total",
+                "HTTP requests served on an already-used kept-alive connection",
+            ),
+            open_connections: r.gauge(
+                "dquag_source_open_connections",
+                "Connections currently open on the network listener",
+            ),
+            telemetry,
+        }
+    }
+}
+
+/// Everything the per-connection state machines share.
+pub(crate) struct ConnShared {
+    pub(crate) schema: Schema,
+    pub(crate) max_frame_bytes: usize,
+    pub(crate) spec: Option<dquag_core::ValidatorSpec>,
+    pub(crate) serving: dquag_core::ServingConfig,
+    pub(crate) sink: SourceSink,
+    pub(crate) metrics: Option<NetMetrics>,
+}
+
+impl ConnShared {
+    /// The `STATS` / `GET /stats` payload: the live [`dquag_stream::StreamStats`]
+    /// object, extended with an `active_spec` key naming the validator tree
+    /// when the listener knows it. Extra keys are invisible to
+    /// `StreamStats`-shaped readers, so pre-spec monitoring keeps parsing.
+    pub(crate) fn stats_json(&self) -> String {
+        let mut value = serde::Serialize::to_value(&self.sink.stats());
+        if let (serde::Value::Object(map), Some(spec)) = (&mut value, &self.spec) {
+            map.insert("active_spec".to_string(), serde::Serialize::to_value(spec));
+        }
+        serde_json::to_string(&value).expect("stats serialisation is infallible")
+    }
+
+    /// Decode one payload, timing the `decode` stage and counting failures
+    /// when telemetry is attached.
+    pub(crate) fn decode_observed(
+        &self,
+        format: WireFormat,
+        payload: &[u8],
+    ) -> Result<DataFrame, SourceError> {
+        let started = Instant::now();
+        let decoded = decode_batch(format, payload, &self.schema);
+        if let Some(metrics) = &self.metrics {
+            metrics
+                .telemetry
+                .record_stage(Stage::Decode, started.elapsed());
+            if decoded.is_err() {
+                metrics.decode_errors.inc();
+            }
+        }
+        decoded
+    }
+
+    /// The Prometheus payload, or `None` when no telemetry is attached.
+    pub(crate) fn prometheus(&self) -> Option<String> {
+        self.metrics
+            .as_ref()
+            .map(|metrics| metrics.telemetry.prometheus())
+    }
+
+    /// The `DRIFT` / `GET /drift` payload: the ranked per-column drift
+    /// scoreboard as JSON, or `None` when no telemetry is attached or its
+    /// data layer is off.
+    pub(crate) fn drift_json(&self) -> Option<String> {
+        self.metrics
+            .as_ref()
+            .and_then(|metrics| metrics.telemetry.drift_scoreboard())
+            .map(|board| board.to_json_string())
+    }
+}
+
+/// Where the connection is in its protocol.
+enum State {
+    /// Waiting for a command / request line.
+    Line,
+    /// A `BATCH` header was read; waiting for `len` payload bytes.
+    RawPayload { format: WireFormat, len: usize },
+    /// An HTTP request line was read; accumulating headers.
+    HttpHeaders {
+        method: String,
+        path: String,
+        content_lengths: Vec<String>,
+        content_type: String,
+        client_keep: bool,
+    },
+    /// A `POST /ingest` with a valid `Content-Length`; waiting for the body.
+    HttpBody {
+        len: usize,
+        content_type: String,
+        keep: bool,
+    },
+}
+
+/// One nonblocking connection owned by a pool worker.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    state: State,
+    created: Instant,
+    last_activity: Instant,
+    half_closed_at: Instant,
+    /// Completed HTTP requests on this connection (keep-alive reuse).
+    http_requests: usize,
+    /// Accepted over capacity: answer the first line with a refusal, close.
+    reject: bool,
+    eof: bool,
+    closing: bool,
+    half_closed: bool,
+    dead: bool,
+}
+
+impl Conn {
+    /// A connection the pool will serve normally.
+    pub(crate) fn new(stream: TcpStream) -> Self {
+        Self::build(stream, false)
+    }
+
+    /// An over-capacity connection: its first line is answered with a fast
+    /// `503` / `REJECTED` refusal, then the socket closes.
+    pub(crate) fn reject(stream: TcpStream) -> Self {
+        Self::build(stream, true)
+    }
+
+    fn build(stream: TcpStream, reject: bool) -> Self {
+        let now = Instant::now();
+        Self {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            state: State::Line,
+            created: now,
+            last_activity: now,
+            half_closed_at: now,
+            http_requests: 0,
+            reject,
+            eof: false,
+            closing: false,
+            half_closed: false,
+            dead: false,
+        }
+    }
+
+    /// The socket, for readiness registration.
+    pub(crate) fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Whether reply bytes are queued (the poll set should watch POLLOUT).
+    pub(crate) fn wants_write(&self) -> bool {
+        !self.outbuf.is_empty()
+    }
+
+    /// Whether the connection is finished and should be dropped.
+    pub(crate) fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Whether this is an over-capacity refusal connection (not counted
+    /// against the open-connection gauge).
+    pub(crate) fn is_reject(&self) -> bool {
+        self.reject
+    }
+
+    /// Make all progress the socket currently allows: read, advance the
+    /// protocol, flush, and run the close/linger/idle bookkeeping.
+    pub(crate) fn drive(&mut self, shared: &ConnShared) {
+        if self.dead {
+            return;
+        }
+        self.read_available();
+        if self.dead {
+            return;
+        }
+        if self.half_closed {
+            // Only draining the peer now; its bytes have nowhere to go.
+            self.inbuf.clear();
+        } else {
+            self.advance(shared);
+        }
+        self.flush();
+        if self.eof && !self.half_closed {
+            self.closing = true;
+        }
+        if self.closing && !self.half_closed && !self.dead && self.outbuf.is_empty() {
+            // Reply delivered: send FIN but keep reading, so a peer that is
+            // still mid-request gets our bytes instead of a reset.
+            let _ = self.stream.shutdown(std::net::Shutdown::Write);
+            self.half_closed = true;
+            self.half_closed_at = Instant::now();
+        }
+        if self.half_closed && (self.eof || self.half_closed_at.elapsed() > CLOSE_LINGER) {
+            self.dead = true;
+        }
+        if self.expired(shared) {
+            self.dead = true;
+        }
+    }
+
+    /// The deadline sweep for a connection with no I/O readiness this
+    /// tick: idle timeout, refusal linger, and close linger still apply.
+    pub(crate) fn tick(&mut self, shared: &ConnShared) {
+        if self.dead {
+            return;
+        }
+        if self.half_closed && self.half_closed_at.elapsed() > CLOSE_LINGER {
+            self.dead = true;
+        }
+        if self.expired(shared) {
+            self.dead = true;
+        }
+    }
+
+    /// Blocking best-effort flush of any queued reply, for shutdown: the
+    /// worker is exiting, so "ERR engine closed" must leave now or never.
+    pub(crate) fn final_flush(&mut self) {
+        if self.dead || self.outbuf.is_empty() {
+            return;
+        }
+        self.stream.set_nonblocking(false).ok();
+        self.stream
+            .set_write_timeout(Some(Duration::from_millis(250)))
+            .ok();
+        let _ = self.stream.write_all(&self.outbuf);
+        self.outbuf.clear();
+    }
+
+    fn expired(&self, shared: &ConnShared) -> bool {
+        if self.reject {
+            self.created.elapsed() > REJECT_LINGER
+        } else {
+            self.last_activity.elapsed() > shared.serving.idle_timeout
+        }
+    }
+
+    fn read_available(&mut self) {
+        let mut chunk = [0u8; 4096];
+        for _ in 0..READ_BUDGET_CHUNKS {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        while !self.outbuf.is_empty() && !self.dead {
+            match self.stream.write(&self.outbuf) {
+                Ok(0) => self.dead = true,
+                Ok(n) => {
+                    self.outbuf.drain(..n);
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => self.dead = true,
+            }
+        }
+    }
+
+    /// Process every complete frame sitting in `inbuf`.
+    fn advance(&mut self, shared: &ConnShared) {
+        loop {
+            if self.dead || self.closing {
+                return;
+            }
+            match std::mem::replace(&mut self.state, State::Line) {
+                State::Line => {
+                    let Some(line) = self.take_line() else {
+                        return;
+                    };
+                    if self.reject {
+                        self.refuse(&line);
+                        return;
+                    }
+                    if let Some((method, path)) = parse_http_request_line(&line) {
+                        if self.http_requests >= 1 {
+                            if let Some(metrics) = &shared.metrics {
+                                metrics.keepalive_reuse.inc();
+                            }
+                        }
+                        self.state = State::HttpHeaders {
+                            method,
+                            path,
+                            content_lengths: Vec::new(),
+                            content_type: String::new(),
+                            client_keep: false,
+                        };
+                    } else {
+                        self.raw_command(&line, shared);
+                    }
+                }
+                State::RawPayload { format, len } => {
+                    if self.inbuf.len() < len {
+                        self.state = State::RawPayload { format, len };
+                        return;
+                    }
+                    let payload: Vec<u8> = self.inbuf.drain(..len).collect();
+                    let reply = ingest_reply(&payload, format, shared);
+                    // The engine is gone; this reply is the connection's last.
+                    let engine_closed = reply == "ERR engine closed";
+                    self.push_line(&reply);
+                    if engine_closed {
+                        self.closing = true;
+                    }
+                }
+                State::HttpHeaders {
+                    method,
+                    path,
+                    mut content_lengths,
+                    mut content_type,
+                    mut client_keep,
+                } => loop {
+                    let Some(line) = self.take_line() else {
+                        self.state = State::HttpHeaders {
+                            method,
+                            path,
+                            content_lengths,
+                            content_type,
+                            client_keep,
+                        };
+                        return;
+                    };
+                    if line.is_empty() {
+                        self.http_request(
+                            shared,
+                            &method,
+                            &path,
+                            &content_lengths,
+                            content_type,
+                            client_keep,
+                        );
+                        break;
+                    }
+                    if let Some((name, value)) = line.split_once(':') {
+                        let value = value.trim();
+                        if name.eq_ignore_ascii_case("content-length") {
+                            content_lengths.push(value.to_string());
+                        } else if name.eq_ignore_ascii_case("content-type") {
+                            content_type = value.to_string();
+                        } else if name.eq_ignore_ascii_case("connection") {
+                            client_keep = value.eq_ignore_ascii_case("keep-alive");
+                        }
+                    }
+                },
+                State::HttpBody {
+                    len,
+                    content_type,
+                    keep,
+                } => {
+                    if self.inbuf.len() < len {
+                        self.state = State::HttpBody {
+                            len,
+                            content_type,
+                            keep,
+                        };
+                        return;
+                    }
+                    let body: Vec<u8> = self.inbuf.drain(..len).collect();
+                    self.http_ingest(shared, &body, &content_type, keep);
+                }
+            }
+        }
+    }
+
+    /// The next `\n`-terminated line (CR stripped), or `None` when no full
+    /// line is buffered yet. Overlong and non-UTF-8 lines kill the
+    /// connection, as the blocking reader did.
+    fn take_line(&mut self) -> Option<String> {
+        match self.inbuf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let mut line: Vec<u8> = self.inbuf.drain(..=pos).collect();
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                match String::from_utf8(line) {
+                    Ok(text) => Some(text),
+                    Err(_) => {
+                        self.dead = true;
+                        None
+                    }
+                }
+            }
+            None => {
+                if self.inbuf.len() > MAX_LINE_BYTES {
+                    self.dead = true;
+                }
+                None
+            }
+        }
+    }
+
+    /// Answer an over-capacity connection's first line in its own protocol,
+    /// then close.
+    fn refuse(&mut self, line: &str) {
+        if parse_http_request_line(line).is_some() {
+            self.push_http(
+                "503 Service Unavailable",
+                CONTENT_TYPE_JSON,
+                "{\"error\": \"listener at connection capacity\"}",
+                false,
+            );
+        } else {
+            self.push_line("REJECTED listener at connection capacity");
+        }
+        self.closing = true;
+    }
+
+    /// Dispatch one raw-protocol command line.
+    fn raw_command(&mut self, line: &str, shared: &ConnShared) {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("BATCH") => match parse_batch_header(parts, shared.max_frame_bytes) {
+                Ok((format, len)) => self.state = State::RawPayload { format, len },
+                // A bad or oversized header leaves us unsure where the next
+                // frame starts; reply, then drop the connection to
+                // resynchronise.
+                Err(e) => {
+                    self.push_line(&format!("ERR {}", one_line(&e.to_string())));
+                    self.closing = true;
+                }
+            },
+            Some("STATS") => self.push_line(&format!("STATS {}", shared.stats_json())),
+            Some("DRIFT") => match shared.drift_json() {
+                Some(json) => self.push_line(&format!("DRIFT {json}")),
+                None => self.push_line("ERR data telemetry not enabled"),
+            },
+            Some("METRICS") => match shared.prometheus() {
+                // The payload is multi-line, so it is length-framed like
+                // BATCH rather than line-framed like STATS.
+                Some(text) => {
+                    self.push_line(&format!("METRICS {}", text.len()));
+                    self.outbuf.extend_from_slice(text.as_bytes());
+                }
+                None => self.push_line("ERR telemetry not enabled"),
+            },
+            Some("QUIT") => {
+                self.push_line("BYE");
+                self.closing = true;
+            }
+            Some(other) => {
+                self.push_line(&format!("ERR unknown command `{}`", one_line(other)));
+                self.closing = true;
+            }
+            None => {
+                // Blank keep-alive line; ignore.
+            }
+        }
+    }
+
+    /// Route one HTTP request whose headers are fully read.
+    fn http_request(
+        &mut self,
+        shared: &ConnShared,
+        method: &str,
+        path: &str,
+        content_lengths: &[String],
+        content_type: String,
+        client_keep: bool,
+    ) {
+        // Keep-alive is opt-in on both sides: the client must ask, the
+        // config must allow, and the request cap must not be reached.
+        let keep = client_keep
+            && shared.serving.keep_alive
+            && self.http_requests + 1 < shared.serving.max_requests_per_connection;
+        match (method, path) {
+            ("POST", "/ingest") => {
+                let len = match parse_content_length(content_lengths) {
+                    Ok(Some(len)) => len,
+                    Ok(None) => {
+                        self.push_http(
+                            "411 Length Required",
+                            CONTENT_TYPE_JSON,
+                            "{\"error\": \"Content-Length is required\"}",
+                            false,
+                        );
+                        return self.finish_http(false);
+                    }
+                    // Malformed or conflicting framing: the body boundary is
+                    // unknowable, so answer 400 and close.
+                    Err(message) => {
+                        self.push_http(
+                            "400 Bad Request",
+                            CONTENT_TYPE_JSON,
+                            &format!("{{\"error\": \"{message}\"}}"),
+                            false,
+                        );
+                        return self.finish_http(false);
+                    }
+                };
+                if len > shared.max_frame_bytes {
+                    self.push_http(
+                        "413 Payload Too Large",
+                        CONTENT_TYPE_JSON,
+                        &format!(
+                            "{{\"error\": \"body of {len} bytes exceeds the {}-byte limit\"}}",
+                            shared.max_frame_bytes
+                        ),
+                        false,
+                    );
+                    return self.finish_http(false);
+                }
+                self.state = State::HttpBody {
+                    len,
+                    content_type,
+                    keep,
+                };
+            }
+            ("GET", "/stats") => {
+                self.push_http("200 OK", CONTENT_TYPE_JSON, &shared.stats_json(), keep);
+                self.finish_http(keep);
+            }
+            ("GET", "/metrics") => {
+                match shared.prometheus() {
+                    Some(text) => self.push_http("200 OK", CONTENT_TYPE_PROMETHEUS, &text, keep),
+                    None => self.push_http(
+                        "404 Not Found",
+                        CONTENT_TYPE_JSON,
+                        "{\"error\": \"telemetry not enabled\"}",
+                        keep,
+                    ),
+                }
+                self.finish_http(keep);
+            }
+            ("GET", "/drift") => {
+                match shared.drift_json() {
+                    Some(json) => self.push_http("200 OK", CONTENT_TYPE_JSON, &json, keep),
+                    None => self.push_http(
+                        "404 Not Found",
+                        CONTENT_TYPE_JSON,
+                        "{\"error\": \"data telemetry not enabled\"}",
+                        keep,
+                    ),
+                }
+                self.finish_http(keep);
+            }
+            _ => {
+                self.push_http(
+                    "404 Not Found",
+                    CONTENT_TYPE_JSON,
+                    "{\"error\": \"try POST /ingest, GET /stats, GET /metrics or GET /drift\"}",
+                    keep,
+                );
+                self.finish_http(keep);
+            }
+        }
+    }
+
+    /// Decode and deliver one `POST /ingest` body, answering in HTTP.
+    fn http_ingest(&mut self, shared: &ConnShared, body: &[u8], content_type: &str, keep: bool) {
+        let format = WireFormat::from_content_type(content_type);
+        match shared.decode_observed(format, body) {
+            Ok(batch) if batch.is_empty() => {
+                self.push_http(
+                    "400 Bad Request",
+                    CONTENT_TYPE_JSON,
+                    "{\"error\": \"empty batch\"}",
+                    keep,
+                );
+                self.finish_http(keep);
+            }
+            Ok(batch) => {
+                let n_rows = batch.n_rows();
+                match shared.sink.deliver(batch) {
+                    Ok(SubmitOutcome::Enqueued(seq)) => {
+                        self.push_http(
+                            "202 Accepted",
+                            CONTENT_TYPE_JSON,
+                            &format!(
+                                "{{\"status\": \"enqueued\", \"seq\": {seq}, \"rows\": {n_rows}}}"
+                            ),
+                            keep,
+                        );
+                        self.finish_http(keep);
+                    }
+                    Ok(other) => {
+                        self.push_http(
+                            "503 Service Unavailable",
+                            CONTENT_TYPE_JSON,
+                            &format!(
+                                "{{\"status\": \"{}\"}}",
+                                other.to_string().to_ascii_lowercase()
+                            ),
+                            keep,
+                        );
+                        self.finish_http(keep);
+                    }
+                    Err(_) => {
+                        self.push_http(
+                            "503 Service Unavailable",
+                            CONTENT_TYPE_JSON,
+                            "{\"error\": \"engine closed\"}",
+                            false,
+                        );
+                        self.finish_http(false);
+                    }
+                }
+            }
+            Err(e) => {
+                let message = one_line(&e.to_string()).replace('"', "'");
+                self.push_http(
+                    "400 Bad Request",
+                    CONTENT_TYPE_JSON,
+                    &format!("{{\"error\": \"{message}\"}}"),
+                    keep,
+                );
+                self.finish_http(keep);
+            }
+        }
+    }
+
+    /// Book-keep one completed HTTP exchange: either rearm for the next
+    /// request on the same socket or begin the graceful close.
+    fn finish_http(&mut self, keep: bool) {
+        self.http_requests += 1;
+        if keep {
+            self.state = State::Line;
+        } else {
+            self.closing = true;
+        }
+    }
+
+    fn push_line(&mut self, line: &str) {
+        self.outbuf.extend_from_slice(line.as_bytes());
+        self.outbuf.push(b'\n');
+    }
+
+    fn push_http(&mut self, status: &str, content_type: &str, body: &str, keep: bool) {
+        let connection = if keep { "keep-alive" } else { "close" };
+        let response = format!(
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+            body.len()
+        );
+        self.outbuf.extend_from_slice(response.as_bytes());
+    }
+}
+
+/// Interpret the `Content-Length` headers of one request: `Ok(Some(len))`
+/// for exactly one well-formed length (repeats must agree), `Ok(None)` for
+/// none at all, `Err(message)` for a malformed value or conflicting
+/// repeats — the caller answers `400` naming the problem.
+fn parse_content_length(values: &[String]) -> Result<Option<usize>, String> {
+    let mut parsed: Option<usize> = None;
+    for raw in values {
+        let value: usize = raw.parse().map_err(|_| {
+            format!(
+                "invalid Content-Length `{}`",
+                one_line(raw).replace('"', "'")
+            )
+        })?;
+        match parsed {
+            Some(previous) if previous != value => {
+                return Err(format!(
+                    "conflicting Content-Length headers ({previous} vs {value})"
+                ));
+            }
+            _ => parsed = Some(value),
+        }
+    }
+    Ok(parsed)
+}
+
+/// The strict request-line shape: `METHOD SP PATH SP VERSION`, with an
+/// uppercase method, an origin-form path, and an `HTTP/` version. A raw
+/// frame that merely *ends* in `HTTP/1.1` (the old heuristic) no longer
+/// routes to the HTTP handler.
+fn parse_http_request_line(line: &str) -> Option<(String, String)> {
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = (parts.next()?, parts.next()?, parts.next()?);
+    if parts.next().is_some() || !version.starts_with("HTTP/") {
+        return None;
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return None;
+    }
+    if !path.starts_with('/') {
+        return None;
+    }
+    Some((method.to_string(), path.to_string()))
+}
+
+/// Whether a first line selects the HTTP handler over the raw protocol.
+#[cfg(test)]
+fn is_http_request_line(line: &str) -> bool {
+    parse_http_request_line(line).is_some()
+}
+
+/// `BATCH <fmt> <len>` → (format, len), enforcing the frame cap.
+fn parse_batch_header<'a>(
+    mut parts: impl Iterator<Item = &'a str>,
+    max_frame_bytes: usize,
+) -> Result<(WireFormat, usize), SourceError> {
+    let format: WireFormat = parts
+        .next()
+        .ok_or_else(|| SourceError::Frame("BATCH needs a format (csv|ndjson)".to_string()))?
+        .parse()?;
+    let len: usize = parts
+        .next()
+        .and_then(|raw| raw.parse().ok())
+        .ok_or_else(|| SourceError::Frame("BATCH needs a payload byte count".to_string()))?;
+    if parts.next().is_some() {
+        return Err(SourceError::Frame(
+            "BATCH takes exactly two arguments".to_string(),
+        ));
+    }
+    if len > max_frame_bytes {
+        return Err(SourceError::Frame(format!(
+            "frame of {len} bytes exceeds the {max_frame_bytes}-byte limit"
+        )));
+    }
+    Ok((format, len))
+}
+
+/// Decode and deliver one payload, producing the raw-protocol reply line.
+fn ingest_reply(payload: &[u8], format: WireFormat, conn: &ConnShared) -> String {
+    match conn.decode_observed(format, payload) {
+        Ok(batch) if batch.is_empty() => "ERR empty batch".to_string(),
+        Ok(batch) => {
+            let n_rows = batch.n_rows();
+            match conn.sink.deliver(batch) {
+                Ok(SubmitOutcome::Enqueued(seq)) => format!("ACK {seq} {n_rows}"),
+                // DROPPED / REJECTED / TIMEOUT — Display is the wire spelling.
+                Ok(other) => other.to_string(),
+                Err(_) => "ERR engine closed".to_string(),
+            }
+        }
+        Err(e) => format!("ERR {}", one_line(&e.to_string())),
+    }
+}
+
+/// Replies are single-line; squash any embedded line breaks from error
+/// messages.
+fn one_line(text: &str) -> String {
+    text.replace(['\r', '\n'], " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_headers_parse_and_enforce_limits() {
+        let (format, len) = parse_batch_header("csv 120".split_whitespace(), 1024).unwrap();
+        assert_eq!(format, WireFormat::Csv);
+        assert_eq!(len, 120);
+        assert!(parse_batch_header("csv".split_whitespace(), 1024).is_err());
+        assert!(parse_batch_header("csv many".split_whitespace(), 1024).is_err());
+        assert!(parse_batch_header("xml 10".split_whitespace(), 1024).is_err());
+        assert!(parse_batch_header("csv 10 extra".split_whitespace(), 1024).is_err());
+        let err = parse_batch_header("csv 2048".split_whitespace(), 1024).unwrap_err();
+        assert!(err.to_string().contains("limit"));
+    }
+
+    #[test]
+    fn http_request_lines_are_recognised() {
+        assert!(is_http_request_line("POST /ingest HTTP/1.1"));
+        assert!(is_http_request_line("GET /stats HTTP/1.0"));
+        assert!(!is_http_request_line("BATCH csv 99"));
+        assert!(!is_http_request_line("STATS"));
+    }
+
+    #[test]
+    fn request_line_requires_the_three_part_shape() {
+        // The old suffix heuristic classified any line ending in HTTP/1.1 as
+        // HTTP; these are raw-protocol frames and must stay raw.
+        assert!(!is_http_request_line("BATCH csv HTTP/1.1"));
+        assert!(!is_http_request_line("one two three HTTP/1.1"));
+        assert!(!is_http_request_line("HTTP/1.1"));
+        assert!(!is_http_request_line("GET HTTP/1.1"));
+        assert!(!is_http_request_line("get /stats HTTP/1.1"));
+        assert!(!is_http_request_line("GET stats HTTP/1.1"));
+        assert!(!is_http_request_line("GET /stats FTP/1.1"));
+        assert!(is_http_request_line("DELETE /anything HTTP/1.1"));
+    }
+
+    #[test]
+    fn content_length_parsing_names_the_problem() {
+        let none: &[String] = &[];
+        assert_eq!(parse_content_length(none), Ok(None));
+        assert_eq!(parse_content_length(&["42".to_string()]), Ok(Some(42)));
+        assert_eq!(
+            parse_content_length(&["42".to_string(), "42".to_string()]),
+            Ok(Some(42)),
+            "agreeing repeats are tolerated"
+        );
+        let bad = parse_content_length(&["abc".to_string()]).unwrap_err();
+        assert!(bad.contains("invalid Content-Length `abc`"), "{bad}");
+        let negative = parse_content_length(&["-1".to_string()]).unwrap_err();
+        assert!(
+            negative.contains("invalid Content-Length `-1`"),
+            "{negative}"
+        );
+        let conflict = parse_content_length(&["10".to_string(), "20".to_string()]).unwrap_err();
+        assert!(conflict.contains("conflicting"), "{conflict}");
+    }
+
+    #[test]
+    fn replies_are_single_line() {
+        assert_eq!(one_line("a\nb\rc"), "a b c");
+    }
+}

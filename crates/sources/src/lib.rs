@@ -16,11 +16,14 @@
 //!   errors, checkpoints on an interval and on drain.
 //! * **[`NetListenerSource`]** — one TCP listener speaking both a
 //!   line-framed raw protocol (`BATCH csv 512\n…` → `ACK 0 100`) and
-//!   minimal HTTP/1.1 (`POST /ingest`, `GET /stats`), with per-connection
-//!   framing and error replies.
+//!   minimal HTTP/1.1 (`POST /ingest`, `GET /stats`) with keep-alive,
+//!   multiplexing all connections over a small fixed worker pool with a
+//!   bounded accept policy (`ServingConfig`): overflow is answered with a
+//!   fast `503`/`REJECTED`, never an unbounded thread.
 //! * **[`DirWatcherSource`]** — a polling directory watcher replaying CSV
 //!   file drops via `dquag-tabular`, moving processed files to `done/`
-//!   (and undecodable ones to `failed/`).
+//!   (and undecodable ones to `failed/`), with an inbox journal making
+//!   delivery exactly-once per file across kill/restart.
 //! * **[`Checkpoint`]** — per-source offsets + the engine's cumulative
 //!   [`StreamStats`](dquag_stream::StreamStats), written atomically as
 //!   JSON; restored through [`SourceRuntimeBuilder::restore`] and
@@ -75,9 +78,11 @@
 #![warn(rust_2018_idioms)]
 
 mod checkpoint;
+mod conn;
 mod decode;
 mod dirwatch;
 mod net;
+mod poll;
 mod runtime;
 mod source;
 

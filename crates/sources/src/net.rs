@@ -1,5 +1,19 @@
 //! The network source: one TCP listener serving both the line-framed raw
-//! protocol and a minimal HTTP/1.1 endpoint.
+//! protocol and a minimal HTTP/1.1 endpoint, multiplexed over a small
+//! fixed worker pool.
+//!
+//! ## Serving model
+//!
+//! Accepted sockets are made nonblocking and handed to one of
+//! [`ServingConfig::workers`] pool threads, each driving its set of
+//! connections off `poll(2)`-style readiness (see [`poll`](crate::poll) —
+//! no async runtime). The thread budget is the pool size, independent of
+//! connection count. Accepts beyond [`ServingConfig::max_connections`] are
+//! refused *loudly*: the first line is answered with `503 Service
+//! Unavailable` (HTTP) or `REJECTED` (raw protocol), the refusal is
+//! counted (`dquag_source_accept_rejects_total`) and recorded as an
+//! `accept_overflow` flight event, and the socket closes. Connections idle
+//! longer than [`ServingConfig::idle_timeout`] are closed.
 //!
 //! ## Raw protocol
 //!
@@ -22,42 +36,39 @@
 //!
 //! ## HTTP
 //!
-//! The same listener speaks HTTP when the first line looks like a request
-//! line: `POST /ingest` with a `Content-Length` body (`Content-Type:
-//! text/csv` or `application/x-ndjson`) answers `202 Accepted` with a JSON
-//! body, `GET /stats` serves the live [`StreamStats`] as
-//! `application/json`, `GET /metrics` serves the attached telemetry
-//! bundle's registry as Prometheus text (`text/plain; version=0.0.4`),
-//! `GET /drift` serves the per-column drift scoreboard as JSON (404 when
-//! the bundle's data layer is off), and decode problems come back as
-//! `400`. One request per connection (`Connection: close`).
+//! The same listener speaks HTTP when the first line has the
+//! `METHOD SP PATH SP VERSION` request-line shape: `POST /ingest` with a
+//! `Content-Length` body (`Content-Type: text/csv` or
+//! `application/x-ndjson`) answers `202 Accepted` with a JSON body,
+//! `GET /stats` serves the live [`StreamStats`] as `application/json`,
+//! `GET /metrics` serves the attached telemetry bundle's registry as
+//! Prometheus text (`text/plain; version=0.0.4`), `GET /drift` serves the
+//! per-column drift scoreboard as JSON (404 when the bundle's data layer
+//! is off), and decode problems come back as `400`. A request carrying
+//! `Connection: keep-alive` is answered in kind and the socket serves the
+//! next request, up to [`ServingConfig::max_requests_per_connection`];
+//! requests without the header get `Connection: close`, exactly as before
+//! keep-alive existed.
 //!
 //! [`StreamStats`]: dquag_stream::StreamStats
+//! [`ServingConfig::workers`]: dquag_core::ServingConfig::workers
+//! [`ServingConfig::max_connections`]: dquag_core::ServingConfig::max_connections
+//! [`ServingConfig::idle_timeout`]: dquag_core::ServingConfig::idle_timeout
+//! [`ServingConfig::max_requests_per_connection`]: dquag_core::ServingConfig::max_requests_per_connection
 
-use crate::decode::{decode_batch, WireFormat};
+use crate::conn::{Conn, ConnShared, NetMetrics};
+use crate::poll::{wake_channel, PollSet, WakeReceiver, WakeSender};
 use crate::source::{PollOutcome, Source, SourceError, SourceSink};
-use dquag_stream::SubmitOutcome;
-use dquag_tabular::{DataFrame, Schema};
-use dquag_telemetry::{Counter, Stage, Telemetry};
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::Arc;
+use dquag_telemetry::{FlightEventKind, Telemetry};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// `Content-Type` of `GET /stats` (and every JSON error body).
-const CONTENT_TYPE_JSON: &str = "application/json";
-/// `Content-Type` of `GET /metrics` — the Prometheus text exposition
-/// format version clients content-negotiate on.
-const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4";
-
-/// Cap on a protocol header line; a peer streaming an endless first line is
-/// cut off instead of buffering unboundedly.
-const MAX_LINE_BYTES: usize = 64 * 1024;
-
-/// How long a blocked connection read waits before re-checking the stop
-/// flag.
-const READ_TIMEOUT: Duration = Duration::from_millis(50);
+/// How long a worker's readiness wait lasts before it re-checks the stop
+/// flag and connection deadlines.
+const POLL_TICK: Duration = Duration::from_millis(50);
 
 /// The TCP + HTTP ingestion listener.
 ///
@@ -71,121 +82,71 @@ const READ_TIMEOUT: Duration = Duration::from_millis(50);
 /// [`local_addr`]: NetListenerSource::local_addr
 pub struct NetListenerSource {
     name: String,
-    schema: Schema,
+    schema: dquag_tabular::Schema,
     max_frame_bytes: usize,
+    serving: dquag_core::ServingConfig,
     spec: Option<dquag_core::ValidatorSpec>,
     telemetry: Option<Arc<Telemetry>>,
     listener: TcpListener,
     local_addr: SocketAddr,
     shared: Option<Arc<ConnShared>>,
-    handlers: Vec<JoinHandle<()>>,
+    pool: Option<Pool>,
+    /// Remaining dispatches forced to fail, for the fail-soft regression
+    /// test (see [`inject_dispatch_failures`]).
+    ///
+    /// [`inject_dispatch_failures`]: NetListenerSource::inject_dispatch_failures
+    dispatch_failures: usize,
     /// The delivered-batch count as of shutdown, so [`Source::offset`]
     /// stays truthful after the sink is released.
     final_offset: u64,
 }
 
-/// Telemetry handles the listener resolves once at start.
-struct NetMetrics {
-    telemetry: Arc<Telemetry>,
-    connections: Arc<Counter>,
-    decode_errors: Arc<Counter>,
+/// Connection tallies shared between the accept loop and the workers.
+struct PoolCounts {
+    /// Connections currently being served (the `max_connections` cap and
+    /// the open-connection gauge).
+    open: AtomicUsize,
+    /// Over-capacity refusal connections currently draining; bounded so the
+    /// refusal path itself cannot grow without limit.
+    rejects_open: AtomicUsize,
 }
 
-impl NetMetrics {
-    fn new(telemetry: Arc<Telemetry>) -> Self {
-        let r = telemetry.registry();
-        Self {
-            connections: r.counter(
-                "dquag_source_connections_total",
-                "TCP connections accepted by the network listener",
-            ),
-            decode_errors: r.counter(
-                "dquag_source_decode_errors_total",
-                "Payloads that failed wire-format decoding",
-            ),
-            telemetry,
-        }
-    }
+/// One pool worker's handle on the accept side.
+struct Worker {
+    inbox: Arc<Mutex<Vec<Conn>>>,
+    wake: WakeSender,
+    /// Connections dispatched to (and not yet retired by) this worker —
+    /// the least-loaded dispatch key.
+    owned: Arc<AtomicUsize>,
+    handle: Option<JoinHandle<()>>,
 }
 
-/// Everything a per-connection handler thread needs.
-struct ConnShared {
-    schema: Schema,
-    max_frame_bytes: usize,
-    spec: Option<dquag_core::ValidatorSpec>,
-    sink: SourceSink,
-    metrics: Option<NetMetrics>,
-}
-
-impl ConnShared {
-    /// The `STATS` / `GET /stats` payload: the live [`dquag_stream::StreamStats`]
-    /// object, extended with an `active_spec` key naming the validator tree
-    /// when the listener knows it. Extra keys are invisible to
-    /// `StreamStats`-shaped readers, so pre-spec monitoring keeps parsing.
-    fn stats_json(&self) -> String {
-        let mut value = serde::Serialize::to_value(&self.sink.stats());
-        if let (serde::Value::Object(map), Some(spec)) = (&mut value, &self.spec) {
-            map.insert("active_spec".to_string(), serde::Serialize::to_value(spec));
-        }
-        serde_json::to_string(&value).expect("stats serialisation is infallible")
-    }
-
-    /// Decode one payload, timing the `decode` stage and counting failures
-    /// when telemetry is attached.
-    fn decode_observed(
-        &self,
-        format: WireFormat,
-        payload: &[u8],
-    ) -> Result<DataFrame, SourceError> {
-        let started = Instant::now();
-        let decoded = decode_batch(format, payload, &self.schema);
-        if let Some(metrics) = &self.metrics {
-            metrics
-                .telemetry
-                .record_stage(Stage::Decode, started.elapsed());
-            if decoded.is_err() {
-                metrics.decode_errors.inc();
-            }
-        }
-        decoded
-    }
-
-    /// The Prometheus payload, or `None` when no telemetry is attached.
-    fn prometheus(&self) -> Option<String> {
-        self.metrics
-            .as_ref()
-            .map(|metrics| metrics.telemetry.prometheus())
-    }
-
-    /// The `DRIFT` / `GET /drift` payload: the ranked per-column drift
-    /// scoreboard as JSON, or `None` when no telemetry is attached or its
-    /// data layer is off.
-    fn drift_json(&self) -> Option<String> {
-        self.metrics
-            .as_ref()
-            .and_then(|metrics| metrics.telemetry.drift_scoreboard())
-            .map(|board| board.to_json_string())
-    }
+struct Pool {
+    workers: Vec<Worker>,
+    counts: Arc<PoolCounts>,
 }
 
 impl NetListenerSource {
     /// Bind the listener on `addr` (port 0 = ephemeral), serving batches
     /// typed by `schema`.
-    pub fn bind(addr: &str, schema: Schema) -> Result<Self, SourceError> {
+    pub fn bind(addr: &str, schema: dquag_tabular::Schema) -> Result<Self, SourceError> {
         let listener =
             TcpListener::bind(addr).map_err(|e| SourceError::Io(format!("binding {addr}: {e}")))?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let defaults = dquag_core::SourceConfig::default();
         Ok(Self {
             name: "net".to_string(),
             schema,
-            max_frame_bytes: dquag_core::SourceConfig::default().max_frame_bytes,
+            max_frame_bytes: defaults.max_frame_bytes,
+            serving: defaults.serving,
             spec: None,
             telemetry: None,
             listener,
             local_addr,
             shared: None,
-            handlers: Vec::new(),
+            pool: None,
+            dispatch_failures: 0,
             final_offset: 0,
         })
     }
@@ -193,10 +154,11 @@ impl NetListenerSource {
     /// Bind according to a [`dquag_core::SourceConfig`] block.
     pub fn from_config(
         config: &dquag_core::SourceConfig,
-        schema: Schema,
+        schema: dquag_tabular::Schema,
     ) -> Result<Self, SourceError> {
         let mut source = Self::bind(&config.bind_addr, schema)?;
         source.max_frame_bytes = config.max_frame_bytes;
+        source.serving = config.serving.clone();
         Ok(source)
     }
 
@@ -213,6 +175,13 @@ impl NetListenerSource {
         self
     }
 
+    /// Override the serving-edge limits (worker pool size, connection cap,
+    /// keep-alive policy, idle timeout).
+    pub fn with_serving(mut self, serving: dquag_core::ServingConfig) -> Self {
+        self.serving = serving;
+        self
+    }
+
     /// Advertise the declarative spec of the validator behind this
     /// listener: `STATS` and `GET /stats` responses gain an `active_spec`
     /// key, so a monitoring client sees *what* is judging the traffic, not
@@ -222,11 +191,12 @@ impl NetListenerSource {
         self
     }
 
-    /// Attach a telemetry bundle: the listener counts connections and
-    /// decode errors, times the `decode` stage, and serves the bundle's
-    /// whole registry over `GET /metrics` (Prometheus text format) and the
-    /// raw-protocol `METRICS` command. Share the same bundle with the
-    /// engine so one scrape covers the full pipeline.
+    /// Attach a telemetry bundle: the listener counts connections, decode
+    /// errors, accept rejects/errors and keep-alive reuse, exposes an
+    /// open-connection gauge, times the `decode` stage, and serves the
+    /// bundle's whole registry over `GET /metrics` (Prometheus text
+    /// format) and the raw-protocol `METRICS` command. Share the same
+    /// bundle with the engine so one scrape covers the full pipeline.
     pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
         self.telemetry = Some(telemetry);
         self
@@ -238,16 +208,34 @@ impl NetListenerSource {
         self.local_addr
     }
 
-    fn reap_finished_handlers(&mut self) {
-        let mut alive = Vec::new();
-        for handle in self.handlers.drain(..) {
-            if handle.is_finished() {
-                let _ = handle.join();
-            } else {
-                alive.push(handle);
-            }
+    /// Force the next `n` accepted sockets to fail worker hand-off, so
+    /// tests can prove a dispatch failure is survived (logged, counted,
+    /// socket closed) rather than panicking the listener.
+    #[doc(hidden)]
+    pub fn inject_dispatch_failures(&mut self, n: usize) {
+        self.dispatch_failures = n;
+    }
+
+    /// Hand a connection to the least-loaded worker.
+    fn dispatch(&mut self, conn: Conn) -> Result<(), String> {
+        if self.dispatch_failures > 0 {
+            self.dispatch_failures -= 1;
+            return Err("injected dispatch failure".to_string());
         }
-        self.handlers = alive;
+        let pool = self.pool.as_ref().ok_or("worker pool not running")?;
+        let worker = pool
+            .workers
+            .iter()
+            .min_by_key(|w| w.owned.load(Ordering::Relaxed))
+            .ok_or("worker pool is empty")?;
+        worker
+            .inbox
+            .lock()
+            .map_err(|_| "worker inbox poisoned".to_string())?
+            .push(conn);
+        worker.owned.fetch_add(1, Ordering::Relaxed);
+        worker.wake.wake();
+        Ok(())
     }
 }
 
@@ -260,23 +248,68 @@ impl Source for NetListenerSource {
         // Network peers own redelivery (an unacknowledged frame is resent by
         // the client), so resuming needs no positioning here — the restored
         // offset already lives in the sink's counter.
-        self.shared = Some(Arc::new(ConnShared {
+        let shared = Arc::new(ConnShared {
             schema: self.schema.clone(),
             max_frame_bytes: self.max_frame_bytes,
             spec: self.spec.clone(),
+            serving: self.serving.clone(),
             sink: sink.clone(),
             metrics: self.telemetry.clone().map(NetMetrics::new),
-        }));
+        });
+        let counts = Arc::new(PoolCounts {
+            open: AtomicUsize::new(0),
+            rejects_open: AtomicUsize::new(0),
+        });
+        let mut workers = Vec::with_capacity(self.serving.workers);
+        let mut spawn_errors = Vec::new();
+        for index in 0..self.serving.workers {
+            let inbox = Arc::new(Mutex::new(Vec::new()));
+            let owned = Arc::new(AtomicUsize::new(0));
+            let (wake_tx, wake_rx) = wake_channel();
+            let thread_shared = Arc::clone(&shared);
+            let thread_inbox = Arc::clone(&inbox);
+            let thread_owned = Arc::clone(&owned);
+            let thread_counts = Arc::clone(&counts);
+            match std::thread::Builder::new()
+                .name(format!("dquag-source-worker-{index}"))
+                .spawn(move || {
+                    worker_loop(
+                        thread_shared,
+                        thread_inbox,
+                        wake_rx,
+                        thread_owned,
+                        thread_counts,
+                    )
+                }) {
+                Ok(handle) => workers.push(Worker {
+                    inbox,
+                    wake: wake_tx,
+                    owned,
+                    handle: Some(handle),
+                }),
+                // A partially-spawned pool still serves; only a fully failed
+                // one is fatal.
+                Err(e) => spawn_errors.push(e.to_string()),
+            }
+        }
+        if workers.is_empty() {
+            return Err(SourceError::Io(format!(
+                "spawning serving workers: {}",
+                spawn_errors.join("; ")
+            )));
+        }
+        self.shared = Some(shared);
+        self.pool = Some(Pool { workers, counts });
         Ok(())
     }
 
     fn poll(&mut self, _sink: &SourceSink) -> Result<PollOutcome, SourceError> {
-        self.reap_finished_handlers();
         let shared = self
             .shared
             .as_ref()
             .expect("poll is only called after start")
             .clone();
+        let max_connections = self.serving.max_connections;
         let mut accepted_any = false;
         loop {
             match self.listener.accept() {
@@ -288,17 +321,55 @@ impl Source for NetListenerSource {
                     // Replies are single small lines; Nagle + delayed ACK
                     // would stall the request/reply rhythm by ~40 ms.
                     stream.set_nodelay(true).ok();
-                    let conn = Arc::clone(&shared);
-                    let handle = std::thread::Builder::new()
-                        .name("dquag-source-conn".to_string())
-                        .spawn(move || {
-                            // Connection-level failures (peer reset, garbage
-                            // mid-frame) end that connection only; the
-                            // listener keeps serving.
-                            let _ = handle_connection(stream, &conn);
-                        })
-                        .expect("spawning a connection handler succeeds");
-                    self.handlers.push(handle);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let counts = Arc::clone(
+                        &self
+                            .pool
+                            .as_ref()
+                            .expect("pool is running after start")
+                            .counts,
+                    );
+                    let open = counts.open.load(Ordering::Relaxed);
+                    if open >= max_connections {
+                        if let Some(metrics) = &shared.metrics {
+                            metrics.accept_rejects.inc();
+                            metrics.telemetry.event(FlightEventKind::AcceptOverflow {
+                                open,
+                                max: max_connections,
+                            });
+                        }
+                        // The refusal path is itself bounded: beyond a full
+                        // backlog of in-flight refusals, just drop.
+                        if counts.rejects_open.load(Ordering::Relaxed) >= max_connections {
+                            continue;
+                        }
+                        counts.rejects_open.fetch_add(1, Ordering::Relaxed);
+                        if self.dispatch(Conn::reject(stream)).is_err() {
+                            counts.rejects_open.fetch_sub(1, Ordering::Relaxed);
+                        }
+                        continue;
+                    }
+                    counts.open.fetch_add(1, Ordering::Relaxed);
+                    if let Err(reason) = self.dispatch(Conn::new(stream)) {
+                        // Fail soft: losing one socket must not take down
+                        // the listener (the old code panicked here).
+                        counts.open.fetch_sub(1, Ordering::Relaxed);
+                        if let Some(metrics) = &shared.metrics {
+                            metrics.accept_errors.inc();
+                            metrics.telemetry.event(FlightEventKind::SourceError {
+                                source: self.name.clone(),
+                                message: format!("connection hand-off failed: {reason}"),
+                            });
+                        }
+                        continue;
+                    }
+                    if let Some(metrics) = &shared.metrics {
+                        metrics
+                            .open_connections
+                            .set(counts.open.load(Ordering::Relaxed) as f64);
+                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -313,16 +384,24 @@ impl Source for NetListenerSource {
     }
 
     fn drain(&mut self, _sink: &SourceSink) {
-        // The stop flag is set; handlers notice it within one read timeout
-        // and exit after finishing the frame they are on, so joining here
-        // never hangs and never abandons an accepted frame.
-        for handle in self.handlers.drain(..) {
-            let _ = handle.join();
+        // The stop flag is set; each worker notices within one poll tick,
+        // flushes any queued reply ("ERR engine closed" included) and
+        // exits, so joining here never hangs.
+        if let Some(pool) = &mut self.pool {
+            for worker in &pool.workers {
+                worker.wake.wake();
+            }
+            for worker in &mut pool.workers {
+                if let Some(handle) = worker.handle.take() {
+                    let _ = handle.join();
+                }
+            }
         }
     }
 
     fn shutdown(&mut self) {
         self.final_offset = self.offset();
+        self.pool = None;
         self.shared = None;
     }
 
@@ -333,401 +412,86 @@ impl Source for NetListenerSource {
     }
 }
 
-/// A line/payload reader over a non-blocking-ish socket: maintains its own
-/// buffer so a read timeout (used to stay responsive to shutdown) never
-/// loses partially received bytes.
-struct FrameReader {
-    stream: TcpStream,
-    buffered: Vec<u8>,
-}
-
-/// Why a read loop ended without producing data.
-enum ReadEnd {
-    /// Peer closed the connection cleanly between frames.
-    Eof,
-    /// The runtime asked us to stop.
-    Stopped,
-}
-
-impl FrameReader {
-    fn new(stream: TcpStream) -> Result<Self, SourceError> {
-        stream.set_read_timeout(Some(READ_TIMEOUT))?;
-        Ok(Self {
-            stream,
-            buffered: Vec::new(),
-        })
-    }
-
-    fn fill(&mut self, sink: &SourceSink) -> Result<Option<ReadEnd>, SourceError> {
-        if sink.should_stop() {
-            return Ok(Some(ReadEnd::Stopped));
-        }
-        let mut chunk = [0u8; 4096];
-        match self.stream.read(&mut chunk) {
-            Ok(0) => Ok(Some(ReadEnd::Eof)),
-            Ok(n) => {
-                self.buffered.extend_from_slice(&chunk[..n]);
-                Ok(None)
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::Interrupted
-                ) =>
-            {
-                Ok(None)
-            }
-            Err(e) => Err(SourceError::Io(format!("connection read: {e}"))),
-        }
-    }
-
-    /// The next `\n`-terminated line (CR stripped), or `None` on clean EOF /
-    /// stop. EOF in the middle of a line is a protocol error.
-    fn read_line(&mut self, sink: &SourceSink) -> Result<Option<String>, SourceError> {
-        loop {
-            if let Some(pos) = self.buffered.iter().position(|&b| b == b'\n') {
-                let mut line: Vec<u8> = self.buffered.drain(..=pos).collect();
-                line.pop(); // the \n
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                let text = String::from_utf8(line)
-                    .map_err(|_| SourceError::Frame("non-UTF-8 protocol line".to_string()))?;
-                return Ok(Some(text));
-            }
-            if self.buffered.len() > MAX_LINE_BYTES {
-                return Err(SourceError::Frame("protocol line too long".to_string()));
-            }
-            match self.fill(sink)? {
-                Some(ReadEnd::Stopped) => return Ok(None),
-                Some(ReadEnd::Eof) if self.buffered.is_empty() => return Ok(None),
-                Some(ReadEnd::Eof) => {
-                    return Err(SourceError::Frame("connection closed mid-line".to_string()))
-                }
-                None => {}
-            }
-        }
-    }
-
-    /// Exactly `n` payload bytes, or `None` when stopped mid-wait.
-    fn read_exact(&mut self, n: usize, sink: &SourceSink) -> Result<Option<Vec<u8>>, SourceError> {
-        loop {
-            if self.buffered.len() >= n {
-                return Ok(Some(self.buffered.drain(..n).collect()));
-            }
-            match self.fill(sink)? {
-                Some(ReadEnd::Stopped) => return Ok(None),
-                Some(ReadEnd::Eof) => {
-                    return Err(SourceError::Frame(format!(
-                        "connection closed {} bytes into a {n}-byte payload",
-                        self.buffered.len()
-                    )))
-                }
-                None => {}
-            }
-        }
-    }
-}
-
-/// Serve one connection until QUIT, EOF, stop, or an HTTP request (which is
-/// one-shot).
-fn handle_connection(stream: TcpStream, conn: &ConnShared) -> Result<(), SourceError> {
-    let mut writer = stream
-        .try_clone()
-        .map_err(|e| SourceError::Io(format!("cloning connection: {e}")))?;
-    let mut reader = FrameReader::new(stream)?;
+/// One pool thread: drain the inbox, poll every owned socket for
+/// readiness, drive each connection's state machine, retire the dead.
+fn worker_loop(
+    shared: Arc<ConnShared>,
+    inbox: Arc<Mutex<Vec<Conn>>>,
+    mut wake: WakeReceiver,
+    owned: Arc<AtomicUsize>,
+    counts: Arc<PoolCounts>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut poll = PollSet::new();
     loop {
-        let Some(line) = reader.read_line(&conn.sink)? else {
-            return Ok(());
-        };
-        if is_http_request_line(&line) {
-            handle_http(&line, &mut reader, &mut writer, conn)?;
-            return Ok(()); // Connection: close
+        if let Ok(mut handed_off) = inbox.lock() {
+            conns.append(&mut handed_off);
         }
-        let mut parts = line.split_whitespace();
-        match parts.next() {
-            Some("BATCH") => {
-                let reply = match parse_batch_header(parts, conn.max_frame_bytes) {
-                    Ok((format, len)) => {
-                        let Some(payload) = reader.read_exact(len, &conn.sink)? else {
-                            return Ok(());
-                        };
-                        ingest_reply(&payload, format, conn)
-                    }
-                    // A bad or oversized header leaves us unsure where the
-                    // next frame starts; reply, then drop the connection to
-                    // resynchronise.
-                    Err(e) => {
-                        write_line(&mut writer, &format!("ERR {}", one_line(&e.to_string())))?;
-                        return Ok(());
-                    }
-                };
-                write_line(&mut writer, &reply)?;
+        if shared.sink.should_stop() {
+            // A connection may hold a reply its peer has not read yet —
+            // "ERR engine closed" after a blocked delivery — flush those
+            // before the pool disappears.
+            for conn in &mut conns {
+                conn.final_flush();
             }
-            Some("STATS") => {
-                write_line(&mut writer, &format!("STATS {}", conn.stats_json()))?;
-            }
-            Some("DRIFT") => match conn.drift_json() {
-                Some(json) => write_line(&mut writer, &format!("DRIFT {json}"))?,
-                None => write_line(&mut writer, "ERR data telemetry not enabled")?,
-            },
-            Some("METRICS") => match conn.prometheus() {
-                // The payload is multi-line, so it is length-framed like
-                // BATCH rather than line-framed like STATS.
-                Some(text) => {
-                    write_line(&mut writer, &format!("METRICS {}", text.len()))?;
-                    writer
-                        .write_all(text.as_bytes())
-                        .map_err(|e| SourceError::Io(format!("connection write: {e}")))?;
-                }
-                None => write_line(&mut writer, "ERR telemetry not enabled")?,
-            },
-            Some("QUIT") => {
-                write_line(&mut writer, "BYE")?;
-                return Ok(());
-            }
-            Some(other) => {
-                write_line(
-                    &mut writer,
-                    &format!("ERR unknown command `{}`", one_line(other)),
-                )?;
-                return Ok(());
-            }
-            None => {
-                // Blank keep-alive line; ignore.
-            }
-        }
-    }
-}
-
-/// `BATCH <fmt> <len>` → (format, len), enforcing the frame cap.
-fn parse_batch_header<'a>(
-    mut parts: impl Iterator<Item = &'a str>,
-    max_frame_bytes: usize,
-) -> Result<(WireFormat, usize), SourceError> {
-    let format: WireFormat = parts
-        .next()
-        .ok_or_else(|| SourceError::Frame("BATCH needs a format (csv|ndjson)".to_string()))?
-        .parse()?;
-    let len: usize = parts
-        .next()
-        .and_then(|raw| raw.parse().ok())
-        .ok_or_else(|| SourceError::Frame("BATCH needs a payload byte count".to_string()))?;
-    if parts.next().is_some() {
-        return Err(SourceError::Frame(
-            "BATCH takes exactly two arguments".to_string(),
-        ));
-    }
-    if len > max_frame_bytes {
-        return Err(SourceError::Frame(format!(
-            "frame of {len} bytes exceeds the {max_frame_bytes}-byte limit"
-        )));
-    }
-    Ok((format, len))
-}
-
-/// Decode and deliver one payload, producing the raw-protocol reply line.
-fn ingest_reply(payload: &[u8], format: WireFormat, conn: &ConnShared) -> String {
-    match conn.decode_observed(format, payload) {
-        Ok(batch) if batch.is_empty() => "ERR empty batch".to_string(),
-        Ok(batch) => {
-            let n_rows = batch.n_rows();
-            match conn.sink.deliver(batch) {
-                Ok(SubmitOutcome::Enqueued(seq)) => format!("ACK {seq} {n_rows}"),
-                // DROPPED / REJECTED / TIMEOUT — Display is the wire spelling.
-                Ok(other) => other.to_string(),
-                Err(_) => "ERR engine closed".to_string(),
-            }
-        }
-        Err(e) => format!("ERR {}", one_line(&e.to_string())),
-    }
-}
-
-/// Replies are single-line; squash any embedded line breaks from error
-/// messages.
-fn one_line(text: &str) -> String {
-    text.replace(['\r', '\n'], " ")
-}
-
-fn write_line(writer: &mut TcpStream, line: &str) -> Result<(), SourceError> {
-    writer
-        .write_all(format!("{line}\n").as_bytes())
-        .map_err(|e| SourceError::Io(format!("connection write: {e}")))
-}
-
-// --- HTTP ------------------------------------------------------------------
-
-fn is_http_request_line(line: &str) -> bool {
-    line.ends_with("HTTP/1.1") || line.ends_with("HTTP/1.0")
-}
-
-/// Serve one HTTP request on the already-consumed request line.
-fn handle_http(
-    request_line: &str,
-    reader: &mut FrameReader,
-    writer: &mut TcpStream,
-    conn: &ConnShared,
-) -> Result<(), SourceError> {
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-
-    // Drain headers, keeping the two we interpret.
-    let mut content_length: Option<usize> = None;
-    let mut content_type = String::new();
-    loop {
-        let Some(line) = reader.read_line(&conn.sink)? else {
-            return Ok(());
-        };
-        if line.is_empty() {
             break;
         }
-        if let Some((name, value)) = line.split_once(':') {
-            let value = value.trim();
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.parse().ok();
-            } else if name.eq_ignore_ascii_case("content-type") {
-                content_type = value.to_string();
+        poll.clear();
+        let mut wake_slots = 0;
+        if let Some(source) = wake.pollable() {
+            poll.push(source, false);
+            wake_slots = 1;
+        }
+        for conn in &conns {
+            poll.push(conn.stream(), conn.wants_write());
+        }
+        poll.wait(POLL_TICK);
+        wake.drain();
+        for (index, conn) in conns.iter_mut().enumerate() {
+            let ready = poll.readiness(index + wake_slots);
+            if ready.readable || ready.writable || ready.closed {
+                conn.drive(&shared);
+            } else {
+                // No I/O this tick; only the deadlines can progress.
+                conn.tick(&shared);
+            }
+        }
+        let mut died = 0usize;
+        conns.retain(|conn| {
+            if conn.is_dead() {
+                died += 1;
+                if conn.is_reject() {
+                    counts.rejects_open.fetch_sub(1, Ordering::Relaxed);
+                } else {
+                    counts.open.fetch_sub(1, Ordering::Relaxed);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        if died > 0 {
+            owned.fetch_sub(died, Ordering::Relaxed);
+            if let Some(metrics) = &shared.metrics {
+                metrics
+                    .open_connections
+                    .set(counts.open.load(Ordering::Relaxed) as f64);
             }
         }
     }
-
-    match (method, path) {
-        ("POST", "/ingest") => {
-            let Some(len) = content_length else {
-                return http_json(
-                    writer,
-                    "411 Length Required",
-                    "{\"error\": \"Content-Length is required\"}",
-                );
-            };
-            if len > conn.max_frame_bytes {
-                return http_json(
-                    writer,
-                    "413 Payload Too Large",
-                    &format!(
-                        "{{\"error\": \"body of {len} bytes exceeds the {}-byte limit\"}}",
-                        conn.max_frame_bytes
-                    ),
-                );
-            }
-            let Some(body) = reader.read_exact(len, &conn.sink)? else {
-                return Ok(());
-            };
-            let format = WireFormat::from_content_type(&content_type);
-            match conn.decode_observed(format, &body) {
-                Ok(batch) if batch.is_empty() => {
-                    http_json(writer, "400 Bad Request", "{\"error\": \"empty batch\"}")
-                }
-                Ok(batch) => {
-                    let n_rows = batch.n_rows();
-                    match conn.sink.deliver(batch) {
-                        Ok(SubmitOutcome::Enqueued(seq)) => http_json(
-                            writer,
-                            "202 Accepted",
-                            &format!(
-                                "{{\"status\": \"enqueued\", \"seq\": {seq}, \"rows\": {n_rows}}}"
-                            ),
-                        ),
-                        Ok(other) => http_json(
-                            writer,
-                            "503 Service Unavailable",
-                            &format!(
-                                "{{\"status\": \"{}\"}}",
-                                other.to_string().to_ascii_lowercase()
-                            ),
-                        ),
-                        Err(_) => http_json(
-                            writer,
-                            "503 Service Unavailable",
-                            "{\"error\": \"engine closed\"}",
-                        ),
-                    }
-                }
-                Err(e) => {
-                    let message = one_line(&e.to_string()).replace('"', "'");
-                    http_json(
-                        writer,
-                        "400 Bad Request",
-                        &format!("{{\"error\": \"{message}\"}}"),
-                    )
-                }
-            }
+    // Pool teardown: the sockets close with the Conn drops; keep the
+    // tallies truthful for anything still watching the gauge.
+    for conn in &conns {
+        if conn.is_reject() {
+            counts.rejects_open.fetch_sub(1, Ordering::Relaxed);
+        } else {
+            counts.open.fetch_sub(1, Ordering::Relaxed);
         }
-        ("GET", "/stats") => http_json(writer, "200 OK", &conn.stats_json()),
-        ("GET", "/metrics") => match conn.prometheus() {
-            Some(text) => http_reply(writer, "200 OK", CONTENT_TYPE_PROMETHEUS, &text),
-            None => http_json(
-                writer,
-                "404 Not Found",
-                "{\"error\": \"telemetry not enabled\"}",
-            ),
-        },
-        ("GET", "/drift") => match conn.drift_json() {
-            Some(json) => http_json(writer, "200 OK", &json),
-            None => http_json(
-                writer,
-                "404 Not Found",
-                "{\"error\": \"data telemetry not enabled\"}",
-            ),
-        },
-        _ => http_json(
-            writer,
-            "404 Not Found",
-            "{\"error\": \"try POST /ingest, GET /stats, GET /metrics or GET /drift\"}",
-        ),
     }
-}
-
-/// A JSON-bodied reply (every route except the Prometheus scrape).
-fn http_json(writer: &mut TcpStream, status: &str, body: &str) -> Result<(), SourceError> {
-    http_reply(writer, status, CONTENT_TYPE_JSON, body)
-}
-
-fn http_reply(
-    writer: &mut TcpStream,
-    status: &str,
-    content_type: &str,
-    body: &str,
-) -> Result<(), SourceError> {
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    writer
-        .write_all(response.as_bytes())
-        .map_err(|e| SourceError::Io(format!("connection write: {e}")))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn batch_headers_parse_and_enforce_limits() {
-        let (format, len) = parse_batch_header("csv 120".split_whitespace(), 1024).unwrap();
-        assert_eq!(format, WireFormat::Csv);
-        assert_eq!(len, 120);
-        assert!(parse_batch_header("csv".split_whitespace(), 1024).is_err());
-        assert!(parse_batch_header("csv many".split_whitespace(), 1024).is_err());
-        assert!(parse_batch_header("xml 10".split_whitespace(), 1024).is_err());
-        assert!(parse_batch_header("csv 10 extra".split_whitespace(), 1024).is_err());
-        let err = parse_batch_header("csv 2048".split_whitespace(), 1024).unwrap_err();
-        assert!(err.to_string().contains("limit"));
-    }
-
-    #[test]
-    fn http_request_lines_are_recognised() {
-        assert!(is_http_request_line("POST /ingest HTTP/1.1"));
-        assert!(is_http_request_line("GET /stats HTTP/1.0"));
-        assert!(!is_http_request_line("BATCH csv 99"));
-        assert!(!is_http_request_line("STATS"));
-    }
-
-    #[test]
-    fn replies_are_single_line() {
-        assert_eq!(one_line("a\nb\rc"), "a b c");
+    owned.fetch_sub(conns.len(), Ordering::Relaxed);
+    if let Some(metrics) = &shared.metrics {
+        metrics
+            .open_connections
+            .set(counts.open.load(Ordering::Relaxed) as f64);
     }
 }

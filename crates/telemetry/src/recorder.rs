@@ -37,6 +37,15 @@ pub enum FlightEventKind {
     RefitFailed { stage: String, reason: String },
     /// Backpressure dropped or rejected a batch under this policy.
     BackpressureDrop { policy: String },
+    /// The serving edge refused a connection because it was already at its
+    /// configured connection cap — the accept queue shed load loudly
+    /// (`503` / `REJECTED`) instead of growing without bound.
+    AcceptOverflow {
+        /// Connections open when the overflow happened.
+        open: usize,
+        /// The configured `max_connections` cap.
+        max: usize,
+    },
     /// A consumer deadline expired before the batch finished.
     DeadlineMiss { seq: u64 },
     /// A batch was discarded because its verdict arrived after the
@@ -63,6 +72,7 @@ impl FlightEventKind {
             FlightEventKind::DriftCrossing { .. } => "drift_crossing",
             FlightEventKind::RefitFailed { .. } => "refit_failed",
             FlightEventKind::BackpressureDrop { .. } => "backpressure_drop",
+            FlightEventKind::AcceptOverflow { .. } => "accept_overflow",
             FlightEventKind::DeadlineMiss { .. } => "deadline_miss",
             FlightEventKind::LateDiscard { .. } => "late_discard",
             FlightEventKind::CheckpointWrite { .. } => "checkpoint_write",
@@ -113,6 +123,9 @@ impl std::fmt::Display for FlightEventKind {
             }
             FlightEventKind::BackpressureDrop { policy } => {
                 write!(f, "backpressure_drop policy={policy}")
+            }
+            FlightEventKind::AcceptOverflow { open, max } => {
+                write!(f, "accept_overflow open={open} max={max}")
             }
             FlightEventKind::DeadlineMiss { seq } => write!(f, "deadline_miss seq={seq}"),
             FlightEventKind::LateDiscard { seq } => write!(f, "late_discard seq={seq}"),
