@@ -19,6 +19,12 @@ pub enum CoreError {
     /// parameter checksum. Loading fails closed: a model that cannot prove
     /// its integrity never scores a batch.
     CorruptModel(String),
+    /// A *fitted, running* model failed a runtime self-check — parameter
+    /// checksum drift, a NaN escaping a kernel, a poisoned activation. Unlike
+    /// [`CoreError::CorruptModel`] (load-time, fail-closed) this fires while
+    /// serving and signals that the replica should be quarantined and
+    /// rebuilt, not merely that this batch failed.
+    Health(dquag_gnn::HealthError),
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +36,7 @@ impl fmt::Display for CoreError {
             CoreError::Tabular(msg) => write!(f, "tabular error: {msg}"),
             CoreError::Graph(msg) => write!(f, "feature-graph error: {msg}"),
             CoreError::CorruptModel(msg) => write!(f, "corrupt model state: {msg}"),
+            CoreError::Health(violation) => write!(f, "model health violation: {violation}"),
         }
     }
 }
@@ -60,5 +67,7 @@ mod tests {
         assert!(t.to_string().contains("x"));
         let g: CoreError = dquag_graph::GraphError::UnknownFeature("f".into()).into();
         assert!(g.to_string().contains("f"));
+        let h = CoreError::Health(dquag_gnn::HealthError::NonFiniteKernel { index: 2 });
+        assert!(h.to_string().contains("health violation"), "{h}");
     }
 }

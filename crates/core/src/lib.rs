@@ -56,7 +56,13 @@ pub use config::{
     SourceConfig, StreamConfig, TelemetryConfig,
 };
 pub use error::CoreError;
-pub use pipeline::{CellFlag, DquagModelState, DquagValidator, TrainingSummary, ValidationReport};
+pub use pipeline::{
+    CellFlag, DquagModelState, DquagValidator, TrainingSummary, ValidationReport,
+    DEFAULT_SELF_CHECK_PERIOD,
+};
+// Re-exported so layers above `dquag-core` (validate, stream, faults) can
+// match on health violations without depending on `dquag-gnn` directly.
+pub use dquag_gnn::{ActivationFault, HealthError};
 pub use spec::{
     BackendSpec, DriftSpec, DriftTest, EnsembleSpec, EscalateWhen, GatedSpec, ValidatorSpec, Voting,
 };

@@ -2,7 +2,7 @@
 
 use crate::config::DquagConfig;
 use crate::{CoreError, Result};
-use dquag_gnn::DquagNetwork;
+use dquag_gnn::{ActivationFault, DquagNetwork, HealthError, InferenceSession, ParamStore};
 use dquag_graph::knowledge::{build_feature_graph, StatisticalOracle};
 use dquag_graph::FeatureGraph;
 use dquag_tabular::encode::DatasetEncoder;
@@ -107,6 +107,13 @@ pub struct TrainingSummary {
     pub graph_edges: Vec<(String, String)>,
 }
 
+/// Default interval, in matrix-level forward passes, between parameter
+/// checksum re-verifications on an armed inference session. The check also
+/// always fires on a session's first pass, so every `validate` call verifies
+/// the store at least once; the period only bounds the re-check cost on very
+/// large batches.
+pub const DEFAULT_SELF_CHECK_PERIOD: u64 = 32;
+
 /// A trained DQuaG validator: the phase-1 artefacts needed to run phase 2.
 #[derive(Debug, Clone)]
 pub struct DquagValidator {
@@ -117,6 +124,15 @@ pub struct DquagValidator {
     threshold: f32,
     summary: TrainingSummary,
     telemetry: Option<std::sync::Arc<Telemetry>>,
+    /// Checksum of the network parameters at fit (or restore) time — the
+    /// reference every runtime self-check compares against.
+    fitted_checksum: u64,
+    /// Forward passes between checksum re-verifications; 0 disables the
+    /// runtime self-checks entirely.
+    self_check_period: u64,
+    /// Activation-corruption hook propagated onto every inference session
+    /// this validator opens — the fault-injection seam used by `dquag-faults`.
+    activation_fault: Option<ActivationFault>,
 }
 
 /// The complete serialisable state of a fitted [`DquagValidator`]: config,
@@ -251,6 +267,7 @@ impl DquagValidator {
                 .collect(),
         };
 
+        let fitted_checksum = network.params().checksum();
         Ok(DquagValidator {
             config: config.clone(),
             network,
@@ -259,6 +276,9 @@ impl DquagValidator {
             threshold,
             summary,
             telemetry: None,
+            fitted_checksum,
+            self_check_period: DEFAULT_SELF_CHECK_PERIOD,
+            activation_fault: None,
         })
     }
 
@@ -330,6 +350,11 @@ impl DquagValidator {
             threshold: state.threshold,
             summary: state.summary,
             telemetry: None,
+            // `actual == declared` was just verified, so the restored model's
+            // self-checks anchor to the same reference the exporter had.
+            fitted_checksum: actual,
+            self_check_period: DEFAULT_SELF_CHECK_PERIOD,
+            activation_fault: None,
         })
     }
 
@@ -369,6 +394,84 @@ impl DquagValidator {
         self
     }
 
+    /// Set the runtime self-check period in forward passes: every scoring
+    /// session re-verifies the parameter checksum at that interval (and
+    /// always on its first pass) and scans kernel/score outputs for NaN/Inf.
+    /// `0` disables the self-checks — the knob the overhead bench uses to
+    /// measure their cost. Checks are ON by default
+    /// ([`DEFAULT_SELF_CHECK_PERIOD`]).
+    pub fn with_self_check_period(mut self, period: u64) -> Self {
+        self.self_check_period = period;
+        self
+    }
+
+    /// The runtime self-check period (0 = disabled).
+    pub fn self_check_period(&self) -> u64 {
+        self.self_check_period
+    }
+
+    /// The parameter checksum captured when this validator was fitted or
+    /// restored — the reference the runtime self-checks verify against.
+    pub fn fitted_checksum(&self) -> u64 {
+        self.fitted_checksum
+    }
+
+    /// Cheap integrity probe: re-hash the live parameters against the
+    /// checksum captured at fit time. [`Err(CoreError::Health)`] means some
+    /// weight changed since fitting — the caller should stop trusting this
+    /// replica and rebuild it from persisted state.
+    pub fn health_check(&self) -> Result<()> {
+        let actual = self.network.params().checksum();
+        if actual != self.fitted_checksum {
+            return Err(CoreError::Health(HealthError::ChecksumMismatch {
+                expected: self.fitted_checksum,
+                actual,
+            }));
+        }
+        if !self.threshold.is_finite() {
+            return Err(CoreError::CorruptModel(format!(
+                "detection threshold {} is not finite",
+                self.threshold
+            )));
+        }
+        Ok(())
+    }
+
+    /// Fault-injection seam: expose the fitted network's parameter store for
+    /// in-place corruption (bit flips, NaN poisoning). Used by `dquag-faults`
+    /// to emulate hardware faults in a running replica; the corruption is
+    /// exactly what [`DquagValidator::health_check`] and the armed session
+    /// self-checks are built to catch. Normal code never calls this.
+    pub fn corrupt_params_with(&mut self, f: impl FnOnce(&mut ParamStore)) {
+        f(self.network.params_mut());
+    }
+
+    /// Install (or clear) an activation-corruption hook applied to every
+    /// decoder output this validator scores — the activation-level
+    /// fault-injection seam of `dquag-faults`.
+    pub fn set_activation_fault(&mut self, fault: Option<ActivationFault>) {
+        self.activation_fault = fault;
+    }
+
+    /// Arm a freshly opened session with this validator's self-check
+    /// reference and any installed activation fault.
+    fn arm_session(&self, session: &InferenceSession) {
+        if self.self_check_period > 0 {
+            session.arm_self_check(self.fitted_checksum, self.self_check_period);
+        }
+        if let Some(fault) = &self.activation_fault {
+            session.set_activation_fault(Some(fault.clone()));
+        }
+    }
+
+    /// Surface a session health violation as a [`CoreError::Health`].
+    fn session_health(&self, session: &InferenceSession) -> Result<()> {
+        match session.take_health_violation() {
+            Some(violation) => Err(CoreError::Health(violation)),
+            None => Ok(()),
+        }
+    }
+
     /// Record one finished stage span when a bundle is attached.
     fn observe_stage(&self, stage: Stage, started: std::time::Instant) {
         if let Some(telemetry) = &self.telemetry {
@@ -404,7 +507,7 @@ impl DquagValidator {
         let rows: Vec<Vec<f32>> = (0..encoded.n_rows())
             .map(|r| encoded.row(r).to_vec())
             .collect();
-        let flat = self.feature_errors_for_rows(&rows);
+        let flat = self.feature_errors_for_rows(&rows)?;
         let stride = self.network.n_features().max(1);
         Ok(flat.chunks(stride).map(instance_error).collect())
     }
@@ -416,35 +519,47 @@ impl DquagValidator {
     /// is off), on inference sessions that bind the parameters once per
     /// worker instead of once per row. One flat buffer keeps memory at the
     /// size of the encoded input instead of one allocation per row.
-    fn feature_errors_for_rows(&self, rows: &[Vec<f32>]) -> Vec<f32> {
+    fn feature_errors_for_rows(&self, rows: &[Vec<f32>]) -> Result<Vec<f32>> {
         let stride = self.network.n_features();
         let mut results = vec![0.0f32; rows.len() * stride];
         let threads = self.config.validation_threads.max(1);
         if threads == 1 || rows.len() < 64 {
-            self.score_rows_into(rows, &mut results);
-            return results;
+            self.score_rows_into(rows, &mut results)?;
+            return Ok(results);
         }
         // Parallel phase-2 validation: forward passes are independent, the
         // network is immutable, so rows are simply split across scoped
         // threads, each with its own inference session writing a disjoint
         // range of the flat output.
         let chunk_size = rows.len().div_ceil(threads);
+        let mut worker_results: Vec<Result<()>> = Vec::new();
         std::thread::scope(|scope| {
-            for (row_chunk, out_chunk) in rows
+            let handles: Vec<_> = rows
                 .chunks(chunk_size)
                 .zip(results.chunks_mut(chunk_size * stride.max(1)))
-            {
-                scope.spawn(move || {
-                    self.score_rows_into(row_chunk, out_chunk);
-                });
-            }
+                .map(|(row_chunk, out_chunk)| {
+                    scope.spawn(move || self.score_rows_into(row_chunk, out_chunk))
+                })
+                .collect();
+            worker_results = handles
+                .into_iter()
+                .map(|handle| handle.join().expect("validation worker panicked"))
+                .collect();
         });
-        results
+        // The first health violation wins; with every worker scoring the
+        // same corrupt store they would all report the same mismatch anyway.
+        for worker in worker_results {
+            worker?;
+        }
+        Ok(results)
     }
 
     /// Score a contiguous run of rows on one inference session, writing
     /// flattened per-feature errors (stride `n_features`) into `out`.
-    fn score_rows_into(&self, rows: &[Vec<f32>], out: &mut [f32]) {
+    /// The session is armed with this validator's self-checks; a health
+    /// violation aborts scoring and surfaces as [`CoreError::Health`] —
+    /// scores from a corrupt model are never handed upward.
+    fn score_rows_into(&self, rows: &[Vec<f32>], out: &mut [f32]) -> Result<()> {
         let stride = self.network.n_features();
         let batch = if self.config.batched_inference {
             self.config.inference_batch_size.max(1)
@@ -452,15 +567,20 @@ impl DquagValidator {
             1
         };
         let session = self.network.inference_session();
+        self.arm_session(&session);
         let mut offset = 0;
         for chunk in rows.chunks(batch) {
             let len = chunk.len() * stride;
-            self.network
-                .score_errors(&session, chunk)
-                .write_feature_errors(&mut out[offset..offset + len]);
+            let scores = self.network.score_errors(&session, chunk);
+            if let Err(violation) = self.session_health(&session) {
+                self.observe_session(&session);
+                return Err(violation);
+            }
+            scores.write_feature_errors(&mut out[offset..offset + len]);
             offset += len;
         }
         self.observe_session(&session);
+        Ok(())
     }
 
     /// Phase 2: validate a new dataset against the learned clean patterns.
@@ -476,7 +596,7 @@ impl DquagValidator {
         self.observe_stage(Stage::GraphBuild, build_started);
         let stride = self.network.n_features().max(1);
         let forward_started = std::time::Instant::now();
-        let flat_feature_errors = self.feature_errors_for_rows(&rows);
+        let flat_feature_errors = self.feature_errors_for_rows(&rows)?;
         self.observe_stage(Stage::Forward, forward_started);
         let verdict_started = std::time::Instant::now();
         let instance_errors: Vec<f32> = flat_feature_errors
@@ -570,6 +690,7 @@ impl DquagValidator {
         let target_rows: Vec<&[f32]> = targets.iter().map(|&(row, _)| encoded.row(row)).collect();
 
         let session = self.network.inference_session();
+        self.arm_session(&session);
         let batch = if self.config.batched_inference {
             self.config.inference_batch_size.max(1)
         } else {
@@ -577,6 +698,7 @@ impl DquagValidator {
         };
         for (chunk_start, chunk) in target_rows.chunks(batch).enumerate() {
             let scores = self.network.score_repairs(&session, chunk);
+            self.session_health(&session)?;
             for (offset, _) in chunk.iter().enumerate() {
                 let (row, cells) = &targets[chunk_start * batch + offset];
                 let suggestions = scores.repair_values(offset);
@@ -956,6 +1078,74 @@ mod tests {
             registry.counter("dquag_gnn_rows_scored_total", "").get(),
             240
         );
+    }
+
+    #[test]
+    fn corrupted_validator_surfaces_health_errors_not_scores() {
+        let (validator, clean) = trained_credit_validator();
+        let batch = clean.split_at(80).unwrap().0;
+        validator.health_check().expect("fresh model is healthy");
+        validator.validate(&batch).expect("fresh model validates");
+
+        // Flip one exponent bit in one fitted weight through the injection
+        // seam: health_check and validate must both refuse, loudly.
+        let mut corrupted = validator.clone();
+        corrupted.corrupt_params_with(|store| {
+            let (_, m) = store.iter_mut().next().unwrap();
+            let bits = m.get(0, 0).to_bits() ^ (1 << 27);
+            m.set(0, 0, f32::from_bits(bits));
+        });
+        assert!(matches!(
+            corrupted.health_check(),
+            Err(CoreError::Health(HealthError::ChecksumMismatch { .. }))
+        ));
+        assert!(matches!(
+            corrupted.validate(&batch),
+            Err(CoreError::Health(HealthError::ChecksumMismatch { .. }))
+        ));
+        // Repair is guarded by the same armed session path.
+        let report = validator.validate(&batch).unwrap();
+        assert!(matches!(
+            corrupted.repair(&batch, &report),
+            Err(CoreError::Health(_))
+        ));
+
+        // With self-checks disabled the corrupt model scores again — the
+        // unchecked arm the fault campaign uses to measure silent drift.
+        let unchecked = corrupted.with_self_check_period(0);
+        assert_eq!(unchecked.self_check_period(), 0);
+        unchecked
+            .validate(&batch)
+            .expect("unchecked scoring proceeds");
+
+        // An activation-level fault is caught by the output scan even though
+        // the parameter checksum still matches.
+        let mut poisoned = validator.clone();
+        poisoned.set_activation_fault(Some(ActivationFault::new(|m| m.set(0, 0, f32::NAN))));
+        poisoned.health_check().expect("params are intact");
+        assert!(matches!(
+            poisoned.validate(&batch),
+            Err(CoreError::Health(HealthError::NonFiniteScores { .. }))
+        ));
+    }
+
+    #[test]
+    fn parallel_validation_propagates_health_errors() {
+        let clean = DatasetKind::HotelBooking.generate_clean(600, 5);
+        let mut config = DquagConfig::fast();
+        config.epochs = 8;
+        config.validation_threads = 4;
+        let mut validator = DquagValidator::train(&clean, &[], &config).unwrap();
+        let batch = clean.split_at(300).unwrap().0;
+        validator.validate(&batch).unwrap();
+        validator.corrupt_params_with(|store| {
+            let (_, m) = store.iter_mut().next().unwrap();
+            m.set(0, 0, f32::NAN);
+        });
+        assert!(matches!(
+            validator.validate(&batch),
+            Err(CoreError::Health(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! A live-corruptible validator for quarantine drills.
+//!
+//! [`FaultedValidator`] wraps a fitted [`DquagBackend`] and applies faults
+//! scheduled through a cloneable [`FaultHandle`] at the start of the next
+//! `validate` call — the moment a real bit flip would strike: after fitting,
+//! under live traffic, with no cooperation from the scoring path. The
+//! corrupted replica then fails exactly the way production should observe
+//! it: the armed session's checksum verify or NaN scan raises a
+//! [`ValidateError::Health`], the streaming engine quarantines the replica
+//! and, given a rebuild source, swaps in a fresh validator and retries the
+//! batch.
+
+use crate::{FaultInjector, FaultKind};
+use dquag_gnn::ActivationFault;
+use dquag_tabular::DataFrame;
+use dquag_telemetry::Telemetry;
+use dquag_validate::{Capabilities, DquagBackend, FitReport, Validator, Verdict};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Cloneable scheduling handle: every clone feeds the same fault queue, so
+/// a test (or the drill example) can corrupt a validator the streaming
+/// engine already owns.
+#[derive(Clone, Debug, Default)]
+pub struct FaultHandle {
+    queue: Arc<Mutex<VecDeque<FaultKind>>>,
+}
+
+impl FaultHandle {
+    /// A handle with an empty fault queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a fault; it strikes at the start of the wrapped validator's
+    /// next `validate` call.
+    pub fn schedule(&self, fault: FaultKind) {
+        self.queue.lock().unwrap().push_back(fault);
+    }
+
+    /// Faults scheduled but not yet applied.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+
+    fn drain(&self) -> Vec<FaultKind> {
+        self.queue.lock().unwrap().drain(..).collect()
+    }
+}
+
+/// A fitted DQuaG validator that corrupts itself on demand.
+///
+/// Behaves identically to the wrapped backend until a fault is scheduled on
+/// its [`FaultHandle`]; faults are applied with a seeded [`FaultInjector`],
+/// so a drill replays deterministically. `replicate` returns `None` on
+/// purpose: the engine then shares this one instance across workers and a
+/// scheduled fault hits the replica actually serving traffic.
+pub struct FaultedValidator {
+    inner: RwLock<DquagBackend>,
+    handle: FaultHandle,
+    injector: Mutex<FaultInjector>,
+}
+
+impl FaultedValidator {
+    /// Wrap a (typically fitted) backend. Faults scheduled on `handle` are
+    /// applied by an injector seeded with `seed`.
+    pub fn new(backend: DquagBackend, handle: FaultHandle, seed: u64) -> Self {
+        Self {
+            inner: RwLock::new(backend),
+            handle,
+            injector: Mutex::new(FaultInjector::new(seed)),
+        }
+    }
+
+    /// Another handle onto this validator's fault queue.
+    pub fn handle(&self) -> FaultHandle {
+        self.handle.clone()
+    }
+
+    /// Drain the queue into the fitted model. Returns the number of weights
+    /// (or activation elements) corrupted.
+    fn apply_pending(&self) -> usize {
+        if self.handle.pending() == 0 {
+            return 0;
+        }
+        let faults = self.handle.drain();
+        if faults.is_empty() {
+            return 0;
+        }
+        let mut backend = self.inner.write().unwrap();
+        let Some(fitted) = backend.trained_mut() else {
+            return 0;
+        };
+        let mut injector = self.injector.lock().unwrap();
+        let mut corrupted = 0;
+        for fault in faults {
+            match fault {
+                FaultKind::ActivationNan { count } => {
+                    fitted.set_activation_fault(Some(ActivationFault::new(move |m| {
+                        let n = count.min(m.len());
+                        for v in m.as_mut_slice().iter_mut().take(n) {
+                            *v = f32::NAN;
+                        }
+                    })));
+                    corrupted += count;
+                }
+                param_fault => fitted.corrupt_params_with(|params| {
+                    corrupted += injector.corrupt_store(params, &param_fault);
+                }),
+            }
+        }
+        corrupted
+    }
+}
+
+impl Validator for FaultedValidator {
+    fn name(&self) -> &str {
+        "DQuaG (faultable)"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        self.inner.read().unwrap().capabilities()
+    }
+
+    fn fit(&mut self, clean: &DataFrame) -> dquag_validate::Result<FitReport> {
+        self.inner.get_mut().unwrap().fit(clean)
+    }
+
+    fn validate(&self, batch: &DataFrame) -> dquag_validate::Result<Verdict> {
+        self.apply_pending();
+        self.inner.read().unwrap().validate(batch)
+    }
+
+    fn repair(
+        &self,
+        batch: &DataFrame,
+        verdict: &Verdict,
+    ) -> dquag_validate::Result<Option<DataFrame>> {
+        self.inner.read().unwrap().repair(batch, verdict)
+    }
+
+    fn health_check(&self) -> dquag_validate::Result<()> {
+        self.inner.read().unwrap().health_check()
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Arc<Telemetry>) {
+        self.inner.get_mut().unwrap().attach_telemetry(telemetry);
+    }
+
+    fn persisted_state(&self) -> Option<dquag_validate::PersistedValidatorState> {
+        self.inner.read().unwrap().persisted_state()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultSite;
+    use dquag_core::DquagConfig;
+    use dquag_datagen::DatasetKind;
+    use dquag_gnn::ModelConfig;
+    use dquag_validate::ValidateError;
+
+    fn fitted_backend() -> DquagBackend {
+        let config = DquagConfig {
+            epochs: 4,
+            batch_size: 32,
+            model: ModelConfig {
+                hidden_dim: 12,
+                n_layers: 2,
+                ..ModelConfig::default()
+            },
+            ..DquagConfig::default()
+        };
+        let clean = DatasetKind::CreditCard.generate_clean(200, 5);
+        let mut backend = DquagBackend::new(config);
+        backend.fit(&clean).expect("training succeeds");
+        backend
+    }
+
+    #[test]
+    fn unfaulted_wrapper_is_transparent_and_faults_trip_the_self_check() {
+        let backend = fitted_backend();
+        let reference = {
+            let batch = DatasetKind::CreditCard.generate_clean(60, 99);
+            backend.validate(&batch).expect("clean verdict")
+        };
+
+        let handle = FaultHandle::new();
+        let faulted = FaultedValidator::new(backend, handle.clone(), 1234);
+        let batch = DatasetKind::CreditCard.generate_clean(60, 99);
+        assert_eq!(faulted.validate(&batch).expect("still healthy"), reference);
+        assert!(faulted.health_check().is_ok());
+
+        handle.schedule(FaultKind::BitFlips {
+            site: FaultSite::Exponent,
+            count: 3,
+        });
+        assert_eq!(handle.pending(), 1);
+        let error = faulted.validate(&batch).expect_err("corruption is caught");
+        assert!(
+            error.is_health(),
+            "expected a health violation, got {error}"
+        );
+        assert_eq!(handle.pending(), 0, "the fault was consumed");
+        assert!(
+            matches!(faulted.health_check(), Err(e) if e.is_health()),
+            "the standalone probe sees the corruption too"
+        );
+    }
+
+    #[test]
+    fn activation_faults_poison_scores_without_touching_parameters() {
+        let faulted = FaultedValidator::new(fitted_backend(), FaultHandle::new(), 77);
+        faulted
+            .handle()
+            .schedule(FaultKind::ActivationNan { count: 4 });
+        let batch = DatasetKind::CreditCard.generate_clean(60, 12);
+        let error = faulted.validate(&batch).expect_err("poison is caught");
+        assert!(
+            matches!(&error, ValidateError::Health(_)),
+            "expected a health violation, got {error}"
+        );
+        // The parameters themselves are intact: only the in-flight
+        // activation was poisoned, so the checksum probe stays green.
+        assert!(faulted.health_check().is_ok());
+    }
+}

@@ -1,0 +1,276 @@
+//! Seeded, deterministic corruption of fitted-model parameters.
+//!
+//! Faults are expressed at the IEEE-754 bit level so the harness can emulate
+//! what actually goes wrong in production memory: a cosmic-ray single-bit
+//! upset, a stuck DRAM cell, a torn write. Where the flip lands decides how
+//! loud the failure is — a mantissa flip nudges a weight by parts per
+//! million (only the parameter checksum can see it), an exponent flip
+//! multiplies it by up to 2^128 (scores explode), a sign flip negates it.
+//! Everything is driven by one seeded generator, so a campaign replays
+//! bit-for-bit from its seed.
+
+use dquag_gnn::ParamStore;
+use dquag_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which region of an IEEE-754 `f32` a bit flip targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Bit 31 — negates the weight.
+    Sign,
+    /// Bits 23–30 — rescales the weight by a power of two, the loud,
+    /// score-exploding corruption.
+    Exponent,
+    /// Bits 0–22 — perturbs the weight by as little as one ULP, the quiet
+    /// corruption only a checksum catches.
+    Mantissa,
+}
+
+impl FaultSite {
+    /// Every site, in sweep order.
+    pub const ALL: [FaultSite; 3] = [FaultSite::Sign, FaultSite::Exponent, FaultSite::Mantissa];
+
+    /// Stable label used in campaign reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultSite::Sign => "sign",
+            FaultSite::Exponent => "exponent",
+            FaultSite::Mantissa => "mantissa",
+        }
+    }
+
+    /// Pick one bit position inside this site.
+    fn pick_bit(&self, rng: &mut StdRng) -> u32 {
+        match self {
+            FaultSite::Sign => 31,
+            FaultSite::Exponent => rng.gen_range(23..31u32),
+            FaultSite::Mantissa => rng.gen_range(0..23u32),
+        }
+    }
+}
+
+/// One corruption to apply to a fitted model.
+#[derive(Debug, Clone)]
+pub enum FaultKind {
+    /// Flip one randomly chosen bit of the given site in `count` randomly
+    /// chosen weights.
+    BitFlips {
+        /// Which bit region each flip targets.
+        site: FaultSite,
+        /// How many weights to hit.
+        count: usize,
+    },
+    /// Flip a site bit in each weight independently with probability
+    /// `rate` — the campaign's sweep axis.
+    BitFlipRate {
+        /// Which bit region each flip targets.
+        site: FaultSite,
+        /// Per-weight flip probability.
+        rate: f64,
+    },
+    /// Overwrite `count` randomly chosen weights with NaN.
+    PoisonNan {
+        /// How many weights to poison.
+        count: usize,
+    },
+    /// Overwrite `count` randomly chosen weights with +Inf.
+    PoisonInf {
+        /// How many weights to poison.
+        count: usize,
+    },
+    /// Poison the first `count` elements of the next decoder activation
+    /// in flight (not the parameters). Ignored by [`FaultInjector`]; the
+    /// [`crate::FaultedValidator`] routes it to the activation hook.
+    ActivationNan {
+        /// How many activation elements to poison.
+        count: usize,
+    },
+}
+
+/// A seeded source of parameter corruption.
+///
+/// The same seed and fault sequence corrupt the same bits, so every drill
+/// and campaign cell replays deterministically.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// An injector whose whole corruption stream is determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Apply `fault` across every parameter matrix of a fitted model's
+    /// store, returning the number of weights corrupted.
+    /// [`FaultKind::ActivationNan`] is a no-op here — it targets
+    /// activations, not parameters.
+    pub fn corrupt_store(&mut self, params: &mut ParamStore, fault: &FaultKind) -> usize {
+        let mut mats: Vec<&mut Matrix> = params.iter_mut().map(|(_, m)| m).collect();
+        self.corrupt_mats(&mut mats, fault)
+    }
+
+    /// Apply `fault` to a single matrix, returning the number of elements
+    /// corrupted.
+    pub fn corrupt_matrix(&mut self, matrix: &mut Matrix, fault: &FaultKind) -> usize {
+        self.corrupt_mats(&mut [matrix], fault)
+    }
+
+    fn corrupt_mats(&mut self, mats: &mut [&mut Matrix], fault: &FaultKind) -> usize {
+        let total: usize = mats.iter().map(|m| m.len()).sum();
+        if total == 0 {
+            return 0;
+        }
+        match fault {
+            FaultKind::BitFlips { site, count } => {
+                for _ in 0..*count {
+                    let at = self.rng.gen_range(0..total);
+                    let bit = site.pick_bit(&mut self.rng);
+                    Self::with_weight(mats, at, |w| *w = f32::from_bits(w.to_bits() ^ (1 << bit)));
+                }
+                *count
+            }
+            FaultKind::BitFlipRate { site, rate } => {
+                let mut flipped = 0;
+                for mat in mats.iter_mut() {
+                    for w in mat.as_mut_slice() {
+                        if self.rng.gen_bool(*rate) {
+                            let bit = site.pick_bit(&mut self.rng);
+                            *w = f32::from_bits(w.to_bits() ^ (1 << bit));
+                            flipped += 1;
+                        }
+                    }
+                }
+                flipped
+            }
+            FaultKind::PoisonNan { count } => self.poison(mats, total, *count, f32::NAN),
+            FaultKind::PoisonInf { count } => self.poison(mats, total, *count, f32::INFINITY),
+            FaultKind::ActivationNan { .. } => 0,
+        }
+    }
+
+    fn poison(
+        &mut self,
+        mats: &mut [&mut Matrix],
+        total: usize,
+        count: usize,
+        value: f32,
+    ) -> usize {
+        for _ in 0..count {
+            let at = self.rng.gen_range(0..total);
+            Self::with_weight(mats, at, |w| *w = value);
+        }
+        count
+    }
+
+    /// Run `f` on the weight at flat index `at` across the matrix sequence.
+    fn with_weight(mats: &mut [&mut Matrix], mut at: usize, f: impl FnOnce(&mut f32)) {
+        for mat in mats.iter_mut() {
+            if at < mat.len() {
+                f(&mut mat.as_mut_slice()[at]);
+                return;
+            }
+            at -= mat.len();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ParamStore {
+        let mut params = ParamStore::new();
+        params.add("w1", Matrix::filled(4, 4, 1.5));
+        params.add("w2", Matrix::filled(2, 8, -0.25));
+        params
+    }
+
+    #[test]
+    fn same_seed_corrupts_the_same_bits() {
+        let (mut a, mut b) = (store(), store());
+        let fault = FaultKind::BitFlips {
+            site: FaultSite::Exponent,
+            count: 5,
+        };
+        FaultInjector::new(42).corrupt_store(&mut a, &fault);
+        FaultInjector::new(42).corrupt_store(&mut b, &fault);
+        assert_eq!(a.checksum(), b.checksum());
+        assert_ne!(a.checksum(), store().checksum(), "flips must change bits");
+    }
+
+    #[test]
+    fn sign_flips_negate_and_nothing_else() {
+        let mut params = store();
+        let flipped = FaultInjector::new(7).corrupt_store(
+            &mut params,
+            &FaultKind::BitFlips {
+                site: FaultSite::Sign,
+                count: 3,
+            },
+        );
+        assert_eq!(flipped, 3);
+        let mut negated = 0;
+        for (_, mat) in params.iter_mut() {
+            for w in mat.as_mut_slice() {
+                assert!(w.abs() == 1.5 || w.abs() == 0.25, "magnitude preserved");
+                if *w == -1.5 || *w == 0.25 {
+                    negated += 1;
+                }
+            }
+        }
+        // Three draws may collide on a weight (double flip restores it), so
+        // the negated count has the same parity but can be lower.
+        assert!((1..=3).contains(&negated), "negated {negated} weights");
+    }
+
+    #[test]
+    fn poison_makes_weights_non_finite() {
+        let mut params = store();
+        FaultInjector::new(3).corrupt_store(&mut params, &FaultKind::PoisonNan { count: 4 });
+        let poisoned: usize = params
+            .iter_mut()
+            .flat_map(|(_, m)| m.as_mut_slice().iter())
+            .filter(|w| !w.is_finite())
+            .count();
+        assert!(poisoned >= 1, "at least one weight is NaN");
+    }
+
+    #[test]
+    fn flip_rate_scales_with_rate() {
+        let mut mat = Matrix::filled(64, 64, 0.5);
+        let flipped = FaultInjector::new(11).corrupt_matrix(
+            &mut mat,
+            &FaultKind::BitFlipRate {
+                site: FaultSite::Mantissa,
+                rate: 0.5,
+            },
+        );
+        assert!(
+            (1024..3072).contains(&flipped),
+            "about half of 4096 weights flip, got {flipped}"
+        );
+        let untouched = FaultInjector::new(11).corrupt_matrix(
+            &mut mat,
+            &FaultKind::BitFlipRate {
+                site: FaultSite::Mantissa,
+                rate: 0.0,
+            },
+        );
+        assert_eq!(untouched, 0);
+    }
+
+    #[test]
+    fn activation_faults_do_not_touch_parameters() {
+        let mut params = store();
+        let before = params.checksum();
+        let n = FaultInjector::new(1)
+            .corrupt_store(&mut params, &FaultKind::ActivationNan { count: 8 });
+        assert_eq!(n, 0);
+        assert_eq!(params.checksum(), before);
+    }
+}

@@ -1,0 +1,41 @@
+//! # dquag-faults
+//!
+//! Fault-injection harness for the DQuaG reproduction — the adversary the
+//! self-checking runtime is built to beat.
+//!
+//! A production model replica can go bad without crashing: a cosmic-ray bit
+//! flip in a fitted weight, a stuck DRAM cell, a poisoned activation. An
+//! *unchecked* deployment keeps serving verdicts that drift from subtly
+//! wrong to garbage, and nothing downstream can tell. This crate makes that
+//! failure mode reproducible and measurable:
+//!
+//! * [`FaultInjector`] — seeded, deterministic corruption of fitted
+//!   parameters: single/multi bit flips targeted at the sign, exponent or
+//!   mantissa of IEEE-754 weights ([`FaultSite`]), per-weight flip-rate
+//!   sweeps, NaN/Inf poisoning ([`FaultKind`]).
+//! * [`FaultedValidator`] + [`FaultHandle`] — a wrapper that corrupts a
+//!   live, fitted [`DquagBackend`](dquag_validate::DquagBackend) at the
+//!   start of its next `validate` call, including activation-level faults
+//!   injected into the scoring path itself. This is how drills strike a
+//!   replica the streaming engine already owns.
+//! * [`run_campaign`] — sweep flip rate × site over real traffic (the
+//!   datagen ordinary-error catalog) and measure verdict agreement with the
+//!   clean model when the self-checks are off, and
+//!   detected/silently-wrong counts when they are on. The resulting
+//!   [`CampaignReport`] is the `BENCH_faults.json` artifact.
+//!
+//! The detection side lives where it belongs — parameter checksums and
+//! NaN/Inf guards in `dquag-gnn`/`dquag-core`, quarantine-and-rebuild in
+//! `dquag-stream`, persisted recovery in `dquag-persist`. This crate only
+//! supplies the faults and the scoreboard.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod campaign;
+mod faulty;
+mod injector;
+
+pub use campaign::{run_campaign, CampaignCell, CampaignConfig, CampaignReport};
+pub use faulty::{FaultHandle, FaultedValidator};
+pub use injector::{FaultInjector, FaultKind, FaultSite};

@@ -1,0 +1,117 @@
+//! Structured model-health violations surfaced by the self-checking runtime.
+//!
+//! A production replica can go bad without crashing: a bit flip in a fitted
+//! parameter, a NaN escaping a kernel, an activation poisoned in flight. The
+//! scoring path (see [`crate::InferenceSession`]) detects these and reports a
+//! [`HealthError`] instead of returning garbage scores, so the caller can
+//! quarantine the replica rather than trust a silently-wrong verdict.
+
+use std::fmt;
+use std::sync::Arc;
+
+use dquag_tensor::Matrix;
+
+/// Why a model failed a runtime self-check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HealthError {
+    /// The live parameter store no longer hashes to the checksum captured at
+    /// fit time — some weight was corrupted after training.
+    ChecksumMismatch {
+        /// Checksum of the parameters when the model was fitted.
+        expected: u64,
+        /// Checksum the live parameters hash to now.
+        actual: u64,
+    },
+    /// The SIMD kernel epilogue guard found a NaN/Inf in a matrix-product
+    /// output during a forward pass.
+    NonFiniteKernel {
+        /// Flat index of the first offending element in the product output.
+        index: usize,
+    },
+    /// A decoder output consumed by scoring contained a NaN/Inf value.
+    NonFiniteScores {
+        /// Which scoring output was poisoned (`"reconstruction_error"` or
+        /// `"repair"`).
+        stage: &'static str,
+        /// Flat index of the first offending element.
+        index: usize,
+    },
+}
+
+impl fmt::Display for HealthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "parameter checksum mismatch: fitted model hashed {expected:016x} but live \
+                 parameters hash to {actual:016x}"
+            ),
+            HealthError::NonFiniteKernel { index } => write!(
+                f,
+                "non-finite kernel output at element {index}: the SIMD epilogue guard tripped"
+            ),
+            HealthError::NonFiniteScores { stage, index } => {
+                write!(f, "non-finite {stage} output at element {index}")
+            }
+        }
+    }
+}
+
+/// An activation-corruption hook installed on an [`crate::InferenceSession`]
+/// — the activation-level fault-injection seam used by `dquag-faults`.
+///
+/// The hook receives the decoder's output matrix for each scored tile and may
+/// mutate it in place (e.g. poison elements with NaN). It runs *after* the
+/// forward pass and *before* the session's non-finite output scan, so an
+/// injected poison value exercises exactly the detection path a real
+/// corrupted activation would.
+#[derive(Clone)]
+pub struct ActivationFault(pub Arc<dyn Fn(&mut Matrix) + Send + Sync>);
+
+impl ActivationFault {
+    /// Wrap a corruption function.
+    pub fn new(f: impl Fn(&mut Matrix) + Send + Sync + 'static) -> Self {
+        Self(Arc::new(f))
+    }
+}
+
+impl fmt::Debug for ActivationFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ActivationFault(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_violation() {
+        let checksum = HealthError::ChecksumMismatch {
+            expected: 0xdead,
+            actual: 0xbeef,
+        };
+        let text = checksum.to_string();
+        assert!(text.contains("000000000000dead"), "{text}");
+        assert!(text.contains("000000000000beef"), "{text}");
+
+        let kernel = HealthError::NonFiniteKernel { index: 7 }.to_string();
+        assert!(kernel.contains("element 7"), "{kernel}");
+
+        let scores = HealthError::NonFiniteScores {
+            stage: "repair",
+            index: 3,
+        }
+        .to_string();
+        assert!(scores.contains("repair"), "{scores}");
+    }
+
+    #[test]
+    fn activation_fault_mutates_in_place() {
+        let fault = ActivationFault::new(|m| m.set(0, 0, f32::NAN));
+        let mut m = Matrix::zeros(2, 1);
+        (fault.0)(&mut m);
+        assert!(m.get(0, 0).is_nan());
+        assert_eq!(m.get(1, 0), 0.0);
+    }
+}

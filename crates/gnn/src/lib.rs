@@ -39,6 +39,7 @@
 pub mod context;
 pub mod decoder;
 pub mod encoder;
+pub mod health;
 pub mod layers;
 pub mod model;
 pub mod params;
@@ -46,6 +47,7 @@ pub mod params;
 pub use context::GraphContext;
 pub use decoder::DualDecoder;
 pub use encoder::{Encoder, EncoderKind};
+pub use health::{ActivationFault, HealthError};
 pub use model::{
     BatchOutput, BatchScores, DquagNetwork, InferenceSession, ModelConfig, MultiTaskLoss,
     SampleOutput,

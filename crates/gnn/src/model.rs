@@ -8,6 +8,7 @@
 use crate::context::{BoundGraph, GraphContext};
 use crate::decoder::DualDecoder;
 use crate::encoder::{Encoder, EncoderKind};
+use crate::health::{ActivationFault, HealthError};
 use crate::params::{BoundParams, ParamStore};
 use dquag_graph::FeatureGraph;
 use dquag_tensor::init::InitRng;
@@ -245,6 +246,20 @@ pub struct InferenceSession {
     base_len: usize,
     forward_passes: std::cell::Cell<u64>,
     rows_scored: std::cell::Cell<u64>,
+    self_check: std::cell::Cell<Option<SelfCheck>>,
+    health: std::cell::RefCell<Option<HealthError>>,
+    activation_fault: std::cell::RefCell<Option<ActivationFault>>,
+}
+
+/// Periodic self-check configuration armed on a session.
+#[derive(Debug, Clone, Copy)]
+struct SelfCheck {
+    /// Checksum the network's parameter store hashed to at fit time.
+    expected: u64,
+    /// Verify the store checksum every this many forward passes. The check
+    /// always fires on the *first* pass of a session, so every scoring call
+    /// re-verifies the store it just bound from.
+    period: u64,
 }
 
 impl InferenceSession {
@@ -268,6 +283,55 @@ impl InferenceSession {
     /// Encoded rows scored through this session since it was opened.
     pub fn rows_scored(&self) -> u64 {
         self.rows_scored.get()
+    }
+
+    /// Arm the runtime self-checks on this session.
+    ///
+    /// `expected` is the parameter-store checksum captured at fit time;
+    /// `period` (≥ 1) is how many forward passes may elapse between checksum
+    /// re-verifications. Arming also enables the process-wide SIMD-epilogue
+    /// finite guard ([`dquag_tensor::set_finite_guard`]) and clears any stale
+    /// guard trip latched on this thread, so a trip observed later is
+    /// attributable to this session's own forward passes (sessions are
+    /// single-threaded).
+    pub fn arm_self_check(&self, expected: u64, period: u64) {
+        self.self_check.set(Some(SelfCheck {
+            expected,
+            period: period.max(1),
+        }));
+        dquag_tensor::set_finite_guard(true);
+        let _ = dquag_tensor::take_finite_guard_trip();
+    }
+
+    /// Whether self-checks are armed.
+    pub fn self_check_armed(&self) -> bool {
+        self.self_check.get().is_some()
+    }
+
+    /// Install (or clear) an activation-corruption hook — the activation-level
+    /// fault-injection seam. See [`ActivationFault`].
+    pub fn set_activation_fault(&self, fault: Option<ActivationFault>) {
+        *self.activation_fault.borrow_mut() = fault;
+    }
+
+    /// The first health violation recorded on this session, if any. Once a
+    /// violation is recorded, further scoring through the session
+    /// short-circuits to empty results, so callers must check this after
+    /// every scoring call before trusting the scores.
+    pub fn health_violation(&self) -> Option<HealthError> {
+        self.health.borrow().clone()
+    }
+
+    /// Take (and clear) the recorded health violation.
+    pub fn take_health_violation(&self) -> Option<HealthError> {
+        self.health.borrow_mut().take()
+    }
+
+    fn record_health(&self, error: HealthError) {
+        let mut slot = self.health.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(error);
+        }
     }
 }
 
@@ -388,6 +452,15 @@ impl DquagNetwork {
         &self.params
     }
 
+    /// Mutable access to the parameter store — the fault-injection seam used
+    /// by `dquag-faults` to flip bits in fitted weights. Mutating a fitted
+    /// store invalidates the checksum captured at fit time, which is exactly
+    /// what the session self-checks detect; normal code goes through
+    /// [`DquagNetwork::import_params`] or the optimizer instead.
+    pub fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.params
+    }
+
     /// Overwrite the network's parameters with exported `(name, matrix)`
     /// pairs (see [`ParamStore::import`]).
     ///
@@ -484,6 +557,9 @@ impl DquagNetwork {
             base_len,
             forward_passes: std::cell::Cell::new(0),
             rows_scored: std::cell::Cell::new(0),
+            self_check: std::cell::Cell::new(None),
+            health: std::cell::RefCell::new(None),
+            activation_fault: std::cell::RefCell::new(None),
         }
     }
 
@@ -547,9 +623,13 @@ impl DquagNetwork {
         with_errors: bool,
         with_repair: bool,
     ) -> BatchScores {
-        if rows.is_empty() {
+        if rows.is_empty() || session.health.borrow().is_some() {
+            // A session with a recorded health violation is poisoned: keep
+            // returning empty scores until the caller notices rather than
+            // hand out numbers from a model known to be corrupt.
             return BatchScores::empty(self.n_features);
         }
+        let check = session.self_check.get();
         // Split into equally sized cache-resident tiles (a trailing 1-row
         // tile would pay a whole pass of fixed costs for one sample).
         let n_tiles = rows.len().div_ceil(self.inference_tile_rows());
@@ -558,23 +638,76 @@ impl DquagNetwork {
         let mut errors = Vec::with_capacity(if with_errors { stacked } else { 0 });
         let mut repair = Vec::with_capacity(if with_repair { stacked } else { 0 });
         for chunk in rows.chunks(tile) {
+            if let Some(check) = check {
+                // Re-verify the store every `period` passes, including pass
+                // zero: corruption between validate calls is caught before
+                // this call's first tile is trusted.
+                if session.forward_passes.get().is_multiple_of(check.period) {
+                    let actual = self.params.checksum();
+                    if actual != check.expected {
+                        session.record_health(HealthError::ChecksumMismatch {
+                            expected: check.expected,
+                            actual,
+                        });
+                        break;
+                    }
+                }
+            }
+            let errors_before = errors.len();
+            let repair_before = repair.len();
             let input = session.tape.constant(self.stack_rows(chunk));
             let z =
                 self.encoder
                     .forward_batch(&session.params, &session.graph, &input, chunk.len());
             if with_errors {
                 let reconstruction = self.decoder.reconstruct(&session.params, &z);
-                extend_squared_errors(&input.value(), &reconstruction.value(), &mut errors);
+                let mut reconstruction = reconstruction.value();
+                if let Some(fault) = session.activation_fault.borrow().as_ref() {
+                    (fault.0)(&mut reconstruction);
+                }
+                extend_squared_errors(&input.value(), &reconstruction, &mut errors);
             }
             if with_repair {
-                repair
-                    .extend_from_slice(self.decoder.repair(&session.params, &z).value().as_slice());
+                let mut proposed = self.decoder.repair(&session.params, &z).value();
+                if let Some(fault) = session.activation_fault.borrow().as_ref() {
+                    (fault.0)(&mut proposed);
+                }
+                repair.extend_from_slice(proposed.as_slice());
             }
             session.tape.truncate(session.base_len);
             session.forward_passes.set(session.forward_passes.get() + 1);
             session
                 .rows_scored
                 .set(session.rows_scored.get() + chunk.len() as u64);
+            if check.is_some() {
+                if let Some(trip) = dquag_tensor::take_finite_guard_trip() {
+                    session.record_health(HealthError::NonFiniteKernel { index: trip.index });
+                    break;
+                }
+                // The kernel guard cannot see poison introduced after the
+                // product (activations, softmax); scan what scoring actually
+                // consumes. NaN propagates through (x − r)², so one pass over
+                // the tile's new error/repair elements covers both operands.
+                if let Some(i) = errors[errors_before..].iter().position(|v| !v.is_finite()) {
+                    session.record_health(HealthError::NonFiniteScores {
+                        stage: "reconstruction_error",
+                        index: errors_before + i,
+                    });
+                    break;
+                }
+                if let Some(i) = repair[repair_before..].iter().position(|v| !v.is_finite()) {
+                    session.record_health(HealthError::NonFiniteScores {
+                        stage: "repair",
+                        index: repair_before + i,
+                    });
+                    break;
+                }
+            }
+        }
+        if session.health.borrow().is_some() {
+            // Never hand partially scored buffers to a caller: a truncated
+            // error vector would silently mis-align `write_feature_errors`.
+            return BatchScores::empty(self.n_features);
         }
         BatchScores {
             n_features: self.n_features,
@@ -792,6 +925,90 @@ mod tests {
         .value()
         .get(0, 0);
         assert!((both - (only_val + only_rep)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn armed_session_scores_identically_and_detects_corruption() {
+        let net = DquagNetwork::new(&small_graph(), ModelConfig::small());
+        let fitted = net.params().checksum();
+        let rows: Vec<Vec<f32>> = (0..8).map(clean_sample).collect();
+
+        // A healthy armed session returns exactly what an unarmed one does.
+        let unarmed = net.inference_session();
+        let clean = net.score_matrix(&unarmed, &rows);
+        let armed = net.inference_session();
+        armed.arm_self_check(fitted, 4);
+        assert!(armed.self_check_armed());
+        let checked = net.score_matrix(&armed, &rows);
+        assert_eq!(checked.instance_errors(), clean.instance_errors());
+        assert_eq!(armed.health_violation(), None);
+
+        // A single flipped weight bit fails the checksum re-verification; the
+        // poisoned session returns empty scores instead of wrong ones.
+        let mut flipped = net.clone();
+        let (_, m) = flipped.params_mut().iter_mut().next().unwrap();
+        let bits = m.get(0, 0).to_bits() ^ (1 << 30);
+        m.set(0, 0, f32::from_bits(bits));
+        let session = flipped.inference_session();
+        session.arm_self_check(fitted, 4);
+        let scores = flipped.score_matrix(&session, &rows);
+        assert!(scores.is_empty());
+        assert!(matches!(
+            session.health_violation(),
+            Some(HealthError::ChecksumMismatch { expected, .. }) if expected == fitted
+        ));
+        // Further scoring through the poisoned session stays empty.
+        assert!(flipped.score_matrix(&session, &rows).is_empty());
+        assert!(session.take_health_violation().is_some());
+        assert_eq!(session.health_violation(), None);
+    }
+
+    #[test]
+    fn armed_session_surfaces_nan_weights_via_kernel_guard() {
+        // Poison a *decoder* weight with NaN and arm against the poisoned
+        // store's own checksum, so the checksum check passes and detection
+        // must come from the finite guards instead.
+        let mut net = DquagNetwork::new(&small_graph(), ModelConfig::small());
+        let (_, m) = net.params_mut().iter_mut().last().unwrap();
+        m.set(0, 0, f32::NAN);
+        let poisoned_checksum = net.params().checksum();
+        let rows: Vec<Vec<f32>> = (0..4).map(clean_sample).collect();
+        let session = net.inference_session();
+        session.arm_self_check(poisoned_checksum, 4);
+        let scores = net.score_matrix(&session, &rows);
+        assert!(scores.is_empty());
+        assert!(matches!(
+            session.health_violation(),
+            Some(HealthError::NonFiniteKernel { .. } | HealthError::NonFiniteScores { .. })
+        ));
+    }
+
+    #[test]
+    fn activation_fault_hook_is_caught_by_output_scan() {
+        let net = DquagNetwork::new(&small_graph(), ModelConfig::small());
+        let fitted = net.params().checksum();
+        let rows: Vec<Vec<f32>> = (0..4).map(clean_sample).collect();
+        let session = net.inference_session();
+        session.arm_self_check(fitted, 4);
+        session.set_activation_fault(Some(crate::health::ActivationFault::new(|m| {
+            m.set(0, 0, f32::NAN)
+        })));
+        let scores = net.score_matrix(&session, &rows);
+        assert!(scores.is_empty());
+        assert!(matches!(
+            session.health_violation(),
+            Some(HealthError::NonFiniteScores { .. })
+        ));
+
+        // Without arming, the hook corrupts scores but nothing is recorded —
+        // the knob that separates injection from detection.
+        let blind = net.inference_session();
+        blind.set_activation_fault(Some(crate::health::ActivationFault::new(|m| {
+            m.set(0, 0, f32::NAN)
+        })));
+        let scores = net.score_matrix(&blind, &rows);
+        assert!(!scores.is_empty());
+        assert_eq!(blind.health_violation(), None);
     }
 
     #[test]

@@ -104,6 +104,20 @@ impl ParamStore {
             .zip(self.values.iter())
     }
 
+    /// Iterate `(name, &mut matrix)` pairs in registration order.
+    ///
+    /// This is the fault-injection seam used by `dquag-faults`: corrupting a
+    /// fitted store through it changes the store's [`checksum`](Self::checksum),
+    /// which the inference-session self-checks compare against the checksum
+    /// captured at fit time. Normal code never mutates fitted parameters
+    /// directly — use [`set`](Self::set) or the optimizer path instead.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&str, &mut Matrix)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.values.iter_mut())
+    }
+
     /// Overwrite all parameters from exported `(name, matrix)` pairs.
     ///
     /// The store must already hold the same parameters (same count, names

@@ -9,7 +9,10 @@
 use dquag_core::spec::ValidatorSpec;
 use dquag_core::{BackpressurePolicy, DquagConfig};
 use dquag_datagen::{inject_ordinary, DatasetKind, OrdinaryError};
-use dquag_persist::{load_validator, registry_with_persistence, save_validator, PERSISTED_DQUAG};
+use dquag_persist::{
+    load_model, load_validator, recover_model, registry_with_persistence, save_validator,
+    PersistError, PERSISTED_DQUAG,
+};
 use dquag_stream::{StreamEngine, StreamOutcome};
 use dquag_tabular::DataFrame;
 use dquag_validate::{build_validator, Validator, ValidatorKind, Verdict};
@@ -112,6 +115,82 @@ fn restart_from_disk_serves_identical_verdicts_with_zero_refit() {
 
     // Verdict-for-verdict identical: scores, flags, violations, thresholds.
     assert_eq!(after_restart, before_restart);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Flip one digit inside the envelope's payload so the JSON still parses
+/// but the declared checksum no longer matches the bytes — the smallest
+/// corruption a crashing writer or a bad disk can produce.
+fn flip_payload_digit(encoded: &str) -> Vec<u8> {
+    let mut bytes = encoded.as_bytes().to_vec();
+    let payload_at = encoded.find("\"payload\"").expect("envelope has a payload");
+    let digit = (payload_at..bytes.len())
+        .find(|&i| bytes[i].is_ascii_digit())
+        .expect("payload contains a digit");
+    bytes[digit] = if bytes[digit] == b'9' {
+        b'8'
+    } else {
+        bytes[digit] + 1
+    };
+    bytes
+}
+
+#[test]
+fn bit_flipped_model_is_quarantined_on_load_and_recovery_degrades_with_warning() {
+    let dir = unique_dir("bitflip");
+    let model_path = dir.join("model.json");
+
+    let clean = DatasetKind::CreditCard.generate_clean(600, 17);
+    let live = fit_dquag(&clean);
+    save_validator(&model_path, live.as_ref()).unwrap();
+
+    let pristine = std::fs::read_to_string(&model_path).unwrap();
+    let corrupted = flip_payload_digit(&pristine);
+    std::fs::write(&model_path, &corrupted).unwrap();
+
+    // Fail-closed path: the flipped payload must never be served. The load
+    // errors naming the checksum mismatch, and the file is moved aside so a
+    // retry loop cannot re-read the same corrupt bytes as a model.
+    match load_model(&model_path) {
+        Err(PersistError::Corrupt {
+            reason,
+            quarantined,
+        }) => {
+            assert!(reason.contains("checksum"), "reason was: {reason}");
+            let parked = quarantined.expect("the corrupt file was quarantined");
+            assert!(
+                parked.exists(),
+                "quarantine file missing: {}",
+                parked.display()
+            );
+            assert!(
+                !model_path.exists(),
+                "the corrupt original must not be left in place"
+            );
+        }
+        other => panic!("expected a Corrupt error, got {other:?}"),
+    }
+
+    // Degrade-with-warning path: `recover_model` on a second corrupted copy
+    // yields no state, quarantines the file, and the warning names the
+    // checksum failure so an operator knows a refit (not a retry) is due.
+    let second_path = dir.join("model-recover.json");
+    std::fs::write(&second_path, &corrupted).unwrap();
+    let recovered = recover_model(&second_path);
+    assert!(
+        recovered.state.is_none(),
+        "corrupt state must not be recovered"
+    );
+    assert!(
+        recovered.quarantined.is_some(),
+        "recovery should park the corrupt file too"
+    );
+    assert!(
+        recovered.warnings.iter().any(|w| w.contains("checksum")),
+        "warnings were: {:?}",
+        recovered.warnings
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -20,6 +20,10 @@ struct Job {
     submitted_at: Instant,
     deadline_at: Option<Instant>,
     budget: Option<Duration>,
+    /// Whether this job was already handed back once by a quarantined
+    /// replica. A rebuilt replica that is *still* unhealthy fails the batch
+    /// instead of requeueing forever.
+    retried: bool,
 }
 
 /// What the consumer needs to know about a not-yet-finished batch: enough to
@@ -93,7 +97,16 @@ struct Shared {
     /// Pre-registered telemetry handles; `None` means telemetry off and the
     /// hot path pays only this option check.
     metrics: Option<StreamMetrics>,
+    /// How to build a fresh, known-good validator when a replica fails a
+    /// health self-check (typically: reload the last persisted envelope).
+    /// `None` means a quarantined replica's batch simply fails.
+    rebuild: Option<RebuildSource>,
 }
+
+/// Factory for a replacement validator after a replica quarantine. Returns
+/// `None` when no good state is available (e.g. the persisted envelope is
+/// itself corrupt), in which case the engine degrades to failing batches.
+pub type RebuildSource = Arc<dyn Fn() -> Option<Box<dyn Validator>> + Send + Sync>;
 
 impl Shared {
     fn lock(&self) -> MutexGuard<'_, State> {
@@ -135,11 +148,23 @@ impl Shared {
 /// override single knobs.
 ///
 /// [`stream_config`]: StreamEngineBuilder::stream_config
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct StreamEngineBuilder {
     config: StreamConfig,
     restored: Option<StreamStats>,
     telemetry: Option<Arc<Telemetry>>,
+    rebuild: Option<RebuildSource>,
+}
+
+impl std::fmt::Debug for StreamEngineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamEngineBuilder")
+            .field("config", &self.config)
+            .field("restored", &self.restored)
+            .field("telemetry", &self.telemetry.is_some())
+            .field("rebuild", &self.rebuild.is_some())
+            .finish()
+    }
 }
 
 impl StreamEngineBuilder {
@@ -190,6 +215,24 @@ impl StreamEngineBuilder {
     /// nothing — every instrumentation point is one `Option` check.
     pub fn telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Register a rebuild source: when a replica fails a health self-check
+    /// mid-stream (parameter checksum drift, a NaN escaping a kernel), the
+    /// engine quarantines it and calls `rebuild` for a fresh validator —
+    /// typically reloading the last persisted envelope — hot-swapping it in
+    /// and retrying the batch, so a corrupted replica never judges traffic
+    /// and no batch is lost to the corruption.
+    ///
+    /// Without a rebuild source (the default) a health violation fails the
+    /// batch with [`StreamOutcome::Failed`] and the quarantine is only
+    /// recorded in telemetry.
+    pub fn rebuild_source(
+        mut self,
+        rebuild: impl Fn() -> Option<Box<dyn Validator>> + Send + Sync + 'static,
+    ) -> Self {
+        self.rebuild = Some(Arc::new(rebuild));
         self
     }
 
@@ -249,6 +292,7 @@ impl StreamEngineBuilder {
             default_budget: config.batch_deadline,
             replicas: config.replicas,
             metrics: self.telemetry.map(StreamMetrics::new),
+            rebuild: self.rebuild,
         });
         if let Some(metrics) = &shared.metrics {
             metrics.event(FlightEventKind::EngineStarted {
@@ -256,19 +300,23 @@ impl StreamEngineBuilder {
             });
         }
 
-        let workers = Arc::new(Mutex::new(
-            validators
-                .into_iter()
-                .enumerate()
-                .map(|(index, validator)| {
-                    let shared = Arc::clone(&shared);
+        // The worker list exists before the workers do: each worker carries
+        // a handle to it so a quarantine-triggered rebuild can spawn the
+        // replacement generation from inside the pool.
+        let workers = Arc::new(Mutex::new(Vec::new()));
+        {
+            let mut handles = workers.lock().expect("worker list mutex poisoned");
+            for (index, validator) in validators.into_iter().enumerate() {
+                let shared = Arc::clone(&shared);
+                let workers = Arc::clone(&workers);
+                handles.push(
                     std::thread::Builder::new()
                         .name(format!("dquag-stream-{index}"))
-                        .spawn(move || worker_loop(&shared, &*validator, 0))
-                        .expect("spawning a stream worker thread succeeds")
-                })
-                .collect::<Vec<_>>(),
-        ));
+                        .spawn(move || worker_loop(&shared, &workers, &*validator, 0))
+                        .expect("spawning a stream worker thread succeeds"),
+                );
+            }
+        }
 
         Ok((
             StreamEngine {
@@ -290,7 +338,22 @@ impl StreamEngineBuilder {
 /// retires *before* taking another job — its in-flight batch (if any) still
 /// finishes under the old model, so every batch is judged by exactly one
 /// generation and nothing is dropped mid-swap.
-fn worker_loop(shared: &Shared, validator: &dyn Validator, generation: u64) {
+///
+/// Workers are self-checking: a [`ValidateError::Health`] from the
+/// validator means *this replica* is corrupt, not that the batch is bad.
+/// The worker quarantines the replica (telemetry counter + flight-recorder
+/// event), and — when the engine has a [`RebuildSource`] — swaps in a
+/// freshly rebuilt validator and hands the batch back to the queue, so the
+/// batch is judged by a healthy model instead of failing. A panicking
+/// validator is caught the same way: the batch fails with
+/// [`ValidateError::Panicked`] and the quarantine is recorded, but the
+/// worker thread survives to serve the rest of the stream.
+fn worker_loop(
+    shared: &Arc<Shared>,
+    workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    validator: &dyn Validator,
+    generation: u64,
+) {
     loop {
         let job = {
             let mut st = shared.lock();
@@ -311,7 +374,11 @@ fn worker_loop(shared: &Shared, validator: &dyn Validator, generation: u64) {
                     }
                     break Some(job);
                 }
-                if st.closed {
+                // Exit only once nothing is in flight either: an in-flight
+                // batch may yet be requeued by a quarantined replica, and a
+                // worker that left early would strand it with no one to
+                // judge it.
+                if st.closed && st.in_flight == 0 {
                     break None;
                 }
                 st = shared
@@ -336,25 +403,65 @@ fn worker_loop(shared: &Shared, validator: &dyn Validator, generation: u64) {
         // A batch that expired while queued is not worth validating; a batch
         // that expires *during* validation still finishes (std threads cannot
         // be cancelled) but its verdict is degraded to the deadline outcome
-        // the consumer may already have emitted.
+        // the consumer may already have emitted. `None` means the batch was
+        // handed back to the queue after a replica quarantine.
         let outcome = if expired(job.deadline_at) {
-            deadline_outcome(&job)
+            Some(deadline_outcome(&job))
         } else {
-            match validator.validate(&job.batch) {
-                Ok(verdict) => {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                validator.validate(&job.batch)
+            }));
+            match result {
+                Ok(Ok(verdict)) => {
                     validated = true;
                     if expired(job.deadline_at) {
-                        deadline_outcome(&job)
+                        Some(deadline_outcome(&job))
                     } else {
-                        StreamOutcome::Verdict(verdict)
+                        Some(StreamOutcome::Verdict(verdict))
                     }
                 }
-                Err(error) => StreamOutcome::Failed(error),
+                Ok(Err(error)) if error.is_health() => {
+                    quarantine_replica(shared, generation, &error.to_string());
+                    if rebuild_after_quarantine(shared, workers, generation, &job) {
+                        None
+                    } else {
+                        Some(StreamOutcome::Failed(error))
+                    }
+                }
+                Ok(Err(error)) => Some(StreamOutcome::Failed(error)),
+                Err(payload) => {
+                    // The replica is suspect after an unwind, but the worker
+                    // thread must survive — a dead worker would silently
+                    // shrink the pool and, with every worker gone, wedge the
+                    // stream. The batch fails loudly instead.
+                    // `&*payload`, not `&payload`: the latter would unsize
+                    // the Box itself into `dyn Any` and every downcast of
+                    // the payload would miss.
+                    let reason = panic_reason(&*payload);
+                    quarantine_replica(shared, generation, &reason);
+                    Some(StreamOutcome::Failed(ValidateError::Panicked(reason)))
+                }
             }
         };
 
         let mut st = shared.lock();
         st.in_flight -= 1;
+        let Some(outcome) = outcome else {
+            // Quarantine handed the batch back: queued again (front, so it
+            // keeps its place in line), outstanding count unchanged. This
+            // worker's generation is now stale, so the next loop iteration
+            // retires it and the rebuilt generation takes over.
+            st.queue.push_front(Job {
+                retried: true,
+                ..job
+            });
+            if let Some(metrics) = &shared.metrics {
+                metrics.set_occupancy(st.queue.len(), st.in_flight);
+            }
+            drop(st);
+            shared.not_empty.notify_one();
+            continue;
+        };
         if validated {
             st.stats.rows_validated += n_rows as u64;
             if let Some(metrics) = &shared.metrics {
@@ -383,13 +490,76 @@ fn worker_loop(shared: &Shared, validator: &dyn Validator, generation: u64) {
             late_seq = Some(job.seq);
             shared.not_full.notify_one();
         }
+        // Workers parked on not_empty during a drain wait for in-flight to
+        // reach zero (see the exit check above); this filing may be what
+        // zeroes it.
+        let wake_drainers = st.closed && st.in_flight == 0;
         drop(st);
         if let (Some(seq), Some(metrics)) = (late_seq, &shared.metrics) {
             metrics.late_discarded.inc();
             metrics.event(FlightEventKind::LateDiscard { seq });
         }
+        if wake_drainers {
+            shared.not_empty.notify_all();
+        }
         shared.progress.notify_all();
     }
+}
+
+/// Record a replica quarantine in telemetry: counter plus an error-class
+/// flight-recorder event (which dumps the ring when `dump_on_error` is on).
+fn quarantine_replica(shared: &Shared, generation: u64, reason: &str) {
+    if let Some(metrics) = &shared.metrics {
+        metrics.replica_quarantines.inc();
+        metrics.event(FlightEventKind::ReplicaQuarantined {
+            generation,
+            reason: reason.to_string(),
+        });
+    }
+}
+
+/// After a health quarantine, try to put a healthy generation in charge and
+/// decide the batch's fate: `true` means the caller should hand the batch
+/// back to the queue for the healthy generation, `false` means it must fail
+/// (no rebuild source, rebuild declined, already retried once, or expired).
+fn rebuild_after_quarantine(
+    shared: &Arc<Shared>,
+    workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    generation: u64,
+    job: &Job,
+) -> bool {
+    // A batch already retried once hit a second unhealthy replica — failing
+    // it breaks the requeue loop; a batch past its deadline is not worth a
+    // rebuilt model's time (the consumer has already reported it).
+    if job.retried
+        || job
+            .deadline_at
+            .is_some_and(|deadline| Instant::now() >= deadline)
+    {
+        return false;
+    }
+    // Another worker may have quarantined and swapped already; the fresh
+    // generation is serving, so the batch just goes back to the queue.
+    if shared.lock().generation != generation {
+        return true;
+    }
+    let Some(rebuild) = &shared.rebuild else {
+        return false;
+    };
+    let Some(fresh) = rebuild() else {
+        return false;
+    };
+    swap_validator_impl(shared, workers, fresh, true).is_ok()
+}
+
+/// Best-effort human-readable panic payload (the common `&str` / `String`
+/// cases; anything else is reported opaquely).
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
 }
 
 /// The running engine: control plane over the worker pool.
@@ -415,10 +585,15 @@ pub struct StreamEngine {
 /// untouched, so no batch is lost or reordered, and because queue pops are
 /// FIFO under the same mutex as the generation bump, the judging generation
 /// is monotone in submission order.
+/// `allow_when_closed` is reserved for the quarantine-rebuild path: a
+/// replica that corrupts *during* the shutdown drain still gets replaced so
+/// the remaining queued batches are judged by a healthy model — the
+/// public swap API keeps refusing once shutdown has begun.
 fn swap_validator_impl(
     shared: &Arc<Shared>,
     workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
     mut validator: Box<dyn Validator>,
+    allow_when_closed: bool,
 ) -> Result<u64, EngineClosed> {
     // The incoming validator inherits the engine's telemetry bundle, just
     // like the one handed to `start`; replicas inherit through `replicate`.
@@ -437,7 +612,7 @@ fn swap_validator_impl(
 
     let generation = {
         let mut st = shared.lock();
-        if st.closed {
+        if st.closed && !allow_when_closed {
             return Err(EngineClosed);
         }
         st.generation += 1;
@@ -454,10 +629,11 @@ fn swap_validator_impl(
     let mut handles = workers.lock().expect("worker list mutex poisoned");
     for (index, validator) in validators.into_iter().enumerate() {
         let shared = Arc::clone(shared);
+        let workers = Arc::clone(workers);
         handles.push(
             std::thread::Builder::new()
                 .name(format!("dquag-stream-g{generation}-{index}"))
-                .spawn(move || worker_loop(&shared, &*validator, generation))
+                .spawn(move || worker_loop(&shared, &workers, &*validator, generation))
                 .expect("spawning a stream worker thread succeeds"),
         );
     }
@@ -476,7 +652,7 @@ impl SwapHandle {
     /// Hot-swap a freshly fitted validator into the running engine. See
     /// [`StreamEngine::swap_validator`].
     pub fn swap_validator(&self, validator: Box<dyn Validator>) -> Result<u64, EngineClosed> {
-        swap_validator_impl(&self.shared, &self.workers, validator)
+        swap_validator_impl(&self.shared, &self.workers, validator, false)
     }
 
     /// The current model generation (0 until the first swap).
@@ -545,7 +721,7 @@ impl StreamEngine {
     /// Returns the new generation number, or [`EngineClosed`] once shutdown
     /// has begun (the draining batches keep their current model).
     pub fn swap_validator(&self, validator: Box<dyn Validator>) -> Result<u64, EngineClosed> {
-        swap_validator_impl(&self.shared, &self.workers, validator)
+        swap_validator_impl(&self.shared, &self.workers, validator, false)
     }
 
     /// A cloneable [`SwapHandle`] for swapping from other threads (e.g. a
@@ -726,6 +902,7 @@ impl IngestHandle {
             submitted_at: now,
             deadline_at,
             budget,
+            retried: false,
         });
         st.stats.submitted += 1;
         if let Some(metrics) = &shared.metrics {

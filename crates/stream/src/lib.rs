@@ -30,6 +30,15 @@
 //!   generation, old workers retire as they drain, and the re-sequenced
 //!   stream loses and reorders nothing — every batch is judged by exactly
 //!   one generation.
+//! * **Self-checking replicas with quarantine and rebuild** — a replica
+//!   whose validator reports a health violation (parameter checksum drift,
+//!   a NaN escaping a kernel) is quarantined: the event is counted
+//!   (`dquag_replica_quarantines_total`) and flight-recorded, and when the
+//!   engine was built with a
+//!   [`rebuild_source`](StreamEngineBuilder::rebuild_source) a fresh
+//!   validator is hot-swapped in and the batch retried — a corrupted model
+//!   never silently judges traffic. Panicking validators are caught the
+//!   same way ([`StreamOutcome::Failed`], worker survives).
 //! * **Live statistics** — [`StreamStats`] (throughput, queue depth,
 //!   in-flight count, dirty rate, drops, p50/p99 latency) snapshotable from
 //!   any handle while the engine runs.
@@ -83,6 +92,8 @@ mod metrics;
 mod outcome;
 mod stats;
 
-pub use engine::{IngestHandle, StreamEngine, StreamEngineBuilder, SwapHandle, VerdictStream};
+pub use engine::{
+    IngestHandle, RebuildSource, StreamEngine, StreamEngineBuilder, SwapHandle, VerdictStream,
+};
 pub use outcome::{EngineClosed, StreamItem, StreamOutcome, SubmitOutcome};
 pub use stats::StreamStats;

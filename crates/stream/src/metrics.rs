@@ -30,6 +30,7 @@ pub(crate) struct StreamMetrics {
     pub verdict_dirty: Arc<Counter>,
     pub verdict_failed: Arc<Counter>,
     pub verdict_deadline: Arc<Counter>,
+    pub replica_quarantines: Arc<Counter>,
 }
 
 impl StreamMetrics {
@@ -105,6 +106,10 @@ impl StreamMetrics {
             verdict_dirty: outcome("dirty"),
             verdict_failed: outcome("failed"),
             verdict_deadline: outcome("deadline_exceeded"),
+            replica_quarantines: r.counter(
+                "dquag_replica_quarantines_total",
+                "Validator replicas retired after a failed health self-check or a panic",
+            ),
             telemetry,
         }
     }

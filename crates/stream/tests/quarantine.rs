@@ -1,0 +1,259 @@
+//! Replica quarantine: a validator that fails a health self-check is
+//! retired, counted and flight-recorded; with a rebuild source the engine
+//! hot-swaps a fresh validator in and retries the batch, so no batch is
+//! lost to — or judged by — a corrupted replica. Panicking validators are
+//! caught: the batch fails, the worker survives.
+
+use dquag_core::{BackpressurePolicy, HealthError};
+use dquag_stream::{StreamEngine, StreamOutcome, SubmitOutcome};
+use dquag_tabular::{DataFrame, Field, Schema, Value};
+use dquag_telemetry::{Telemetry, TelemetryOptions};
+use dquag_validate::{Capabilities, FitReport, ValidateError, Validator, Verdict};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A stub replica whose health is a shared switch: while `corrupt` is set,
+/// `validate` reports a checksum-mismatch health violation instead of a
+/// verdict — the same shape a real corrupted DQuaG replica produces.
+struct Switchable {
+    label: &'static str,
+    corrupt: Arc<AtomicBool>,
+    panic_on_marker: bool,
+}
+
+impl Switchable {
+    fn healthy(label: &'static str) -> Box<Self> {
+        Box::new(Self {
+            label,
+            corrupt: Arc::new(AtomicBool::new(false)),
+            panic_on_marker: false,
+        })
+    }
+}
+
+impl Validator for Switchable {
+    fn name(&self) -> &str {
+        self.label
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::dataset_level()
+    }
+
+    fn fit(&mut self, clean: &DataFrame) -> dquag_validate::Result<FitReport> {
+        Ok(FitReport {
+            validator: self.label.to_string(),
+            n_rows: clean.n_rows(),
+            n_columns: clean.n_cols(),
+            threshold: None,
+            n_parameters: None,
+            notes: vec![],
+        })
+    }
+
+    fn validate(&self, batch: &DataFrame) -> dquag_validate::Result<Verdict> {
+        if self.panic_on_marker && batch.n_rows() == MARKER_ROWS {
+            panic!("deliberate validator panic on the marker batch");
+        }
+        if self.corrupt.load(Ordering::SeqCst) {
+            return Err(ValidateError::Health(HealthError::ChecksumMismatch {
+                expected: 0x1,
+                actual: 0x2,
+            }));
+        }
+        Ok(Verdict::dataset_level(
+            self.label.to_string(),
+            false,
+            0.0,
+            batch.n_rows(),
+            vec![],
+        ))
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Validator>> {
+        // Replicas share the corruption switch, mirroring a fault that hits
+        // the shared fitted state.
+        Some(Box::new(Switchable {
+            label: self.label,
+            corrupt: Arc::clone(&self.corrupt),
+            panic_on_marker: self.panic_on_marker,
+        }))
+    }
+
+    fn health_check(&self) -> dquag_validate::Result<()> {
+        if self.corrupt.load(Ordering::SeqCst) {
+            return Err(ValidateError::Health(HealthError::ChecksumMismatch {
+                expected: 0x1,
+                actual: 0x2,
+            }));
+        }
+        Ok(())
+    }
+}
+
+/// Batches with this many rows make a `panic_on_marker` validator panic.
+const MARKER_ROWS: usize = 7;
+
+fn batch(rows: usize) -> DataFrame {
+    let schema = Schema::new(vec![Field::numeric("x", "")]);
+    let mut df = DataFrame::new(schema);
+    for i in 0..rows {
+        df.push_row(vec![Value::Number(i as f64)]).unwrap();
+    }
+    df
+}
+
+fn quiet_telemetry() -> Arc<Telemetry> {
+    Telemetry::with_options(TelemetryOptions {
+        flight_recorder_capacity: 64,
+        dump_on_error: false,
+        ..TelemetryOptions::default()
+    })
+}
+
+#[test]
+fn health_violation_quarantines_rebuilds_and_retries_the_batch() {
+    let telemetry = quiet_telemetry();
+    let corrupt = Arc::new(AtomicBool::new(false));
+    let primary = Box::new(Switchable {
+        label: "gen-sick",
+        corrupt: Arc::clone(&corrupt),
+        panic_on_marker: false,
+    });
+    let (engine, ingest, mut verdicts) = StreamEngine::builder()
+        .replicas(1)
+        .queue_capacity(8)
+        .backpressure(BackpressurePolicy::Block)
+        .telemetry(Arc::clone(&telemetry))
+        .rebuild_source(|| Some(Switchable::healthy("gen-rebuilt") as Box<dyn Validator>))
+        .start(primary)
+        .expect("engine starts");
+
+    // A healthy batch first, then corrupt the replica, then more traffic.
+    ingest.submit(batch(2)).expect("accepted");
+    let first = verdicts.recv().expect("first outcome");
+    assert!(
+        matches!(&first.outcome, StreamOutcome::Verdict(v) if v.validator == "gen-sick"),
+        "{first:?}"
+    );
+    corrupt.store(true, Ordering::SeqCst);
+    for _ in 0..3 {
+        assert!(matches!(
+            ingest.submit(batch(2)).unwrap(),
+            SubmitOutcome::Enqueued(_)
+        ));
+    }
+    drop(ingest);
+
+    // Every post-corruption batch is retried on the rebuilt replica: no
+    // outcome is Failed and none carries the sick generation's name.
+    let rest: Vec<_> = (&mut verdicts).collect();
+    assert_eq!(rest.len(), 3);
+    for item in &rest {
+        match &item.outcome {
+            StreamOutcome::Verdict(verdict) => assert_eq!(verdict.validator, "gen-rebuilt"),
+            other => panic!("expected a rebuilt-generation verdict, got {other:?}"),
+        }
+    }
+
+    // Exactly one quarantine: the first corrupt validate retired the
+    // replica, and the swap left nothing else to trip.
+    assert_eq!(
+        telemetry
+            .registry()
+            .counter("dquag_replica_quarantines_total", "")
+            .get(),
+        1
+    );
+    assert!(telemetry
+        .recorder()
+        .dump()
+        .iter()
+        .any(|e| e.kind.label() == "replica_quarantined"));
+    assert_eq!(engine.generation(), 1, "the rebuild bumped the generation");
+    let stats = engine.shutdown();
+    assert_eq!(stats.submitted, 4);
+    assert_eq!(stats.emitted, 4);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn health_violation_without_rebuild_source_fails_the_batch_loudly() {
+    let telemetry = quiet_telemetry();
+    let corrupt = Arc::new(AtomicBool::new(true));
+    let primary = Box::new(Switchable {
+        label: "gen-sick",
+        corrupt,
+        panic_on_marker: false,
+    });
+    let (engine, ingest, mut verdicts) = StreamEngine::builder()
+        .replicas(1)
+        .queue_capacity(4)
+        .telemetry(Arc::clone(&telemetry))
+        .start(primary)
+        .expect("engine starts");
+
+    ingest.submit(batch(2)).expect("accepted");
+    let item = verdicts.recv().expect("outcome");
+    match &item.outcome {
+        StreamOutcome::Failed(error) => assert!(error.is_health(), "{error}"),
+        other => panic!("expected a health failure, got {other:?}"),
+    }
+    // Quarantine was still recorded — the operator sees the sick replica
+    // even though the engine cannot heal it.
+    assert_eq!(
+        telemetry
+            .registry()
+            .counter("dquag_replica_quarantines_total", "")
+            .get(),
+        1
+    );
+    drop(ingest);
+    engine.shutdown();
+}
+
+#[test]
+fn panicking_validator_fails_the_batch_but_the_worker_survives() {
+    let telemetry = quiet_telemetry();
+    let primary = Box::new(Switchable {
+        label: "gen-a",
+        corrupt: Arc::new(AtomicBool::new(false)),
+        panic_on_marker: true,
+    });
+    let (engine, ingest, mut verdicts) = StreamEngine::builder()
+        .replicas(1)
+        .queue_capacity(8)
+        .backpressure(BackpressurePolicy::Block)
+        .telemetry(Arc::clone(&telemetry))
+        .start(primary)
+        .expect("engine starts");
+
+    // ok, panic, ok — all through the single worker.
+    ingest.submit(batch(2)).expect("accepted");
+    ingest.submit(batch(MARKER_ROWS)).expect("accepted");
+    ingest.submit(batch(3)).expect("accepted");
+    drop(ingest);
+
+    let items: Vec<_> = verdicts.by_ref().collect();
+    assert_eq!(items.len(), 3, "the worker survived the panic");
+    assert!(matches!(&items[0].outcome, StreamOutcome::Verdict(_)));
+    match &items[1].outcome {
+        StreamOutcome::Failed(ValidateError::Panicked(reason)) => {
+            assert!(reason.contains("deliberate validator panic"), "{reason}");
+        }
+        other => panic!("expected a panic failure, got {other:?}"),
+    }
+    assert!(matches!(&items[2].outcome, StreamOutcome::Verdict(_)));
+
+    // The panic counts as a quarantine so the flaky replica is visible.
+    assert_eq!(
+        telemetry
+            .registry()
+            .counter("dquag_replica_quarantines_total", "")
+            .get(),
+        1
+    );
+    let stats = engine.shutdown();
+    assert_eq!(stats.emitted, 3);
+    assert_eq!(stats.failed, 1);
+}

@@ -55,6 +55,11 @@ pub enum FlightEventKind {
     CheckpointWrite { path: String },
     /// A corrupt model envelope was quarantined on load.
     Quarantine { path: String },
+    /// A *running* validator replica failed a health self-check (checksum
+    /// drift, non-finite kernel output) or panicked, and was retired from
+    /// the worker pool. `generation` is the model generation the replica
+    /// was serving when it was pulled.
+    ReplicaQuarantined { generation: u64, reason: String },
     /// A source-layer error (decode failure, I/O error).
     SourceError { source: String, message: String },
     /// Free-form annotation from an operator or example.
@@ -77,6 +82,7 @@ impl FlightEventKind {
             FlightEventKind::LateDiscard { .. } => "late_discard",
             FlightEventKind::CheckpointWrite { .. } => "checkpoint_write",
             FlightEventKind::Quarantine { .. } => "quarantine",
+            FlightEventKind::ReplicaQuarantined { .. } => "replica_quarantined",
             FlightEventKind::SourceError { .. } => "source_error",
             FlightEventKind::Note { .. } => "note",
         }
@@ -90,6 +96,7 @@ impl FlightEventKind {
             self,
             FlightEventKind::RefitFailed { .. }
                 | FlightEventKind::Quarantine { .. }
+                | FlightEventKind::ReplicaQuarantined { .. }
                 | FlightEventKind::SourceError { .. }
                 | FlightEventKind::DeadlineMiss { .. }
         )
@@ -133,6 +140,12 @@ impl std::fmt::Display for FlightEventKind {
                 write!(f, "checkpoint_write path={path}")
             }
             FlightEventKind::Quarantine { path } => write!(f, "quarantine path={path}"),
+            FlightEventKind::ReplicaQuarantined { generation, reason } => {
+                write!(
+                    f,
+                    "replica_quarantined generation={generation} reason={reason:?}"
+                )
+            }
             FlightEventKind::SourceError { source, message } => {
                 write!(f, "source_error source={source} message={message:?}")
             }
@@ -313,6 +326,11 @@ mod tests {
         .is_error());
         assert!(FlightEventKind::Quarantine {
             path: "m.dq".into()
+        }
+        .is_error());
+        assert!(FlightEventKind::ReplicaQuarantined {
+            generation: 2,
+            reason: "checksum mismatch".into()
         }
         .is_error());
         assert!(FlightEventKind::DeadlineMiss { seq: 3 }.is_error());

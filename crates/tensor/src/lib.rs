@@ -50,7 +50,10 @@ pub mod persist;
 pub use error::TensorError;
 pub use matrix::Matrix;
 pub use persist::{matrix_checksum, params_checksum};
-pub use simd::{kernel_mode, set_kernel_mode, KernelMode};
+pub use simd::{
+    finite_guard_enabled, kernel_mode, set_finite_guard, set_kernel_mode, take_finite_guard_trip,
+    GuardTrip, KernelMode,
+};
 pub use tape::{Tape, Var};
 
 /// Tune the process allocator for sustained tensor inference.

@@ -713,6 +713,21 @@ impl Matrix {
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
         for r in 0..self.rows {
+            // A NaN or +∞ logit admits no meaningful distribution. The max
+            // fold below silently skips NaN and `denom > 0.0` is false for a
+            // NaN denominator, so without this check a poisoned row would
+            // leak *unnormalised* — finite but wrong — exp values. Propagate
+            // NaN across the row instead. (−∞ is well-defined: exp → 0.)
+            if self
+                .row(r)
+                .iter()
+                .any(|v| v.is_nan() || *v == f32::INFINITY)
+            {
+                for c in 0..self.cols {
+                    out.set(r, c, f32::NAN);
+                }
+                continue;
+            }
             let row_max = self
                 .row(r)
                 .iter()
@@ -742,6 +757,12 @@ impl Matrix {
 /// (exactly what masked attention logits need).
 #[inline]
 fn fast_exp(x: f32) -> f32 {
+    if x.is_nan() {
+        // Without this, NaN slips past both range guards (every comparison
+        // with NaN is false) into the exponent rebuild, which would turn it
+        // into an arbitrary *finite* value. Propagate it like `exp` does.
+        return f32::NAN;
+    }
     if x < -87.0 {
         return 0.0;
     }
@@ -987,6 +1008,41 @@ mod tests {
         assert_eq!(fast_exp(-1.0e9), 0.0, "masked logits underflow to zero");
         assert_eq!(fast_exp(100.0), f32::INFINITY);
         assert!((fast_exp(0.0) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fast_exp_poison_values_yield_defined_results() {
+        // NaN must come out as NaN — before the guard it fell through both
+        // range checks into the exponent rebuild and came out finite.
+        assert!(fast_exp(f32::NAN).is_nan());
+        assert_eq!(fast_exp(f32::NEG_INFINITY), 0.0);
+        assert_eq!(fast_exp(f32::INFINITY), f32::INFINITY);
+    }
+
+    #[test]
+    fn softmax_rows_poison_inputs_propagate_nan_not_garbage() {
+        // A NaN logit poisons its whole row to NaN; clean rows are untouched.
+        let m = Matrix::from_rows(vec![vec![1.0, f32::NAN, 3.0], vec![1.0, 2.0, 3.0]]);
+        let s = m.softmax_rows();
+        assert!(s.row(0).iter().all(|v| v.is_nan()), "{s:?}");
+        assert!(close(s.row(1).iter().sum(), 1.0));
+
+        // +∞ likewise: exp(∞ − ∞) has no meaningful value, so the row must
+        // not come out finite (the old code emitted raw unnormalised exps).
+        let m = Matrix::from_rows(vec![vec![f32::INFINITY, 2.0, 3.0]]);
+        assert!(m.softmax_rows().row(0).iter().all(|v| v.is_nan()));
+
+        // −∞ is well-defined: that logit gets probability zero and the rest
+        // renormalise.
+        let m = Matrix::from_rows(vec![vec![f32::NEG_INFINITY, 0.0, 0.0]]);
+        let s = m.softmax_rows();
+        assert_eq!(s.get(0, 0), 0.0);
+        assert!(close(s.get(0, 1), 0.5));
+        assert!(close(s.get(0, 2), 0.5));
+
+        // An all-(−∞) row has no distribution either; it must not be finite.
+        let m = Matrix::from_rows(vec![vec![f32::NEG_INFINITY, f32::NEG_INFINITY]]);
+        assert!(m.softmax_rows().row(0).iter().all(|v| v.is_nan()));
     }
 
     #[test]

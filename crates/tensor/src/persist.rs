@@ -62,6 +62,27 @@ fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Fold a slice of `f32` bit patterns into the hash, two elements per step.
+///
+/// The byte-at-a-time FNV chain is a serial xor-multiply dependency — eight
+/// multiplies per element — which is too slow for a checksum re-verified on
+/// the first forward pass of every scoring session. Folding whole 64-bit
+/// words (two packed element bit patterns per step) keeps the certificate:
+/// every xor-multiply step is a bijection of the hash state, so a single
+/// flipped bit in any element still changes the final value.
+fn fnv1a_elems(mut hash: u64, elems: &[f32]) -> u64 {
+    let mut pairs = elems.chunks_exact(2);
+    for pair in &mut pairs {
+        hash ^= u64::from(pair[0].to_bits()) | (u64::from(pair[1].to_bits()) << 32);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    for &x in pairs.remainder() {
+        hash ^= u64::from(x.to_bits());
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
 /// Checksum one matrix: shape plus the bit pattern of every element.
 ///
 /// Uses `to_bits` rather than the numeric value so `-0.0` vs `0.0` and
@@ -71,10 +92,7 @@ pub fn matrix_checksum(matrix: &Matrix) -> u64 {
     let mut hash = FNV_OFFSET;
     hash = fnv1a(hash, &(matrix.rows() as u64).to_le_bytes());
     hash = fnv1a(hash, &(matrix.cols() as u64).to_le_bytes());
-    for &x in matrix.as_slice() {
-        hash = fnv1a(hash, &x.to_bits().to_le_bytes());
-    }
-    hash
+    fnv1a_elems(hash, matrix.as_slice())
 }
 
 /// Checksum an ordered sequence of named matrices (a parameter store).

@@ -20,7 +20,8 @@
 
 #[cfg(target_arch = "x86_64")]
 use std::arch::x86_64::*;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 /// `out = a · b (+ bias)` with `a` row-major `n × k`, `b` row-major
@@ -42,6 +43,47 @@ pub enum KernelMode {
 
 static KERNEL_MODE: AtomicU8 = AtomicU8::new(0);
 static KERNEL: OnceLock<Kernel> = OnceLock::new();
+static FINITE_GUARD: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static GUARD_TRIP: Cell<Option<GuardTrip>> = const { Cell::new(None) };
+}
+
+/// Record of the first non-finite kernel output the finite guard observed on
+/// this thread since the trip was last taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardTrip {
+    /// Flat index of the offending element in the output buffer.
+    pub index: usize,
+    /// Output rows (`n`) of the product that tripped.
+    pub rows: usize,
+    /// Output columns (`d`) of the product that tripped.
+    pub cols: usize,
+}
+
+/// Enable or disable the kernel-epilogue finite guard (process-wide).
+///
+/// When enabled, every product routed through [`dispatch`] scans its output
+/// for NaN/Inf after the kernel returns and latches the first violation into
+/// a thread-local [`GuardTrip`]. The scan is `O(n·d)` against the kernel's
+/// `O(n·k·d)` work, so the cost is a small fraction of the product itself.
+/// The guard never alters a computed element, so the determinism contract
+/// above is unaffected.
+pub fn set_finite_guard(enabled: bool) {
+    FINITE_GUARD.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the kernel-epilogue finite guard is currently enabled.
+pub fn finite_guard_enabled() -> bool {
+    FINITE_GUARD.load(Ordering::Relaxed)
+}
+
+/// Take (and clear) this thread's latched guard trip, if any. Trips are
+/// per-thread, so a single-threaded inference session that polls between
+/// batches attributes a trip to its own forward pass, never to a neighbour.
+pub fn take_finite_guard_trip() -> Option<GuardTrip> {
+    GUARD_TRIP.with(|slot| slot.take())
+}
 
 /// Select the matmul kernel globally (process-wide). Intended for benchmarks
 /// and numerical A/B comparisons; concurrent matrix users observe the switch
@@ -153,6 +195,35 @@ fn dispatch(
     // support, and the slice-length assertions above establish the bounds
     // every kernel relies on.
     unsafe { kernel(out, a, b, bias, relu, n, k, d) }
+    if FINITE_GUARD.load(Ordering::Relaxed) {
+        // Branch-free detection pass: a float is non-finite iff its
+        // magnitude bits reach the exponent-all-ones pattern, so a u32
+        // max-reduction over `bits & !sign` finds "any NaN/Inf?" without an
+        // early exit — the loop autovectorizes, keeping the guard a small
+        // fraction of the kernel's O(n·k·d) even for thin products. The
+        // element search runs only on the rare trip path.
+        const INF_BITS: u32 = 0x7F80_0000;
+        let worst = out
+            .iter()
+            .fold(0u32, |acc, v| acc.max(v.to_bits() & 0x7FFF_FFFF));
+        if worst >= INF_BITS {
+            let index = out
+                .iter()
+                .position(|v| !v.is_finite())
+                .expect("a non-finite element exists on the trip path");
+            GUARD_TRIP.with(|slot| {
+                // Latch only the first violation: the earliest trip names the
+                // product that actually went bad, later ones are fallout.
+                if slot.get().is_none() {
+                    slot.set(Some(GuardTrip {
+                        index,
+                        rows: n,
+                        cols: d,
+                    }));
+                }
+            });
+        }
+    }
 }
 
 /// Portable fallback: the original i-k-j loop. The `a == 0.0` skip keeps
@@ -599,6 +670,34 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn finite_guard_latches_first_violation_and_clears_on_take() {
+        set_finite_guard(true);
+        let _ = take_finite_guard_trip(); // drop any stale trip from other tests
+
+        // A clean product must not trip the guard.
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [0.5f32, -0.25, 1.5, 2.0];
+        let mut out = [0.0f32; 4];
+        matmul_into(&mut out, &a, &b, 2, 2, 2);
+        assert_eq!(take_finite_guard_trip(), None);
+
+        // A NaN operand poisons the output; the guard latches the first bad
+        // element without altering the computed values.
+        let poisoned = [f32::NAN, 2.0, 3.0, 4.0];
+        matmul_into(&mut out, &poisoned, &b, 2, 2, 2);
+        let trip = take_finite_guard_trip().expect("NaN output must trip the guard");
+        assert_eq!((trip.rows, trip.cols), (2, 2));
+        assert!(!out[trip.index].is_finite());
+        // Taking the trip clears it.
+        assert_eq!(take_finite_guard_trip(), None);
+
+        // Disabled guard stays silent even on poisoned output.
+        set_finite_guard(false);
+        matmul_into(&mut out, &poisoned, &b, 2, 2, 2);
+        assert_eq!(take_finite_guard_trip(), None);
     }
 
     #[test]

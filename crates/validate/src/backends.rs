@@ -70,6 +70,13 @@ impl DquagBackend {
         self.fitted.as_ref()
     }
 
+    /// Mutable access to the trained core validator — the seam
+    /// `dquag-faults` uses to corrupt fitted parameters or install
+    /// activation faults on a live backend.
+    pub fn trained_mut(&mut self) -> Option<&mut DquagValidator> {
+        self.fitted.as_mut()
+    }
+
     fn require_fitted(&self) -> Result<&DquagValidator> {
         self.fitted
             .as_ref()
@@ -209,6 +216,15 @@ impl Validator for DquagBackend {
                 telemetry: self.telemetry.clone(),
             }) as Box<dyn Validator>
         })
+    }
+
+    fn health_check(&self) -> Result<()> {
+        // An unfitted backend has no parameters to drift, so nothing to
+        // verify; once fitted, re-hash against the checksum taken at fit.
+        match &self.fitted {
+            Some(fitted) => fitted.health_check().map_err(ValidateError::from),
+            None => Ok(()),
+        }
     }
 
     fn persisted_state(&self) -> Option<crate::PersistedValidatorState> {

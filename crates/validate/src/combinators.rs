@@ -185,6 +185,15 @@ impl Validator for EnsembleValidator {
         }))
     }
 
+    fn health_check(&self) -> Result<()> {
+        // One corrupt member corrupts the vote, so the first violation
+        // fails the whole ensemble.
+        for member in &self.members {
+            member.health_check()?;
+        }
+        Ok(())
+    }
+
     fn persisted_state(&self) -> Option<crate::PersistedValidatorState> {
         // Persistable iff every member is; a part-persisted ensemble would
         // silently change its verdicts after a reload.
@@ -321,6 +330,11 @@ impl Validator for GatedValidator {
             escalate_when: self.escalate_when.clone(),
             name: self.name.clone(),
         }))
+    }
+
+    fn health_check(&self) -> Result<()> {
+        self.cheap.health_check()?;
+        self.expensive.health_check()
     }
 
     fn persisted_state(&self) -> Option<crate::PersistedValidatorState> {

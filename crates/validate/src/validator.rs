@@ -2,7 +2,7 @@
 
 use crate::verdict::Capabilities;
 use crate::{FitReport, Result, Verdict};
-use dquag_core::CoreError;
+use dquag_core::{CoreError, HealthError};
 use dquag_tabular::DataFrame;
 use dquag_telemetry::Telemetry;
 use std::fmt;
@@ -19,6 +19,23 @@ pub enum ValidateError {
     InvalidBatch(String),
     /// A configuration value is out of its legal range.
     InvalidConfig(String),
+    /// The *validator itself* failed a runtime self-check (checksum drift,
+    /// non-finite kernel output, poisoned activations). Unlike the other
+    /// variants this does not indict the batch: the replica is corrupt and
+    /// should be quarantined and rebuilt, then the batch retried.
+    Health(HealthError),
+    /// The validator panicked while judging a batch. The streaming engine
+    /// catches the unwind, fails the batch with this error, and records a
+    /// replica quarantine instead of letting the worker thread die.
+    Panicked(String),
+}
+
+impl ValidateError {
+    /// True for health violations — the signal the streaming engine uses to
+    /// quarantine a replica instead of merely failing the batch.
+    pub fn is_health(&self) -> bool {
+        matches!(self, ValidateError::Health(_))
+    }
 }
 
 impl fmt::Display for ValidateError {
@@ -30,6 +47,10 @@ impl fmt::Display for ValidateError {
             ValidateError::Core(e) => write!(f, "pipeline error: {e}"),
             ValidateError::InvalidBatch(msg) => write!(f, "invalid batch: {msg}"),
             ValidateError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ValidateError::Health(violation) => {
+                write!(f, "validator health violation: {violation}")
+            }
+            ValidateError::Panicked(msg) => write!(f, "validator panicked: {msg}"),
         }
     }
 }
@@ -38,7 +59,12 @@ impl std::error::Error for ValidateError {}
 
 impl From<CoreError> for ValidateError {
     fn from(e: CoreError) -> Self {
-        ValidateError::Core(e)
+        match e {
+            // Health violations keep their structure so callers can match on
+            // them without string-parsing a Core wrapper.
+            CoreError::Health(violation) => ValidateError::Health(violation),
+            other => ValidateError::Core(other),
+        }
     }
 }
 
@@ -100,6 +126,19 @@ pub trait Validator: Send + Sync {
         let _ = telemetry;
     }
 
+    /// Verify this validator's own integrity: re-hash fitted parameters
+    /// against the checksum recorded at fit time, scan for non-finite
+    /// weights, and so on. Backends without fitted state (or without a
+    /// cheap integrity proof) return `Ok(())` — the default.
+    ///
+    /// The streaming engine calls this when deciding whether a replica that
+    /// produced a [`ValidateError::Health`] should be quarantined; external
+    /// supervisors may call it periodically. Composites recurse into their
+    /// members and surface the first violation.
+    fn health_check(&self) -> Result<()> {
+        Ok(())
+    }
+
     /// Export this validator's complete fitted state for persistence, or
     /// `None` when the backend does not support it (the default) or has not
     /// been fitted yet.
@@ -128,5 +167,20 @@ mod tests {
             .contains("epochs"));
         let core: ValidateError = CoreError::SchemaMismatch("col".into()).into();
         assert!(core.to_string().contains("col"));
+    }
+
+    #[test]
+    fn health_violations_keep_their_structure_across_the_core_boundary() {
+        let violation = HealthError::ChecksumMismatch {
+            expected: 0xdead,
+            actual: 0xbeef,
+        };
+        let err: ValidateError = CoreError::Health(violation.clone()).into();
+        assert_eq!(err, ValidateError::Health(violation));
+        assert!(err.is_health());
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+
+        let plain: ValidateError = CoreError::SchemaMismatch("col".into()).into();
+        assert!(!plain.is_health());
     }
 }

@@ -23,6 +23,11 @@
 //! * [`telemetry`] — observability: a lock-cheap metrics registry with
 //!   log-bucketed latency histograms, per-stage pipeline spans, Prometheus
 //!   text exposition, and a bounded flight recorder of lifecycle events.
+//! * [`faults`] — the fault-injection harness: seeded bit flips and NaN
+//!   poisoning in fitted models, a faultable validator for quarantine
+//!   drills, and rate × site fault campaigns measuring how the
+//!   self-checking runtime catches corrupted replicas before they emit a
+//!   wrong verdict.
 //! * [`core`] — the DQuaG pipeline: training, validation, repair.
 //! * [`gnn`] — GAT/GIN/GCN layers, encoder stacks, dual decoders.
 //! * [`graph`] — feature-graph construction and relationship inference.
@@ -61,6 +66,7 @@
 pub use dquag_baselines as baselines;
 pub use dquag_core as core;
 pub use dquag_datagen as datagen;
+pub use dquag_faults as faults;
 pub use dquag_gnn as gnn;
 pub use dquag_graph as graph;
 pub use dquag_persist as persist;
